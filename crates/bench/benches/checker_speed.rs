@@ -1,0 +1,38 @@
+//! E2: checker and verifier throughput on every accepted corpus program
+//! (paper §5: "capable of checking our most complex examples in seconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fearless_core::CheckerOptions;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fearless_bench::render_checker_speed());
+    let opts = CheckerOptions::default();
+    let mut group = c.benchmark_group("checker_speed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for entry in fearless_corpus::accepted_entries() {
+        let program = entry.parse();
+        group.bench_function(format!("check/{}", entry.name), |b| {
+            b.iter(|| fearless_core::check_program(&program, &opts).unwrap())
+        });
+    }
+    // Verification throughput on the most complex example.
+    let rbt = fearless_corpus::rbt::entry();
+    let checked = rbt.check(&opts).unwrap();
+    group.bench_function("verify/rbt", |b| {
+        b.iter(|| fearless_verify::verify_program(&checked).unwrap())
+    });
+    // Scaling with program size (straight-line push sequences).
+    for n in [32usize, 128, 512] {
+        let src = fearless_corpus::pathological::straight_line(n);
+        let program = fearless_corpus::pathological::parse(&src);
+        group.bench_function(format!("straight_line/{n}"), |b| {
+            b.iter(|| fearless_core::check_program(&program, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

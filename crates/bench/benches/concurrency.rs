@@ -1,0 +1,22 @@
+//! E7: fearless message passing — producer/consumer pairs exchanging iso
+//! payloads with zero synchronization on the data and zero reservation
+//! faults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fearless_bench::render_concurrency(&[1, 2, 4, 8], 200));
+    let mut group = c.benchmark_group("concurrency");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for pairs in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pipeline", pairs), &pairs, |b, &pairs| {
+            b.iter(|| fearless_bench::concurrency_run(pairs, 64, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3: the efficient §5.2 `if disconnected` check stays O(detached
+//! subgraph) while the naive reference semantics is O(region).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fearless_runtime::{DisconnectStrategy, Machine, MachineConfig, Value};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        fearless_bench::render_disconnect(&[2, 8, 32, 128, 512, 2048, 4096])
+    );
+    let program = fearless_corpus::dll::entry().parse();
+    let mut group = c.benchmark_group("disconnect_tail_detach");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [16i64, 256, 4096] {
+        for (label, strategy) in [
+            ("efficient", DisconnectStrategy::Efficient),
+            ("naive", DisconnectStrategy::Naive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut m = Machine::with_config(
+                            &program,
+                            MachineConfig {
+                                strategy,
+                                ..MachineConfig::default()
+                            },
+                        )
+                        .unwrap();
+                        let l = m.call("dll_make", vec![Value::Int(n)]).unwrap();
+                        (m, l)
+                    },
+                    |(mut m, l)| m.call("dll_remove_tail", vec![l]).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

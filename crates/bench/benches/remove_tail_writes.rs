@@ -1,0 +1,46 @@
+//! E4: §9.1's cost claim — removing a tail needs O(1) writes under
+//! tempered domination but O(n) repair writes under destructive reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fearless_runtime::{Machine, Value};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        fearless_bench::render_remove_tail_writes(&[2, 8, 32, 128, 512, 2048])
+    );
+    let tempered = fearless_corpus::sll::entry().parse();
+    let destructive = fearless_corpus::sll::destructive_entry().parse();
+    let mut group = c.benchmark_group("remove_tail");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [16i64, 256, 2048] {
+        group.bench_with_input(BenchmarkId::new("tempered", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut m = Machine::new(&tempered).unwrap();
+                    let l = m.call("sll_make", vec![Value::Int(n)]).unwrap();
+                    (m, l)
+                },
+                |(mut m, l)| m.call("sll_remove_tail_list", vec![l]).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("destructive", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut m = Machine::new(&destructive).unwrap();
+                    let l = m.call("gd_make", vec![Value::Int(n)]).unwrap();
+                    (m, l)
+                },
+                |(mut m, l)| m.call("gd_remove_tail_list", vec![l]).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E6: dynamic reservation checks are erasable for well-typed programs
+//! (§3.2); this measures what erasing them saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fearless_runtime::{Machine, MachineConfig, Value};
+
+fn bench(c: &mut Criterion) {
+    let o = fearless_bench::reservation_overhead(512);
+    println!(
+        "\nsteps: {}  checked: {:.2?}  unchecked: {:.2?}\n",
+        o.steps, o.checked, o.unchecked
+    );
+    let program = fearless_corpus::sll::entry().parse();
+    let mut group = c.benchmark_group("reservation_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, check) in [("checked", true), ("erased", false)] {
+        group.bench_with_input(BenchmarkId::new(label, 256), &check, |b, &check| {
+            b.iter(|| {
+                let mut m = Machine::with_config(
+                    &program,
+                    MachineConfig {
+                        check_reservations: check,
+                        ..MachineConfig::default()
+                    },
+                )
+                .unwrap();
+                m.call("sll_demo", vec![Value::Int(256)]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5: branch unification with the §5.1 liveness oracle (common-case
+//! polynomial) vs pure §4.6 backtracking search (worst-case exponential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fearless_core::CheckerOptions;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fearless_bench::render_search(&[1, 2, 3], 2_000_000));
+    let mut group = c.benchmark_group("search_heuristics");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for m in [1usize, 2] {
+        let src = fearless_corpus::pathological::divergent_join(m);
+        let program = fearless_corpus::pathological::parse(&src);
+        group.bench_with_input(BenchmarkId::new("oracle", m), &m, |b, _| {
+            let opts = CheckerOptions::default();
+            b.iter(|| fearless_core::check_program(&program, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("search", m), &m, |b, _| {
+            let mut opts = CheckerOptions::default().without_oracle();
+            opts.search_node_budget = 2_000_000;
+            b.iter(|| fearless_core::check_program(&program, &opts).unwrap())
+        });
+    }
+    // Join chains scale linearly with the oracle.
+    for b_count in [4usize, 16, 64] {
+        let src = fearless_corpus::pathological::join_chain(b_count, 3);
+        let program = fearless_corpus::pathological::parse(&src);
+        group.bench_with_input(
+            BenchmarkId::new("oracle_chain", b_count),
+            &b_count,
+            |b, _| {
+                let opts = CheckerOptions::default();
+                b.iter(|| fearless_core::check_program(&program, &opts).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1: regenerates Table 1 and measures the three disciplines' checking
+//! time on the Fig. 2 program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fearless_core::{CheckerMode, CheckerOptions};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fearless_bench::render_table1());
+    let entry = fearless_corpus::sll::figure_2_entry();
+    let program = entry.parse();
+    let mut group = c.benchmark_group("table1_fig2_check");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for mode in [
+        CheckerMode::Tempered,
+        CheckerMode::GlobalDomination,
+        CheckerMode::TreeOfObjects,
+    ] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            let opts = CheckerOptions::with_mode(mode);
+            b.iter(|| {
+                let _ = fearless_core::check_program(&program, &opts);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

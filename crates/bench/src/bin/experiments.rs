@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the paper's evaluation and prints
+//! them in one pass (the data recorded in EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p fearless-bench --bin experiments
+//! ```
+
+fn main() {
+    println!("== E1: Table 1 — comparison with related language designs (§9.5) ==");
+    println!("{}", fearless_bench::render_table1());
+
+    println!("== E2: checker + verifier speed on the corpus (§5 claim) ==");
+    println!("{}", fearless_bench::render_checker_speed());
+
+    println!("== E3: if-disconnected cost, tail detach (§5.2) ==");
+    println!(
+        "{}",
+        fearless_bench::render_disconnect(&[2, 8, 32, 128, 512, 2048, 4096])
+    );
+
+    println!("== E4: remove_tail field writes, tempered vs destructive-read (§9.1) ==");
+    println!(
+        "{}",
+        fearless_bench::render_remove_tail_writes(&[2, 8, 32, 128, 512, 2048])
+    );
+
+    println!("== E5: branch unification, liveness oracle vs backtracking search (§4.6, §5.1) ==");
+    println!("{}", fearless_bench::render_search(&[1, 2, 3], 2_000_000));
+
+    println!("== E6: dynamic reservation-check overhead (§3.2 erasability) ==");
+    let o = fearless_bench::reservation_overhead(512);
+    println!(
+        "steps: {}  checked: {:.2?}  unchecked: {:.2?}  overhead: {:.1}%\n",
+        o.steps,
+        o.checked,
+        o.unchecked,
+        100.0 * (o.checked.as_secs_f64() / o.unchecked.as_secs_f64() - 1.0)
+    );
+
+    println!("== E7: fearless message passing, seeded random schedules (§7) ==");
+    println!("{}", fearless_bench::render_concurrency(&[1, 2, 4, 8], 200));
+
+    println!("== E8: Fig. 4 vs Fig. 5 behavior ==");
+    let f = fearless_bench::figure4_outcome();
+    println!("fig. 4 statically rejected:        {}", f.fig4_rejected);
+    println!("fig. 4 faults dynamically (size 1): {}", f.fig4_faults);
+    println!("fig. 5 accepted + dynamically clean: {}", f.fig5_clean);
+}

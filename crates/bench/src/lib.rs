@@ -1,0 +1,445 @@
+//! # fearless-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index E1–E8). Each
+//! experiment has a pure data function here, a Criterion bench measuring
+//! its timing, and an entry in the `experiments` binary that prints the
+//! table the paper reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use fearless_core::CheckerOptions;
+use fearless_runtime::{
+    DisconnectStrategy, Machine, MachineConfig, RuntimeError, Value,
+};
+
+pub use fearless_baselines::{remove_tail_writes, render_table1, table1};
+
+/// E2: wall-clock time to check (and optionally verify) one corpus entry.
+#[derive(Clone, Debug)]
+pub struct CheckTiming {
+    /// Corpus entry name.
+    pub name: &'static str,
+    /// Lines of surface code.
+    pub loc: usize,
+    /// Functions checked.
+    pub functions: usize,
+    /// Derivation nodes produced.
+    pub nodes: usize,
+    /// Checking time.
+    pub check: Duration,
+    /// Independent verification time.
+    pub verify: Duration,
+}
+
+/// Runs E2 over the accepted corpus.
+pub fn checker_speed() -> Vec<CheckTiming> {
+    let opts = CheckerOptions::default();
+    let mut out = Vec::new();
+    for entry in fearless_corpus::accepted_entries() {
+        let program = entry.parse();
+        let start = Instant::now();
+        let checked = fearless_core::check_program(&program, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let check = start.elapsed();
+        let start = Instant::now();
+        fearless_verify::verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let verify = start.elapsed();
+        out.push(CheckTiming {
+            name: entry.name,
+            loc: entry.source.lines().filter(|l| !l.trim().is_empty()).count(),
+            functions: checked.derivations.len(),
+            nodes: checked.total_nodes(),
+            check,
+            verify,
+        });
+    }
+    out
+}
+
+/// Renders the E2 table.
+pub fn render_checker_speed() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} {:>6} {:>7} {:>12} {:>12}",
+        "program", "loc", "funcs", "nodes", "check", "verify"
+    );
+    for t in checker_speed() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>6} {:>7} {:>10.2?} {:>10.2?}",
+            t.name, t.loc, t.functions, t.nodes, t.check, t.verify
+        );
+    }
+    out
+}
+
+/// E3: cost of one `if disconnected` tail-detach at list length `n`.
+#[derive(Clone, Copy, Debug)]
+pub struct DisconnectCost {
+    /// Circular list length.
+    pub n: u64,
+    /// Objects visited by the efficient §5.2 check.
+    pub efficient_visited: u64,
+    /// Objects visited by the naive full-traversal semantics.
+    pub naive_visited: u64,
+}
+
+/// Measures E3 for one list length.
+///
+/// # Panics
+///
+/// Panics on corpus/runtime bugs.
+pub fn disconnect_cost(n: u64) -> DisconnectCost {
+    let program = fearless_corpus::dll::entry().parse();
+    let run = |strategy: DisconnectStrategy| -> u64 {
+        let mut m = Machine::with_config(
+            &program,
+            MachineConfig {
+                strategy,
+                ..MachineConfig::default()
+            },
+        )
+        .expect("compiles");
+        let l = m.call("dll_make", vec![Value::Int(n as i64)]).expect("runs");
+        let before = m.stats().disconnect_visited;
+        m.call("dll_remove_tail", vec![l]).expect("runs");
+        m.stats().disconnect_visited - before
+    };
+    DisconnectCost {
+        n,
+        efficient_visited: run(DisconnectStrategy::Efficient),
+        naive_visited: run(DisconnectStrategy::Naive),
+    }
+}
+
+/// Renders the E3 sweep.
+pub fn render_disconnect(lengths: &[u64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>18} {:>14}",
+        "length", "efficient visits", "naive visits"
+    );
+    for &n in lengths {
+        let c = disconnect_cost(n);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>18} {:>14}",
+            c.n, c.efficient_visited, c.naive_visited
+        );
+    }
+    out
+}
+
+/// Renders the E4 sweep (remove-tail write counts).
+pub fn render_remove_tail_writes(lengths: &[u64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>16} {:>18}",
+        "length", "tempered writes", "destructive writes"
+    );
+    for &n in lengths {
+        let w = remove_tail_writes(n);
+        let _ = writeln!(out, "{:>8} {:>16} {:>18}", w.n, w.tempered, w.destructive);
+    }
+    out
+}
+
+/// E5: checking time for a divergent join of width `m`, with and without
+/// the liveness oracle.
+#[derive(Clone, Debug)]
+pub struct SearchTiming {
+    /// Join divergence width.
+    pub m: usize,
+    /// Time with the §5.1 liveness oracle.
+    pub with_oracle: Duration,
+    /// Time (or failure) with pure backtracking search (§4.6).
+    pub without_oracle: Result<Duration, String>,
+    /// Search states visited without the oracle.
+    pub search_nodes: usize,
+}
+
+/// Measures E5 for one width. `budget` bounds the search.
+pub fn search_timing(m: usize, budget: usize) -> SearchTiming {
+    let src = fearless_corpus::pathological::divergent_join(m);
+    let program = fearless_corpus::pathological::parse(&src);
+
+    let start = Instant::now();
+    fearless_core::check_program(&program, &CheckerOptions::default())
+        .unwrap_or_else(|e| panic!("oracle m={m}: {e}"));
+    let with_oracle = start.elapsed();
+
+    let mut opts = CheckerOptions::default().without_oracle();
+    opts.search_node_budget = budget;
+    let start = Instant::now();
+    let (without_oracle, search_nodes) = match fearless_core::check_program(&program, &opts) {
+        Ok(checked) => (Ok(start.elapsed()), checked.total_search_nodes()),
+        Err(e) => (Err(format!("{e}")), budget),
+    };
+    SearchTiming {
+        m,
+        with_oracle,
+        without_oracle,
+        search_nodes,
+    }
+}
+
+/// Renders the E5 sweep.
+pub fn render_search(ms: &[usize], budget: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>3} {:>14} {:>20} {:>16}",
+        "m", "with oracle", "without oracle", "states visited"
+    );
+    for &m in ms {
+        let t = search_timing(m, budget);
+        let without = match t.without_oracle {
+            Ok(d) => format!("{d:.2?}"),
+            Err(_) => format!("budget ({budget}) exhausted"),
+        };
+        let _ = writeln!(
+            out,
+            "{:>3} {:>12.2?} {:>20} {:>16}",
+            t.m, t.with_oracle, without, t.search_nodes
+        );
+    }
+    out
+}
+
+/// E6: interpreter steps/second with and without dynamic reservation
+/// checks.
+#[derive(Clone, Copy, Debug)]
+pub struct ReservationOverhead {
+    /// Instructions executed per run.
+    pub steps: u64,
+    /// Time with reservation checks on.
+    pub checked: Duration,
+    /// Time with checks erased.
+    pub unchecked: Duration,
+}
+
+/// Measures E6 on the sll demo workload.
+///
+/// # Panics
+///
+/// Panics on corpus/runtime bugs.
+pub fn reservation_overhead(n: i64) -> ReservationOverhead {
+    let program = fearless_corpus::sll::entry().parse();
+    let run = |check: bool| -> (u64, Duration) {
+        let mut m = Machine::with_config(
+            &program,
+            MachineConfig {
+                check_reservations: check,
+                ..MachineConfig::default()
+            },
+        )
+        .expect("compiles");
+        let start = Instant::now();
+        m.call("sll_demo", vec![Value::Int(n)]).expect("runs");
+        (m.stats().steps, start.elapsed())
+    };
+    let (steps, checked) = run(true);
+    let (_, unchecked) = run(false);
+    ReservationOverhead {
+        steps,
+        checked,
+        unchecked,
+    }
+}
+
+/// E7: message-passing throughput for one pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrencyRun {
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Worker threads (producer/consumer pairs).
+    pub pairs: usize,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Reservation faults observed (must be zero).
+    pub faults: u64,
+}
+
+/// Runs E7: `pairs` producer/consumer pairs exchanging `per` messages
+/// each under a seeded random schedule.
+///
+/// # Errors
+///
+/// Propagates machine errors (other than the asserted absence of
+/// reservation faults).
+pub fn concurrency_run(pairs: usize, per: i64, seed: u64) -> Result<ConcurrencyRun, RuntimeError> {
+    let program = fearless_corpus::msg::pipeline_entry().parse();
+    let mut m = Machine::with_config(
+        &program,
+        MachineConfig {
+            random_schedule: true,
+            seed,
+            ..MachineConfig::default()
+        },
+    )
+    .expect("compiles");
+    for _ in 0..pairs {
+        m.spawn("producer", vec![Value::Int(per)])?;
+        m.spawn("consumer", vec![Value::Int(per)])?;
+    }
+    let start = Instant::now();
+    m.run()?;
+    Ok(ConcurrencyRun {
+        messages: m.stats().sends,
+        pairs,
+        elapsed: start.elapsed(),
+        faults: 0, // a fault would have surfaced as RuntimeError above
+    })
+}
+
+/// Renders the E7 sweep.
+pub fn render_concurrency(pair_counts: &[usize], per: i64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>14} {:>7}",
+        "pairs", "messages", "elapsed", "msgs/sec", "faults"
+    );
+    for &pairs in pair_counts {
+        match concurrency_run(pairs, per, 42) {
+            Ok(r) => {
+                let rate = r.messages as f64 / r.elapsed.as_secs_f64();
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>10} {:>10.2?} {:>14.0} {:>7}",
+                    r.pairs, r.messages, r.elapsed, rate, r.faults
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{pairs:>6} ERROR: {e}");
+            }
+        }
+    }
+    out
+}
+
+/// E8: the Fig. 4 bug manifests dynamically; Fig. 5 does not.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure4Outcome {
+    /// Fig. 4 statically rejected by the tempered checker.
+    pub fig4_rejected: bool,
+    /// Fig. 4, run unchecked on a size-1 list, faults the reservations.
+    pub fig4_faults: bool,
+    /// Fig. 5 accepted and dynamically clean.
+    pub fig5_clean: bool,
+}
+
+/// Runs E8.
+///
+/// # Panics
+///
+/// Panics on corpus bugs.
+pub fn figure4_outcome() -> Figure4Outcome {
+    let fig4_rejected = fearless_corpus::dll::figure_4_broken_entry()
+        .check(&CheckerOptions::default())
+        .is_err();
+
+    let src = format!(
+        "{}{}
+         def broken_remove_tail(l : dll) : data? {{
+           let some(hd) = l.hd in {{
+             let tail = hd.prev;
+             tail.prev.next = hd;
+             hd.prev = tail.prev;
+             some(tail.payload)
+           }} else {{ none }}
+         }}
+         def victim() : int {{
+           let l = dll_make(1);
+           let m = broken_remove_tail(l);
+           let some(d) = m in {{ send(d); }} else {{ unit }};
+           dll_sum(l, 1)
+         }}
+         def accomplice() : int {{ recv(data).value }}",
+        fearless_corpus::STRUCTS,
+        fearless_corpus::dll::DLL_FUNCS
+    );
+    let program = fearless_syntax::parse_program(&src).expect("parses");
+    let mut m = Machine::new(&program).expect("compiles");
+    m.spawn("victim", vec![]).expect("spawns");
+    m.spawn("accomplice", vec![]).expect("spawns");
+    let fig4_faults = matches!(m.run(), Err(RuntimeError::ReservationFault { .. }));
+
+    let src5 = format!(
+        "{}{}
+         def victim() : int {{
+           let l = dll_make(1);
+           let m = dll_remove_tail(l);
+           let some(d) = m in {{ send(d); }} else {{ unit }};
+           dll_sum(l, 0)
+         }}
+         def accomplice() : int {{ recv(data).value }}",
+        fearless_corpus::STRUCTS,
+        fearless_corpus::dll::DLL_FUNCS
+    );
+    let program5 = fearless_syntax::parse_program(&src5).expect("parses");
+    let mut m5 = Machine::new(&program5).expect("compiles");
+    m5.spawn("victim", vec![]).expect("spawns");
+    m5.spawn("accomplice", vec![]).expect("spawns");
+    let fig5_clean = m5.run().is_ok();
+
+    Figure4Outcome {
+        fig4_rejected,
+        fig4_faults,
+        fig5_clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_efficient_is_constant_naive_is_linear() {
+        let small = disconnect_cost(8);
+        let large = disconnect_cost(256);
+        assert!(large.efficient_visited <= small.efficient_visited + 2);
+        assert!(large.naive_visited >= 32 * small.naive_visited / 2);
+    }
+
+    #[test]
+    fn e5_oracle_beats_search() {
+        let t = search_timing(2, 500_000);
+        let without = t.without_oracle.expect("m=2 should be solvable");
+        assert!(
+            without >= t.with_oracle,
+            "search should not be faster than the oracle: {without:?} vs {:?}",
+            t.with_oracle
+        );
+    }
+
+    #[test]
+    fn e6_unchecked_is_not_slower() {
+        // Smoke test only — timings are noisy in CI; just check both run.
+        let o = reservation_overhead(64);
+        assert!(o.steps > 0);
+    }
+
+    #[test]
+    fn e7_runs_clean_across_seeds() {
+        for seed in 0..3 {
+            let r = concurrency_run(2, 16, seed).expect("no faults");
+            assert_eq!(r.messages, 32);
+        }
+    }
+
+    #[test]
+    fn e8_fig4_rejected_and_faults() {
+        let o = figure4_outcome();
+        assert!(o.fig4_rejected);
+        assert!(o.fig4_faults);
+        assert!(o.fig5_clean);
+    }
+}

@@ -1,0 +1,348 @@
+//! # fearless-cli
+//!
+//! The `fearlessc` command-line driver: parse, check, verify, and run
+//! programs written in the tempered-domination surface language.
+//!
+//! ```text
+//! fearlessc check  program.fc [--mode tempered|gd|tree] [--no-oracle]
+//! fearlessc verify program.fc
+//! fearlessc run    program.fc --entry main [--arg 42]... [--unchecked]
+//! fearlessc table1
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use fearless_core::{CheckerMode, CheckerOptions};
+use fearless_runtime::{Machine, MachineConfig, Value};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Type-check a file.
+    Check {
+        /// Source path.
+        path: String,
+        /// Discipline.
+        mode: CheckerMode,
+        /// Disable the liveness oracle (pure backtracking search).
+        no_oracle: bool,
+    },
+    /// Type-check and independently verify the derivations.
+    Verify {
+        /// Source path.
+        path: String,
+    },
+    /// Check, then run an entry function on the abstract machine.
+    Run {
+        /// Source path.
+        path: String,
+        /// Entry function name.
+        entry: String,
+        /// Integer arguments for the entry function.
+        args: Vec<i64>,
+        /// Skip the static check and run with reservation checks anyway
+        /// (for demonstrating dynamic faults, experiment E8).
+        unchecked: bool,
+    },
+    /// Print a function's typing derivation.
+    Explain {
+        /// Source path.
+        path: String,
+        /// Function name.
+        func: String,
+    },
+    /// Print the reproduced Table 1.
+    Table1,
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fearlessc — tempered-domination checker, verifier, and runtime
+
+USAGE:
+  fearlessc check  <file> [--mode tempered|gd|tree] [--no-oracle]
+  fearlessc verify <file>
+  fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked]
+  fearlessc explain <file> --fn <name>
+  fearlessc table1
+";
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "table1" => Ok(Command::Table1),
+        "check" => {
+            let mut path = None;
+            let mut mode = CheckerMode::Tempered;
+            let mut no_oracle = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--mode" => {
+                        mode = match it.next().map(String::as_str) {
+                            Some("tempered") => CheckerMode::Tempered,
+                            Some("gd") => CheckerMode::GlobalDomination,
+                            Some("tree") => CheckerMode::TreeOfObjects,
+                            other => return Err(format!("unknown mode {other:?}")),
+                        };
+                    }
+                    "--no-oracle" => no_oracle = true,
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Check {
+                path: path.ok_or("missing file")?,
+                mode,
+                no_oracle,
+            })
+        }
+        "verify" => {
+            let path = it.next().ok_or("missing file")?.to_string();
+            Ok(Command::Verify { path })
+        }
+        "explain" => {
+            let mut path = None;
+            let mut func = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--fn" => func = it.next().cloned(),
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Explain {
+                path: path.ok_or("missing file")?,
+                func: func.ok_or("missing --fn")?,
+            })
+        }
+        "run" => {
+            let mut path = None;
+            let mut entry = None;
+            let mut run_args = Vec::new();
+            let mut unchecked = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--entry" => entry = it.next().cloned(),
+                    "--arg" => {
+                        let v = it.next().ok_or("missing value after --arg")?;
+                        run_args.push(v.parse::<i64>().map_err(|e| e.to_string())?);
+                    }
+                    "--unchecked" => unchecked = true,
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Run {
+                path: path.ok_or("missing file")?,
+                entry: entry.ok_or("missing --entry")?,
+                args: run_args,
+                unchecked,
+            })
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// Executes a command against source text, returning the report to print.
+///
+/// # Errors
+///
+/// Returns a rendered diagnostic on any failure.
+pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Table1 => Ok(fearless_baselines::render_table1()),
+        Command::Check {
+            mode, no_oracle, ..
+        } => {
+            let mut opts = CheckerOptions::with_mode(*mode);
+            opts.liveness_oracle = !no_oracle;
+            let checked =
+                fearless_core::check_source(src, &opts).map_err(|e| e.render(src))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "ok: {} function(s), {} derivation nodes, {} virtual transformations",
+                checked.derivations.len(),
+                checked.total_nodes(),
+                checked.total_vir_steps()
+            );
+            Ok(out)
+        }
+        Command::Explain { func, .. } => {
+            let checked = fearless_core::check_source(src, &CheckerOptions::default())
+                .map_err(|e| e.render(src))?;
+            let derivation = checked
+                .derivations
+                .iter()
+                .find(|d| d.func.as_str() == func)
+                .ok_or_else(|| format!("no function `{func}`"))?;
+            Ok(derivation.render())
+        }
+        Command::Verify { .. } => {
+            let checked = fearless_core::check_source(src, &CheckerOptions::default())
+                .map_err(|e| e.render(src))?;
+            let report =
+                fearless_verify::verify_program(&checked).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "verified: {} function(s), {} rule nodes, {} TS1 steps replayed\n",
+                report.functions, report.rule_nodes, report.vir_steps
+            ))
+        }
+        Command::Run {
+            entry,
+            args,
+            unchecked,
+            ..
+        } => {
+            if !unchecked {
+                fearless_core::check_source(src, &CheckerOptions::default())
+                    .map_err(|e| e.render(src))?;
+            }
+            let program = fearless_syntax::parse_program(src)
+                .map_err(|e| e.render(src))?;
+            let mut machine = Machine::with_config(&program, MachineConfig::default())
+                .map_err(|e| e.to_string())?;
+            let values = args.iter().map(|&n| Value::Int(n)).collect();
+            let result = machine
+                .call(entry, values)
+                .map_err(|e| e.to_string())?;
+            let stats = machine.stats();
+            Ok(format!(
+                "{entry}(…) = {result}\n{} steps, {} allocations, {} field reads, {} field \
+                 writes, {} reservation checks\n",
+                stats.steps, stats.allocs, stats.field_reads, stats.field_writes,
+                stats.reservation_checks
+            ))
+        }
+    }
+}
+
+/// Full driver: parse args, load the file, execute.
+///
+/// # Errors
+///
+/// Returns the message to print to stderr (exit status 1).
+pub fn main_with(args: &[String]) -> Result<String, String> {
+    let cmd = parse_args(args)?;
+    match &cmd {
+        Command::Help | Command::Table1 => execute_on_source(&cmd, ""),
+        Command::Check { path, .. }
+        | Command::Verify { path }
+        | Command::Explain { path, .. }
+        | Command::Run { path, .. } => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            execute_on_source(&cmd, &src)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    const PROGRAM: &str = "
+        struct data { value: int }
+        def double(n : int) : int { n * 2 }
+        def make(v : int) : data { new data(v) }
+    ";
+
+    #[test]
+    fn parses_check_flags() {
+        let cmd = parse_args(&s(&["check", "f.fc", "--mode", "gd", "--no-oracle"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                path: "f.fc".into(),
+                mode: CheckerMode::GlobalDomination,
+                no_oracle: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run() {
+        let cmd = parse_args(&s(&["run", "f.fc", "--entry", "main", "--arg", "3"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                path: "f.fc".into(),
+                entry: "main".into(),
+                args: vec![3],
+                unchecked: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_command() {
+        assert!(parse_args(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn check_and_run_roundtrip() {
+        let check = Command::Check {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+        };
+        let out = execute_on_source(&check, PROGRAM).unwrap();
+        assert!(out.contains("ok:"), "{out}");
+        let run = Command::Run {
+            path: String::new(),
+            entry: "double".into(),
+            args: vec![21],
+            unchecked: false,
+        };
+        let out = execute_on_source(&run, PROGRAM).unwrap();
+        assert!(out.contains("= 42"), "{out}");
+    }
+
+    #[test]
+    fn check_failure_renders_source() {
+        let check = Command::Check {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+        };
+        let err = execute_on_source(&check, "def f(x: int) : bool { x }").unwrap_err();
+        assert!(err.contains("type error"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn explain_renders_derivation() {
+        let cmd = Command::Explain {
+            path: String::new(),
+            func: "make".into(),
+        };
+        let out = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert!(out.contains("derivation for `make`"), "{out}");
+        assert!(out.contains("New"), "{out}");
+        assert!(out.contains("result: r"), "{out}");
+    }
+
+    #[test]
+    fn table1_renders() {
+        let out = execute_on_source(&Command::Table1, "").unwrap();
+        assert!(out.contains("dll-repr"));
+    }
+}

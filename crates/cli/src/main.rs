@@ -1,0 +1,12 @@
+//! `fearlessc` entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fearless_cli::main_with(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

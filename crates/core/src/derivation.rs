@@ -1,0 +1,316 @@
+//! Typing derivations: the prover's output, independently replayable by the
+//! verifier crate (§5's prover–verifier architecture).
+//!
+//! A derivation is a tree of [`DerivNode`]s. Every node records the full
+//! judgment `H; Γ ⊢ e : r τ ⊣ H'; Γ'` — its input and output [`TypeState`]s
+//! plus the result region and type — and its premises as *chains* of child
+//! node indices. Virtual transformations (TS1 applications) appear as their
+//! own leaf nodes with [`Rule::Vir`], so the verifier can replay and check
+//! every context manipulation the prover performed.
+
+use serde::{Deserialize, Serialize};
+
+use fearless_syntax::{ExprId, Symbol, Type};
+
+use crate::ctx::{RegionId, TypeState};
+use crate::vir::VirStep;
+
+/// Result of a typing judgment: the region (for reference-typed values) and
+/// the type.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ValInfo {
+    /// Region of the value; `None` for value types.
+    pub region: Option<RegionId>,
+    /// The value's type.
+    pub ty: Type,
+}
+
+impl ValInfo {
+    /// A unit-typed result.
+    pub fn unit() -> Self {
+        ValInfo {
+            region: None,
+            ty: Type::Unit,
+        }
+    }
+}
+
+/// The syntax-directed rules of Fig. 10/13, plus `Vir` for TS1 steps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Rule {
+    UnitLit,
+    IntLit,
+    BoolLit,
+    Var,
+    Field,
+    IsoField,
+    AssignVar,
+    AssignField,
+    IsoAssignField,
+    Take,
+    Let,
+    LetSome,
+    Seq,
+    If,
+    IfDisconnected,
+    While,
+    New,
+    SomeOf,
+    NoneOf,
+    IsNone,
+    IsSome,
+    Call,
+    Send,
+    Recv,
+    Binary,
+    Unary,
+    /// A virtual transformation (TS1) leaf node.
+    Vir,
+}
+
+/// Extra information recorded for [`Rule::Call`] nodes.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CallInfo {
+    /// Callee name.
+    pub callee: Option<Symbol>,
+    /// Caller regions consumed by `consumes` parameters.
+    pub consumed: Vec<RegionId>,
+    /// `(output class index, region)` for each freshly created output
+    /// class region.
+    pub created: Vec<(usize, RegionId)>,
+}
+
+/// A node in a typing derivation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DerivNode {
+    /// Which rule was applied.
+    pub rule: Rule,
+    /// The expression this node types (absent for `Vir` nodes).
+    pub expr: Option<ExprId>,
+    /// The virtual transformation (present only for `Vir` nodes).
+    pub vir: Option<VirStep>,
+    /// Static state before the rule.
+    pub input: TypeState,
+    /// Static state after the rule.
+    pub output: TypeState,
+    /// The judgment's result (absent for `Vir` nodes).
+    pub result: Option<ValInfo>,
+    /// Premise chains. Within a chain, node `i+1`'s input follows node `i`'s
+    /// output; how chains relate to the node's own input/output is
+    /// rule-specific (e.g. `If` has a condition chain and two branch
+    /// chains that both start at the condition chain's output).
+    pub chains: Vec<Vec<usize>>,
+    /// Rule-specific region payload (e.g. the fresh region of `New`, the
+    /// consumed region of `Send`, `[r, ra, rb]` for `IfDisconnected`).
+    pub data: Vec<RegionId>,
+    /// Call summary for `Call` nodes.
+    pub call: Option<CallInfo>,
+}
+
+/// A complete derivation for one function.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Derivation {
+    /// The function this derivation types.
+    pub func: Symbol,
+    /// Input state built from the signature (T0's premise).
+    pub input: TypeState,
+    /// Output state after body checking and exit unification.
+    pub output: TypeState,
+    /// The body's result.
+    pub result: ValInfo,
+    /// The root chain: body node plus exit-unification `Vir` nodes.
+    pub root_chain: Vec<usize>,
+    /// Arena of nodes; indices in chains point here.
+    pub nodes: Vec<DerivNode>,
+    /// The input regions assigned to each reference parameter, in
+    /// parameter order (`None` for value-typed parameters).
+    pub param_regions: Vec<Option<RegionId>>,
+    /// Total number of virtual-transformation steps (for reporting).
+    pub vir_steps: usize,
+    /// States visited by backtracking search during checking (zero when
+    /// the liveness oracle handled every join).
+    pub search_nodes: usize,
+}
+
+impl Derivation {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the derivation is empty (never true for real functions).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all `Vir` steps in the derivation.
+    pub fn vir_iter(&self) -> impl Iterator<Item = &VirStep> {
+        self.nodes.iter().filter_map(|n| n.vir.as_ref())
+    }
+
+    /// Renders the derivation as an indented typing script: every rule
+    /// application with its judgment, and every TS1 step in order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "derivation for `{}`", self.func);
+        let _ = writeln!(out, "  input:  {}", self.input);
+        self.render_chain(&self.root_chain, 1, &mut out);
+        let _ = writeln!(out, "  output: {}", self.output);
+        let region = self
+            .result
+            .region
+            .map(|r| format!("{r} "))
+            .unwrap_or_default();
+        let _ = writeln!(out, "  result: {region}{}", self.result.ty);
+        out
+    }
+
+    fn render_chain(&self, chain: &[usize], depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        for &idx in chain {
+            let node = &self.nodes[idx];
+            match (&node.vir, &node.result) {
+                (Some(step), _) => {
+                    let _ = writeln!(out, "{pad}⇝ {step}");
+                }
+                (None, Some(result)) => {
+                    let region = result
+                        .region
+                        .map(|r| format!("{r} "))
+                        .unwrap_or_default();
+                    let expr = node
+                        .expr
+                        .map(|e| format!(" @{e}"))
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "{pad}{:?}{expr} : {region}{}",
+                        node.rule, result.ty
+                    );
+                    for sub in &node.chains {
+                        self.render_chain(sub, depth + 1, out);
+                    }
+                }
+                (None, None) => {
+                    let _ = writeln!(out, "{pad}{:?}", node.rule);
+                }
+            }
+        }
+    }
+}
+
+/// Incremental builder used by the checker.
+#[derive(Debug, Default)]
+pub struct DerivBuilder {
+    nodes: Vec<DerivNode>,
+    vir_steps: usize,
+    /// Search states visited (accumulated by the checker).
+    pub search_nodes: usize,
+}
+
+impl DerivBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DerivBuilder::default()
+    }
+
+    /// Records a virtual-transformation leaf node and returns its index.
+    pub fn push_vir(&mut self, step: VirStep, input: TypeState, output: TypeState) -> usize {
+        self.vir_steps += 1;
+        self.nodes.push(DerivNode {
+            rule: Rule::Vir,
+            expr: None,
+            vir: Some(step),
+            input,
+            output,
+            result: None,
+            chains: Vec::new(),
+            data: Vec::new(),
+            call: None,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Records a rule node and returns its index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_rule(
+        &mut self,
+        rule: Rule,
+        expr: ExprId,
+        input: TypeState,
+        output: TypeState,
+        result: ValInfo,
+        chains: Vec<Vec<usize>>,
+        data: Vec<RegionId>,
+        call: Option<CallInfo>,
+    ) -> usize {
+        self.nodes.push(DerivNode {
+            rule,
+            expr: Some(expr),
+            vir: None,
+            input,
+            output,
+            result: Some(result),
+            chains,
+            data,
+            call,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Finalizes the derivation.
+    pub fn finish(
+        self,
+        func: Symbol,
+        input: TypeState,
+        output: TypeState,
+        result: ValInfo,
+        root_chain: Vec<usize>,
+        param_regions: Vec<Option<RegionId>>,
+    ) -> Derivation {
+        Derivation {
+            func,
+            input,
+            output,
+            result,
+            root_chain,
+            nodes: self.nodes,
+            param_regions,
+            vir_steps: self.vir_steps,
+            search_nodes: self.search_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts_vir_steps() {
+        let mut b = DerivBuilder::new();
+        let st = TypeState::new();
+        b.push_vir(
+            VirStep::Weaken { r: RegionId(0) },
+            st.clone(),
+            st.clone(),
+        );
+        b.push_rule(
+            Rule::UnitLit,
+            ExprId(0),
+            st.clone(),
+            st.clone(),
+            ValInfo::unit(),
+            vec![vec![0]],
+            vec![],
+            None,
+        );
+        let d = b.finish("f".into(), st.clone(), st.clone(), ValInfo::unit(), vec![1], vec![]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.vir_steps, 1);
+        assert_eq!(d.vir_iter().count(), 1);
+    }
+}

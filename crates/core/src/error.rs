@@ -1,0 +1,93 @@
+//! Type errors reported by the checker.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fearless_syntax::diag::render_with_source;
+use fearless_syntax::Span;
+
+/// An error produced while type-checking a program.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TypeError {
+    message: String,
+    span: Span,
+    /// Optional function the error occurred in.
+    func: Option<String>,
+}
+
+impl TypeError {
+    /// Creates a type error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        TypeError {
+            message: message.into(),
+            span,
+            func: None,
+        }
+    }
+
+    /// Attaches the enclosing function name.
+    pub fn in_func(mut self, name: impl Into<String>) -> Self {
+        self.func = Some(name.into());
+        self
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The offending span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The enclosing function, if known.
+    pub fn func(&self) -> Option<&str> {
+        self.func.as_deref()
+    }
+
+    /// Renders with a source excerpt.
+    pub fn render(&self, src: &str) -> String {
+        let prefix = match &self.func {
+            Some(f) => format!("in `{f}`: {}", self.message),
+            None => self.message.clone(),
+        };
+        render_with_source("type error", &prefix, self.span, src)
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(
+                f,
+                "type error in `{name}` at {}: {}",
+                self.span, self.message
+            ),
+            None => write!(f, "type error at {}: {}", self.span, self.message),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_function() {
+        let e = TypeError::new("region consumed", Span::new(1, 5)).in_func("remove_tail");
+        let s = e.to_string();
+        assert!(s.contains("remove_tail"));
+        assert!(s.contains("region consumed"));
+    }
+
+    #[test]
+    fn render_uses_source() {
+        let e = TypeError::new("bad", Span::new(0, 3));
+        assert!(e.render("abc def").contains("abc def"));
+    }
+}

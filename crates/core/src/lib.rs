@@ -1,0 +1,123 @@
+//! # fearless-core
+//!
+//! The region-based type system of *"A Flexible Type System for Fearless
+//! Concurrency"* (PLDI 2022): tempered domination, the focus mechanism,
+//! virtual transformations, liveness-oracle unification, and expressive
+//! function types — implemented as the *prover* half of the paper's
+//! prover–verifier architecture (§5). The prover emits full typing
+//! derivations that the `fearless-verify` crate replays independently.
+//!
+//! ## Example
+//!
+//! ```
+//! use fearless_core::{check_source, CheckerOptions};
+//!
+//! let checked = check_source(
+//!     "struct data { value: int }
+//!      struct sll_node { iso payload : data; iso next : sll_node? }
+//!      def remove_tail(n: sll_node) : data? {
+//!        let some(next) = n.next in {
+//!          if (is_none(next.next)) {
+//!            n.next = none;
+//!            some(next.payload)
+//!          } else { remove_tail(next) }
+//!        } else { none }
+//!      }",
+//!     &CheckerOptions::default(),
+//! ).expect("figure 2 type-checks");
+//! assert_eq!(checked.derivations.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod ctx;
+pub mod derivation;
+pub mod env;
+pub mod error;
+pub mod liveness;
+pub mod mode;
+pub mod search;
+pub mod state;
+pub mod unify;
+pub mod vir;
+
+pub use ctx::{Binding, HeapCtx, RegionId, TrackCtx, TypeState, VarCtx, VarTrack};
+pub use derivation::{CallInfo, DerivBuilder, DerivNode, Derivation, Rule, ValInfo};
+pub use env::{FnSig, Globals};
+pub use error::TypeError;
+pub use mode::{CheckerMode, CheckerOptions};
+pub use vir::VirStep;
+
+use fearless_syntax::{parse_program, Program};
+
+/// A successfully checked program: the validated environment plus one
+/// derivation per function.
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    /// The parsed program.
+    pub program: Program,
+    /// One derivation per function, in definition order.
+    pub derivations: Vec<Derivation>,
+    /// The options the program was checked under.
+    pub options: CheckerOptions,
+}
+
+impl CheckedProgram {
+    /// Total derivation nodes across all functions.
+    pub fn total_nodes(&self) -> usize {
+        self.derivations.iter().map(|d| d.len()).sum()
+    }
+
+    /// Total virtual-transformation steps across all functions.
+    pub fn total_vir_steps(&self) -> usize {
+        self.derivations.iter().map(|d| d.vir_steps).sum()
+    }
+
+    /// Total backtracking-search states visited across all functions
+    /// (zero when the liveness oracle handled every unification).
+    pub fn total_search_nodes(&self) -> usize {
+        self.derivations.iter().map(|d| d.search_nodes).sum()
+    }
+}
+
+/// Type-checks a parsed program under `options`.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found (environment validation errors
+/// first, then per-function body errors in definition order).
+pub fn check_program(
+    program: &Program,
+    options: &CheckerOptions,
+) -> Result<CheckedProgram, TypeError> {
+    let globals = Globals::build(program, options.mode)?;
+    let mut derivations = Vec::new();
+    for f in &program.funcs {
+        let d = check::check_fn(&globals, options, f)
+            .map_err(|e| e.in_func(f.name.as_str()))?;
+        derivations.push(d);
+    }
+    Ok(CheckedProgram {
+        program: program.clone(),
+        derivations,
+        options: *options,
+    })
+}
+
+/// Parses and type-checks source text.
+///
+/// # Errors
+///
+/// Parse errors are converted into [`TypeError`]s carrying the same span.
+pub fn check_source(src: &str, options: &CheckerOptions) -> Result<CheckedProgram, TypeError> {
+    let program =
+        parse_program(src).map_err(|e| TypeError::new(e.message().to_string(), e.span()))?;
+    check_program(&program, options)
+}
+
+/// Rebuilds the validated global environment for a checked program (used
+/// by the verifier and runtime, which need struct/signature tables).
+pub fn globals_of(checked: &CheckedProgram) -> Result<Globals, TypeError> {
+    Globals::build(&checked.program, checked.options.mode)
+}

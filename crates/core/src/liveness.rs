@@ -1,0 +1,234 @@
+//! Liveness analysis of variables, used as the unification oracle (§5.1).
+//!
+//! Unification of branch contexts is "the problem of inferring which linear
+//! resources must be preserved to typecheck a given program suffix"; the
+//! paper's checker employs liveness analysis of variables (and thereby of
+//! the regions and tracked fields they inhabit) as the oracle that avoids
+//! backtracking search in the common case.
+
+use std::collections::{BTreeSet, HashMap};
+
+use fearless_syntax::{Expr, ExprId, ExprKind, Symbol};
+
+/// Per-expression liveness facts for one function body.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    live_after: HashMap<ExprId, BTreeSet<Symbol>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `body`. `always_live` (typically the
+    /// function's non-consumed parameters, which must be intact at exit)
+    /// are treated as live at every point.
+    pub fn analyze(body: &Expr, always_live: &BTreeSet<Symbol>) -> Liveness {
+        let mut lv = Liveness::default();
+        let after = always_live.clone();
+        lv.visit(body, &after);
+        lv
+    }
+
+    /// The set of variables live immediately after expression `id`
+    /// (empty if unknown).
+    pub fn live_after(&self, id: ExprId) -> BTreeSet<Symbol> {
+        self.live_after.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Whether `x` is live after expression `id`.
+    pub fn is_live_after(&self, id: ExprId, x: &Symbol) -> bool {
+        self.live_after
+            .get(&id)
+            .map(|s| s.contains(x))
+            .unwrap_or(false)
+    }
+
+    /// Returns the live-before set of `e` given the live-after set,
+    /// recording `after` for `e.id`.
+    fn visit(&mut self, e: &Expr, after: &BTreeSet<Symbol>) -> BTreeSet<Symbol> {
+        self.live_after.insert(e.id, after.clone());
+        match &e.kind {
+            ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Bool(_)
+            | ExprKind::SelfRef
+            | ExprKind::NoneOf
+            | ExprKind::Recv(_) => after.clone(),
+            ExprKind::Var(x) => {
+                let mut s = after.clone();
+                s.insert(x.clone());
+                s
+            }
+            ExprKind::Field(recv, _) | ExprKind::Take(recv, _) => self.visit(recv, after),
+            ExprKind::AssignVar(x, rhs) => {
+                let mut killed = after.clone();
+                killed.remove(x);
+                self.visit(rhs, &killed)
+            }
+            ExprKind::AssignField(recv, _, rhs) => {
+                let mid = self.visit(rhs, after);
+                self.visit(recv, &mid)
+            }
+            ExprKind::Let { var, init, body } => {
+                let mut body_before = self.visit(body, after);
+                body_before.remove(var);
+                self.visit(init, &body_before)
+            }
+            ExprKind::LetSome {
+                var,
+                init,
+                then_branch,
+                else_branch,
+            } => {
+                let mut then_before = self.visit(then_branch, after);
+                then_before.remove(var);
+                let else_before = self.visit(else_branch, after);
+                let mut merged = then_before;
+                merged.extend(else_before);
+                self.visit(init, &merged)
+            }
+            ExprKind::Seq(items) => {
+                let mut cur = after.clone();
+                for item in items.iter().rev() {
+                    cur = self.visit(item, &cur);
+                }
+                cur
+            }
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut merged = self.visit(then_branch, after);
+                merged.extend(self.visit(else_branch, after));
+                self.visit(cond, &merged)
+            }
+            ExprKind::IfDisconnected {
+                a,
+                b,
+                then_branch,
+                else_branch,
+            } => {
+                let mut merged = self.visit(then_branch, after);
+                merged.extend(self.visit(else_branch, after));
+                merged.insert(a.clone());
+                merged.insert(b.clone());
+                merged
+            }
+            ExprKind::While { cond, body } => {
+                // Fixpoint: live-before(loop) = live(cond, after ∪ live(body, X)).
+                let mut x: BTreeSet<Symbol> = BTreeSet::new();
+                loop {
+                    let body_before = self.visit(body, &x);
+                    let mut cond_after = after.clone();
+                    cond_after.extend(body_before);
+                    let next = self.visit(cond, &cond_after);
+                    if next == x {
+                        // Re-record the loop node's own after set (the
+                        // visits above overwrote children only).
+                        self.live_after.insert(e.id, after.clone());
+                        return next;
+                    }
+                    x = next;
+                }
+            }
+            ExprKind::New(_, args) | ExprKind::Call(_, args) => {
+                let mut cur = after.clone();
+                for a in args.iter().rev() {
+                    cur = self.visit(a, &cur);
+                }
+                cur
+            }
+            ExprKind::SomeOf(inner)
+            | ExprKind::IsNone(inner)
+            | ExprKind::IsSome(inner)
+            | ExprKind::Send(inner)
+            | ExprKind::Unary(_, inner) => self.visit(inner, after),
+            ExprKind::Binary(_, lhs, rhs) => {
+                let mid = self.visit(rhs, after);
+                self.visit(lhs, &mid)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_syntax::parse_expr;
+
+    fn set(names: &[&str]) -> BTreeSet<Symbol> {
+        names.iter().map(Symbol::new).collect()
+    }
+
+    fn find(e: &Expr, pred: &dyn Fn(&Expr) -> bool) -> Expr {
+        let mut result: Option<Expr> = None;
+        e.walk(&mut |n| {
+            if result.is_none() && pred(n) {
+                result = Some(n.clone());
+            }
+        });
+        result.expect("no matching node")
+    }
+
+    #[test]
+    fn variable_dead_after_last_use() {
+        let e = parse_expr("{ let x = 1; let y = x + 1; y }").unwrap();
+        let lv = Liveness::analyze(&e, &BTreeSet::new());
+        // After the `x + 1` initializer, x is dead, y is not yet defined.
+        let init = find(&e, &|n| {
+            matches!(&n.kind, ExprKind::Binary(fearless_syntax::BinOp::Add, _, _))
+        });
+        assert!(!lv.is_live_after(init.id, &Symbol::new("x")));
+    }
+
+    #[test]
+    fn loop_keeps_variables_live() {
+        let e = parse_expr("{ let n = 10; let acc = 0; while (n > 0) { acc = acc + n; n = n - 1 }; acc }")
+            .unwrap();
+        let lv = Liveness::analyze(&e, &BTreeSet::new());
+        // Inside the loop body, after `acc = acc + n`, both acc (used by
+        // next iteration / result) and n (decrement + cond) are live.
+        let assign = find(&e, &|n| {
+            matches!(&n.kind, ExprKind::AssignVar(x, _) if x.as_str() == "acc")
+        });
+        let live = lv.live_after(assign.id);
+        assert!(live.contains("acc"), "{live:?}");
+        assert!(live.contains("n"), "{live:?}");
+    }
+
+    #[test]
+    fn always_live_parameters_stay_live() {
+        let e = parse_expr("{ 1 }").unwrap();
+        let lv = Liveness::analyze(&e, &set(&["p"]));
+        assert!(lv.is_live_after(e.id, &Symbol::new("p")));
+    }
+
+    #[test]
+    fn branches_merge() {
+        let e = parse_expr("{ let a = 1; let b = 2; if (true) { a } else { b } }").unwrap();
+        let lv = Liveness::analyze(&e, &BTreeSet::new());
+        let cond = find(&e, &|n| matches!(&n.kind, ExprKind::Bool(true)));
+        let live = lv.live_after(cond.id);
+        assert!(live.contains("a"));
+        assert!(live.contains("b"));
+    }
+
+    #[test]
+    fn if_disconnected_roots_live_before() {
+        let e =
+            parse_expr("{ let t = x; if disconnected(t, h) { 1 } else { 2 } }").unwrap();
+        let lv = Liveness::analyze(&e, &BTreeSet::new());
+        // After the whole if-disconnected nothing is live.
+        let disc = find(&e, &|n| matches!(&n.kind, ExprKind::IfDisconnected { .. }));
+        assert!(lv.live_after(disc.id).is_empty());
+    }
+
+    #[test]
+    fn assignment_kills() {
+        let e = parse_expr("{ let x = 1; x = 2; x }").unwrap();
+        let lv = Liveness::analyze(&e, &BTreeSet::new());
+        // After `let x = 1`'s initializer (the literal 1), x is NOT live
+        // because it is reassigned before use.
+        let one = find(&e, &|n| matches!(&n.kind, ExprKind::Int(1)));
+        assert!(!lv.is_live_after(one.id, &Symbol::new("x")));
+    }
+}

@@ -1,0 +1,102 @@
+//! Checker modes and tuning options.
+
+use serde::{Deserialize, Serialize};
+
+/// Which discipline the checker enforces.
+///
+/// `Tempered` is the paper's system. The other two model the prior-work
+/// designs compared against in Table 1, built on the same infrastructure so
+/// the comparison is apples-to-apples (§9.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum CheckerMode {
+    /// The paper's system: tempered domination with focus/explore (§4).
+    #[default]
+    Tempered,
+    /// A LaCasa/L42-style global-domination discipline (§9.1): `iso` fields
+    /// must *always* dominate, so they may only be read destructively
+    /// (`take`) and assignments consume their right-hand side's region.
+    /// Focus/explore are unavailable.
+    GlobalDomination,
+    /// A Rust/`Unique`-style tree-of-objects discipline (§9.2): every
+    /// object-reference field must be `iso`, so cyclic structures such as
+    /// the doubly linked list of Fig. 1 are unrepresentable.
+    TreeOfObjects,
+}
+
+impl CheckerMode {
+    /// Short display name used in Table 1 output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckerMode::Tempered => "tempered (this paper)",
+            CheckerMode::GlobalDomination => "global domination (LaCasa-style)",
+            CheckerMode::TreeOfObjects => "tree of objects (Unique-style)",
+        }
+    }
+}
+
+/// Tuning options for the checker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CheckerOptions {
+    /// The discipline to enforce.
+    pub mode: CheckerMode,
+    /// Use the liveness analysis as a unification oracle (§5.1). When
+    /// disabled, branch unification relies purely on backtracking search
+    /// (§4.6) — worst-case exponential; used by the `search_heuristics`
+    /// experiment (E5).
+    pub liveness_oracle: bool,
+    /// Node budget for the backtracking search fallback before the checker
+    /// gives up with an error.
+    pub search_node_budget: usize,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            mode: CheckerMode::Tempered,
+            liveness_oracle: true,
+            search_node_budget: 200_000,
+        }
+    }
+}
+
+impl CheckerOptions {
+    /// Options for a given mode with defaults otherwise.
+    pub fn with_mode(mode: CheckerMode) -> Self {
+        CheckerOptions {
+            mode,
+            ..CheckerOptions::default()
+        }
+    }
+
+    /// Disables the liveness oracle (pure backtracking unification).
+    pub fn without_oracle(mut self) -> Self {
+        self.liveness_oracle = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_tempered_with_oracle() {
+        let o = CheckerOptions::default();
+        assert_eq!(o.mode, CheckerMode::Tempered);
+        assert!(o.liveness_oracle);
+        assert!(o.search_node_budget > 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CheckerMode::Tempered.name(),
+            CheckerMode::GlobalDomination.name(),
+            CheckerMode::TreeOfObjects.name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Bounded backtracking search over virtual transformations (§4.6).
+//!
+//! When the liveness oracle fails to unify branch contexts, the checker
+//! falls back to exhaustive search: breadth-first exploration of the
+//! context space reachable by focus/unfocus/explore/retract/attach/weaken.
+//! The space is finite because typeable iso-field accesses are limited to
+//! fields of currently declared variables, but it is exponential in the
+//! number of variables in scope — exactly the worst case the paper
+//! describes. The `search_heuristics` experiment (E5) measures this
+//! blowup by disabling the oracle.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use fearless_syntax::Type;
+
+use crate::ctx::{RegionId, TypeState};
+use crate::env::Globals;
+use crate::unify::congruent;
+use crate::vir::{self, VirStep};
+
+/// Result of a successful search: transformation scripts bringing each side
+/// to a common (congruent-up-to-renaming) context, plus the rename to apply
+/// to side B.
+#[derive(Debug, Clone)]
+pub struct CommonForm {
+    /// Steps for side A.
+    pub steps_a: Vec<VirStep>,
+    /// Steps for side B (before the final rename).
+    pub steps_b: Vec<VirStep>,
+    /// Final rename mapping B's regions onto A's.
+    pub rename_b: Vec<(RegionId, RegionId)>,
+}
+
+/// Searches for a common context reachable from both `a` and `b`.
+///
+/// Returns `None` when the node budget is exhausted without finding one.
+pub fn find_common(
+    globals: &Globals,
+    a: &TypeState,
+    b: &TypeState,
+    budget: usize,
+) -> Option<CommonForm> {
+    find_common_counted(globals, a, b, budget).0
+}
+
+/// Like [`find_common`], also returning the number of states visited
+/// (experiment E5's state-space measure).
+pub fn find_common_counted(
+    globals: &Globals,
+    a: &TypeState,
+    b: &TypeState,
+    budget: usize,
+) -> (Option<CommonForm>, usize) {
+    let mut explored_a: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
+    let mut explored_b: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
+    let mut queue_a: VecDeque<(TypeState, Vec<VirStep>)> = VecDeque::new();
+    let mut queue_b: VecDeque<(TypeState, Vec<VirStep>)> = VecDeque::new();
+    queue_a.push_back((a.clone(), Vec::new()));
+    queue_b.push_back((b.clone(), Vec::new()));
+    let mut visited = 0usize;
+
+    while !queue_a.is_empty() || !queue_b.is_empty() {
+        match expand_one(
+            globals,
+            &mut queue_a,
+            &mut explored_a,
+            &explored_b,
+            true,
+            &mut visited,
+            budget,
+        ) {
+            Expansion::Found(found) => return (Some(found), visited),
+            Expansion::Exhausted => return (None, visited),
+            Expansion::Continue => {}
+        }
+        match expand_one(
+            globals,
+            &mut queue_b,
+            &mut explored_b,
+            &explored_a,
+            false,
+            &mut visited,
+            budget,
+        ) {
+            Expansion::Found(found) => return (Some(found), visited),
+            Expansion::Exhausted => return (None, visited),
+            Expansion::Continue => {}
+        }
+    }
+    (None, visited)
+}
+
+enum Expansion {
+    Found(CommonForm),
+    Exhausted,
+    Continue,
+}
+
+#[allow(clippy::type_complexity)]
+fn expand_one(
+    globals: &Globals,
+    queue: &mut VecDeque<(TypeState, Vec<VirStep>)>,
+    explored: &mut HashMap<String, (TypeState, Vec<VirStep>)>,
+    other: &HashMap<String, (TypeState, Vec<VirStep>)>,
+    is_a: bool,
+    visited: &mut usize,
+    budget: usize,
+) -> Expansion {
+    let Some((st, steps)) = queue.pop_front() else {
+        return Expansion::Continue;
+    };
+    let key = canonical_key(&st);
+    if explored.contains_key(&key) {
+        return Expansion::Continue;
+    }
+    if let Some((other_st, other_steps)) = other.get(&key) {
+        let (st_a, steps_a, st_b, steps_b) = if is_a {
+            (&st, steps.as_slice(), other_st, other_steps.as_slice())
+        } else {
+            (other_st, other_steps.as_slice(), &st, steps.as_slice())
+        };
+        if let Some(rename) = rename_between(st_b, st_a) {
+            return Expansion::Found(CommonForm {
+                steps_a: steps_a.to_vec(),
+                steps_b: steps_b.to_vec(),
+                rename_b: rename,
+            });
+        }
+    }
+    explored.insert(key, (st.clone(), steps.clone()));
+    *visited += 1;
+    if *visited >= budget {
+        return Expansion::Exhausted;
+    }
+    for step in moves(globals, &st) {
+        let mut next = st.clone();
+        if vir::apply(&mut next, &step).is_ok() {
+            let mut next_steps = steps.clone();
+            next_steps.push(step);
+            let key = canonical_key(&next);
+            if !explored.contains_key(&key) {
+                queue.push_back((next, next_steps));
+            }
+        }
+    }
+    Expansion::Continue
+}
+
+/// Enumerates candidate virtual transformations from a state.
+fn moves(globals: &Globals, st: &TypeState) -> Vec<VirStep> {
+    let mut out = Vec::new();
+    // Focus: any struct-typed variable whose region is held and empty.
+    // Pseudo-variables (names starting with '#') encode search metadata and
+    // are never mentioned by generated steps.
+    for (x, b) in st.gamma.iter() {
+        if x.as_str().starts_with('#') {
+            continue;
+        }
+        let Some(r) = b.region else { continue };
+        let Some(ctx) = st.heap.tracking(r) else {
+            continue;
+        };
+        if matches!(b.ty, Type::Named(_)) && ctx.is_empty() && !ctx.pinned {
+            out.push(VirStep::Focus { r, x: x.clone() });
+        }
+        if b.ty.is_reference() && st.heap.tracked_in(x) != Some(r) {
+            out.push(VirStep::Invalidate {
+                x: x.clone(),
+                fresh: RegionId(st.next_region),
+            });
+        }
+    }
+    for (r, ctx) in st.heap.iter() {
+        for (x, vt) in &ctx.vars {
+            // Unfocus.
+            if vt.fields.is_empty() && !vt.pinned {
+                out.push(VirStep::Unfocus { r, x: x.clone() });
+            }
+            // Explore each untracked iso field.
+            if !vt.pinned {
+                if let Some(sname) = st.gamma.get(x).and_then(|b| b.ty.struct_name()) {
+                    if let Some(sdef) = globals.struct_def(sname) {
+                        for fd in &sdef.fields {
+                            if fd.iso && !vt.fields.contains_key(&fd.name) {
+                                out.push(VirStep::Explore {
+                                    r,
+                                    x: x.clone(),
+                                    f: fd.name.clone(),
+                                    fresh: RegionId(st.next_region),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Retract tracked fields with empty held targets.
+            for (f, target) in &vt.fields {
+                if st
+                    .heap
+                    .tracking(*target)
+                    .map(|t| t.is_empty() && !t.pinned)
+                    .unwrap_or(false)
+                {
+                    out.push(VirStep::Retract {
+                        r,
+                        x: x.clone(),
+                        f: f.clone(),
+                        target: *target,
+                    });
+                }
+            }
+        }
+    }
+    // Attach any ordered pair of unpinned regions.
+    let regions: Vec<RegionId> = st
+        .heap
+        .iter()
+        .filter(|(_, c)| !c.pinned)
+        .map(|(r, _)| r)
+        .collect();
+    for &from in &regions {
+        for &to in &regions {
+            if from != to {
+                out.push(VirStep::Attach { from, to });
+            }
+        }
+    }
+    // Weaken any region.
+    for &r in &regions {
+        out.push(VirStep::Weaken { r });
+    }
+    out
+}
+
+/// Fresh-region-aware application: `Explore` in `moves` uses
+/// `st.next_region` as the fresh id, which `vir::apply` validates.
+///
+/// Canonicalizes a state by renaming regions in order of first appearance
+/// over (sorted Γ, then H), producing a hashable key that identifies states
+/// up to alpha-renaming.
+pub fn canonical_key(st: &TypeState) -> String {
+    use std::fmt::Write as _;
+    let map = canonical_map(st);
+    let mut out = String::new();
+    for (x, b) in st.gamma.iter() {
+        let region = b
+            .region
+            .map(|r| {
+                if st.heap.contains(r) {
+                    format!("c{}", map[&r])
+                } else {
+                    "dangling".to_string()
+                }
+            })
+            .unwrap_or_else(|| "-".to_string());
+        let _ = write!(out, "{x}:{region}:{};", b.ty);
+    }
+    out.push('|');
+    // Regions in canonical order.
+    let mut regions: Vec<(u32, RegionId)> = st.heap.iter().map(|(r, _)| (map[&r], r)).collect();
+    regions.sort();
+    for (cid, r) in regions {
+        let ctx = st.heap.tracking(r).expect("held");
+        let _ = write!(out, "c{cid}{}⟨", if ctx.pinned { "p" } else { "" });
+        for (x, vt) in &ctx.vars {
+            let _ = write!(out, "{x}{}[", if vt.pinned { "p" } else { "" });
+            for (f, t) in &vt.fields {
+                if st.heap.contains(*t) {
+                    let _ = write!(out, "{f}→c{},", map[t]);
+                } else {
+                    let _ = write!(out, "{f}→dangling,");
+                }
+            }
+            out.push(']');
+        }
+        out.push('⟩');
+    }
+    out
+}
+
+/// Canonical numbering of held regions by first appearance.
+fn canonical_map(st: &TypeState) -> BTreeMap<RegionId, u32> {
+    let mut map: BTreeMap<RegionId, u32> = BTreeMap::new();
+    let mut next = 0u32;
+    let note = |r: RegionId, held: bool, map: &mut BTreeMap<RegionId, u32>, next: &mut u32| {
+        if held && !map.contains_key(&r) {
+            map.insert(r, *next);
+            *next += 1;
+        }
+    };
+    for (_, b) in st.gamma.iter() {
+        if let Some(r) = b.region {
+            note(r, st.heap.contains(r), &mut map, &mut next);
+        }
+    }
+    for (r, ctx) in st.heap.iter() {
+        note(r, true, &mut map, &mut next);
+        for vt in ctx.vars.values() {
+            for t in vt.fields.values() {
+                note(*t, st.heap.contains(*t), &mut map, &mut next);
+            }
+        }
+    }
+    map
+}
+
+/// Computes the rename mapping `b`'s held regions onto `a`'s, assuming both
+/// have the same canonical key. Returns `None` when the states are not
+/// actually congruent after renaming (hash collision or key bug).
+fn rename_between(b: &TypeState, a: &TypeState) -> Option<Vec<(RegionId, RegionId)>> {
+    let map_a = canonical_map(a);
+    let map_b = canonical_map(b);
+    let inv_a: BTreeMap<u32, RegionId> = map_a.iter().map(|(r, c)| (*c, *r)).collect();
+    let mut pairs = Vec::new();
+    for (rb, cid) in &map_b {
+        let ra = inv_a.get(cid)?;
+        if rb != ra {
+            pairs.push((*rb, *ra));
+        }
+    }
+    // Validate by applying to a clone.
+    let mut check = b.clone();
+    vir::rename(&mut check, &pairs).ok()?;
+    if congruent(&check, a) {
+        Some(pairs)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{Binding, TrackCtx};
+    use crate::mode::CheckerMode;
+    use fearless_syntax::{parse_program, Symbol};
+
+    fn globals() -> Globals {
+        let p = parse_program(
+            "struct data { value: int }
+             struct node { iso payload : data; iso next : node? }",
+        )
+        .unwrap();
+        Globals::build(&p, CheckerMode::Tempered).unwrap()
+    }
+
+    fn state_with(vars: &[(&str, u32)]) -> TypeState {
+        let mut st = TypeState::new();
+        st.next_region = 100;
+        for (name, region) in vars {
+            let r = RegionId(*region);
+            if !st.heap.contains(r) {
+                st.heap.insert(r, TrackCtx::empty());
+            }
+            st.gamma.bind(
+                Symbol::new(name),
+                Binding {
+                    region: Some(r),
+                    ty: Type::named("node"),
+                },
+            );
+        }
+        st
+    }
+
+    #[test]
+    fn canonical_key_ignores_ids() {
+        let a = state_with(&[("x", 1), ("y", 2)]);
+        let b = state_with(&[("x", 7), ("y", 3)]);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        let c = state_with(&[("x", 1), ("y", 1)]);
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
+    #[test]
+    fn finds_trivial_common_form() {
+        let g = globals();
+        let a = state_with(&[("x", 1)]);
+        let b = state_with(&[("x", 9)]);
+        let found = find_common(&g, &a, &b, 10_000).expect("search succeeds");
+        assert!(found.steps_a.is_empty());
+        assert!(found.steps_b.is_empty());
+        assert_eq!(found.rename_b, vec![(RegionId(9), RegionId(1))]);
+    }
+
+    #[test]
+    fn finds_attach_to_unify() {
+        // A: x,y same region. B: x,y different regions — search must attach.
+        let g = globals();
+        let a = state_with(&[("x", 1), ("y", 1)]);
+        let b = state_with(&[("x", 2), ("y", 3)]);
+        let found = find_common(&g, &a, &b, 50_000).expect("search succeeds");
+        let total = found.steps_a.len() + found.steps_b.len();
+        assert!(total >= 1, "needs at least one attach");
+    }
+
+    #[test]
+    fn finds_focus_explore_alignment() {
+        // A: x focused with `next` tracked. B: plain. Search should align
+        // (either retract in A or focus+explore in B).
+        let g = globals();
+        let mut a = state_with(&[("x", 1)]);
+        vir::focus(&mut a, RegionId(1), &Symbol::new("x")).unwrap();
+        let fresh = a.fresh_region();
+        vir::explore(&mut a, RegionId(1), &Symbol::new("x"), &Symbol::new("next"), fresh).unwrap();
+        let b = state_with(&[("x", 5)]);
+        let found = find_common(&g, &a, &b, 100_000).expect("search succeeds");
+        let total = found.steps_a.len() + found.steps_b.len();
+        assert!(total >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let g = globals();
+        let mut a = state_with(&[("x", 1), ("y", 2)]);
+        let mut b = state_with(&[("x", 3), ("y", 3)]);
+        // Make them genuinely different so a match needs some steps.
+        vir::focus(&mut a, RegionId(1), &Symbol::new("x")).unwrap();
+        vir::focus(&mut b, RegionId(3), &Symbol::new("x")).unwrap();
+        assert!(find_common(&g, &a, &b, 1).is_none());
+    }
+}

@@ -1,0 +1,534 @@
+//! Checker-internal helpers: greedy virtual-transformation insertion
+//! (the decision procedure of §4.6) and liveness-driven context
+//! normalization (§5.1).
+
+use std::collections::BTreeSet;
+
+use fearless_syntax::{Span, Symbol};
+
+use crate::ctx::{RegionId, TypeState};
+use crate::derivation::DerivBuilder;
+use crate::error::TypeError;
+use crate::vir::{self, VirStep};
+
+/// A set of variables treated as live.
+pub type LiveSet = BTreeSet<Symbol>;
+
+/// A set of regions protected from weakening/retraction.
+pub type Protect = BTreeSet<RegionId>;
+
+/// Applies one virtual transformation, recording it as a derivation node
+/// appended to `chain`.
+pub fn record_vir(
+    deriv: &mut DerivBuilder,
+    st: &mut TypeState,
+    step: VirStep,
+    chain: &mut Vec<usize>,
+    span: Span,
+) -> Result<(), TypeError> {
+    let input = st.clone();
+    vir::apply(st, &step).map_err(|m| TypeError::new(m, span))?;
+    let idx = deriv.push_vir(step, input, st.clone());
+    chain.push(idx);
+    Ok(())
+}
+
+/// Computes the set of regions that must be preserved: regions of live
+/// variables, explicitly protected regions, and targets of tracked fields
+/// of live variables (transitively).
+pub fn live_regions(st: &TypeState, live: &LiveSet, protect: &Protect) -> BTreeSet<RegionId> {
+    let mut set: BTreeSet<RegionId> = protect.clone();
+    for (x, b) in st.gamma.iter() {
+        if live.contains(x) {
+            if let Some(r) = b.region {
+                set.insert(r);
+            }
+        }
+    }
+    // Close over tracked-field targets of variables in kept regions — all
+    // of them, not just live ones: a protected region may host a dead
+    // variable (e.g. the branch result) whose tracked fields must not be
+    // dangled by premature weakening; the retract fixpoint dissolves them
+    // in dependency order instead.
+    loop {
+        let mut changed = false;
+        for (r, ctx) in st.heap.iter() {
+            if !set.contains(&r) {
+                continue;
+            }
+            for vt in ctx.vars.values() {
+                for target in vt.fields.values() {
+                    if st.heap.contains(*target) && set.insert(*target) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return set;
+        }
+    }
+}
+
+/// Whether region `r` can be dropped: it is held, unprotected, and no live
+/// variable is bound to it.
+pub fn can_drop_region(st: &TypeState, r: RegionId, live: &LiveSet, protect: &Protect) -> bool {
+    if !st.heap.contains(r) || protect.contains(&r) {
+        return false;
+    }
+    !st.gamma
+        .iter()
+        .any(|(x, b)| b.region == Some(r) && live.contains(x))
+}
+
+/// Liveness-driven normalization: retracts tracked fields whose targets are
+/// dead and empty, unfocuses variables with no tracked fields, and weakens
+/// dead regions. Produces the canonical form used by branch unification
+/// (§5.1's oracle).
+pub fn normalize(
+    deriv: &mut DerivBuilder,
+    st: &mut TypeState,
+    live: &LiveSet,
+    protect: &Protect,
+    chain: &mut Vec<usize>,
+    span: Span,
+) -> Result<(), TypeError> {
+    loop {
+        let mut changed = false;
+
+        // 1. Retract tracked fields whose targets are empty and host no
+        //    live variables: the canonical form leaves such fields
+        //    untracked (they can be re-explored on demand).
+        let mut retracts: Vec<(RegionId, Symbol, Symbol, RegionId)> = Vec::new();
+        for (r, ctx) in st.heap.iter() {
+            for (x, vt) in &ctx.vars {
+                for (f, target) in &vt.fields {
+                    if st
+                        .heap
+                        .tracking(*target)
+                        .map(|t| t.is_empty() && !t.pinned)
+                        .unwrap_or(false)
+                        && can_drop_region(st, *target, live, protect)
+                    {
+                        retracts.push((r, x.clone(), f.clone(), *target));
+                    }
+                }
+            }
+        }
+        for (r, x, f, target) in retracts {
+            // Re-validate: earlier steps this pass may have changed things.
+            if st.heap.tracked_field(&x, &f) == Some(target)
+                && st.heap.contains(target)
+                && st.heap.tracking(target).map(|t| t.is_empty()).unwrap_or(false)
+            {
+                record_vir(deriv, st, VirStep::Retract { r, x, f, target }, chain, span)?;
+                changed = true;
+            }
+        }
+
+        // 2. Remove dangling tracked fields of dead variables: drop the
+        //    whole (dead) region below in step 3; nothing to do here.
+
+        // 3. Unfocus variables with no tracked fields.
+        let mut unfocuses: Vec<(RegionId, Symbol)> = Vec::new();
+        for (r, ctx) in st.heap.iter() {
+            for (x, vt) in &ctx.vars {
+                if vt.fields.is_empty() && !vt.pinned {
+                    unfocuses.push((r, x.clone()));
+                }
+            }
+        }
+        for (r, x) in unfocuses {
+            record_vir(deriv, st, VirStep::Unfocus { r, x }, chain, span)?;
+            changed = true;
+        }
+
+        // 4. Weaken dead regions (no live vars, unprotected). A dead region
+        //    may still track dead variables with unretractable fields —
+        //    weakening drops them while preserving field-target capabilities.
+        let keep = live_regions(st, live, protect);
+        let dead: Vec<RegionId> = st
+            .heap
+            .iter()
+            .map(|(r, _)| r)
+            .filter(|r| !keep.contains(r) && can_drop_region(st, *r, live, protect))
+            .collect();
+        for r in dead {
+            record_vir(deriv, st, VirStep::Weaken { r }, chain, span)?;
+            changed = true;
+        }
+
+        // 5. Invalidate dead, untracked reference variables still bound to
+        //    held regions: pure Γ-weakening that lets branch unification
+        //    ignore dead bindings.
+        let dead_vars: Vec<Symbol> = st
+            .gamma
+            .iter()
+            .filter(|(x, b)| {
+                !live.contains(*x)
+                    && b.region.map(|r| st.heap.contains(r)).unwrap_or(false)
+                    && st.heap.tracked_in(x).is_none()
+            })
+            .map(|(x, _)| x.clone())
+            .collect();
+        for x in dead_vars {
+            let fresh = st.fresh_region();
+            record_vir(deriv, st, VirStep::Invalidate { x, fresh }, chain, span)?;
+            changed = true;
+        }
+
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+/// Relabels every dangling mention in `st` (Γ bindings and tracked-field
+/// targets whose region is no longer held) with fresh never-held ids, so a
+/// subsequent `Rename` cannot collide with them.
+pub fn scrub_dangling(
+    deriv: &mut DerivBuilder,
+    st: &mut TypeState,
+    chain: &mut Vec<usize>,
+    span: Span,
+) -> Result<(), TypeError> {
+    let dangling_vars: Vec<Symbol> = st
+        .gamma
+        .iter()
+        .filter(|(_, b)| b.region.map(|r| !st.heap.contains(r)).unwrap_or(false))
+        .map(|(x, _)| x.clone())
+        .collect();
+    for x in dangling_vars {
+        let fresh = st.fresh_region();
+        record_vir(deriv, st, VirStep::Invalidate { x, fresh }, chain, span)?;
+    }
+    let mut dangling_fields: Vec<(RegionId, Symbol, Symbol)> = Vec::new();
+    for (r, ctx) in st.heap.iter() {
+        for (x, vt) in &ctx.vars {
+            for (f, t) in &vt.fields {
+                if !st.heap.contains(*t) {
+                    dangling_fields.push((r, x.clone(), f.clone()));
+                }
+            }
+        }
+    }
+    for (r, x, f) in dangling_fields {
+        let fresh = st.fresh_region();
+        record_vir(deriv, st, VirStep::ScrubField { r, x, f, fresh }, chain, span)?;
+    }
+    Ok(())
+}
+
+/// Empties region `r`'s tracking context so it satisfies the empty-context
+/// premise of T16-Send, T15-IfDisconnected, and T9-Application: recursively
+/// retracts all tracked fields (their target capabilities are consumed —
+/// correct, since the contents travel with the region) and unfocuses all
+/// variables.
+///
+/// # Errors
+///
+/// Fails if a tracked field is dangling (must be reassigned first) or if a
+/// target region still hosts live variables (the contents are separately
+/// accessible, so surrendering the region would be unsound to allow
+/// silently).
+pub fn discharge_region(
+    deriv: &mut DerivBuilder,
+    st: &mut TypeState,
+    r: RegionId,
+    live: &LiveSet,
+    protect: &Protect,
+    chain: &mut Vec<usize>,
+    span: Span,
+) -> Result<(), TypeError> {
+    let Some(ctx) = st.heap.tracking(r) else {
+        return Err(TypeError::new(
+            format!("region {r} is no longer held (already consumed)"),
+            span,
+        ));
+    };
+    if ctx.pinned {
+        return Err(TypeError::new(
+            format!("region {r} is pinned; its tracking context cannot be discharged"),
+            span,
+        ));
+    }
+    let vars: Vec<Symbol> = ctx.vars.keys().cloned().collect();
+    for x in vars {
+        let fields: Vec<(Symbol, RegionId)> = st
+            .heap
+            .tracking(r)
+            .and_then(|c| c.vars.get(&x))
+            .map(|vt| vt.fields.iter().map(|(f, t)| (f.clone(), *t)).collect())
+            .unwrap_or_default();
+        for (f, target) in fields {
+            if !st.heap.contains(target) {
+                return Err(TypeError::new(
+                    format!(
+                        "iso field {x}.{f} was invalidated and must be reassigned before \
+                         this region can be surrendered"
+                    ),
+                    span,
+                ));
+            }
+            if protect.contains(&target) {
+                return Err(TypeError::new(
+                    format!(
+                        "iso field {x}.{f} points to a region that is still needed; it \
+                         cannot be retracted here"
+                    ),
+                    span,
+                ));
+            }
+            if let Some(live_var) = st
+                .gamma
+                .iter()
+                .find(|(v, b)| b.region == Some(target) && live.contains(*v))
+                .map(|(v, _)| v.clone())
+            {
+                return Err(TypeError::new(
+                    format!(
+                        "cannot surrender this region: the contents of {x}.{f} are still \
+                         accessible through live variable {live_var}"
+                    ),
+                    span,
+                ));
+            }
+            discharge_region(deriv, st, target, live, protect, chain, span)?;
+            record_vir(deriv, st, VirStep::Retract { r, x: x.clone(), f, target }, chain, span)?;
+        }
+        record_vir(deriv, st, VirStep::Unfocus { r, x: x.clone() }, chain, span)?;
+    }
+    Ok(())
+}
+
+/// Removes variable `x` from tracking contexts, for scope exit or
+/// reassignment. Retracts droppable tracked fields; if some fields cannot
+/// be retracted, falls back to weakening `x`'s entire region when that
+/// region hosts no other live variables.
+pub fn discharge_var(
+    deriv: &mut DerivBuilder,
+    st: &mut TypeState,
+    x: &Symbol,
+    live: &LiveSet,
+    protect: &Protect,
+    chain: &mut Vec<usize>,
+    span: Span,
+) -> Result<(), TypeError> {
+    let Some(r) = st.heap.tracked_in(x) else {
+        return Ok(());
+    };
+    let fields: Vec<(Symbol, RegionId)> = st.heap.tracking(r).unwrap().vars[x]
+        .fields
+        .iter()
+        .map(|(f, t)| (f.clone(), *t))
+        .collect();
+    let mut remaining = Vec::new();
+    for (f, target) in fields {
+        let droppable = st.heap.contains(target)
+            && st
+                .heap
+                .tracking(target)
+                .map(|t| t.is_empty() && !t.pinned)
+                .unwrap_or(false)
+            && can_drop_region(st, target, live, protect);
+        if droppable {
+            record_vir(
+                deriv,
+                st,
+                VirStep::Retract {
+                    r,
+                    x: x.clone(),
+                    f,
+                    target,
+                },
+                chain,
+                span,
+            )?;
+        } else if !st.heap.contains(target) {
+            // Dangling mapping on a variable leaving tracking: the whole
+            // region will need to be weakened below.
+            remaining.push(f);
+        } else {
+            remaining.push(f);
+        }
+    }
+    if remaining.is_empty() {
+        record_vir(deriv, st, VirStep::Unfocus { r, x: x.clone() }, chain, span)?;
+        return Ok(());
+    }
+    // Fields remain: weaken the whole region, provided nothing live needs it.
+    let other_live = st
+        .gamma
+        .iter()
+        .find(|(v, b)| *v != x && b.region == Some(r) && live.contains(*v))
+        .map(|(v, _)| v.clone());
+    if let Some(v) = other_live {
+        return Err(TypeError::new(
+            format!(
+                "cannot release {x}: its iso fields are still tracked and its region is \
+                 shared with live variable {v}"
+            ),
+            span,
+        ));
+    }
+    // Note: `x` itself leaving scope (or being rebound) does not keep its
+    // old region alive, so only `protect` matters here.
+    if protect.contains(&r) {
+        return Err(TypeError::new(
+            format!("cannot release {x}: its region is still needed but its iso fields remain tracked"),
+            span,
+        ));
+    }
+    record_vir(deriv, st, VirStep::Weaken { r }, chain, span)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{Binding, TrackCtx};
+    use fearless_syntax::Type;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn setup() -> (DerivBuilder, TypeState, RegionId) {
+        let mut st = TypeState::new();
+        let r = st.fresh_region();
+        st.heap.insert(r, TrackCtx::empty());
+        st.gamma.bind(
+            sym("x"),
+            Binding {
+                region: Some(r),
+                ty: Type::named("node"),
+            },
+        );
+        (DerivBuilder::new(), st, r)
+    }
+
+    #[test]
+    fn normalize_drops_dead_region() {
+        let (mut d, mut st, _r) = setup();
+        let live = LiveSet::new(); // x is dead
+        let mut chain = Vec::new();
+        normalize(&mut d, &mut st, &live, &Protect::new(), &mut chain, Span::dummy()).unwrap();
+        assert!(st.heap.is_empty());
+        assert_eq!(chain.len(), 1); // one weaken
+    }
+
+    #[test]
+    fn normalize_keeps_live_region_and_field_targets() {
+        let (mut d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let mut chain = Vec::new();
+        normalize(&mut d, &mut st, &live, &Protect::new(), &mut chain, Span::dummy()).unwrap();
+        // x is live; its tracked field target t is empty and dead → retract,
+        // then unfocus x; region r stays (live).
+        assert!(st.heap.contains(r));
+        assert!(!st.heap.contains(t));
+        assert!(st.heap.tracked_in(&sym("x")).is_none());
+    }
+
+    #[test]
+    fn normalize_respects_protect() {
+        let (mut d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let protect: Protect = [t].into_iter().collect();
+        let mut chain = Vec::new();
+        normalize(&mut d, &mut st, &live, &protect, &mut chain, Span::dummy()).unwrap();
+        // t is protected (e.g. it is the branch's result region).
+        assert!(st.heap.contains(t));
+        assert_eq!(st.heap.tracked_field(&sym("x"), &sym("f")), Some(t));
+    }
+
+    #[test]
+    fn discharge_region_retracts_recursively() {
+        let (mut d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
+        let mut chain = Vec::new();
+        discharge_region(
+            &mut d,
+            &mut st,
+            r,
+            &LiveSet::new(),
+            &Protect::new(),
+            &mut chain,
+            Span::dummy(),
+        )
+        .unwrap();
+        assert!(st.heap.tracking(r).unwrap().is_empty());
+        assert!(!st.heap.contains(t));
+    }
+
+    #[test]
+    fn discharge_region_rejects_live_contents() {
+        let (mut d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
+        st.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(t),
+                ty: Type::named("node"),
+            },
+        );
+        let live: LiveSet = [sym("y")].into_iter().collect();
+        let err = discharge_region(
+            &mut d,
+            &mut st,
+            r,
+            &live,
+            &Protect::new(),
+            &mut Vec::new(),
+            Span::dummy(),
+        )
+        .unwrap_err();
+        assert!(err.message().contains("still"), "{err}");
+    }
+
+    #[test]
+    fn discharge_var_weakens_when_fields_unretractable() {
+        let (mut d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("payload"), t).unwrap();
+        // Protect the target (it is returned), so retraction is impossible;
+        // x's region must be weakened instead (the Fig. 2 pattern).
+        let protect: Protect = [t].into_iter().collect();
+        let mut chain = Vec::new();
+        discharge_var(
+            &mut d,
+            &mut st,
+            &sym("x"),
+            &LiveSet::new(),
+            &protect,
+            &mut chain,
+            Span::dummy(),
+        )
+        .unwrap();
+        assert!(!st.heap.contains(r));
+        assert!(st.heap.contains(t));
+    }
+
+    #[test]
+    fn live_regions_closes_over_tracked_targets() {
+        let (_d, mut st, r) = setup();
+        vir::focus(&mut st, r, &sym("x")).unwrap();
+        let t = st.fresh_region();
+        vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let regions = live_regions(&st, &live, &Protect::new());
+        assert!(regions.contains(&r));
+        assert!(regions.contains(&t));
+    }
+}

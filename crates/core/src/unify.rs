@@ -1,0 +1,831 @@
+//! Unification of typing contexts at control-flow joins (§4.6, §5.1).
+//!
+//! Branches of `if`, `let some`, and `if disconnected` must end in the same
+//! static context. Unification finds virtual-transformation sequences
+//! bringing both branch contexts to a common form. The checker first tries
+//! the liveness oracle: normalize both contexts (dropping resources dead in
+//! the continuation), match regions by the live variables and tracked
+//! fields that inhabit them, and repair small differences with
+//! explore/attach/weaken. When the oracle fails it falls back to bounded
+//! backtracking search over virtual transformations (worst-case
+//! exponential, as the paper notes).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fearless_syntax::{Span, Symbol};
+
+use crate::ctx::{RegionId, TypeState};
+use crate::derivation::DerivBuilder;
+use crate::error::TypeError;
+use crate::state::{self, LiveSet, Protect};
+use crate::vir::VirStep;
+
+/// A matching key identifying a region by its inhabitants at a join point.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Key {
+    /// A live variable bound to the region.
+    Var(Symbol),
+    /// A live variable's tracked iso field targeting the region.
+    Field(Symbol, Symbol),
+    /// The join's result value lives in the region.
+    Result,
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Key::Var(x) => write!(f, "{x}"),
+            Key::Field(x, fld) => write!(f, "{x}.{fld}"),
+            Key::Result => write!(f, "result"),
+        }
+    }
+}
+
+/// Computes the key map for a normalized state: held region → keys.
+pub fn keyed_regions(
+    st: &TypeState,
+    live: &LiveSet,
+    result: Option<RegionId>,
+) -> BTreeMap<RegionId, BTreeSet<Key>> {
+    let mut map: BTreeMap<RegionId, BTreeSet<Key>> = BTreeMap::new();
+    for (r, _) in st.heap.iter() {
+        map.insert(r, BTreeSet::new());
+    }
+    for (x, b) in st.gamma.iter() {
+        if !live.contains(x) {
+            continue;
+        }
+        if let Some(r) = b.region {
+            if let Some(keys) = map.get_mut(&r) {
+                keys.insert(Key::Var(x.clone()));
+            }
+        }
+    }
+    for (_, ctx) in st.heap.iter() {
+        for (x, vt) in &ctx.vars {
+            if !live.contains(x) {
+                continue;
+            }
+            for (f, target) in &vt.fields {
+                if let Some(keys) = map.get_mut(target) {
+                    keys.insert(Key::Field(x.clone(), f.clone()));
+                }
+            }
+        }
+    }
+    if let Some(r) = result {
+        if let Some(keys) = map.get_mut(&r) {
+            keys.insert(Key::Result);
+        }
+    }
+    map
+}
+
+/// Structural congruence of two states: identical shape, where *dangling*
+/// field targets and variable regions (ids no longer held) are considered
+/// equal regardless of the stale id they carry.
+pub fn congruent(a: &TypeState, b: &TypeState) -> bool {
+    // Γ: same variables, same types, regions equal-or-both-dangling.
+    let avars: Vec<_> = a.gamma.iter().collect();
+    let bvars: Vec<_> = b.gamma.iter().collect();
+    if avars.len() != bvars.len() {
+        return false;
+    }
+    for ((ax, ab), (bx, bb)) in avars.iter().zip(bvars.iter()) {
+        if ax != bx || ab.ty != bb.ty {
+            return false;
+        }
+        match (ab.region, bb.region) {
+            (None, None) => {}
+            (Some(ar), Some(br)) => {
+                let a_held = a.heap.contains(ar);
+                let b_held = b.heap.contains(br);
+                if a_held != b_held || (a_held && ar != br) {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    // H: same regions, same tracking shape.
+    let aregions: Vec<_> = a.heap.iter().collect();
+    let bregions: Vec<_> = b.heap.iter().collect();
+    if aregions.len() != bregions.len() {
+        return false;
+    }
+    for ((ar, actx), (br, bctx)) in aregions.iter().zip(bregions.iter()) {
+        if ar != br || actx.pinned != bctx.pinned || actx.vars.len() != bctx.vars.len() {
+            return false;
+        }
+        for ((ax, avt), (bx, bvt)) in actx.vars.iter().zip(bctx.vars.iter()) {
+            if ax != bx || avt.pinned != bvt.pinned || avt.fields.len() != bvt.fields.len() {
+                return false;
+            }
+            for ((af, at), (bf, bt)) in avt.fields.iter().zip(bvt.fields.iter()) {
+                if af != bf {
+                    return false;
+                }
+                let a_held = a.heap.contains(*at);
+                let b_held = b.heap.contains(*bt);
+                if a_held != b_held || (a_held && at != bt) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// One side of a unification problem.
+pub struct Side<'a> {
+    /// The branch's final state.
+    pub st: &'a mut TypeState,
+    /// The branch's derivation chain (repair steps are appended).
+    pub chain: &'a mut Vec<usize>,
+    /// The branch's result region, if the value is a reference.
+    pub result: Option<RegionId>,
+}
+
+/// Brings both sides to a common context using the liveness oracle.
+///
+/// On success, side `b` has been alpha-renamed so that
+/// `congruent(a.st, b.st)` holds, and the function returns the unified
+/// result region (in `a`'s naming).
+pub fn unify_sides(
+    deriv: &mut DerivBuilder,
+    a: &mut Side<'_>,
+    b: &mut Side<'_>,
+    live: &LiveSet,
+    span: Span,
+) -> Result<Option<RegionId>, TypeError> {
+    align(deriv, a, b, live, false, span)?;
+    // Scrub dangling mentions so the rename cannot collide with stale ids.
+    state::scrub_dangling(deriv, b.st, b.chain, span)?;
+    // Rename b to a's region names, keyed by the class matching.
+    let rename = rename_pairs(a, b, live)?;
+    if !rename.is_empty() {
+        state::record_vir(deriv, b.st, VirStep::Rename { pairs: rename.clone() }, b.chain, span)?;
+        if let Some(r) = b.result.as_mut() {
+            if let Some((_, to)) = rename.iter().find(|(from, _)| from == r) {
+                *r = *to;
+            }
+        }
+    }
+    b.st.next_region = b.st.next_region.max(a.st.next_region);
+    a.st.next_region = b.st.next_region;
+    if !congruent(a.st, b.st) {
+        return Err(TypeError::new(
+            format!(
+                "branch contexts do not unify:\n  then: {}\n  else: {}",
+                a.st, b.st
+            ),
+            span,
+        ));
+    }
+    match (a.result, b.result) {
+        (None, None) => Ok(None),
+        (Some(ra), Some(rb)) => {
+            if ra != rb && a.st.heap.contains(ra) {
+                return Err(TypeError::new(
+                    format!("branch results live in different regions ({ra} vs {rb})"),
+                    span,
+                ));
+            }
+            Ok(Some(ra))
+        }
+        _ => Err(TypeError::new(
+            "branch results disagree on region-ness".to_string(),
+            span,
+        )),
+    }
+}
+
+/// Conforms `b` to the immutable `target` context (used for loop
+/// invariants): repairs may only touch `b`.
+pub fn conform_to_target(
+    deriv: &mut DerivBuilder,
+    target: &TypeState,
+    b: &mut Side<'_>,
+    live: &LiveSet,
+    span: Span,
+) -> Result<(), TypeError> {
+    let mut target_clone = target.clone();
+    let mut dummy_chain = Vec::new();
+    let rename = {
+        let mut a = Side {
+            st: &mut target_clone,
+            chain: &mut dummy_chain,
+            result: None,
+        };
+        // With `a_immutable`, align never mutates the target side.
+        align(deriv, &mut a, b, live, true, span)?;
+        state::scrub_dangling(deriv, b.st, b.chain, span)?;
+        rename_pairs(&a, b, live)?
+    };
+    debug_assert_eq!(target_clone, *target, "immutable side must stay fixed");
+    if !rename.is_empty() {
+        state::record_vir(deriv, b.st, VirStep::Rename { pairs: rename }, b.chain, span)?;
+    }
+    b.st.next_region = b.st.next_region.max(target.next_region);
+    if !congruent(target, b.st) {
+        return Err(TypeError::new(
+            format!(
+                "loop body does not preserve the typing context:\n  entry: {}\n  body end: {}",
+                target, b.st
+            ),
+            span,
+        ));
+    }
+    Ok(())
+}
+
+/// Core repair loop: normalize both sides, then make their keyed region
+/// structures isomorphic. If `a_immutable`, repairs needed on side `a`
+/// are errors.
+fn align(
+    deriv: &mut DerivBuilder,
+    a: &mut Side<'_>,
+    b: &mut Side<'_>,
+    live: &LiveSet,
+    a_immutable: bool,
+    span: Span,
+) -> Result<(), TypeError> {
+    let protect_a: Protect = a.result.into_iter().collect();
+    let protect_b: Protect = b.result.into_iter().collect();
+    if !a_immutable {
+        state::normalize(deriv, a.st, live, &protect_a, a.chain, span)?;
+    }
+    state::normalize(deriv, b.st, live, &protect_b, b.chain, span)?;
+
+    // Drop regions held on one side only (keyed by live vars): the join
+    // cannot keep a capability one branch lacks.
+    for _ in 0..2 {
+        let ka = keyed_regions(a.st, live, a.result);
+        let kb = keyed_regions(b.st, live, b.result);
+        let keys_a: BTreeSet<Key> = ka.values().flatten().cloned().collect();
+        let keys_b: BTreeSet<Key> = kb.values().flatten().cloned().collect();
+
+        // Var keys present in A but not B: B lost the region → A must drop.
+        for key in keys_a.difference(&keys_b).cloned().collect::<Vec<_>>() {
+            match key {
+                Key::Var(x) => {
+                    let r = a.st.gamma.get(&x).and_then(|bd| bd.region);
+                    if let Some(r) = r {
+                        if a_immutable {
+                            return Err(TypeError::new(
+                                format!("loop body invalidated {x}, which the loop needs"),
+                                span,
+                            ));
+                        }
+                        // Weaken in A (dischargeable tracking was normalized).
+                        if a.st.heap.contains(r) {
+                            force_weaken(deriv, a, r, span)?;
+                        }
+                    }
+                }
+                Key::Field(x, f) => {
+                    // Tracked in A with held target, absent in B. Two cases:
+                    // B has the field untracked → explore in B; B has it
+                    // dangling → A must weaken its target.
+                    let b_dangling = b
+                        .st
+                        .heap
+                        .tracked_field(&x, &f)
+                        .map(|t| !b.st.heap.contains(t))
+                        .unwrap_or(false);
+                    if b_dangling {
+                        let target = a.st.heap.tracked_field(&x, &f);
+                        if let Some(t) = target {
+                            if a_immutable {
+                                return Err(TypeError::new(
+                                    format!("loop body invalidated {x}.{f}"),
+                                    span,
+                                ));
+                            }
+                            let keys = ka.get(&t).cloned().unwrap_or_default();
+                            if keys.iter().any(|k| !matches!(k, Key::Field(_, _))) {
+                                return Err(TypeError::new(
+                                    format!(
+                                        "cannot unify branches: {x}.{f} is valid in one \
+                                         branch but invalidated in the other, and its \
+                                         contents are still referenced"
+                                    ),
+                                    span,
+                                ));
+                            }
+                            force_weaken(deriv, a, t, span)?;
+                        }
+                    } else {
+                        explore_in(deriv, b, &x, &f, span)?;
+                    }
+                }
+                Key::Result => {
+                    return Err(TypeError::new(
+                        "branch results disagree (one reference region is missing)".to_string(),
+                        span,
+                    ))
+                }
+            }
+        }
+        // Symmetric direction: keys in B but not A.
+        let ka = keyed_regions(a.st, live, a.result);
+        let keys_a: BTreeSet<Key> = ka.values().flatten().cloned().collect();
+        for key in keys_b.difference(&keys_a).cloned().collect::<Vec<_>>() {
+            match key {
+                Key::Var(x) => {
+                    let r = b.st.gamma.get(&x).and_then(|bd| bd.region);
+                    if let Some(r) = r {
+                        if b.st.heap.contains(r) {
+                            force_weaken(deriv, b, r, span)?;
+                        }
+                    }
+                }
+                Key::Field(x, f) => {
+                    let a_dangling = a
+                        .st
+                        .heap
+                        .tracked_field(&x, &f)
+                        .map(|t| !a.st.heap.contains(t))
+                        .unwrap_or(false);
+                    if a_dangling {
+                        let target = b.st.heap.tracked_field(&x, &f);
+                        if let Some(t) = target {
+                            let kb2 = keyed_regions(b.st, live, b.result);
+                            let keys = kb2.get(&t).cloned().unwrap_or_default();
+                            if keys.iter().any(|k| !matches!(k, Key::Field(_, _))) {
+                                return Err(TypeError::new(
+                                    format!(
+                                        "cannot unify branches: {x}.{f} is invalidated in \
+                                         one branch while its contents remain referenced \
+                                         in the other"
+                                    ),
+                                    span,
+                                ));
+                            }
+                            force_weaken(deriv, b, t, span)?;
+                        }
+                    } else if a_immutable {
+                        return Err(TypeError::new(
+                            format!(
+                                "loop body leaves {x}.{f} tracked, which the loop entry does not"
+                            ),
+                            span,
+                        ));
+                    } else {
+                        explore_in(deriv, a, &x, &f, span)?;
+                    }
+                }
+                Key::Result => {
+                    return Err(TypeError::new(
+                        "branch results disagree (one reference region is missing)".to_string(),
+                        span,
+                    ))
+                }
+            }
+        }
+    }
+
+    // Both sides now carry the same key set. Merge regions within each side
+    // so the partitions coincide (finest common coarsening).
+    let classes = joint_classes(a, b, live)?;
+    for class in &classes {
+        merge_class_regions(deriv, a, class, live, a_immutable, span)?;
+        merge_class_regions(deriv, b, class, live, false, span)?;
+    }
+    Ok(())
+}
+
+/// Weakens a region unconditionally (the join lacks the capability).
+fn force_weaken(
+    deriv: &mut DerivBuilder,
+    side: &mut Side<'_>,
+    r: RegionId,
+    span: Span,
+) -> Result<(), TypeError> {
+    state::record_vir(deriv, side.st, VirStep::Weaken { r }, side.chain, span)
+}
+
+/// Ensures `x.f` is tracked in `side`, focusing/exploring as needed.
+fn explore_in(
+    deriv: &mut DerivBuilder,
+    side: &mut Side<'_>,
+    x: &Symbol,
+    f: &Symbol,
+    span: Span,
+) -> Result<(), TypeError> {
+    let Some(r) = side.st.gamma.get(x).and_then(|b| b.region) else {
+        return Err(TypeError::new(
+            format!("cannot unify branches: {x} has no region"),
+            span,
+        ));
+    };
+    if side.st.heap.tracked_in(x) != Some(r) {
+        state::record_vir(
+            deriv,
+            side.st,
+            VirStep::Focus { r, x: x.clone() },
+            side.chain,
+            span,
+        )?;
+    }
+    let fresh = side.st.fresh_region();
+    state::record_vir(
+        deriv,
+        side.st,
+        VirStep::Explore {
+            r,
+            x: x.clone(),
+            f: f.clone(),
+            fresh,
+        },
+        side.chain,
+        span,
+    )
+}
+
+/// Computes the joint key partition: keys are in one class when they share
+/// a region on either side.
+fn joint_classes(
+    a: &Side<'_>,
+    b: &Side<'_>,
+    live: &LiveSet,
+) -> Result<Vec<Vec<Key>>, TypeError> {
+    let ka = keyed_regions(a.st, live, a.result);
+    let kb = keyed_regions(b.st, live, b.result);
+    let mut keys: Vec<Key> = ka.values().flatten().cloned().collect();
+    keys.sort();
+    keys.dedup();
+    let index = |k: &Key| keys.iter().position(|kk| kk == k).expect("key indexed");
+    let mut parent: Vec<usize> = (0..keys.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for map in [&ka, &kb] {
+        for group in map.values() {
+            let mut iter = group.iter();
+            if let Some(first) = iter.next() {
+                let fi = index(first);
+                for other in iter {
+                    let oi = index(other);
+                    let (ra, rb) = (find(&mut parent, fi), find(&mut parent, oi));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+    }
+    let mut by_root: BTreeMap<usize, Vec<Key>> = BTreeMap::new();
+    for (i, key) in keys.iter().enumerate() {
+        let root = find(&mut parent, i);
+        by_root.entry(root).or_default().push(key.clone());
+    }
+    Ok(by_root.into_values().collect())
+}
+
+/// Region of a key within one state.
+fn key_region(st: &TypeState, result: Option<RegionId>, key: &Key) -> Option<RegionId> {
+    match key {
+        Key::Var(x) => st.gamma.get(x).and_then(|b| b.region).filter(|r| st.heap.contains(*r)),
+        Key::Field(x, f) => st.heap.tracked_field(x, f).filter(|r| st.heap.contains(*r)),
+        Key::Result => result.filter(|r| st.heap.contains(*r)),
+    }
+}
+
+/// Attaches all regions of a class together within one side.
+fn merge_class_regions(
+    deriv: &mut DerivBuilder,
+    side: &mut Side<'_>,
+    class: &[Key],
+    _live: &LiveSet,
+    immutable: bool,
+    span: Span,
+) -> Result<(), TypeError> {
+    let mut regions: Vec<RegionId> = Vec::new();
+    for key in class {
+        if let Some(r) = key_region(side.st, side.result, key) {
+            if !regions.contains(&r) {
+                regions.push(r);
+            }
+        }
+    }
+    if regions.len() <= 1 {
+        return Ok(());
+    }
+    if immutable {
+        return Err(TypeError::new(
+            "loop body would need to merge regions the loop entry keeps separate".to_string(),
+            span,
+        ));
+    }
+    let target = regions[0];
+    for from in regions.into_iter().skip(1) {
+        state::record_vir(
+            deriv,
+            side.st,
+            VirStep::Attach { from, to: target },
+            side.chain,
+            span,
+        )?;
+        if side.result == Some(from) {
+            side.result = Some(target);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the rename pairs mapping `b`'s held regions to `a`'s, keyed by
+/// the (now isomorphic) class structure.
+fn rename_pairs(
+    a: &Side<'_>,
+    b: &Side<'_>,
+    live: &LiveSet,
+) -> Result<Vec<(RegionId, RegionId)>, TypeError> {
+    let ka = keyed_regions(a.st, live, a.result);
+    let kb = keyed_regions(b.st, live, b.result);
+    let mut pairs: BTreeMap<RegionId, RegionId> = BTreeMap::new();
+    for (rb, keys) in &kb {
+        let Some(key) = keys.iter().next() else {
+            continue;
+        };
+        // Find a's region for this key.
+        let ra = ka
+            .iter()
+            .find(|(_, ks)| ks.contains(key))
+            .map(|(r, _)| *r);
+        if let Some(ra) = ra {
+            pairs.insert(*rb, ra);
+        }
+    }
+    // Include identity for any held-but-unkeyed region so the rename's
+    // collision check sees the full picture.
+    let mut out: Vec<(RegionId, RegionId)> = pairs.into_iter().collect();
+    let targets: BTreeSet<RegionId> = out.iter().map(|(_, t)| *t).collect();
+    for (r, _) in b.st.heap.iter() {
+        if !out.iter().any(|(from, _)| *from == r) && targets.contains(&r) {
+            return Err(TypeError::new(
+                format!("region rename collision on {r}"),
+                Span::dummy(),
+            ));
+        }
+    }
+    out.retain(|(from, to)| from != to);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{Binding, TrackCtx};
+    use fearless_syntax::Type;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn base_state() -> TypeState {
+        let mut st = TypeState::new();
+        let r = st.fresh_region();
+        st.heap.insert(r, TrackCtx::empty());
+        st.gamma.bind(
+            sym("x"),
+            Binding {
+                region: Some(r),
+                ty: Type::named("node"),
+            },
+        );
+        st
+    }
+
+    #[test]
+    fn congruent_identical() {
+        let a = base_state();
+        let b = base_state();
+        assert!(congruent(&a, &b));
+    }
+
+    #[test]
+    fn congruent_accepts_both_dangling() {
+        let mut a = base_state();
+        let mut b = base_state();
+        // Bind y to regions that are not held, with different ids.
+        a.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(RegionId(77)),
+                ty: Type::named("node"),
+            },
+        );
+        b.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(RegionId(88)),
+                ty: Type::named("node"),
+            },
+        );
+        assert!(congruent(&a, &b));
+    }
+
+    #[test]
+    fn congruent_rejects_held_mismatch() {
+        let a = base_state();
+        let mut b = base_state();
+        b.heap.insert(RegionId(5), TrackCtx::empty());
+        assert!(!congruent(&a, &b));
+    }
+
+    #[test]
+    fn unify_identical_states_is_trivial() {
+        let mut deriv = DerivBuilder::new();
+        let mut sta = base_state();
+        let mut stb = base_state();
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let mut a = Side {
+            st: &mut sta,
+            chain: &mut ca,
+            result: None,
+        };
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut cb,
+            result: None,
+        };
+        let res = unify_sides(&mut deriv, &mut a, &mut b, &live, Span::dummy()).unwrap();
+        assert!(res.is_none());
+        assert!(congruent(&sta, &stb));
+    }
+
+    #[test]
+    fn unify_renames_divergent_fresh_regions() {
+        // Both branches create a fresh region holding live var y, with
+        // different ids.
+        let mut deriv = DerivBuilder::new();
+        let mut sta = base_state();
+        let mut stb = base_state();
+        sta.next_region = 10;
+        stb.next_region = 20;
+        let ra = sta.fresh_region();
+        sta.heap.insert(ra, TrackCtx::empty());
+        sta.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(ra),
+                ty: Type::named("node"),
+            },
+        );
+        let rb = stb.fresh_region();
+        stb.heap.insert(rb, TrackCtx::empty());
+        stb.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(rb),
+                ty: Type::named("node"),
+            },
+        );
+        let live: LiveSet = [sym("x"), sym("y")].into_iter().collect();
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let mut a = Side {
+            st: &mut sta,
+            chain: &mut ca,
+            result: None,
+        };
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut cb,
+            result: None,
+        };
+        unify_sides(&mut deriv, &mut a, &mut b, &live, Span::dummy()).unwrap();
+        assert!(congruent(&sta, &stb));
+        assert_eq!(
+            stb.gamma.get(&sym("y")).unwrap().region,
+            Some(ra),
+            "b renamed to a's id"
+        );
+    }
+
+    #[test]
+    fn unify_merges_when_one_side_attached() {
+        // Side A has x,y in one region; side B in two. B must attach.
+        let mut deriv = DerivBuilder::new();
+        let mut sta = base_state();
+        sta.gamma.bind(
+            sym("y"),
+            Binding {
+                region: sta.gamma.get(&sym("x")).unwrap().region,
+                ty: Type::named("node"),
+            },
+        );
+        let mut stb = base_state();
+        stb.next_region = 30;
+        let rb = stb.fresh_region();
+        stb.heap.insert(rb, TrackCtx::empty());
+        stb.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(rb),
+                ty: Type::named("node"),
+            },
+        );
+        let live: LiveSet = [sym("x"), sym("y")].into_iter().collect();
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let mut a = Side {
+            st: &mut sta,
+            chain: &mut ca,
+            result: None,
+        };
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut cb,
+            result: None,
+        };
+        unify_sides(&mut deriv, &mut a, &mut b, &live, Span::dummy()).unwrap();
+        assert!(congruent(&sta, &stb));
+        assert_eq!(
+            stb.gamma.get(&sym("x")).unwrap().region,
+            stb.gamma.get(&sym("y")).unwrap().region
+        );
+    }
+
+    #[test]
+    fn unify_drops_region_missing_on_one_side() {
+        // y's region was consumed in branch A (e.g. sent); branch B kept it.
+        let mut deriv = DerivBuilder::new();
+        let mut sta = base_state();
+        sta.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(RegionId(50)),
+                ty: Type::named("node"),
+            },
+        );
+        let mut stb = base_state();
+        stb.next_region = 60;
+        let rb = stb.fresh_region();
+        stb.heap.insert(rb, TrackCtx::empty());
+        stb.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(rb),
+                ty: Type::named("node"),
+            },
+        );
+        let live: LiveSet = [sym("x"), sym("y")].into_iter().collect();
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let mut a = Side {
+            st: &mut sta,
+            chain: &mut ca,
+            result: None,
+        };
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut cb,
+            result: None,
+        };
+        unify_sides(&mut deriv, &mut a, &mut b, &live, Span::dummy()).unwrap();
+        assert!(congruent(&sta, &stb));
+        // The join lacks y's capability on both sides now.
+        assert!(!stb.heap.contains(rb));
+    }
+
+    #[test]
+    fn conform_rejects_body_that_loses_live_var() {
+        let target = base_state();
+        let mut stb = base_state();
+        let r = stb.gamma.get(&sym("x")).unwrap().region.unwrap();
+        stb.heap.remove(r);
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let mut deriv = DerivBuilder::new();
+        let mut chain = Vec::new();
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut chain,
+            result: None,
+        };
+        let err =
+            conform_to_target(&mut deriv, &target, &mut b, &live, Span::dummy()).unwrap_err();
+        assert!(
+            err.message().contains("loop"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn conform_identity_is_ok() {
+        let target = base_state();
+        let mut stb = base_state();
+        let live: LiveSet = [sym("x")].into_iter().collect();
+        let mut deriv = DerivBuilder::new();
+        let mut chain = Vec::new();
+        let mut b = Side {
+            st: &mut stb,
+            chain: &mut chain,
+            result: None,
+        };
+        conform_to_target(&mut deriv, &target, &mut b, &live, Span::dummy()).unwrap();
+    }
+}

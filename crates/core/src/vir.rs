@@ -1,0 +1,576 @@
+//! Virtual transformations (paper §4.5, Fig. 11).
+//!
+//! Virtual transformations rewrite the static contexts `(H; Γ)` between
+//! applications of the syntax-directed typing rules. They describe *the same
+//! heap* in different but equivalent ways, shifting `iso` fields between
+//! tracked and untracked status:
+//!
+//! * **V1 Focus** — start tracking a variable in an empty, unpinned region.
+//! * **V2 Unfocus** — stop tracking a variable that has no tracked fields.
+//! * **V3 Explore** — start tracking an untracked `iso` field, giving its
+//!   target a fresh region capability.
+//! * **V4 Retract** — stop tracking a field whose target region is empty,
+//!   consuming the target capability and restoring the domination claim.
+//! * **V5 Attach** — merge one region into another (coarsening alias
+//!   information).
+//! * **Weaken** — affinely discard a region capability altogether. The
+//!   paper treats regions as affine resources (§4.1); we surface the
+//!   explicit drop as a transformation so derivations record it. Tracked
+//!   field targets of a weakened region survive as independent capabilities.
+//! * **Rename** — an alpha-renaming of region ids, used when unifying the
+//!   contexts of conditional branches (§4.6).
+//!
+//! Every transformation validates its preconditions and is replayed
+//! step-by-step by the independent verifier crate.
+
+use serde::{Deserialize, Serialize};
+
+use fearless_syntax::Symbol;
+
+use crate::ctx::{RegionId, TrackCtx, TypeState, VarTrack};
+
+/// One virtual transformation step, as recorded in a typing derivation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VirStep {
+    /// V1: focus variable `x` in region `r`.
+    Focus {
+        /// The (empty, unpinned) region.
+        r: RegionId,
+        /// The variable to track.
+        x: Symbol,
+    },
+    /// V2: unfocus variable `x` in region `r` (no tracked fields).
+    Unfocus {
+        /// The region tracking `x`.
+        r: RegionId,
+        /// The variable.
+        x: Symbol,
+    },
+    /// V3: explore `x.f`, introducing the fresh region `fresh`.
+    Explore {
+        /// The region tracking `x`.
+        r: RegionId,
+        /// The focused variable.
+        x: Symbol,
+        /// The `iso` field being explored.
+        f: Symbol,
+        /// Fresh region capability for the field's target.
+        fresh: RegionId,
+    },
+    /// V4: retract `x.f ↦ target`, consuming the (empty) target region.
+    Retract {
+        /// The region tracking `x`.
+        r: RegionId,
+        /// The focused variable.
+        x: Symbol,
+        /// The tracked field.
+        f: Symbol,
+        /// Its target region (must be held and empty).
+        target: RegionId,
+    },
+    /// V5: attach (merge) region `from` into region `to`.
+    Attach {
+        /// The region being consumed.
+        from: RegionId,
+        /// The surviving region.
+        to: RegionId,
+    },
+    /// Affine weakening: drop region `r` and its tracking context.
+    Weaken {
+        /// The region being discarded.
+        r: RegionId,
+    },
+    /// Alpha-renaming of regions (bijective on the mentioned ids).
+    Rename {
+        /// `(from, to)` pairs, applied simultaneously.
+        pairs: Vec<(RegionId, RegionId)>,
+    },
+    /// Γ-weakening: rebind variable `x` to the never-held region `fresh`,
+    /// rendering it permanently unusable. Always sound (it only removes
+    /// capability), used to unify branches that disagree on whether a dead
+    /// variable's region survived.
+    Invalidate {
+        /// The variable to invalidate.
+        x: Symbol,
+        /// A fresh (never-held) region id.
+        fresh: RegionId,
+    },
+    /// Relabels the *dangling* tracked field `x.f` to the never-held region
+    /// `fresh` (dangling → dangling, so no capability changes). Applied
+    /// before `Rename` so stale ids cannot collide with rename targets.
+    ScrubField {
+        /// The region tracking `x`.
+        r: RegionId,
+        /// The focused variable.
+        x: Symbol,
+        /// The dangling tracked field.
+        f: Symbol,
+        /// A fresh (never-held) region id.
+        fresh: RegionId,
+    },
+}
+
+impl std::fmt::Display for VirStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VirStep::Focus { r, x } => write!(f, "focus {x} in {r}"),
+            VirStep::Unfocus { r, x } => write!(f, "unfocus {x} in {r}"),
+            VirStep::Explore { r, x, f: fld, fresh } => {
+                write!(f, "explore {x}.{fld} in {r} ↦ {fresh}")
+            }
+            VirStep::Retract { r, x, f: fld, target } => {
+                write!(f, "retract {x}.{fld} in {r} (drop {target})")
+            }
+            VirStep::Attach { from, to } => write!(f, "attach {from} into {to}"),
+            VirStep::Weaken { r } => write!(f, "weaken {r}"),
+            VirStep::Invalidate { x, fresh } => write!(f, "invalidate {x} (→ {fresh})"),
+            VirStep::ScrubField { x, f: fld, fresh, .. } => {
+                write!(f, "scrub {x}.{fld} (→ {fresh})")
+            }
+            VirStep::Rename { pairs } => {
+                write!(f, "rename ")?;
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}→{b}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Result of applying a virtual transformation.
+pub type VirResult = Result<(), String>;
+
+/// Applies a single virtual transformation to `st`, validating its
+/// preconditions. Used by both the prover (via [`crate::state`]) and the
+/// verifier when replaying derivations.
+pub fn apply(st: &mut TypeState, step: &VirStep) -> VirResult {
+    match step {
+        VirStep::Focus { r, x } => focus(st, *r, x),
+        VirStep::Unfocus { r, x } => unfocus(st, *r, x),
+        VirStep::Explore { r, x, f, fresh } => explore(st, *r, x, f, *fresh),
+        VirStep::Retract { r, x, f, target } => retract(st, *r, x, f, *target),
+        VirStep::Attach { from, to } => attach(st, *from, *to),
+        VirStep::Weaken { r } => weaken(st, *r),
+        VirStep::Rename { pairs } => rename(st, pairs),
+        VirStep::Invalidate { x, fresh } => invalidate(st, x, *fresh),
+        VirStep::ScrubField { r, x, f, fresh } => scrub_field(st, *r, x, f, *fresh),
+    }
+}
+
+/// Relabels a dangling tracked-field target with a fresh never-held id.
+pub fn scrub_field(
+    st: &mut TypeState,
+    r: RegionId,
+    x: &Symbol,
+    f: &Symbol,
+    fresh: RegionId,
+) -> VirResult {
+    if st.heap.contains(fresh) {
+        return Err(format!("scrub: region {fresh} is held"));
+    }
+    let Some(ctx) = st.heap.tracking_mut(r) else {
+        return Err(format!("scrub: region {r} is not held"));
+    };
+    let Some(vt) = ctx.vars.get_mut(x) else {
+        return Err(format!("scrub: {x} is not tracked in {r}"));
+    };
+    let Some(target) = vt.fields.get_mut(f) else {
+        return Err(format!("scrub: {x}.{f} is not tracked"));
+    };
+    let old = *target;
+    *target = fresh;
+    if st.heap.contains(old) {
+        return Err(format!("scrub: {x}.{f} target {old} is not dangling"));
+    }
+    st.next_region = st.next_region.max(fresh.0 + 1);
+    Ok(())
+}
+
+/// Γ-weakening: rebinds `x` to a never-held region, making it unusable.
+pub fn invalidate(st: &mut TypeState, x: &Symbol, fresh: RegionId) -> VirResult {
+    if st.heap.contains(fresh) {
+        return Err(format!("invalidate: region {fresh} is held"));
+    }
+    let Some(b) = st.gamma.get(x) else {
+        return Err(format!("invalidate: variable {x} is not in scope"));
+    };
+    if b.region.is_none() {
+        return Err(format!("invalidate: {x} has no region"));
+    }
+    if st.heap.tracked_in(x).is_some() {
+        return Err(format!("invalidate: {x} is tracked and cannot be invalidated"));
+    }
+    st.gamma.set_region(x, Some(fresh));
+    st.next_region = st.next_region.max(fresh.0 + 1);
+    Ok(())
+}
+
+/// V1-Focus: `(r·⟨⟩, H; x : r τ, Γ) ⇝ (r·⟨x·[]⟩, H; x : r τ, Γ)`.
+pub fn focus(st: &mut TypeState, r: RegionId, x: &Symbol) -> VirResult {
+    let Some(binding) = st.gamma.get(x) else {
+        return Err(format!("focus: variable {x} is not in scope"));
+    };
+    if binding.region != Some(r) {
+        return Err(format!("focus: {x} is not bound to region {r}"));
+    }
+    if !binding.ty.is_reference() || matches!(binding.ty, fearless_syntax::Type::Maybe(_)) {
+        return Err(format!(
+            "focus: {x} has type {}, which cannot be focused (only plain struct types)",
+            binding.ty
+        ));
+    }
+    let Some(ctx) = st.heap.tracking_mut(r) else {
+        return Err(format!("focus: region {r} is not held"));
+    };
+    if ctx.pinned {
+        return Err(format!("focus: region {r} is pinned"));
+    }
+    if !ctx.is_empty() {
+        return Err(format!(
+            "focus: region {r} already tracks a variable (it must be empty)"
+        ));
+    }
+    ctx.vars.insert(x.clone(), VarTrack::default());
+    Ok(())
+}
+
+/// V2-Unfocus: removes `x·[]` (no tracked fields) from `r`'s context.
+pub fn unfocus(st: &mut TypeState, r: RegionId, x: &Symbol) -> VirResult {
+    let Some(ctx) = st.heap.tracking_mut(r) else {
+        return Err(format!("unfocus: region {r} is not held"));
+    };
+    let Some(vt) = ctx.vars.get(x) else {
+        return Err(format!("unfocus: {x} is not tracked in {r}"));
+    };
+    if vt.pinned {
+        return Err(format!("unfocus: {x} is pinned in {r}"));
+    }
+    if !vt.fields.is_empty() {
+        return Err(format!(
+            "unfocus: {x} still has tracked fields (retract them first)"
+        ));
+    }
+    ctx.vars.remove(x);
+    Ok(())
+}
+
+/// V3-Explore: tracks the untracked `iso` field `x.f`, introducing `fresh`.
+///
+/// The caller is responsible for checking that `f` is a declared `iso`
+/// field of `x`'s struct; this function enforces the context-shape
+/// preconditions.
+pub fn explore(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, fresh: RegionId) -> VirResult {
+    if st.heap.contains(fresh) {
+        return Err(format!("explore: region {fresh} is not fresh"));
+    }
+    let Some(ctx) = st.heap.tracking_mut(r) else {
+        return Err(format!("explore: region {r} is not held"));
+    };
+    let Some(vt) = ctx.vars.get_mut(x) else {
+        return Err(format!("explore: {x} is not tracked in {r}"));
+    };
+    if vt.pinned {
+        return Err(format!(
+            "explore: {x} is pinned, its untracked iso fields may not dominate"
+        ));
+    }
+    if vt.fields.contains_key(f) {
+        return Err(format!("explore: {x}.{f} is already tracked"));
+    }
+    vt.fields.insert(f.clone(), fresh);
+    st.heap.insert(fresh, TrackCtx::empty());
+    st.next_region = st.next_region.max(fresh.0 + 1);
+    Ok(())
+}
+
+/// V4-Retract: untracks `x.f ↦ target`, consuming the empty `target`.
+pub fn retract(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, target: RegionId) -> VirResult {
+    match st.heap.tracking(target) {
+        None => {
+            return Err(format!(
+                "retract: target region {target} is not held (the field is dangling and must be reassigned)"
+            ))
+        }
+        Some(t) if !t.is_empty() => {
+            return Err(format!(
+                "retract: target region {target} still tracks variables"
+            ))
+        }
+        Some(t) if t.pinned => {
+            return Err(format!("retract: target region {target} is pinned"));
+        }
+        Some(_) => {}
+    }
+    let Some(ctx) = st.heap.tracking_mut(r) else {
+        return Err(format!("retract: region {r} is not held"));
+    };
+    let Some(vt) = ctx.vars.get_mut(x) else {
+        return Err(format!("retract: {x} is not tracked in {r}"));
+    };
+    match vt.fields.get(f) {
+        Some(t) if *t == target => {}
+        Some(t) => {
+            return Err(format!(
+                "retract: {x}.{f} is tracked at {t}, not {target}"
+            ))
+        }
+        None => return Err(format!("retract: {x}.{f} is not tracked")),
+    }
+    vt.fields.remove(f);
+    st.heap.remove(target);
+    Ok(())
+}
+
+/// V5-Attach: merges region `from` into `to`, renaming all occurrences.
+pub fn attach(st: &mut TypeState, from: RegionId, to: RegionId) -> VirResult {
+    if from == to {
+        return Err("attach: regions must be distinct".to_string());
+    }
+    let Some(src) = st.heap.tracking(from) else {
+        return Err(format!("attach: region {from} is not held"));
+    };
+    if src.pinned {
+        return Err(format!("attach: region {from} is pinned"));
+    }
+    match st.heap.tracking(to) {
+        None => return Err(format!("attach: region {to} is not held")),
+        Some(dst) if dst.pinned => return Err(format!("attach: region {to} is pinned")),
+        Some(_) => {}
+    }
+    st.heap.rename_region(from, to);
+    st.gamma.rename_region(from, to);
+    Ok(())
+}
+
+/// Affine weakening: drops region `r` entirely. Tracked-field targets of
+/// `r`'s variables remain held; variables bound to `r` become unusable.
+pub fn weaken(st: &mut TypeState, r: RegionId) -> VirResult {
+    if st.heap.remove(r).is_none() {
+        return Err(format!("weaken: region {r} is not held"));
+    }
+    Ok(())
+}
+
+/// Alpha-renaming: simultaneously renames region ids. The mapping must be
+/// injective and must not collide with ids left fixed.
+pub fn rename(st: &mut TypeState, pairs: &[(RegionId, RegionId)]) -> VirResult {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut map = BTreeMap::new();
+    let mut targets = BTreeSet::new();
+    for (from, to) in pairs {
+        if map.insert(*from, *to).is_some() {
+            return Err(format!("rename: duplicate source {from}"));
+        }
+        if !targets.insert(*to) {
+            return Err(format!("rename: duplicate target {to}"));
+        }
+    }
+    // Targets must not collide with held regions that are not themselves renamed.
+    for (r, _) in st.heap.iter() {
+        if targets.contains(&r) && !map.contains_key(&r) {
+            return Err(format!("rename: target {r} is already held and not renamed"));
+        }
+    }
+    // Nor with *dangling* mentions (Γ bindings or tracked-field targets
+    // whose id is no longer held): renaming around them would silently
+    // revive a dead capability.
+    for (_, b) in st.gamma.iter() {
+        if let Some(r) = b.region {
+            if !st.heap.contains(r) && targets.contains(&r) && !map.contains_key(&r) {
+                return Err(format!(
+                    "rename: target {r} collides with a dangling binding (scrub first)"
+                ));
+            }
+        }
+    }
+    for (_, ctx) in st.heap.iter() {
+        for vt in ctx.vars.values() {
+            for t in vt.fields.values() {
+                if !st.heap.contains(*t) && targets.contains(t) && !map.contains_key(t) {
+                    return Err(format!(
+                        "rename: target {t} collides with a dangling field target (scrub first)"
+                    ));
+                }
+            }
+        }
+    }
+    st.heap.rename_all(&map);
+    st.gamma.rename_all(&map);
+    for (_, to) in pairs {
+        st.next_region = st.next_region.max(to.0 + 1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Binding;
+    use fearless_syntax::Type;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn state_with_var(name: &str) -> (TypeState, RegionId) {
+        let mut st = TypeState::new();
+        let r = st.fresh_region();
+        st.heap.insert(r, TrackCtx::empty());
+        st.gamma.bind(
+            sym(name),
+            Binding {
+                region: Some(r),
+                ty: Type::named("node"),
+            },
+        );
+        (st, r)
+    }
+
+    #[test]
+    fn focus_explore_retract_unfocus_roundtrip() {
+        let (mut st, r) = state_with_var("x");
+        focus(&mut st, r, &sym("x")).unwrap();
+        let fresh = st.fresh_region();
+        explore(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+        assert!(st.heap.contains(fresh));
+        assert_eq!(st.heap.tracked_field(&sym("x"), &sym("next")), Some(fresh));
+        retract(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+        assert!(!st.heap.contains(fresh));
+        unfocus(&mut st, r, &sym("x")).unwrap();
+        assert!(st.heap.tracking(r).unwrap().is_empty());
+        st.well_formed().unwrap();
+    }
+
+    #[test]
+    fn focus_requires_empty_region() {
+        let (mut st, r) = state_with_var("x");
+        st.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(r),
+                ty: Type::named("node"),
+            },
+        );
+        focus(&mut st, r, &sym("x")).unwrap();
+        // y shares the region (potential alias) — cannot be focused too (I6).
+        let err = focus(&mut st, r, &sym("y")).unwrap_err();
+        assert!(err.contains("already tracks"), "{err}");
+    }
+
+    #[test]
+    fn focus_rejects_maybe_and_value_types() {
+        let mut st = TypeState::new();
+        let r = st.fresh_region();
+        st.heap.insert(r, TrackCtx::empty());
+        st.gamma.bind(
+            sym("m"),
+            Binding {
+                region: Some(r),
+                ty: Type::maybe(Type::named("node")),
+            },
+        );
+        assert!(focus(&mut st, r, &sym("m")).is_err());
+    }
+
+    #[test]
+    fn unfocus_rejects_tracked_fields() {
+        let (mut st, r) = state_with_var("x");
+        focus(&mut st, r, &sym("x")).unwrap();
+        let fresh = st.fresh_region();
+        explore(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+        assert!(unfocus(&mut st, r, &sym("x")).is_err());
+    }
+
+    #[test]
+    fn retract_requires_empty_target() {
+        let (mut st, r) = state_with_var("x");
+        focus(&mut st, r, &sym("x")).unwrap();
+        let fresh = st.fresh_region();
+        explore(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+        // Bind and focus a variable in the target region.
+        st.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(fresh),
+                ty: Type::named("node"),
+            },
+        );
+        focus(&mut st, fresh, &sym("y")).unwrap();
+        assert!(retract(&mut st, r, &sym("x"), &sym("next"), fresh).is_err());
+        unfocus(&mut st, fresh, &sym("y")).unwrap();
+        retract(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+    }
+
+    #[test]
+    fn retract_rejects_dangling_target() {
+        let (mut st, r) = state_with_var("x");
+        focus(&mut st, r, &sym("x")).unwrap();
+        let fresh = st.fresh_region();
+        explore(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap();
+        weaken(&mut st, fresh).unwrap();
+        let err = retract(&mut st, r, &sym("x"), &sym("next"), fresh).unwrap_err();
+        assert!(err.contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn attach_merges_and_renames() {
+        let (mut st, r1) = state_with_var("x");
+        let r2 = st.fresh_region();
+        st.heap.insert(r2, TrackCtx::empty());
+        st.gamma.bind(
+            sym("y"),
+            Binding {
+                region: Some(r2),
+                ty: Type::named("node"),
+            },
+        );
+        attach(&mut st, r2, r1).unwrap();
+        assert!(!st.heap.contains(r2));
+        assert_eq!(st.gamma.get(&sym("y")).unwrap().region, Some(r1));
+        st.well_formed().unwrap();
+    }
+
+    #[test]
+    fn weaken_preserves_field_targets() {
+        let (mut st, r) = state_with_var("x");
+        focus(&mut st, r, &sym("x")).unwrap();
+        let fresh = st.fresh_region();
+        explore(&mut st, r, &sym("x"), &sym("payload"), fresh).unwrap();
+        weaken(&mut st, r).unwrap();
+        assert!(!st.heap.contains(r));
+        assert!(st.heap.contains(fresh));
+    }
+
+    #[test]
+    fn rename_is_bijective() {
+        let (mut st, r1) = state_with_var("x");
+        let r9 = RegionId(9);
+        rename(&mut st, &[(r1, r9)]).unwrap();
+        assert!(st.heap.contains(r9));
+        assert_eq!(st.gamma.get(&sym("x")).unwrap().region, Some(r9));
+        // Renaming onto a held region that is not itself renamed fails.
+        let r2 = st.fresh_region();
+        st.heap.insert(r2, TrackCtx::empty());
+        assert!(rename(&mut st, &[(r2, r9)]).is_err());
+        // A swap is fine.
+        rename(&mut st, &[(r2, r9), (r9, r2)]).unwrap();
+    }
+
+    #[test]
+    fn apply_dispatches() {
+        let (mut st, r) = state_with_var("x");
+        apply(
+            &mut st,
+            &VirStep::Focus {
+                r,
+                x: sym("x"),
+            },
+        )
+        .unwrap();
+        assert!(st.heap.tracked_in(&sym("x")).is_some());
+    }
+}

@@ -1,0 +1,240 @@
+//! Expressiveness battery (§8): focused accepted/rejected program pairs
+//! covering the edges of the type system.
+
+use fearless_core::{check_source, CheckerOptions};
+
+const PRELUDE: &str = "
+struct data { value: int }
+struct sll_node { iso payload : data; iso next : sll_node? }
+struct dll_node { iso payload : data; next : dll_node; prev : dll_node }
+struct dll { iso hd : dll_node? }
+";
+
+fn accepts(body: &str) {
+    check_source(&format!("{PRELUDE}{body}"), &CheckerOptions::default())
+        .unwrap_or_else(|e| panic!("expected accept:\n{body}\n{e}"));
+}
+
+fn rejects(body: &str) {
+    if check_source(&format!("{PRELUDE}{body}"), &CheckerOptions::default()).is_ok() {
+        panic!("expected reject:\n{body}");
+    }
+}
+
+#[test]
+fn before_relation_allows_aliased_arguments() {
+    accepts(
+        "def pair_sum(a : dll_node, b : dll_node) : int before: a ~ b {
+           a.payload.value + b.payload.value
+         }
+         def caller(l : dll) : int {
+           let some(hd) = l.hd in {
+             let t = hd.prev;
+             pair_sum(hd, t)
+           } else { 0 }
+         }",
+    );
+    // Without `before:` the same call must be rejected (potential aliases).
+    rejects(
+        "def pair_sum(a : dll_node, b : dll_node) : int {
+           a.payload.value + b.payload.value
+         }
+         def caller(l : dll) : int {
+           let some(hd) = l.hd in {
+             let t = hd.prev;
+             pair_sum(hd, t)
+           } else { 0 }
+         }",
+    );
+}
+
+#[test]
+fn iso_reads_require_variable_receivers() {
+    // Chained iso access through a non-variable receiver must be rejected
+    // with a bind-it-first hint (the paper limits typeable iso accesses to
+    // fields of currently declared variables, §4.6).
+    rejects(
+        "struct box { iso inner : sll_node? }
+         struct shelf { iso bx : box }
+         def bad(s : shelf) : bool {
+           is_none(s.bx.inner)
+         }",
+    );
+    // Binding the intermediate makes it typeable.
+    accepts(
+        "struct box { iso inner : sll_node? }
+         struct shelf { iso bx : box }
+         def good(s : shelf) : bool {
+           let b = s.bx;
+           is_none(b.inner)
+         }",
+    );
+}
+
+#[test]
+fn take_restrictions() {
+    // take on a non-maybe iso field is rejected (nothing to leave behind).
+    rejects("def f(n : sll_node) : data { take(n.payload) }");
+    // take on a non-iso field is rejected.
+    rejects(
+        "def f(n : dll_node) : dll_node {
+           take(n.next)
+         }",
+    );
+    // take on a maybe iso field works and transfers ownership.
+    accepts(
+        "def f(n : sll_node) : sll_node? {
+           take(n.next)
+         }",
+    );
+}
+
+#[test]
+fn send_of_maybe_values() {
+    accepts(
+        "def ship(n : sll_node) : unit {
+           send(take(n.next));
+         }",
+    );
+    accepts("def pull(n : sll_node) : unit { n.next = recv(sll_node?); }");
+}
+
+#[test]
+fn nested_if_disconnected() {
+    accepts(
+        "def peel_two(l : dll) : int {
+           let acc = 0;
+           let some(hd) = l.hd in {
+             let tail = hd.prev;
+             tail.prev.next = hd;
+             hd.prev = tail.prev;
+             tail.next = tail; tail.prev = tail;
+             if disconnected(tail, hd) {
+               l.hd = some(hd);
+               acc = tail.payload.value;
+             } else {
+               l.hd = none;
+               acc = 0 - 1;
+             }
+           } else { unit };
+           acc
+         }",
+    );
+    // Roots must be plain struct references.
+    rejects(
+        "def bad(l : dll) : int {
+           let m = l.hd;
+           let some(hd) = l.hd in {
+             if disconnected(hd, hd) { 1 } else { 0 }
+           } else { 0 }
+         }",
+    );
+}
+
+#[test]
+fn deep_let_nesting() {
+    accepts(
+        "def deep(n : sll_node) : int {
+           let a = n.payload.value;
+           let b = a + 1;
+           let c = b + 1;
+           let d = c + 1;
+           let e = d + 1;
+           let f = e + 1;
+           let g = f + 1;
+           a + b + c + d + e + f + g
+         }",
+    );
+}
+
+#[test]
+fn reassigning_iso_fields_repeatedly() {
+    accepts(
+        "def churn(n : sll_node, m : sll_node) : unit consumes m {
+           n.next = some(m);
+           let back = take(n.next);
+           n.next = back;
+           n.next = none;
+         }",
+    );
+}
+
+#[test]
+fn recv_inside_initializers() {
+    accepts(
+        "def assemble() : sll_node {
+           new sll_node(recv(data), recv(sll_node?))
+         }",
+    );
+}
+
+#[test]
+fn while_with_channel_traffic() {
+    accepts(
+        "def pump(n : int) : unit {
+           while (n > 0) {
+             send(new sll_node(recv(data), none));
+             n = n - 1
+           };
+         }",
+    );
+}
+
+#[test]
+fn returning_received_graphs() {
+    accepts("def relay_node() : sll_node { recv(sll_node) }");
+    accepts(
+        "def merge_mail(n : sll_node) : unit {
+           let incoming = recv(sll_node);
+           incoming.next = take(n.next);
+           n.next = some(incoming);
+         }",
+    );
+}
+
+#[test]
+fn double_use_of_fresh_objects() {
+    // A freshly built object can be sent but not used afterwards.
+    rejects(
+        "def bad() : int {
+           let d = new data(1);
+           send(d);
+           d.value
+         }",
+    );
+    accepts(
+        "def good() : int {
+           let d = new data(1);
+           let v = d.value;
+           send(d);
+           v
+         }",
+    );
+}
+
+#[test]
+fn value_types_are_unrestricted() {
+    accepts(
+        "def math(a : int, b : int, flag : bool) : int {
+           let x = a * b + a % (b + 1);
+           let y = if (flag && (x > 0 || a == b)) { 0 - x } else { x / 2 };
+           y
+         }",
+    );
+}
+
+#[test]
+fn empty_structs_and_functions() {
+    accepts("struct unitlike { tag : int } def nop() : unit { unit }");
+}
+
+#[test]
+fn maybe_of_maybe_values() {
+    accepts(
+        "struct opt2holder { iso mm : sll_node? }
+         def unwrap2(h : opt2holder) : bool {
+           let m = take(h.mm);
+           let some(n) = m in { h.mm = some(n); true } else { false }
+         }",
+    );
+}

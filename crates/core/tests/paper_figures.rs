@@ -1,0 +1,246 @@
+//! Integration tests: the checker's verdicts on the paper's own figures.
+//!
+//! * Fig. 2 — singly-linked `remove_tail`: accepted.
+//! * Fig. 4 — broken doubly-linked `remove_tail` (size-1 aliasing bug):
+//!   rejected statically.
+//! * Fig. 5 — fixed doubly-linked `remove_tail` with `if disconnected`:
+//!   accepted.
+//! * Fig. 14 — `concat` (consumes) and `get_nth_node` (`after:` relation):
+//!   accepted.
+
+use fearless_core::{check_source, CheckerMode, CheckerOptions, TypeError};
+
+const STRUCTS: &str = "
+    struct data { value: int }
+    struct sll_node {
+      iso payload : data;
+      iso next : sll_node?;
+    }
+    struct sll { iso hd : sll_node? }
+    struct dll_node {
+      iso payload : data;
+      next : dll_node;
+      prev : dll_node;
+    }
+    struct dll { iso hd : dll_node? }
+";
+
+fn check(body: &str) -> Result<(), TypeError> {
+    check_source(
+        &format!("{STRUCTS}\n{body}"),
+        &CheckerOptions::default(),
+    )
+    .map(|_| ())
+}
+
+fn check_no_oracle(body: &str) -> Result<(), TypeError> {
+    check_source(
+        &format!("{STRUCTS}\n{body}"),
+        &CheckerOptions::default().without_oracle(),
+    )
+    .map(|_| ())
+}
+
+const FIG2: &str = "
+    def remove_tail(n: sll_node) : data? {
+      let some(next) = n.next in {
+        if (is_none(next.next)) {
+          n.next = none;
+          some(next.payload)
+        } else { remove_tail(next) }
+      } else { none }
+    }
+";
+
+#[test]
+fn figure_2_sll_remove_tail_accepted() {
+    check(FIG2).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn figure_2_without_oracle_accepted_via_search() {
+    check_no_oracle(FIG2).unwrap_or_else(|e| panic!("{e}"));
+}
+
+const FIG4_BROKEN: &str = "
+    def remove_tail(l : dll) : data? {
+      let some(hd) = l.hd in {
+        let tail = hd.prev;
+        tail.prev.next = hd;
+        hd.prev = tail.prev;
+        some(tail.payload)
+      } else { none }
+    }
+";
+
+#[test]
+fn figure_4_broken_dll_remove_tail_rejected() {
+    let err = check(FIG4_BROKEN).expect_err("figure 4 contains a size-1 aliasing bug");
+    // The returned payload cannot be proven dominating: hd (a potential
+    // alias of tail) is still live in the same region.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("tail") || msg.contains("region") || msg.contains("payload"),
+        "unexpected error: {msg}"
+    );
+}
+
+const FIG5_FIXED: &str = "
+    def remove_tail(l : dll) : data? {
+      let some(hd) = l.hd in {
+        let tail = hd.prev;
+        tail.prev.next = hd;
+        hd.prev = tail.prev;
+        // to ensure disjointness for if-disconnected
+        tail.next = tail; tail.prev = tail;
+        if disconnected(tail, hd) {
+          l.hd = some(hd); // l.hd invalid at branch start
+          some(tail.payload)
+        } else {
+          l.hd = none;
+          some(hd.payload)
+        }
+      } else { none }
+    }
+";
+
+#[test]
+fn figure_5_fixed_dll_remove_tail_accepted() {
+    check(FIG5_FIXED).unwrap_or_else(|e| panic!("{e}"));
+}
+
+const FIG14_CONCAT: &str = "
+    def concat(l1, l2 : sll_node) : unit consumes l2 {
+      let some(l1_next) = l1.next in {
+        concat(l1_next, l2);
+      } else { l1.next = some(l2); }
+    }
+";
+
+#[test]
+fn figure_14_concat_accepted() {
+    check(FIG14_CONCAT).unwrap_or_else(|e| panic!("{e}"));
+}
+
+const FIG14_GET_NTH: &str = "
+    def get_nth_node(l : dll, pos : int) : dll_node?
+        after: l.hd ~ result {
+      let some(node) = l.hd in {
+        while (pos > 0) {
+          node = node.next;
+          pos = pos - 1
+        };
+        some(node)
+      } else { none }
+    }
+";
+
+#[test]
+fn figure_14_get_nth_node_accepted() {
+    check(FIG14_GET_NTH).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn concat_without_consumes_rejected() {
+    // Dropping the `consumes` annotation must fail: l2's region is
+    // retracted into l1's graph, so it cannot survive to the output.
+    let err = check(
+        "def concat(l1, l2 : sll_node) : unit {
+           let some(l1_next) = l1.next in {
+             concat2(l1_next, l2);
+           } else { l1.next = some(l2); }
+         }
+         def concat2(l1, l2 : sll_node) : unit consumes l2 {
+           l1.next = some(l2);
+         }",
+    )
+    .expect_err("l2 is consumed but not declared so");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("consume") || msg.contains("region") || msg.contains("tracked"),
+        "unexpected: {msg}"
+    );
+}
+
+#[test]
+fn get_nth_without_after_rejected() {
+    let err = check(
+        "def get_nth_node(l : dll, pos : int) : dll_node? {
+           let some(node) = l.hd in {
+             while (pos > 0) { node = node.next; pos = pos - 1 };
+             some(node)
+           } else { none }
+         }",
+    )
+    .expect_err("result aliases l.hd's region without an annotation");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("after") || msg.contains("region") || msg.contains("result"),
+        "unexpected: {msg}"
+    );
+}
+
+#[test]
+fn global_domination_mode_rejects_fig2() {
+    // LaCasa-style systems cannot express the non-destructive traversal
+    // (Table 1, "sll" column: ✗ for global-domination systems).
+    let err = check_source(
+        &format!("{STRUCTS}\n{FIG2}"),
+        &CheckerOptions::with_mode(CheckerMode::GlobalDomination),
+    )
+    .expect_err("global domination forbids non-destructive iso reads");
+    assert!(
+        err.to_string().contains("destructively") || err.to_string().contains("take"),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn tree_of_objects_mode_rejects_dll_repr() {
+    // Rust/Unique-style systems cannot represent the dll at all (Table 1,
+    // "dll-repr" column).
+    let err = check_source(
+        STRUCTS,
+        &CheckerOptions::with_mode(CheckerMode::TreeOfObjects),
+    )
+    .expect_err("tree-of-objects forbids non-iso reference fields");
+    assert!(err.to_string().contains("non-iso reference field"), "{err}");
+}
+
+#[test]
+fn tree_of_objects_mode_accepts_sll() {
+    let sll_only = "
+        struct data { value: int }
+        struct sll_node { iso payload : data; iso next : sll_node? }
+    ";
+    check_source(
+        &format!("{sll_only}\n{FIG2}"),
+        &CheckerOptions::with_mode(CheckerMode::TreeOfObjects),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn send_requires_domination() {
+    // Sending a node whose payload is separately accessible must fail.
+    let err = check(
+        "def bad(n: sll_node) : data? consumes n {
+           let some(p) = take(n.payload_maybe) in { none } else { none }
+         }",
+    );
+    // (payload is not maybe-typed; this is just a parse-level sanity check
+    // that bad programs do not slip through silently.)
+    assert!(err.is_err());
+}
+
+#[test]
+fn derivations_record_vir_steps() {
+    let checked = check_source(
+        &format!("{STRUCTS}\n{FIG2}"),
+        &CheckerOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(checked.derivations.len(), 1);
+    assert!(checked.total_vir_steps() > 0, "fig 2 needs focus/explore");
+    assert!(checked.total_nodes() > 10);
+}

@@ -1,0 +1,279 @@
+//! The circular doubly linked list with shared ownership (paper Figs. 1,
+//! 3, 4, 5, 14): the whole spine shares one region via non-`iso`
+//! `next`/`prev` fields; payloads and the list handle use `iso`.
+
+use crate::{CorpusEntry, STRUCTS};
+
+/// The doubly-linked-list library.
+pub const DLL_FUNCS: &str = "
+def dll_new() : dll { new dll(none) }
+def dll_mk(v : int) : data { new data(v) }
+
+// Insert a payload at the front of the circular list.
+def dll_push_front(l : dll, d : data) : unit consumes d {
+  let m = take(l.hd);
+  let some(hd) = m in {
+    let node = new dll_node(d, hd, hd.prev);
+    node.prev.next = node;
+    node.next.prev = node;
+    l.hd = some(node);
+  } else {
+    let node = new dll_node(d, self, self);
+    l.hd = some(node);
+  }
+}
+
+// Insert a payload at the back (before the head of the circle).
+def dll_push_back(l : dll, d : data) : unit consumes d {
+  let m = take(l.hd);
+  let some(hd) = m in {
+    let node = new dll_node(d, hd, hd.prev);
+    node.prev.next = node;
+    node.next.prev = node;
+    l.hd = some(hd);
+  } else {
+    let node = new dll_node(d, self, self);
+    l.hd = some(node);
+  }
+}
+
+// Remove the tail (Fig. 5, with the `if disconnected` fix).
+def dll_remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    // to ensure disjointness for if-disconnected
+    tail.next = tail; tail.prev = tail;
+    if disconnected(tail, hd) {
+      l.hd = some(hd); // l.hd invalid at branch start
+      some(tail.payload)
+    } else {
+      l.hd = none;
+      some(hd.payload)
+    }
+  } else { none }
+}
+
+// The nth node, wrapping around (Fig. 14).
+def dll_get_nth_node(l : dll, pos : int) : dll_node?
+    after: l.hd ~ result {
+  let some(node) = l.hd in {
+    while (pos > 0) {
+      node = node.next;
+      pos = pos - 1
+    };
+    some(node)
+  } else { none }
+}
+
+// Sum of the first n payloads, iterating the circle with a cursor.
+def dll_sum(l : dll, n : int) : int {
+  let acc = 0;
+  let some(hd) = l.hd in {
+    let cursor = hd;
+    while (n > 0) {
+      acc = acc + cursor.payload.value;
+      cursor = cursor.next;
+      n = n - 1
+    };
+    unit
+  } else { unit };
+  acc
+}
+
+// Read the nth payload value in place.
+def dll_nth_value(l : dll, pos : int) : int {
+  let m = dll_get_nth_node(l, pos);
+  let some(node) = m in { node.payload.value } else { 0 - 1 }
+}
+
+def dll_make(n : int) : dll {
+  let l = new dll(none);
+  while (n > 0) {
+    dll_push_front(l, new data(n));
+    n = n - 1
+  };
+  l
+}
+";
+
+/// Drivers used by tests and benches.
+pub const DLL_DRIVERS: &str = "
+def dll_demo(n : int) : int {
+  let l = dll_make(n);
+  let total = dll_sum(l, n);
+  let tail = dll_remove_tail(l);
+  let some(d) = tail in { total + d.value } else { total }
+}
+";
+
+/// The accepted DLL entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "dll",
+        source: format!("{STRUCTS}{DLL_FUNCS}{DLL_DRIVERS}"),
+        accepted: true,
+        description: "circular doubly linked list with shared ownership (Figs. 1, 5, 14)",
+    }
+}
+
+/// Fig. 4: the broken `remove_tail` (size-1 aliasing bug) — rejected.
+pub fn figure_4_broken_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "fig4_dll_broken",
+        source: format!(
+            "{STRUCTS}
+             def remove_tail(l : dll) : data? {{
+               let some(hd) = l.hd in {{
+                 let tail = hd.prev;
+                 tail.prev.next = hd;
+                 hd.prev = tail.prev;
+                 some(tail.payload)
+               }} else {{ none }}
+             }}"
+        ),
+        accepted: false,
+        description: "Fig. 4: broken dll remove_tail — returned payload is not dominating",
+    }
+}
+
+/// Fig. 5 on its own.
+pub fn figure_5_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "fig5_dll_fixed",
+        source: format!(
+            "{STRUCTS}
+             def remove_tail(l : dll) : data? {{
+               let some(hd) = l.hd in {{
+                 let tail = hd.prev;
+                 tail.prev.next = hd;
+                 hd.prev = tail.prev;
+                 tail.next = tail; tail.prev = tail;
+                 if disconnected(tail, hd) {{
+                   l.hd = some(hd);
+                   some(tail.payload)
+                 }} else {{
+                   l.hd = none;
+                   some(hd.payload)
+                 }}
+               }} else {{ none }}
+             }}"
+        ),
+        accepted: true,
+        description: "Fig. 5: dll remove_tail fixed with `if disconnected`",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+    use fearless_runtime::{Machine, MachineConfig, Value};
+
+    #[test]
+    fn dll_checks_under_tempered() {
+        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn dll_runs_correctly() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        // dll_make(4): push_front 4,3,2,1 → circle [1,2,3,4]; sum 10;
+        // remove tail (4) → 14.
+        assert_eq!(
+            m.call("dll_demo", vec![Value::Int(4)]).unwrap(),
+            Value::Int(14)
+        );
+    }
+
+    #[test]
+    fn dll_size_one_remove_takes_else_branch() {
+        // The size-1 case: hd and tail alias, so `if disconnected` must take
+        // the else branch and empty the list.
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let l = m.call("dll_make", vec![Value::Int(1)]).unwrap();
+        let d = m.call("dll_remove_tail", vec![l.clone()]).unwrap();
+        assert!(matches!(d, Value::Maybe(Some(_))));
+        // List is now empty: hd is none.
+        let hd = m.heap().read_field(l.as_loc().unwrap(), 0).unwrap();
+        assert!(hd.is_none());
+    }
+
+    #[test]
+    fn dll_nth_wraps_around() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let l = m.call("dll_make", vec![Value::Int(3)]).unwrap();
+        assert_eq!(
+            m.call("dll_nth_value", vec![l.clone(), Value::Int(0)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            m.call("dll_nth_value", vec![l.clone(), Value::Int(2)]).unwrap(),
+            Value::Int(3)
+        );
+        // Wraps: position 3 is the head again.
+        assert_eq!(
+            m.call("dll_nth_value", vec![l, Value::Int(3)]).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn figure_4_faults_dynamically_on_size_one() {
+        // Run the rejected Fig. 4 program: on a size-1 list the "removed"
+        // payload is still reachable from the list. Sending it away and
+        // then reading through the list must fault the reservation checks
+        // (experiment E8).
+        let src = format!(
+            "{STRUCTS}{DLL_FUNCS}
+             def broken_remove_tail(l : dll) : data? {{
+               let some(hd) = l.hd in {{
+                 let tail = hd.prev;
+                 tail.prev.next = hd;
+                 hd.prev = tail.prev;
+                 some(tail.payload)
+               }} else {{ none }}
+             }}
+             def victim() : int {{
+               let l = dll_make(1);
+               let m = broken_remove_tail(l);
+               let some(d) = m in {{ send(d); }} else {{ unit }};
+               // The payload was sent away, but the size-1 bug left it
+               // attached: reading through the list races.
+               dll_sum(l, 1)
+             }}
+             def accomplice() : int {{ recv(data).value }}"
+        );
+        let program = fearless_syntax::parse_program(&src).unwrap();
+        let mut m = Machine::with_config(&program, MachineConfig::default()).unwrap();
+        m.spawn("victim", vec![]).unwrap();
+        m.spawn("accomplice", vec![]).unwrap();
+        let err = m.run().unwrap_err();
+        assert!(
+            matches!(err, fearless_runtime::RuntimeError::ReservationFault { .. }),
+            "expected a reservation fault, got {err}"
+        );
+    }
+
+    #[test]
+    fn figure_5_is_dynamically_safe_on_size_one() {
+        // The fixed version never faults: the else branch hands back the
+        // head's payload instead.
+        let src = format!(
+            "{STRUCTS}{DLL_FUNCS}
+             def victim() : int {{
+               let l = dll_make(1);
+               let m = dll_remove_tail(l);
+               let some(d) = m in {{ send(d); }} else {{ unit }};
+               dll_sum(l, 0)
+             }}
+             def accomplice() : int {{ recv(data).value }}"
+        );
+        let program = fearless_syntax::parse_program(&src).unwrap();
+        let mut m = Machine::new(&program).unwrap();
+        m.spawn("victim", vec![]).unwrap();
+        m.spawn("accomplice", vec![]).unwrap();
+        m.run().unwrap();
+    }
+}

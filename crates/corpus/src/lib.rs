@@ -1,0 +1,145 @@
+//! # fearless-corpus
+//!
+//! The program corpus of the reproduction: complete singly and doubly
+//! linked lists, a red-black tree, message-passing workloads, the paper's
+//! broken/fixed figures, destructive-read baseline variants, and generated
+//! pathological programs for the search experiments (§8: "thousands of
+//! lines of algorithmic code, data structure manipulations, and … function
+//! abstractions ranging from trivial to pathological").
+//!
+//! Every entry exposes its surface-language source, so the same programs
+//! feed the checker (`fearless-core`), the verifier (`fearless-verify`),
+//! the runtime (`fearless-runtime`), and the benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod dll;
+pub mod msg;
+pub mod pathological;
+pub mod rbt;
+pub mod sll;
+pub mod sort;
+pub mod tree;
+
+use fearless_core::{CheckedProgram, CheckerOptions, TypeError};
+use fearless_syntax::{parse_program, Program};
+
+/// Shared struct declarations (paper Fig. 1 plus the abstract payload).
+pub const STRUCTS: &str = "
+struct data { value: int }
+
+struct sll_node {
+  iso payload : data;
+  iso next : sll_node?;
+}
+struct sll { iso hd : sll_node? }
+
+struct dll_node {
+  iso payload : data;
+  next : dll_node;
+  prev : dll_node;
+}
+struct dll { iso hd : dll_node? }
+";
+
+/// A named corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Short name used in experiment tables.
+    pub name: &'static str,
+    /// Complete surface source (including struct declarations).
+    pub source: String,
+    /// Whether the tempered checker should accept it.
+    pub accepted: bool,
+    /// What the entry demonstrates.
+    pub description: &'static str,
+}
+
+impl CorpusEntry {
+    /// Parses the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored source does not parse (a corpus bug).
+    pub fn parse(&self) -> Program {
+        parse_program(&self.source)
+            .unwrap_or_else(|e| panic!("corpus entry `{}` failed to parse: {e}", self.name))
+    }
+
+    /// Checks the entry under `options`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the checker's verdict.
+    pub fn check(&self, options: &CheckerOptions) -> Result<CheckedProgram, TypeError> {
+        fearless_core::check_program(&self.parse(), options)
+    }
+}
+
+/// All corpus entries (accepted and intentionally rejected).
+pub fn all_entries() -> Vec<CorpusEntry> {
+    vec![
+        sll::entry(),
+        sll::figure_2_entry(),
+        dll::entry(),
+        dll::figure_4_broken_entry(),
+        dll::figure_5_entry(),
+        rbt::entry(),
+        sort::entry(),
+        tree::entry(),
+        msg::pipeline_entry(),
+        msg::worklist_entry(),
+        sll::destructive_entry(),
+    ]
+}
+
+/// The accepted entries only (used by checker-speed benches).
+pub fn accepted_entries() -> Vec<CorpusEntry> {
+    all_entries().into_iter().filter(|e| e.accepted).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_parse() {
+        for e in all_entries() {
+            let p = e.parse();
+            assert!(!p.funcs.is_empty(), "{} has no functions", e.name);
+        }
+    }
+
+    #[test]
+    fn pretty_printing_reaches_a_fixpoint() {
+        // parse → print → parse → print must be stable, and the reprinted
+        // program must still check identically.
+        for e in all_entries() {
+            let p1 = e.parse();
+            let printed1 = fearless_syntax::pretty::program_to_string(&p1);
+            let p2 = fearless_syntax::parse_program(&printed1)
+                .unwrap_or_else(|err| panic!("{}: reparse failed: {err}\n{printed1}", e.name));
+            let printed2 = fearless_syntax::pretty::program_to_string(&p2);
+            assert_eq!(printed1, printed2, "{} print not a fixpoint", e.name);
+            let v1 = fearless_core::check_program(&p1, &CheckerOptions::default()).is_ok();
+            let v2 = fearless_core::check_program(&p2, &CheckerOptions::default()).is_ok();
+            assert_eq!(v1, v2, "{}: verdict changed after pretty-printing", e.name);
+        }
+    }
+
+    #[test]
+    fn acceptance_matches_expectation() {
+        let opts = CheckerOptions::default();
+        for e in all_entries() {
+            let verdict = e.check(&opts);
+            assert_eq!(
+                verdict.is_ok(),
+                e.accepted,
+                "{}: expected accepted={}, got {:?}",
+                e.name,
+                e.accepted,
+                verdict.err().map(|err| err.to_string())
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Message-passing workloads (paper §1, §7): linked lists used as message
+//! queues, with elements received from remote threads inserted locally and
+//! removed elements sent onward — fearless concurrency with no run-time
+//! synchronization on the data itself.
+
+use crate::sll::SLL_FUNCS;
+use crate::{CorpusEntry, STRUCTS};
+
+/// Producer/consumer pipeline over single payloads.
+pub const PIPELINE: &str = "
+def producer(n : int) : unit {
+  while (n > 0) {
+    send(new data(n));
+    n = n - 1
+  };
+  unit
+}
+
+def consumer(n : int) : int {
+  let q = new sll(none);
+  while (n > 0) {
+    let d = recv(data);
+    sll_push_front(q, d);
+    n = n - 1
+  };
+  let acc = 0;
+  let keep_going = true;
+  while (keep_going) {
+    let m = sll_pop_front(q);
+    let some(d) = m in { acc = acc + d.value; } else { keep_going = false; };
+    unit
+  };
+  acc
+}
+
+// A relay receives payloads and re-ships them under a distinct message
+// type (rendezvous channels are per-type, so a same-type relay could be
+// starved by direct producer→consumer pairing).
+def relay(n : int) : unit {
+  while (n > 0) {
+    let d = recv(data);
+    send(new packet(d.value));
+    n = n - 1
+  };
+  unit
+}
+
+def packet_consumer(n : int) : int {
+  let acc = 0;
+  while (n > 0) {
+    let p = recv(packet);
+    acc = acc + p.value;
+    n = n - 1
+  };
+  acc
+}
+";
+
+/// Message type used by the relay stage.
+pub const PACKET_STRUCT: &str = "
+struct packet { value: int }
+";
+
+/// Whole-list transfers: entire spines move between reservations.
+pub const WORKLIST: &str = "
+def batch_producer(batches : int, per : int) : unit {
+  while (batches > 0) {
+    let l = new sll(none);
+    let i = per;
+    while (i > 0) {
+      sll_push_front(l, new data(i));
+      i = i - 1
+    };
+    send(l);
+    batches = batches - 1
+  };
+  unit
+}
+
+def batch_consumer(batches : int) : int {
+  let acc = 0;
+  while (batches > 0) {
+    let l = recv(sll);
+    acc = acc + sll_sum_list(l);
+    batches = batches - 1
+  };
+  acc
+}
+
+// Receives the shipped tail payloads.
+def tail_sink(rounds : int) : int {
+  let acc = 0;
+  while (rounds > 0) {
+    acc = acc + recv(data).value;
+    rounds = rounds - 1
+  };
+  acc
+}
+
+// A worker that removes a list's tail and ships it onward while keeping
+// the rest (the paper's motivating scenario: removed elements may be
+// immediately sent to a new thread). The remainder travels boxed in a
+// `parcel` so it cannot be confused with the producer's fresh lists on
+// the per-type rendezvous channel.
+def tail_shipper(rounds : int) : unit {
+  while (rounds > 0) {
+    let l = recv(sll);
+    let m = sll_remove_tail_list(l);
+    let some(d) = m in { send(d); } else { unit };
+    send(new parcel(l));
+    rounds = rounds - 1
+  };
+  unit
+}
+
+def parcel_consumer(rounds : int) : int {
+  let acc = 0;
+  while (rounds > 0) {
+    let p = recv(parcel);
+    acc = acc + sll_sum_list(p.boxed);
+    rounds = rounds - 1
+  };
+  acc
+}
+
+struct parcel { iso boxed : sll }
+";
+
+/// Producer/consumer entry.
+pub fn pipeline_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "msg_pipeline",
+        source: format!("{STRUCTS}{PACKET_STRUCT}{SLL_FUNCS}{PIPELINE}"),
+        accepted: true,
+        description: "producer/relay/consumer pipeline over iso payloads (§7)",
+    }
+}
+
+/// Whole-list transfer entry.
+pub fn worklist_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "msg_worklist",
+        source: format!("{STRUCTS}{SLL_FUNCS}{WORKLIST}"),
+        accepted: true,
+        description: "whole-list reservations moving between threads (Fig. 15)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+    use fearless_runtime::{Machine, MachineConfig, Value};
+
+    #[test]
+    fn pipeline_checks() {
+        pipeline_entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn worklist_checks() {
+        worklist_entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn pipeline_runs() {
+        let mut m = Machine::new(&pipeline_entry().parse()).unwrap();
+        m.spawn("producer", vec![Value::Int(10)]).unwrap();
+        let c = m.spawn("consumer", vec![Value::Int(10)]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.thread(c).result(), Some(&Value::Int(55)));
+    }
+
+    #[test]
+    fn pipeline_with_relay_runs_under_random_schedules() {
+        for seed in 0..5 {
+            let program = pipeline_entry().parse();
+            let mut m = Machine::with_config(
+                &program,
+                MachineConfig {
+                    random_schedule: true,
+                    seed,
+                    ..MachineConfig::default()
+                },
+            )
+            .unwrap();
+            m.spawn("producer", vec![Value::Int(8)]).unwrap();
+            m.spawn("relay", vec![Value::Int(8)]).unwrap();
+            let c = m.spawn("packet_consumer", vec![Value::Int(8)]).unwrap();
+            m.run().unwrap();
+            assert_eq!(m.thread(c).result(), Some(&Value::Int(36)), "seed {seed}");
+            // Zero reservation faults by construction (well-typed program).
+        }
+    }
+
+    #[test]
+    fn worklist_runs() {
+        let mut m = Machine::new(&worklist_entry().parse()).unwrap();
+        m.spawn("batch_producer", vec![Value::Int(4), Value::Int(3)])
+            .unwrap();
+        let c = m.spawn("batch_consumer", vec![Value::Int(4)]).unwrap();
+        m.run().unwrap();
+        // Each batch sums 1+2+3 = 6; 4 batches = 24.
+        assert_eq!(m.thread(c).result(), Some(&Value::Int(24)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Generated programs for the search experiments (§4.6, §5.1, E5):
+//! branch-unification workloads whose contexts diverge in `m` tracked
+//! fields at a single join, and straight-line programs of configurable
+//! length for checker-throughput scaling.
+
+use fearless_syntax::{parse_program, Program};
+
+/// A struct with `width` iso fields, used by the generators.
+fn pnode_struct(width: usize) -> String {
+    let mut s = String::from("struct pdata { value: int }\nstruct pnode {\n");
+    for i in 0..width {
+        s.push_str(&format!("  iso f{i} : pnode?;\n"));
+    }
+    s.push_str("  iso payload : pdata;\n}\n");
+    s
+}
+
+/// A function whose `if` branches diverge in `m` explored iso fields: the
+/// then-branch reads `x1.f0 … xm.f0` (leaving them tracked), the
+/// else-branch reads nothing. The liveness oracle unifies in O(m); naive
+/// search needs depth 2m (retract + unfocus per field), which is
+/// exponential in `m`.
+pub fn divergent_join(m: usize) -> String {
+    assert!(m >= 1);
+    let mut src = pnode_struct(1);
+    let params: Vec<String> = (1..=m).map(|i| format!("x{i} : pnode")).collect();
+    src.push_str(&format!(
+        "def path({}, flag : bool) : int {{\n  if (flag) {{\n",
+        params.join(", ")
+    ));
+    for i in 1..=m {
+        src.push_str(&format!("    is_none(x{i}.f0);\n"));
+    }
+    src.push_str("    1\n  } else { 0 }\n}\n");
+    src
+}
+
+/// A chain of `b` joins, each diverging in one tracked field.
+pub fn join_chain(b: usize, vars: usize) -> String {
+    assert!(vars >= 1);
+    let mut src = pnode_struct(1);
+    let params: Vec<String> = (1..=vars).map(|i| format!("x{i} : pnode")).collect();
+    src.push_str(&format!(
+        "def chain({}, flag : bool) : int {{\n  let acc = 0;\n",
+        params.join(", ")
+    ));
+    for k in 0..b {
+        let var = (k % vars) + 1;
+        src.push_str(&format!(
+            "  if (flag) {{ is_none(x{var}.f0); acc = acc + 1; }} else {{ acc = acc + 2; }};\n"
+        ));
+    }
+    src.push_str("  acc\n}\n");
+    src
+}
+
+/// Straight-line list manipulation of length `n` (checker-throughput
+/// scaling, experiment E2): builds a list, pushes `n` elements, sums.
+pub fn straight_line(n: usize) -> String {
+    let mut src = String::from(
+        "struct data { value: int }
+         struct sll_node { iso payload : data; iso next : sll_node? }
+         struct sll { iso hd : sll_node? }
+         def push(l : sll, d : data) : unit consumes d {
+           let node = new sll_node(d, take(l.hd));
+           l.hd = some(node);
+         }
+         def go() : unit {
+           let l = new sll(none);\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("  push(l, new data({i}));\n"));
+    }
+    src.push_str("  unit\n}\n");
+    src
+}
+
+/// `n` small functions (per-function checker overhead scaling).
+pub fn many_functions(n: usize) -> String {
+    let mut src = String::from(
+        "struct data { value: int }
+         struct sll_node { iso payload : data; iso next : sll_node? }\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!(
+            "def probe{i}(n : sll_node) : int {{
+               let some(nx) = n.next in {{ {i} + probe{i}(nx) }} else {{ {i} }}
+             }}\n"
+        ));
+    }
+    src
+}
+
+/// A randomized (but type-correct-by-construction) list workload: a driver
+/// that builds a list and applies `ops` list operations chosen by the
+/// seed bytes. Used by the end-to-end pipeline fuzz (check → verify → run
+/// must never fault).
+pub fn random_list_program(seed: u64, ops: usize) -> String {
+    let mut src = String::from(
+        "struct data { value: int }
+         struct sll_node { iso payload : data; iso next : sll_node? }
+         struct sll { iso hd : sll_node? }
+         def push(l : sll, d : data) : unit consumes d {
+           let node = new sll_node(d, take(l.hd));
+           l.hd = some(node);
+         }
+         def pop(l : sll) : data? {
+           let some(node) = take(l.hd) in {
+             l.hd = take(node.next);
+             some(node.payload)
+           } else { none }
+         }
+         def remove_tail(n : sll_node) : data? {
+           let some(next) = n.next in {
+             if (is_none(next.next)) { n.next = none; some(next.payload) }
+             else { remove_tail(next) }
+           } else { none }
+         }
+         def total(n : sll_node) : int {
+           let v = n.payload.value;
+           let some(nx) = n.next in { v + total(nx) } else { v }
+         }
+         def driver() : int {
+           let l = new sll(none);
+           let acc = 0;
+",
+    );
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for i in 0..ops {
+        match next() % 4 {
+            0 => src.push_str(&format!("  push(l, new data({}));\n", i + 1)),
+            1 => src.push_str(&format!("  acc = acc + {i};\n")),
+            2 => src.push_str(&format!(
+                "  let m{i} = pop(l);
+  let some(d{i}) = m{i} in {{ acc = acc + d{i}.value; }} else {{ unit }};\n"
+            )),
+            _ => src.push_str(&format!(
+                "  let some(hd{i}) = l.hd in {{
+    let t{i} = remove_tail(hd{i});
+    l.hd = some(hd{i});
+    let some(d{i}) = t{i} in {{ acc = acc + d{i}.value; }} else {{ unit }};
+  }} else {{ unit }};\n"
+            )),
+        }
+    }
+    src.push_str(
+        "  let some(hd) = l.hd in { acc = acc + total(hd); } else { unit };
+  acc
+}
+",
+    );
+    src
+}
+
+/// Parses a generated program.
+///
+/// # Panics
+///
+/// Panics if the generator emitted unparseable source (a bug).
+pub fn parse(src: &str) -> Program {
+    parse_program(src).unwrap_or_else(|e| panic!("generator bug: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::{check_program, CheckerOptions};
+
+    #[test]
+    fn divergent_join_checks_with_oracle() {
+        for m in 1..=4 {
+            let p = parse(&divergent_join(m));
+            check_program(&p, &CheckerOptions::default())
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn divergent_join_checks_without_oracle_small() {
+        // Without the oracle, unification falls back to search; keep m
+        // small so the test stays fast.
+        let p = parse(&divergent_join(1));
+        check_program(&p, &CheckerOptions::default().without_oracle())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn join_chain_checks() {
+        let p = parse(&join_chain(6, 3));
+        check_program(&p, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn straight_line_checks() {
+        let p = parse(&straight_line(32));
+        check_program(&p, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn random_list_programs_check() {
+        for seed in 0..8 {
+            let src = random_list_program(seed, 10);
+            let p = parse(&src);
+            check_program(&p, &CheckerOptions::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn many_functions_checks() {
+        let p = parse(&many_functions(16));
+        let checked = check_program(&p, &CheckerOptions::default()).unwrap();
+        assert_eq!(checked.derivations.len(), 16);
+    }
+}

@@ -1,0 +1,325 @@
+//! A red-black tree with `iso` children (paper §8 and appendix): insertion
+//! with Okasaki-style rebalancing, written as in-place manipulations of
+//! isolated subtrees. The four rotation cases are the paper's "shuffle":
+//! nodes arrive in an arbitrary, possibly deeply aliased state and leave
+//! with a fixed tree pointer structure.
+
+use crate::CorpusEntry;
+
+/// Struct declarations for the tree.
+pub const RBT_STRUCTS: &str = "
+struct data { value: int }
+
+struct rb_node {
+  key : int;
+  red : bool;
+  iso payload : data;
+  iso left : rb_node?;
+  iso right : rb_node?;
+}
+struct rbt { iso root : rb_node? }
+";
+
+/// The red-black tree library.
+pub const RBT_FUNCS: &str = "
+def rbt_new() : rbt { new rbt(none) }
+def mk_data(v : int) : data { new data(v) }
+
+// ---- color probes (non-destructive iso traversal) ----
+
+def rb_left_red(n : rb_node) : bool {
+  let some(l) = n.left in { l.red } else { false }
+}
+def rb_right_red(n : rb_node) : bool {
+  let some(r) = n.right in { r.red } else { false }
+}
+def rb_left_left_red(n : rb_node) : bool {
+  let some(l) = n.left in { rb_left_red(l) } else { false }
+}
+def rb_left_right_red(n : rb_node) : bool {
+  let some(l) = n.left in { rb_right_red(l) } else { false }
+}
+def rb_right_left_red(n : rb_node) : bool {
+  let some(r) = n.right in { rb_left_red(r) } else { false }
+}
+def rb_right_right_red(n : rb_node) : bool {
+  let some(r) = n.right in { rb_right_red(r) } else { false }
+}
+
+// ---- the four balance shuffles (7 nodes rearranged in place) ----
+
+def rb_case_ll(n : rb_node) : rb_node consumes n {
+  let some(l) = take(n.left) in {
+    n.left = take(l.right);
+    n.red = false;
+    let some(ll) = l.left in { ll.red = false; } else { unit };
+    l.right = some(n);
+    l.red = true;
+    l
+  } else { n }
+}
+
+def rb_case_lr(n : rb_node) : rb_node consumes n {
+  let some(l) = take(n.left) in {
+    let some(lr) = take(l.right) in {
+      l.right = take(lr.left);
+      n.left = take(lr.right);
+      n.red = false;
+      l.red = false;
+      lr.left = some(l);
+      lr.right = some(n);
+      lr.red = true;
+      lr
+    } else { n.left = some(l); n }
+  } else { n }
+}
+
+def rb_case_rr(n : rb_node) : rb_node consumes n {
+  let some(r) = take(n.right) in {
+    n.right = take(r.left);
+    n.red = false;
+    let some(rr) = r.right in { rr.red = false; } else { unit };
+    r.left = some(n);
+    r.red = true;
+    r
+  } else { n }
+}
+
+def rb_case_rl(n : rb_node) : rb_node consumes n {
+  let some(r) = take(n.right) in {
+    let some(rl) = take(r.left) in {
+      r.left = take(rl.right);
+      n.right = take(rl.left);
+      n.red = false;
+      r.red = false;
+      rl.right = some(r);
+      rl.left = some(n);
+      rl.red = true;
+      rl
+    } else { n.right = some(r); n }
+  } else { n }
+}
+
+def rb_balance(n : rb_node) : rb_node consumes n {
+  if (n.red) { n } else {
+    if (rb_left_red(n) && rb_left_left_red(n)) { rb_case_ll(n) }
+    else { if (rb_left_red(n) && rb_left_right_red(n)) { rb_case_lr(n) }
+    else { if (rb_right_red(n) && rb_right_right_red(n)) { rb_case_rr(n) }
+    else { if (rb_right_red(n) && rb_right_left_red(n)) { rb_case_rl(n) }
+    else { n } } } }
+  }
+}
+
+// ---- insertion ----
+
+def rb_insert_node(m : rb_node?, key : int, d : data) : rb_node
+    consumes m, d {
+  let some(n) = m in {
+    if (key < n.key) {
+      n.left = some(rb_insert_node(take(n.left), key, d));
+      rb_balance(n)
+    } else { if (key > n.key) {
+      n.right = some(rb_insert_node(take(n.right), key, d));
+      rb_balance(n)
+    } else {
+      n.payload = d;
+      n
+    } }
+  } else {
+    new rb_node(key, true, d, none, none)
+  }
+}
+
+def rbt_insert(t : rbt, key : int, d : data) : unit consumes d {
+  let root = rb_insert_node(take(t.root), key, d);
+  root.red = false;
+  t.root = some(root);
+}
+
+// ---- queries (all non-destructive) ----
+
+def rb_contains_node(n : rb_node, key : int) : bool {
+  if (key == n.key) { true }
+  else { if (key < n.key) {
+    let some(l) = n.left in { rb_contains_node(l, key) } else { false }
+  } else {
+    let some(r) = n.right in { rb_contains_node(r, key) } else { false }
+  } }
+}
+def rbt_contains(t : rbt, key : int) : bool {
+  let some(root) = t.root in { rb_contains_node(root, key) } else { false }
+}
+
+def rb_value_at(n : rb_node, key : int) : int {
+  if (key == n.key) { n.payload.value }
+  else { if (key < n.key) {
+    let some(l) = n.left in { rb_value_at(l, key) } else { 0 - 1 }
+  } else {
+    let some(r) = n.right in { rb_value_at(r, key) } else { 0 - 1 }
+  } }
+}
+def rbt_value_of(t : rbt, key : int) : int {
+  let some(root) = t.root in { rb_value_at(root, key) } else { 0 - 1 }
+}
+
+def rb_min_key(n : rb_node) : int {
+  let some(l) = n.left in { rb_min_key(l) } else { n.key }
+}
+def rb_max_key(n : rb_node) : int {
+  let some(r) = n.right in { rb_max_key(r) } else { n.key }
+}
+
+def rb_size(n : rb_node) : int {
+  let s = 1;
+  let some(l) = n.left in { s = s + rb_size(l); } else { unit };
+  let some(r) = n.right in { s = s + rb_size(r); } else { unit };
+  s
+}
+def rbt_size(t : rbt) : int {
+  let some(root) = t.root in { rb_size(root) } else { 0 }
+}
+
+// ---- structural validation (test oracle) ----
+
+// Black height, or -1 when unbalanced.
+def rb_black_height(n : rb_node) : int {
+  let lh = 1;
+  let some(l) = n.left in { lh = rb_black_height(l); } else { unit };
+  let rh = 1;
+  let some(r) = n.right in { rh = rb_black_height(r); } else { unit };
+  if (lh != rh || lh < 0) { 0 - 1 } else {
+    if (n.red) { lh } else { lh + 1 }
+  }
+}
+
+def rb_no_red_red(n : rb_node) : bool {
+  let ok = true;
+  if (n.red) {
+    if (rb_left_red(n) || rb_right_red(n)) { ok = false; } else { unit }
+  } else { unit };
+  let some(l) = n.left in { ok = ok && rb_no_red_red(l); } else { unit };
+  let some(r) = n.right in { ok = ok && rb_no_red_red(r); } else { unit };
+  ok
+}
+
+def rb_well_ordered(n : rb_node, lo : int, hi : int) : bool {
+  if (n.key <= lo || n.key >= hi) { false } else {
+    let okl = true;
+    let some(l) = n.left in { okl = rb_well_ordered(l, lo, n.key); } else { unit };
+    let okr = true;
+    let some(r) = n.right in { okr = rb_well_ordered(r, n.key, hi); } else { unit };
+    okl && okr
+  }
+}
+
+def rbt_valid(t : rbt) : bool {
+  let some(root) = t.root in {
+    let not_red = !root.red;
+    let bh = rb_black_height(root);
+    not_red && (bh > 0) && rb_no_red_red(root)
+      && rb_well_ordered(root, 0 - 1000000000, 1000000000)
+  } else { true }
+}
+
+// ---- driver ----
+
+def rbt_fill(n : int) : rbt {
+  let t = rbt_new();
+  let i = 0;
+  while (i < n) {
+    rbt_insert(t, (i * 37) % 1009, new data(i));
+    i = i + 1
+  };
+  t
+}
+
+def rbt_demo(n : int) : bool {
+  let t = rbt_fill(n);
+  rbt_valid(t) && (rbt_size(t) == n)
+}
+";
+
+/// The red-black tree entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "rbt",
+        source: format!("{RBT_STRUCTS}{RBT_FUNCS}"),
+        accepted: true,
+        description: "red-black tree with iso children and shuffle rebalancing (§8)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+    use fearless_runtime::{Machine, Value};
+
+    #[test]
+    fn rbt_checks_under_tempered() {
+        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rbt_insert_preserves_invariants() {
+        let m = Machine::new(&entry().parse()).unwrap();
+        for n in [0i64, 1, 2, 3, 10, 50, 200] {
+            let mut m2 = Machine::new(&entry().parse()).unwrap();
+            let ok = m2.call("rbt_demo", vec![Value::Int(n)]).unwrap();
+            assert_eq!(ok, Value::Bool(true), "invariants broken at n={n}");
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn rbt_contains_and_values() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("rbt_fill", vec![Value::Int(50)]).unwrap();
+        // Key of i is (i*37) % 1009, payload value i.
+        for i in [0i64, 7, 23, 49] {
+            let key = (i * 37) % 1009;
+            assert_eq!(
+                m.call("rbt_contains", vec![t.clone(), Value::Int(key)]).unwrap(),
+                Value::Bool(true)
+            );
+            assert_eq!(
+                m.call("rbt_value_of", vec![t.clone(), Value::Int(key)]).unwrap(),
+                Value::Int(i)
+            );
+        }
+        assert_eq!(
+            m.call("rbt_contains", vec![t.clone(), Value::Int(5000)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn rbt_black_height_is_logarithmic() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("rbt_fill", vec![Value::Int(255)]).unwrap();
+        let root = m
+            .heap()
+            .read_field(t.as_loc().unwrap(), 0)
+            .unwrap();
+        let Value::Maybe(Some(root)) = root else { panic!("tree empty") };
+        let bh = m.call("rb_black_height", vec![*root]).unwrap();
+        let Value::Int(bh) = bh else { panic!() };
+        assert!((2..=9).contains(&bh), "black height {bh} out of range");
+    }
+
+    #[test]
+    fn rbt_duplicate_insert_replaces_payload() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("rbt_new", vec![]).unwrap();
+        let d1 = m.call("mk_data", vec![Value::Int(1)]).unwrap();
+        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d1]).unwrap();
+        let d2 = m.call("mk_data", vec![Value::Int(2)]).unwrap();
+        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d2]).unwrap();
+        assert_eq!(
+            m.call("rbt_value_of", vec![t.clone(), Value::Int(5)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(m.call("rbt_size", vec![t]).unwrap(), Value::Int(1));
+    }
+
+}

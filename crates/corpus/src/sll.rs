@@ -1,0 +1,300 @@
+//! The complete singly linked list (paper §2, §8): recursively linear
+//! ownership along the `iso` spine, with the paper's `remove_tail`
+//! (Fig. 2) and `concat` (Fig. 14). "Our full implementation of a singly
+//! linked list — consisting of 8 functions — requires only this `consumes`
+//! annotation, and even then in just two places."
+
+use crate::{CorpusEntry, STRUCTS};
+
+/// The eight-function singly-linked-list library.
+pub const SLL_FUNCS: &str = "
+// 1. An empty list.
+def sll_new() : sll { new sll(none) }
+def mk(v : int) : data { new data(v) }
+
+// 2. Push a payload at the front. (`consumes` #1)
+def sll_push_front(l : sll, d : data) : unit consumes d {
+  let node = new sll_node(d, take(l.hd));
+  l.hd = some(node);
+}
+
+// 3. Pop the front payload; the rest of the list is reattached.
+def sll_pop_front(l : sll) : data? {
+  let some(node) = take(l.hd) in {
+    l.hd = take(node.next);
+    some(node.payload)
+  } else { none }
+}
+
+// 4. Remove the final element (Fig. 2): a non-destructive traversal that
+//    is impossible under global domination.
+def sll_remove_tail(n : sll_node) : data? {
+  let some(next) = n.next in {
+    if (is_none(next.next)) {
+      n.next = none;
+      some(next.payload)
+    } else { sll_remove_tail(next) }
+  } else { none }
+}
+
+// 5. Concatenate two lists (Fig. 14; `consumes` #2).
+def sll_concat(l1, l2 : sll_node) : unit consumes l2 {
+  let some(l1_next) = l1.next in {
+    sll_concat(l1_next, l2);
+  } else { l1.next = some(l2); }
+}
+
+// 6. Length, by non-destructive traversal.
+def sll_length(n : sll_node) : int {
+  let some(nx) = n.next in { 1 + sll_length(nx) } else { 1 }
+}
+
+// 7. Sum of payload values, by non-destructive traversal.
+def sll_sum(n : sll_node) : int {
+  let v = n.payload.value;
+  let some(nx) = n.next in { v + sll_sum(nx) } else { v }
+}
+
+// 8. The nth payload value (recursive cursor).
+def sll_nth_value(n : sll_node, pos : int) : int {
+  if (pos <= 0) { n.payload.value }
+  else {
+    let some(nx) = n.next in { sll_nth_value(nx, pos - 1) } else { 0 - 1 }
+  }
+}
+
+// --- wrappers over the sll handle ---
+
+def sll_make(n : int) : sll {
+  let l = new sll(none);
+  while (n > 0) {
+    sll_push_front(l, new data(n));
+    n = n - 1
+  };
+  l
+}
+
+def sll_sum_list(l : sll) : int {
+  let some(hd) = l.hd in { sll_sum(hd) } else { 0 }
+}
+
+def sll_length_list(l : sll) : int {
+  let some(hd) = l.hd in { sll_length(hd) } else { 0 }
+}
+
+def sll_remove_tail_list(l : sll) : data? {
+  let some(hd) = l.hd in {
+    let result = sll_remove_tail(hd);
+    l.hd = some(hd);
+    result
+  } else { none }
+}
+
+// An iterative, list-consuming walk: the cursor weakens each region it
+// leaves behind (contrast with the recursive, non-consuming traversals).
+def sll_walk_payload(n : sll_node, pos : int) : int consumes n {
+  while (pos > 0) {
+    let some(nx) = n.next in { n = nx; } else { unit };
+    pos = pos - 1
+  };
+  n.payload.value
+}
+";
+
+/// Driver functions exercised by tests/benches.
+pub const SLL_DRIVERS: &str = "
+def sll_demo(n : int) : int {
+  let l = sll_make(n);
+  let total = sll_sum_list(l);
+  let tail = sll_remove_tail_list(l);
+  let some(d) = tail in { total + d.value } else { total }
+}
+";
+
+/// The accepted SLL entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "sll",
+        source: format!("{STRUCTS}{SLL_FUNCS}{SLL_DRIVERS}"),
+        accepted: true,
+        description: "complete 8-function singly linked list (§2, §8)",
+    }
+}
+
+/// Just Figure 2 on its own (used by Table 1 and the search experiments).
+pub fn figure_2_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "fig2_sll_remove_tail",
+        source: format!(
+            "{STRUCTS}
+             def remove_tail(n : sll_node) : data? {{
+               let some(next) = n.next in {{
+                 if (is_none(next.next)) {{
+                   n.next = none;
+                   some(next.payload)
+                 }} else {{ remove_tail(next) }}
+               }} else {{ none }}
+             }}"
+        ),
+        accepted: true,
+        description: "Fig. 2: non-destructive removal of a list tail",
+    }
+}
+
+/// The destructive-read (global-domination) variant of `remove_tail`,
+/// performing the O(list-length) repair writes that §9.1 attributes to
+/// LaCasa/L42-style systems. Checked under
+/// [`fearless_core::CheckerMode::GlobalDomination`].
+pub const GD_STRUCTS: &str = "
+struct data { value: int }
+struct gd_node {
+  iso payload : data?;
+  iso next : gd_node?;
+}
+struct gd_list { iso hd : gd_node? }
+";
+
+/// Destructive-read list functions for the baseline.
+pub const GD_FUNCS: &str = "
+def gd_remove_tail(n : gd_node) : data? {
+  let m = take(n.next);
+  let some(node) = m in {
+    let rest = take(node.next);
+    let some(r2) = rest in {
+      // Not the tail: restore the link (repair write #1), recurse, then
+      // repair our own link (repair write #2).
+      node.next = some(r2);
+      let result = gd_remove_tail(node);
+      n.next = some(node);
+      result
+    } else {
+      // node is the tail.
+      n.next = none;
+      take(node.payload)
+    }
+  } else { none }
+}
+
+def gd_push_front(l : gd_list, d : data) : unit consumes d {
+  let node = new gd_node(some(d), take(l.hd));
+  l.hd = some(node);
+}
+
+def gd_make(n : int) : gd_list {
+  let l = new gd_list(none);
+  while (n > 0) {
+    gd_push_front(l, new data(n));
+    n = n - 1
+  };
+  l
+}
+
+def gd_remove_tail_list(l : gd_list) : data? {
+  let m = take(l.hd);
+  let some(hd) = m in {
+    let result = gd_remove_tail(hd);
+    l.hd = some(hd);
+    result
+  } else { none }
+}
+";
+
+/// The destructive-read entry (accepted under the tempered checker too —
+/// destructive reads are expressible, just unnecessary).
+pub fn destructive_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "sll_destructive",
+        source: format!("{GD_STRUCTS}{GD_FUNCS}"),
+        accepted: true,
+        description: "destructive-read remove_tail with O(n) repair writes (§9.1 baseline)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::{CheckerMode, CheckerOptions};
+    use fearless_runtime::{Machine, Value};
+
+    #[test]
+    fn sll_checks_under_tempered() {
+        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn sll_runs_correctly() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        // sll_make(4) → [1,2,3,4]; sum 10; remove tail (payload 4) → 14.
+        assert_eq!(
+            m.call("sll_demo", vec![Value::Int(4)]).unwrap(),
+            Value::Int(14)
+        );
+    }
+
+    #[test]
+    fn sll_ops_behave() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let l = m.call("sll_make", vec![Value::Int(5)]).unwrap();
+        assert_eq!(
+            m.call("sll_length_list", vec![l.clone()]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            m.call("sll_sum_list", vec![l.clone()]).unwrap(),
+            Value::Int(15)
+        );
+    }
+
+    #[test]
+    fn remove_tail_is_o1_writes() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let l = m.call("sll_make", vec![Value::Int(64)]).unwrap();
+        let before = m.stats().field_writes;
+        let d = m.call("sll_remove_tail_list", vec![l]).unwrap();
+        let writes = m.stats().field_writes - before;
+        assert!(matches!(d, Value::Maybe(Some(_))), "tail payload returned");
+        assert!(writes <= 3, "tempered remove_tail should be O(1) writes, got {writes}");
+    }
+
+    #[test]
+    fn destructive_checks_under_global_domination() {
+        destructive_entry()
+            .check(&CheckerOptions::with_mode(CheckerMode::GlobalDomination))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn destructive_remove_tail_is_on_writes() {
+        let mut m = Machine::new(&destructive_entry().parse()).unwrap();
+        let l = m.call("gd_make", vec![Value::Int(64)]).unwrap();
+        let before = m.stats().field_writes;
+        let d = m.call("gd_remove_tail_list", vec![l]).unwrap();
+        assert!(matches!(d, Value::Maybe(Some(_))));
+        let writes = m.stats().field_writes - before;
+        assert!(
+            writes >= 64,
+            "destructive remove_tail repairs every node, got {writes} writes"
+        );
+    }
+
+    #[test]
+    fn figure_2_checks() {
+        figure_2_entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn walk_payload_consumes() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let l = m.call("sll_make", vec![Value::Int(5)]).unwrap();
+        // Extract the head node to walk from.
+        let hd_obj = l.as_loc().unwrap();
+        let hd = m.heap().read_field(hd_obj, 0).unwrap();
+        let Value::Maybe(Some(node)) = hd else { panic!() };
+        assert_eq!(
+            m.call("sll_walk_payload", vec![*node, Value::Int(3)]).unwrap(),
+            Value::Int(4)
+        );
+    }
+}

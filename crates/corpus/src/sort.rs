@@ -1,0 +1,185 @@
+//! Merge sort over the recursively linear singly linked list (§8-style
+//! algorithmic code): splitting consumes the input spine into two halves,
+//! merging consumes both and rebuilds one — all in-place over `iso`
+//! references, no copies, no destructive-read repairs beyond `take`.
+
+use crate::CorpusEntry;
+
+/// Struct declarations (standalone, sll only).
+pub const SORT_STRUCTS: &str = "
+struct data { value: int }
+struct sll_node {
+  iso payload : data;
+  iso next : sll_node?;
+}
+struct pair {
+  iso first : sll_node?;
+  iso second : sll_node?;
+}
+";
+
+/// The merge-sort library.
+pub const SORT_FUNCS: &str = "
+// Splits a list into alternating halves, consuming it.
+def sort_split(m : sll_node?) : pair consumes m {
+  let p = new pair(none, none);
+  let onto_first = true;
+  let cur = m;
+  let more = true;
+  while (more) {
+    let some(node) = cur in {
+      let rest = take(node.next);
+      if (onto_first) {
+        node.next = take(p.first);
+        p.first = some(node);
+      } else {
+        node.next = take(p.second);
+        p.second = some(node);
+      };
+      onto_first = !onto_first;
+      cur = rest;
+    } else { more = false; };
+  };
+  p
+}
+
+// Merges two sorted lists into one sorted list, consuming both.
+def sort_merge(a : sll_node?, b : sll_node?) : sll_node?
+    consumes a, b {
+  let some(x) = a in {
+    let some(y) = b in {
+      if (x.payload.value <= y.payload.value) {
+        x.next = sort_merge(take(x.next), some(y));
+        some(x)
+      } else {
+        y.next = sort_merge(some(x), take(y.next));
+        some(y)
+      }
+    } else { some(x) }
+  } else { b }
+}
+
+// Whether the list has at least two nodes.
+def sort_has_two(n : sll_node) : bool { is_some(n.next) }
+
+// Merge sort proper.
+def sort_list(m : sll_node?) : sll_node? consumes m {
+  let some(n) = m in {
+    if (sort_has_two(n)) {
+      let halves = sort_split(some(n));
+      let left = sort_list(take(halves.first));
+      let right = sort_list(take(halves.second));
+      sort_merge(left, right)
+    } else { some(n) }
+  } else { none }
+}
+
+// ---- drivers / oracles ----
+
+def sort_empty() : sll_node? { none }
+
+def sort_build_desc(n : int) : sll_node? {
+  let out = sort_empty();
+  let i = n;
+  while (i > 0) {
+    // new's iso initializer consumes out's region directly.
+    out = some(new sll_node(new data(i), out));
+    i = i - 1
+  };
+  out
+}
+
+def sort_is_sorted(n : sll_node) : bool {
+  let some(nx) = n.next in {
+    (n.payload.value <= nx.payload.value) && sort_is_sorted(nx)
+  } else { true }
+}
+
+def sort_sum(n : sll_node) : int {
+  let v = n.payload.value;
+  let some(nx) = n.next in { v + sort_sum(nx) } else { v }
+}
+
+def sort_len(n : sll_node) : int {
+  let some(nx) = n.next in { 1 + sort_len(nx) } else { 1 }
+}
+
+def sort_demo(n : int) : bool {
+  let list = sort_build_desc(n);
+  let sorted = sort_list(list);
+  let some(hd) = sorted in {
+    sort_is_sorted(hd) && (sort_len(hd) == n)
+      && (sort_sum(hd) == (n * (n + 1)) / 2)
+  } else { n == 0 }
+}
+";
+
+/// The merge-sort entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "sort",
+        source: format!("{SORT_STRUCTS}{SORT_FUNCS}"),
+        accepted: true,
+        description: "in-place merge sort over the iso list spine (§8 algorithmic code)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+    use fearless_runtime::{Machine, Value};
+
+    #[test]
+    fn sort_checks_under_tempered() {
+        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn sort_demo_sorts() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        for n in [0i64, 1, 2, 3, 5, 16, 63] {
+            assert_eq!(
+                m.call("sort_demo", vec![Value::Int(n)]).unwrap(),
+                Value::Bool(true),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_idempotent_on_sorted_input() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let list = m.call("sort_build_desc", vec![Value::Int(20)]).unwrap();
+        let sorted = m.call("sort_list", vec![list]).unwrap();
+        let resorted = m.call("sort_list", vec![sorted]).unwrap();
+        let Value::Maybe(Some(hd)) = resorted else { panic!("empty") };
+        assert_eq!(
+            m.call("sort_is_sorted", vec![(*hd).clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(m.call("sort_len", vec![*hd]).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn split_partitions_evenly() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let list = m.call("sort_build_desc", vec![Value::Int(9)]).unwrap();
+        let p = m.call("sort_split", vec![list]).unwrap();
+        let p_obj = p.as_loc().unwrap();
+        let first = m.heap().read_field(p_obj, 0).unwrap();
+        let second = m.heap().read_field(p_obj, 1).unwrap();
+        let len = |m: &mut Machine, v: Value| -> i64 {
+            match v {
+                Value::Maybe(Some(inner)) => {
+                    m.call("sort_len", vec![*inner]).unwrap().expect_int()
+                }
+                _ => 0,
+            }
+        };
+        let a = len(&mut m, first);
+        let b = len(&mut m, second);
+        assert_eq!(a + b, 9);
+        assert!((a - b).abs() <= 1, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,273 @@
+//! A binary search tree with `iso` children, plus a fork/join parallel sum
+//! where *entire subtrees* are detached with `take` and shipped to worker
+//! threads — the tempered-domination version of structured parallelism
+//! over an owned tree (paper §1: "added elements may have been received
+//! from remote threads and removed elements may be immediately sent to a
+//! new thread").
+
+use crate::CorpusEntry;
+
+/// Struct declarations.
+pub const TREE_STRUCTS: &str = "
+struct data { value: int }
+
+struct tree_node {
+  iso payload : data;
+  iso left : tree_node?;
+  iso right : tree_node?;
+}
+";
+
+/// The tree library.
+pub const TREE_FUNCS: &str = "
+def tree_leaf(v : int) : tree_node {
+  new tree_node(new data(v), none, none)
+}
+
+// BST insert by payload value (in-place, consuming style).
+def tree_insert(m : tree_node?, v : int) : tree_node consumes m {
+  let some(n) = m in {
+    if (v < n.payload.value) {
+      n.left = some(tree_insert(take(n.left), v));
+      n
+    } else {
+      n.right = some(tree_insert(take(n.right), v));
+      n
+    }
+  } else {
+    tree_leaf(v)
+  }
+}
+
+def tree_build(count : int) : tree_node {
+  // Mixed insertion order for a bushy tree.
+  let root = tree_leaf((count + 1) / 2);
+  let i = 1;
+  while (i <= count) {
+    if (i != (count + 1) / 2) {
+      root = tree_insert(some(root), i);
+    } else { unit };
+    i = i + 1
+  };
+  root
+}
+
+def tree_sum(n : tree_node) : int {
+  let acc = n.payload.value;
+  let some(l) = n.left in { acc = acc + tree_sum(l); } else { unit };
+  let some(r) = n.right in { acc = acc + tree_sum(r); } else { unit };
+  acc
+}
+
+def tree_size(n : tree_node) : int {
+  let acc = 1;
+  let some(l) = n.left in { acc = acc + tree_size(l); } else { unit };
+  let some(r) = n.right in { acc = acc + tree_size(r); } else { unit };
+  acc
+}
+
+def tree_contains(n : tree_node, v : int) : bool {
+  if (v == n.payload.value) { true }
+  else { if (v < n.payload.value) {
+    let some(l) = n.left in { tree_contains(l, v) } else { false }
+  } else {
+    let some(r) = n.right in { tree_contains(r, v) } else { false }
+  } }
+}
+
+// ---- deletion ----
+
+struct extraction {
+  iso remaining : tree_node?;
+  iso payload : data?;
+}
+
+// Removes the minimum node, returning the remaining tree plus the removed
+// payload as a dominating reference (the Fig. 2 pattern, tree-shaped).
+def tree_remove_min(n : tree_node) : extraction consumes n {
+  let m = take(n.left);
+  let some(l) = m in {
+    let ex = tree_remove_min(l);
+    n.left = take(ex.remaining);
+    ex.remaining = some(n);
+    ex
+  } else {
+    new extraction(take(n.right), some(n.payload))
+  }
+}
+
+// Deletes `key`, returning the remaining tree and the removed payload
+// (payload is none when the key was absent).
+def tree_delete(m : tree_node?, key : int) : extraction consumes m {
+  let some(n) = m in {
+    if (key < n.payload.value) {
+      let ex = tree_delete(take(n.left), key);
+      n.left = take(ex.remaining);
+      ex.remaining = some(n);
+      ex
+    } else { if (key > n.payload.value) {
+      let ex = tree_delete(take(n.right), key);
+      n.right = take(ex.remaining);
+      ex.remaining = some(n);
+      ex
+    } else {
+      // Found. Move n's payload out, then splice the successor in.
+      let r = take(n.right);
+      let some(rn) = r in {
+        let ex = tree_remove_min(rn);
+        let out = new extraction(none, some(n.payload));
+        let p = take(ex.payload);
+        let some(pd) = p in {
+          n.payload = pd;
+          n.right = take(ex.remaining);
+          out.remaining = some(n);
+        } else {
+          // Unreachable (remove_min always yields a payload), but the
+          // checker demands both branches restore the context.
+          out.remaining = take(ex.remaining);
+        };
+        out
+      } else {
+        new extraction(take(n.left), some(n.payload))
+      }
+    } }
+  } else {
+    new extraction(none, none)
+  }
+}
+
+// ---- fork/join parallel sum ----
+
+// A worker receives a (maybe) subtree, sums it sequentially, and sends the
+// partial result back as a plain int message.
+def tree_worker() : unit {
+  let m = recv(tree_node?);
+  let s = 0;
+  let some(n) = m in { s = tree_sum(n); } else { unit };
+  send(s);
+  unit
+}
+
+// The coordinator detaches both subtrees of the root — two `take`s prove
+// the detached graphs are dominated, so shipping them races with nothing —
+// then joins the partial sums.
+def tree_coordinator(count : int) : int {
+  let root = tree_build(count);
+  send(take(root.left));
+  send(take(root.right));
+  root.payload.value + recv(int) + recv(int)
+}
+";
+
+/// The tree entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "tree",
+        source: format!("{TREE_STRUCTS}{TREE_FUNCS}"),
+        accepted: true,
+        description: "BST with iso children; fork/join parallel sum over detached subtrees",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+    use fearless_runtime::{Machine, MachineConfig, Value};
+
+    #[test]
+    fn tree_checks_under_tempered() {
+        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn bst_operations() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("tree_build", vec![Value::Int(16)]).unwrap();
+        assert_eq!(m.call("tree_size", vec![t.clone()]).unwrap(), Value::Int(16));
+        assert_eq!(
+            m.call("tree_sum", vec![t.clone()]).unwrap(),
+            Value::Int((1..=16).sum::<i64>())
+        );
+        for v in [1i64, 8, 16] {
+            assert_eq!(
+                m.call("tree_contains", vec![t.clone(), Value::Int(v)]).unwrap(),
+                Value::Bool(true)
+            );
+        }
+        assert_eq!(
+            m.call("tree_contains", vec![t, Value::Int(99)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn remove_min_extracts_in_order() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("tree_build", vec![Value::Int(10)]).unwrap();
+        let mut remaining = Value::some(t);
+        for expect in 1..=10i64 {
+            let Value::Maybe(Some(node)) = remaining else { panic!("empty early") };
+            let ex = m.call("tree_remove_min", vec![*node]).unwrap();
+            let ex_obj = ex.as_loc().unwrap();
+            let payload = m.heap().read_field(ex_obj, 1).unwrap();
+            let Value::Maybe(Some(p)) = payload else { panic!("no payload") };
+            let v = m.heap().read_field(p.as_loc().unwrap(), 0).unwrap();
+            assert_eq!(v, Value::Int(expect));
+            remaining = m.heap().read_field(ex_obj, 0).unwrap();
+        }
+        assert!(remaining.is_none());
+    }
+
+    #[test]
+    fn delete_by_key_matches_model() {
+        let mut m = Machine::new(&entry().parse()).unwrap();
+        let t = m.call("tree_build", vec![Value::Int(15)]).unwrap();
+        let mut tree = Value::some(t);
+        let mut model: std::collections::BTreeSet<i64> = (1..=15).collect();
+        for key in [8i64, 1, 15, 99, 8, 4] {
+            let ex = m.call("tree_delete", vec![tree, Value::Int(key)]).unwrap();
+            let ex_obj = ex.as_loc().unwrap();
+            let payload = m.heap().read_field(ex_obj, 1).unwrap();
+            assert_eq!(
+                !payload.is_none(),
+                model.remove(&key),
+                "key {key}"
+            );
+            tree = m.heap().read_field(ex_obj, 0).unwrap();
+            // The remaining tree stays a well-formed BST with the right sum.
+            if let Value::Maybe(Some(node)) = &tree {
+                let sum = m.call("tree_sum", vec![(**node).clone()]).unwrap();
+                assert_eq!(sum, Value::Int(model.iter().sum::<i64>()));
+                let size = m.call("tree_size", vec![(**node).clone()]).unwrap();
+                assert_eq!(size, Value::Int(model.len() as i64));
+            } else {
+                assert!(model.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        for seed in 0..6 {
+            let mut m = Machine::with_config(
+                &entry().parse(),
+                MachineConfig {
+                    random_schedule: true,
+                    seed,
+                    ..MachineConfig::default()
+                },
+            )
+            .unwrap();
+            let c = m.spawn("tree_coordinator", vec![Value::Int(31)]).unwrap();
+            m.spawn("tree_worker", vec![]).unwrap();
+            m.spawn("tree_worker", vec![]).unwrap();
+            m.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                m.thread(c).result(),
+                Some(&Value::Int((1..=31).sum::<i64>())),
+                "seed {seed}"
+            );
+        }
+    }
+}

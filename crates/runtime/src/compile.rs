@@ -1,0 +1,577 @@
+//! AST → IR compiler with lightweight (region-free) type inference.
+//!
+//! The compiler resolves variables to local slots and fields to indices.
+//! It performs simple syntax-directed type inference — no regions, no
+//! tracking — because field indices and `send` channel types need static
+//! types. Programs are expected to have passed `fearless-core` checking
+//! first; the inference here exists so the runtime can also execute
+//! *rejected* programs (to demonstrate the dynamic faults the type system
+//! prevents, experiment E8).
+
+use std::collections::HashMap;
+
+use fearless_syntax::{Expr, ExprKind, FnDef, Program, Symbol, Type};
+
+use fearless_core::TypeError;
+
+use crate::heap::TypeTable;
+use crate::ir::{CompiledFn, CompiledProgram, Inst};
+
+/// Compiles a parsed program.
+///
+/// # Errors
+///
+/// Reports unresolved names, arity mismatches, and type mismatches that
+/// would make the IR ill-formed.
+pub fn compile(program: &Program) -> Result<CompiledProgram, TypeError> {
+    let table = TypeTable::new(program);
+    let mut fn_ids = HashMap::new();
+    for (i, f) in program.funcs.iter().enumerate() {
+        fn_ids.insert(f.name.clone(), i);
+    }
+    let (funcs, channel_tys) = {
+        let mut compiler = Compiler {
+            program,
+            table: &table,
+            fn_ids: &fn_ids,
+            channel_tys: Vec::new(),
+        };
+        let mut funcs = Vec::new();
+        for f in &program.funcs {
+            funcs.push(compiler.compile_fn(f)?);
+        }
+        (funcs, compiler.channel_tys)
+    };
+    Ok(CompiledProgram {
+        table,
+        funcs,
+        fn_ids,
+        channel_tys,
+    })
+}
+
+struct Compiler<'a> {
+    program: &'a Program,
+    table: &'a TypeTable,
+    fn_ids: &'a HashMap<Symbol, usize>,
+    channel_tys: Vec<Type>,
+}
+
+struct FnCtx {
+    scopes: Vec<HashMap<Symbol, (u16, Type)>>,
+    n_locals: usize,
+    code: Vec<Inst>,
+    self_ty: Option<Symbol>,
+}
+
+impl FnCtx {
+    fn lookup(&self, x: &Symbol) -> Option<(u16, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(found) = scope.get(x) {
+                return Some(found.clone());
+            }
+        }
+        None
+    }
+
+    fn bind(&mut self, x: Symbol, ty: Type) -> u16 {
+        let slot = self.n_locals as u16;
+        self.n_locals += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(x, (slot, ty));
+        slot
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.code.push(inst);
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Inst::Jump(t) | Inst::JumpIfFalse(t) | Inst::BranchNone(t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+}
+
+impl<'a> Compiler<'a> {
+    fn err(&self, msg: impl Into<String>, span: fearless_syntax::Span) -> TypeError {
+        TypeError::new(msg, span)
+    }
+
+    fn channel_id(&mut self, ty: &Type) -> u16 {
+        if let Some(i) = self.channel_tys.iter().position(|t| t == ty) {
+            return i as u16;
+        }
+        self.channel_tys.push(ty.clone());
+        (self.channel_tys.len() - 1) as u16
+    }
+
+    fn compile_fn(&mut self, def: &FnDef) -> Result<CompiledFn, TypeError> {
+        let mut ctx = FnCtx {
+            scopes: vec![HashMap::new()],
+            n_locals: 0,
+            code: Vec::new(),
+            self_ty: None,
+        };
+        for p in &def.params {
+            ctx.bind(p.name.clone(), p.ty.clone());
+        }
+        let ty = self.expr(&mut ctx, &def.body, Some(&def.ret))?;
+        if ty != def.ret {
+            return Err(self.err(
+                format!("`{}` returns {}, declared {}", def.name, ty, def.ret),
+                def.span,
+            ));
+        }
+        ctx.emit(Inst::Ret);
+        Ok(CompiledFn {
+            name: def.name.clone(),
+            n_params: def.params.len(),
+            n_locals: ctx.n_locals,
+            code: ctx.code,
+            param_tys: def.params.iter().map(|p| p.ty.clone()).collect(),
+            ret: def.ret.clone(),
+        })
+    }
+
+    /// Compiles `e`, leaving exactly one value on the stack; returns its
+    /// type.
+    fn expr(
+        &mut self,
+        ctx: &mut FnCtx,
+        e: &Expr,
+        expected: Option<&Type>,
+    ) -> Result<Type, TypeError> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Unit => {
+                ctx.emit(Inst::PushUnit);
+                Ok(Type::Unit)
+            }
+            ExprKind::Int(n) => {
+                ctx.emit(Inst::PushInt(*n));
+                Ok(Type::Int)
+            }
+            ExprKind::Bool(b) => {
+                ctx.emit(Inst::PushBool(*b));
+                Ok(Type::Bool)
+            }
+            ExprKind::Var(x) => {
+                let (slot, ty) = ctx
+                    .lookup(x)
+                    .ok_or_else(|| self.err(format!("unknown variable `{x}`"), span))?;
+                ctx.emit(Inst::Load(slot));
+                Ok(ty)
+            }
+            ExprKind::SelfRef => {
+                let sname = ctx
+                    .self_ty
+                    .clone()
+                    .ok_or_else(|| self.err("`self` outside `new` initializer", span))?;
+                ctx.emit(Inst::PushSelf);
+                Ok(Type::Named(sname))
+            }
+            ExprKind::Field(recv, f) => {
+                let rty = self.expr(ctx, recv, None)?;
+                let (idx, fty) = self.field(&rty, f, span)?;
+                ctx.emit(Inst::ReadField(idx));
+                Ok(fty)
+            }
+            ExprKind::Take(recv, f) => {
+                let rty = self.expr(ctx, recv, None)?;
+                let (idx, fty) = self.field(&rty, f, span)?;
+                if !matches!(fty, Type::Maybe(_)) {
+                    return Err(self.err("`take` requires a maybe-typed field", span));
+                }
+                ctx.emit(Inst::TakeField(idx));
+                Ok(fty)
+            }
+            ExprKind::AssignVar(x, rhs) => {
+                let (slot, ty) = ctx
+                    .lookup(x)
+                    .ok_or_else(|| self.err(format!("unknown variable `{x}`"), span))?;
+                self.expr_expect(ctx, rhs, &ty)?;
+                ctx.emit(Inst::Store(slot));
+                ctx.emit(Inst::PushUnit);
+                Ok(Type::Unit)
+            }
+            ExprKind::AssignField(recv, f, rhs) => {
+                let rty = self.expr(ctx, recv, None)?;
+                let (idx, fty) = self.field(&rty, f, span)?;
+                self.expr_expect(ctx, rhs, &fty)?;
+                ctx.emit(Inst::WriteField(idx));
+                Ok(Type::Unit)
+            }
+            ExprKind::Let { var, init, body } => {
+                let ity = self.expr(ctx, init, None)?;
+                ctx.scopes.push(HashMap::new());
+                let slot = ctx.bind(var.clone(), ity);
+                ctx.emit(Inst::Store(slot));
+                let bty = self.expr(ctx, body, expected)?;
+                ctx.scopes.pop();
+                Ok(bty)
+            }
+            ExprKind::LetSome {
+                var,
+                init,
+                then_branch,
+                else_branch,
+            } => {
+                let ity = self.expr(ctx, init, None)?;
+                let Type::Maybe(inner) = ity else {
+                    return Err(self.err(
+                        format!("`let some` requires a maybe type, found {ity}"),
+                        span,
+                    ));
+                };
+                let branch_at = ctx.here();
+                ctx.emit(Inst::BranchNone(0));
+                ctx.scopes.push(HashMap::new());
+                let slot = ctx.bind(var.clone(), (*inner).clone());
+                ctx.emit(Inst::Store(slot));
+                let tty = self.expr(ctx, then_branch, expected)?;
+                ctx.scopes.pop();
+                let jump_at = ctx.here();
+                ctx.emit(Inst::Jump(0));
+                let else_lbl = ctx.here() as u32;
+                ctx.patch(branch_at, else_lbl);
+                let ety = self.expr(ctx, else_branch, expected.or(Some(&tty)))?;
+                let end = ctx.here() as u32;
+                ctx.patch(jump_at, end);
+                self.join_types(&tty, &ety, span)
+            }
+            ExprKind::Seq(items) => {
+                let mut ty = Type::Unit;
+                let last = items.len().saturating_sub(1);
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        ctx.emit(Inst::Pop);
+                    }
+                    let exp = if i == last { expected } else { None };
+                    ty = self.expr(ctx, item, exp)?;
+                }
+                if items.is_empty() {
+                    ctx.emit(Inst::PushUnit);
+                }
+                Ok(ty)
+            }
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr_expect(ctx, cond, &Type::Bool)?;
+                let branch_at = ctx.here();
+                ctx.emit(Inst::JumpIfFalse(0));
+                let tty = self.expr(ctx, then_branch, expected)?;
+                let jump_at = ctx.here();
+                ctx.emit(Inst::Jump(0));
+                let else_lbl = ctx.here() as u32;
+                ctx.patch(branch_at, else_lbl);
+                let ety = self.expr(ctx, else_branch, expected.or(Some(&tty)))?;
+                let end = ctx.here() as u32;
+                ctx.patch(jump_at, end);
+                self.join_types(&tty, &ety, span)
+            }
+            ExprKind::IfDisconnected {
+                a,
+                b,
+                then_branch,
+                else_branch,
+            } => {
+                let (slot_a, _) = ctx
+                    .lookup(a)
+                    .ok_or_else(|| self.err(format!("unknown variable `{a}`"), span))?;
+                let (slot_b, _) = ctx
+                    .lookup(b)
+                    .ok_or_else(|| self.err(format!("unknown variable `{b}`"), span))?;
+                ctx.emit(Inst::Load(slot_a));
+                ctx.emit(Inst::Load(slot_b));
+                ctx.emit(Inst::Disconnected);
+                let branch_at = ctx.here();
+                ctx.emit(Inst::JumpIfFalse(0));
+                let tty = self.expr(ctx, then_branch, expected)?;
+                let jump_at = ctx.here();
+                ctx.emit(Inst::Jump(0));
+                let else_lbl = ctx.here() as u32;
+                ctx.patch(branch_at, else_lbl);
+                let ety = self.expr(ctx, else_branch, expected.or(Some(&tty)))?;
+                let end = ctx.here() as u32;
+                ctx.patch(jump_at, end);
+                self.join_types(&tty, &ety, span)
+            }
+            ExprKind::While { cond, body } => {
+                let start = ctx.here() as u32;
+                self.expr_expect(ctx, cond, &Type::Bool)?;
+                let branch_at = ctx.here();
+                ctx.emit(Inst::JumpIfFalse(0));
+                self.expr(ctx, body, None)?;
+                ctx.emit(Inst::Pop);
+                ctx.emit(Inst::Jump(start));
+                let end = ctx.here() as u32;
+                ctx.patch(branch_at, end);
+                ctx.emit(Inst::PushUnit);
+                Ok(Type::Unit)
+            }
+            ExprKind::New(name, args) => {
+                let struct_id = self
+                    .table
+                    .id_of(name)
+                    .ok_or_else(|| self.err(format!("unknown struct `{name}`"), span))?;
+                let layout = self.table.layout(struct_id).clone();
+                if args.len() != layout.field_names.len() {
+                    return Err(self.err(
+                        format!(
+                            "`new {name}` expects {} initializers, found {}",
+                            layout.field_names.len(),
+                            args.len()
+                        ),
+                        span,
+                    ));
+                }
+                let saved = ctx.self_ty.replace(name.clone());
+                for (arg, fty) in args.iter().zip(&layout.field_tys) {
+                    self.expr_expect(ctx, arg, fty)?;
+                }
+                ctx.self_ty = saved;
+                ctx.emit(Inst::New {
+                    struct_id: struct_id as u16,
+                    argc: args.len() as u16,
+                });
+                Ok(Type::Named(name.clone()))
+            }
+            ExprKind::SomeOf(inner) => {
+                let inner_expected = match expected {
+                    Some(Type::Maybe(t)) => Some((**t).clone()),
+                    _ => None,
+                };
+                let ity = self.expr(ctx, inner, inner_expected.as_ref())?;
+                ctx.emit(Inst::MakeSome);
+                Ok(Type::maybe(ity))
+            }
+            ExprKind::NoneOf => {
+                let Some(ty @ Type::Maybe(_)) = expected else {
+                    return Err(self.err("cannot infer the type of `none` here", span));
+                };
+                ctx.emit(Inst::PushNone);
+                Ok(ty.clone())
+            }
+            ExprKind::IsNone(inner) => {
+                self.expr(ctx, inner, None)?;
+                ctx.emit(Inst::IsNone);
+                Ok(Type::Bool)
+            }
+            ExprKind::IsSome(inner) => {
+                self.expr(ctx, inner, None)?;
+                ctx.emit(Inst::IsSome);
+                Ok(Type::Bool)
+            }
+            ExprKind::Call(name, args) => {
+                let fid = *self
+                    .fn_ids
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown function `{name}`"), span))?;
+                let def = &self.program.funcs[fid];
+                if args.len() != def.params.len() {
+                    return Err(self.err(
+                        format!(
+                            "`{name}` expects {} arguments, found {}",
+                            def.params.len(),
+                            args.len()
+                        ),
+                        span,
+                    ));
+                }
+                let param_tys: Vec<Type> = def.params.iter().map(|p| p.ty.clone()).collect();
+                let ret = def.ret.clone();
+                for (arg, pty) in args.iter().zip(&param_tys) {
+                    self.expr_expect(ctx, arg, pty)?;
+                }
+                ctx.emit(Inst::Call(fid as u16));
+                Ok(ret)
+            }
+            ExprKind::Send(inner) => {
+                let ity = self.expr(ctx, inner, None)?;
+                let ch = self.channel_id(&ity);
+                ctx.emit(Inst::Send(ch));
+                Ok(Type::Unit)
+            }
+            ExprKind::Recv(ty) => {
+                let ch = self.channel_id(ty);
+                ctx.emit(Inst::Recv(ch));
+                Ok(ty.clone())
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                use fearless_syntax::BinOp::*;
+                let (operand, out) = match op {
+                    And | Or => (Some(Type::Bool), Type::Bool),
+                    Eq | Ne | Lt | Le | Gt | Ge => (None, Type::Bool),
+                    _ => (Some(Type::Int), Type::Int),
+                };
+                let lty = self.expr(ctx, lhs, operand.as_ref())?;
+                self.expr_expect(ctx, rhs, &lty)?;
+                let _ = out;
+                ctx.emit(Inst::Binary(*op));
+                Ok(match op {
+                    And | Or | Eq | Ne | Lt | Le | Gt | Ge => Type::Bool,
+                    _ => Type::Int,
+                })
+            }
+            ExprKind::Unary(op, inner) => {
+                let want = match op {
+                    fearless_syntax::UnOp::Not => Type::Bool,
+                    fearless_syntax::UnOp::Neg => Type::Int,
+                };
+                self.expr_expect(ctx, inner, &want)?;
+                ctx.emit(Inst::Unary(*op));
+                Ok(want)
+            }
+        }
+    }
+
+    fn expr_expect(&mut self, ctx: &mut FnCtx, e: &Expr, want: &Type) -> Result<(), TypeError> {
+        let got = self.expr(ctx, e, Some(want))?;
+        if &got != want {
+            return Err(self.err(
+                format!("type mismatch: expected {want}, found {got}"),
+                e.span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn join_types(&self, a: &Type, b: &Type, span: fearless_syntax::Span) -> Result<Type, TypeError> {
+        if a == b {
+            Ok(a.clone())
+        } else {
+            Err(self.err(
+                format!("branches have different types: {a} vs {b}"),
+                span,
+            ))
+        }
+    }
+
+    fn field(
+        &self,
+        recv_ty: &Type,
+        f: &Symbol,
+        span: fearless_syntax::Span,
+    ) -> Result<(u16, Type), TypeError> {
+        let name = recv_ty
+            .struct_name()
+            .ok_or_else(|| self.err(format!("{recv_ty} has no fields"), span))?;
+        if matches!(recv_ty, Type::Maybe(_)) {
+            return Err(self.err(
+                format!("cannot access field of maybe type {recv_ty}"),
+                span,
+            ));
+        }
+        let sid = self
+            .table
+            .id_of(name)
+            .ok_or_else(|| self.err(format!("unknown struct `{name}`"), span))?;
+        let layout = self.table.layout(sid);
+        let idx = layout
+            .field_index(f)
+            .ok_or_else(|| self.err(format!("struct `{name}` has no field `{f}`"), span))?;
+        Ok((idx as u16, layout.field_tys[idx].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_syntax::parse_program;
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        compile(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_arithmetic() {
+        let p = compile_src("def add(a: int, b: int) : int { a + b * 2 }");
+        let f = &p.funcs[0];
+        assert_eq!(f.n_params, 2);
+        assert!(f.code.contains(&Inst::Binary(fearless_syntax::BinOp::Mul)));
+        assert!(matches!(f.code.last(), Some(Inst::Ret)));
+    }
+
+    #[test]
+    fn compiles_field_access() {
+        let p = compile_src(
+            "struct data { value: int }
+             def get(d: data) : int { d.value }",
+        );
+        assert!(p.funcs[0].code.contains(&Inst::ReadField(0)));
+    }
+
+    #[test]
+    fn compiles_let_some_with_jumps() {
+        let p = compile_src(
+            "struct data { value: int }
+             def get(m: data?) : int {
+               let some(d) = m in { d.value } else { 0 - 1 }
+             }",
+        );
+        let code = &p.funcs[0].code;
+        assert!(code.iter().any(|i| matches!(i, Inst::BranchNone(_))));
+    }
+
+    #[test]
+    fn compiles_while_loop() {
+        let p = compile_src(
+            "def count(n: int) : int {
+               let acc = 0;
+               while (n > 0) { acc = acc + n; n = n - 1 };
+               acc
+             }",
+        );
+        let code = &p.funcs[0].code;
+        assert!(code.iter().any(|i| matches!(i, Inst::JumpIfFalse(_))));
+        assert!(code.iter().any(|i| matches!(i, Inst::Jump(_))));
+    }
+
+    #[test]
+    fn interns_channel_types() {
+        let p = compile_src(
+            "struct data { value: int }
+             def f(d: data) : data consumes d { send(d); recv(data) }",
+        );
+        assert_eq!(p.channel_tys.len(), 1);
+        assert_eq!(p.channel_tys[0], Type::named("data"));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let r = compile(&parse_program("def f(a: int) : int { b }").unwrap());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let r = compile(&parse_program("def f(a: int) : bool { a }").unwrap());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn compiles_new_with_self() {
+        let p = compile_src(
+            "struct data { value: int }
+             struct node { iso payload : data; next : node; prev : node }
+             def mk() : node { new node(new data(1), self, self) }",
+        );
+        let code = &p.funcs[0].code;
+        assert_eq!(
+            code.iter().filter(|i| matches!(i, Inst::PushSelf)).count(),
+            2
+        );
+        assert!(code.iter().any(|i| matches!(i, Inst::New { .. })));
+    }
+}

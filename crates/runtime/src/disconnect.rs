@@ -1,0 +1,336 @@
+//! Run-time mutual-disconnection checks for `if disconnected` (§3.2, §5.2).
+//!
+//! Two implementations:
+//!
+//! * [`naive_disconnected`] — the reference semantics (E15A/E15B): full
+//!   traversals of both reachable object graphs over *all* fields, testing
+//!   intersection. Cost is linear in both graphs.
+//! * [`efficient_disconnected`] — the paper's two-step §5.2 algorithm:
+//!   interleaved traversals over non-`iso` edges only (tempered domination
+//!   guarantees no first intersection point lies beyond an `iso` field),
+//!   terminating as soon as the *smaller* graph is fully explored, then
+//!   comparing the traversal reference counts against the stored reference
+//!   counts. Conservative: it may report "connected" for graphs that are
+//!   disjoint but still referenced from elsewhere in the region.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::heap::{Heap, TypeTable};
+use crate::value::ObjId;
+
+/// Which disconnection check the machine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DisconnectStrategy {
+    /// The efficient §5.2 check (default).
+    #[default]
+    Efficient,
+    /// The naive full-traversal reference semantics.
+    Naive,
+}
+
+/// Outcome of a disconnection check, with the number of objects visited
+/// (for experiment E3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DisconnectOutcome {
+    /// Whether the reachable subgraphs were found disjoint.
+    pub disconnected: bool,
+    /// Objects visited by the check.
+    pub visited: usize,
+}
+
+/// Reference semantics: full traversal over all fields of both graphs.
+pub fn naive_disconnected(heap: &Heap, a: ObjId, b: ObjId) -> DisconnectOutcome {
+    let reach = |root: ObjId| -> HashSet<ObjId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if let Ok(obj) = heap.get(id) {
+                for v in &obj.fields {
+                    if let Some(t) = v.as_loc() {
+                        if !seen.contains(&t) {
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    };
+    let ra = reach(a);
+    let rb = reach(b);
+    let visited = ra.len() + rb.len();
+    DisconnectOutcome {
+        disconnected: ra.is_disjoint(&rb),
+        visited,
+    }
+}
+
+struct Traversal {
+    queue: VecDeque<ObjId>,
+    seen: HashSet<ObjId>,
+}
+
+impl Traversal {
+    fn new(root: ObjId) -> Self {
+        let mut seen = HashSet::new();
+        seen.insert(root);
+        Traversal {
+            queue: VecDeque::from([root]),
+            seen,
+        }
+    }
+}
+
+/// The efficient §5.2 check.
+///
+/// Interleaves breadth-first traversals from `a` and `b` over non-`iso`
+/// reference fields. Returns "connected" immediately on intersection.
+/// When the smaller graph is exhausted, compares each of its objects'
+/// traversal reference count (edge encounters during the traversal) with
+/// the heap's stored reference count; any mismatch means an unexplored
+/// external reference targets the smaller graph, so the check
+/// conservatively answers "connected".
+pub fn efficient_disconnected(
+    heap: &Heap,
+    table: &TypeTable,
+    a: ObjId,
+    b: ObjId,
+) -> DisconnectOutcome {
+    if a == b {
+        return DisconnectOutcome {
+            disconnected: false,
+            visited: 1,
+        };
+    }
+    let mut ta = Traversal::new(a);
+    let mut tb = Traversal::new(b);
+    // Traversal reference counts: edge encounters per target object, per
+    // side.
+    let mut counts_a: HashMap<ObjId, u32> = HashMap::new();
+    let mut counts_b: HashMap<ObjId, u32> = HashMap::new();
+    let mut visited = 0usize;
+
+    loop {
+        let a_active = !ta.queue.is_empty();
+        let b_active = !tb.queue.is_empty();
+        if !a_active || !b_active {
+            // One side is exhausted: it is the smaller graph. Verify its
+            // stored reference counts.
+            let (finished, counts) = if !a_active {
+                (&ta, &counts_a)
+            } else {
+                (&tb, &counts_b)
+            };
+            let closed = finished.seen.iter().all(|id| {
+                let stored = heap.get(*id).map(|o| o.stored_refcount).unwrap_or(0);
+                let traversed = counts.get(id).copied().unwrap_or(0);
+                stored == traversed
+            });
+            return DisconnectOutcome {
+                disconnected: closed,
+                visited,
+            };
+        }
+        if expand(heap, table, &mut ta, &tb.seen, &mut counts_a, &mut visited) {
+            return DisconnectOutcome {
+                disconnected: false,
+                visited,
+            };
+        }
+        if expand(heap, table, &mut tb, &ta.seen, &mut counts_b, &mut visited) {
+            return DisconnectOutcome {
+                disconnected: false,
+                visited,
+            };
+        }
+    }
+}
+
+/// Expands one object from `this`'s frontier; returns `true` on
+/// intersection with the other side.
+fn expand(
+    heap: &Heap,
+    table: &TypeTable,
+    this: &mut Traversal,
+    other_seen: &HashSet<ObjId>,
+    counts: &mut HashMap<ObjId, u32>,
+    visited: &mut usize,
+) -> bool {
+    let Some(id) = this.queue.pop_front() else {
+        return false;
+    };
+    *visited += 1;
+    let Ok(obj) = heap.get(id) else { return false };
+    let layout = table.layout(obj.struct_id);
+    for (i, v) in obj.fields.iter().enumerate() {
+        if layout.iso[i] {
+            continue; // iso edges leave the region (§5.2)
+        }
+        let Some(t) = v.as_loc() else { continue };
+        *counts.entry(t).or_insert(0) += 1;
+        if other_seen.contains(&t) {
+            return true;
+        }
+        if this.seen.insert(t) {
+            this.queue.push_back(t);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use fearless_syntax::parse_program;
+
+    fn setup() -> (TypeTable, Heap) {
+        let p = parse_program(
+            "struct data { value: int }
+             struct dll_node { iso payload : data; next : dll_node; prev : dll_node }",
+        )
+        .unwrap();
+        {
+            let t = TypeTable::new(&p);
+            let h = Heap::new(t.clone());
+            (t, h)
+        }
+    }
+
+    /// Builds a circular dll of length n; returns the node ids.
+    fn circle(table: &TypeTable, heap: &mut Heap, n: usize) -> Vec<ObjId> {
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let p = heap.alloc(data_id, vec![Value::Int(i as i64)]);
+            let node = heap.alloc(node_id,
+                vec![
+                    Value::Loc(p),
+                    Value::Loc(ObjId::SELF_PLACEHOLDER),
+                    Value::Loc(ObjId::SELF_PLACEHOLDER),
+                ],
+            );
+            nodes.push(node);
+        }
+        // Link into a circle.
+        for i in 0..n {
+            let next = nodes[(i + 1) % n];
+            let prev = nodes[(i + n - 1) % n];
+            heap.write_field(nodes[i], 1, Value::Loc(next)).unwrap();
+            heap.write_field(nodes[i], 2, Value::Loc(prev)).unwrap();
+        }
+        nodes
+    }
+
+    /// Excises the tail (last node) exactly like Fig. 5.
+    fn excise_tail(_table: &TypeTable, heap: &mut Heap, nodes: &[ObjId]) -> (ObjId, ObjId) {
+        let hd = nodes[0];
+        let tail = *nodes.last().unwrap();
+        let tail_prev = heap.read_field(tail, 2).unwrap().as_loc().unwrap();
+        heap.write_field(tail_prev, 1, Value::Loc(hd)).unwrap();
+        heap.write_field(hd, 2, Value::Loc(tail_prev)).unwrap();
+        heap.write_field(tail, 1, Value::Loc(tail)).unwrap();
+        heap.write_field(tail, 2, Value::Loc(tail)).unwrap();
+        (tail, hd)
+    }
+
+    #[test]
+    fn size_two_excision_is_disconnected() {
+        let (table, mut heap) = setup();
+        let nodes = circle(&table, &mut heap, 2);
+        let (tail, hd) = excise_tail(&table, &mut heap, &nodes);
+        assert!(naive_disconnected(&heap, tail, hd).disconnected);
+        assert!(efficient_disconnected(&heap, &table, tail, hd).disconnected);
+    }
+
+    #[test]
+    fn size_one_list_is_connected() {
+        // Fig. 3/4: in a size-1 list, hd and hd.prev are the same object.
+        let (table, mut heap) = setup();
+        let nodes = circle(&table, &mut heap, 1);
+        let hd = nodes[0];
+        let out = efficient_disconnected(&heap, &table, hd, hd);
+        assert!(!out.disconnected);
+        assert!(!naive_disconnected(&heap, hd, hd).disconnected);
+    }
+
+    #[test]
+    fn unrepaired_excision_is_connected() {
+        // Omit the tail self-pointer repairs: tail still points into the
+        // list, so the graphs intersect.
+        let (table, mut heap) = setup();
+        let nodes = circle(&table, &mut heap, 4);
+        let hd = nodes[0];
+        let tail = *nodes.last().unwrap();
+        let tail_prev = heap.read_field(tail, 2).unwrap().as_loc().unwrap();
+        heap.write_field(tail_prev, 1, Value::Loc(hd)).unwrap();
+        heap.write_field(hd, 2, Value::Loc(tail_prev)).unwrap();
+        // tail.next / tail.prev still point into the list.
+        assert!(!efficient_disconnected(&heap, &table, tail, hd).disconnected);
+        assert!(!naive_disconnected(&heap, tail, hd).disconnected);
+    }
+
+    #[test]
+    fn efficient_visits_only_smaller_graph() {
+        // Paper claim: the check terminates after the smaller graph; for a
+        // tail detach the cost is O(1), not O(list length).
+        let (table, mut heap) = setup();
+        let nodes = circle(&table, &mut heap, 1024);
+        let (tail, hd) = excise_tail(&table, &mut heap, &nodes);
+        let out = efficient_disconnected(&heap, &table, tail, hd);
+        assert!(out.disconnected);
+        assert!(
+            out.visited <= 4,
+            "expected O(1) visits for tail detach, got {}",
+            out.visited
+        );
+        let naive = naive_disconnected(&heap, tail, hd);
+        assert!(naive.visited >= 1024);
+    }
+
+    #[test]
+    fn stray_external_reference_makes_efficient_conservative() {
+        // A third in-region object points at the detached tail: naive says
+        // disconnected (tail unreachable from hd), efficient conservatively
+        // says connected (stored refcount exceeds traversal count).
+        let (table, mut heap) = setup();
+        let nodes = circle(&table, &mut heap, 3);
+        let (tail, hd) = excise_tail(&table, &mut heap, &nodes);
+        // Stray: a separate node whose next points at tail.
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let p = heap.alloc(data_id, vec![Value::Int(99)]);
+        let stray = heap.alloc(
+            node_id,
+            vec![
+                Value::Loc(p),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        heap.write_field(stray, 1, Value::Loc(tail)).unwrap();
+        let eff = efficient_disconnected(&heap, &table, tail, hd);
+        let naive = naive_disconnected(&heap, tail, hd);
+        assert!(naive.disconnected);
+        assert!(!eff.disconnected, "efficient must be conservative");
+    }
+
+    #[test]
+    fn efficient_never_claims_disconnected_when_connected() {
+        // Soundness direction on assorted shapes.
+        let (table, mut heap) = setup();
+        for n in [1usize, 2, 3, 5, 8] {
+            let nodes = circle(&table, &mut heap, n);
+            let hd = nodes[0];
+            let mid = nodes[n / 2];
+            let eff = efficient_disconnected(&heap, &table, hd, mid);
+            let naive = naive_disconnected(&heap, hd, mid);
+            assert!(!naive.disconnected);
+            assert!(!eff.disconnected);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Run-time errors, including the reservation faults that well-typed
+//! programs can never trigger (Theorem 6.1/6.2).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::ObjId;
+
+/// A run-time error raised by the abstract machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuntimeError {
+    /// A thread touched a location outside its reservation — the "stuck"
+    /// state of the small-step semantics (§3.2). Well-typed programs never
+    /// raise this; our soundness tests rely on that.
+    ReservationFault {
+        /// The offending thread.
+        thread: usize,
+        /// The location accessed.
+        loc: ObjId,
+        /// What the thread was doing.
+        action: &'static str,
+    },
+    /// Access to a freed or never-allocated location.
+    InvalidLocation(ObjId),
+    /// A `none` was unwrapped where a value was required (only reachable
+    /// from unchecked programs).
+    NoneUnwrap,
+    /// Dynamic type confusion (only reachable from unchecked programs).
+    TypeConfusion(String),
+    /// All threads are blocked on send/recv.
+    Deadlock,
+    /// The step budget was exhausted.
+    StepLimit(u64),
+    /// Division by zero.
+    DivisionByZero,
+    /// A function or struct referenced at run time is missing.
+    Missing(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ReservationFault {
+                thread,
+                loc,
+                action,
+            } => write!(
+                f,
+                "reservation fault: thread {thread} attempted {action} on {loc} outside \
+                 its reservation (the program is stuck)"
+            ),
+            RuntimeError::InvalidLocation(l) => write!(f, "invalid location {l}"),
+            RuntimeError::NoneUnwrap => write!(f, "unwrapped `none`"),
+            RuntimeError::TypeConfusion(msg) => write!(f, "dynamic type confusion: {msg}"),
+            RuntimeError::Deadlock => write!(f, "deadlock: all threads blocked on send/recv"),
+            RuntimeError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::Missing(what) => write!(f, "missing definition: {what}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reservation_fault() {
+        let e = RuntimeError::ReservationFault {
+            thread: 1,
+            loc: ObjId(5),
+            action: "field read",
+        };
+        let s = e.to_string();
+        assert!(s.contains("thread 1"));
+        assert!(s.contains("ℓ5"));
+        assert!(s.contains("stuck"));
+    }
+}

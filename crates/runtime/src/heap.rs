@@ -1,0 +1,395 @@
+//! The shared heap: objects with per-field values and the *stored
+//! reference counts* of §5.2 (inbound references held in non-`iso` fields,
+//! updated only on field assignment).
+
+use std::collections::HashMap;
+
+use fearless_syntax::{Program, Symbol, Type};
+
+use crate::error::RuntimeError;
+use crate::value::{ObjId, Value};
+
+/// Compact per-struct layout information.
+#[derive(Debug, Clone)]
+pub struct StructLayout {
+    /// Struct name.
+    pub name: Symbol,
+    /// Field names in declaration order.
+    pub field_names: Vec<Symbol>,
+    /// Whether each field is `iso`.
+    pub iso: Vec<bool>,
+    /// Whether each field holds references (structs or maybes thereof).
+    pub is_ref: Vec<bool>,
+    /// Declared field types.
+    pub field_tys: Vec<Type>,
+}
+
+impl StructLayout {
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &Symbol) -> Option<usize> {
+        self.field_names.iter().position(|f| f == name)
+    }
+}
+
+/// Struct layout table derived from a program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    layouts: Vec<StructLayout>,
+    by_name: HashMap<Symbol, usize>,
+}
+
+impl TypeTable {
+    /// Builds the table from a parsed program.
+    pub fn new(program: &Program) -> Self {
+        let mut table = TypeTable::default();
+        for s in &program.structs {
+            let layout = StructLayout {
+                name: s.name.clone(),
+                field_names: s.fields.iter().map(|f| f.name.clone()).collect(),
+                iso: s.fields.iter().map(|f| f.iso).collect(),
+                is_ref: s.fields.iter().map(|f| f.ty.is_reference()).collect(),
+                field_tys: s.fields.iter().map(|f| f.ty.clone()).collect(),
+            };
+            table.by_name.insert(s.name.clone(), table.layouts.len());
+            table.layouts.push(layout);
+        }
+        table
+    }
+
+    /// Looks up a struct id by name.
+    pub fn id_of(&self, name: &Symbol) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The layout of struct id `id`.
+    pub fn layout(&self, id: usize) -> &StructLayout {
+        &self.layouts[id]
+    }
+
+    /// Number of structs.
+    pub fn len(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layouts.is_empty()
+    }
+}
+
+/// A heap object: its struct id, field values, and its stored reference
+/// count (inbound non-`iso` heap references).
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Index into the [`TypeTable`].
+    pub struct_id: usize,
+    /// Field values in declaration order.
+    pub fields: Vec<Value>,
+    /// Stored reference count: number of non-`iso` heap fields (anywhere)
+    /// currently containing a reference to this object. Maintained only on
+    /// field assignment (§5.2) — never on variable assignment or calls.
+    pub stored_refcount: u32,
+}
+
+/// The shared mutable heap.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<Option<Object>>,
+    table: TypeTable,
+}
+
+impl Heap {
+    /// Creates an empty heap over the given struct layouts.
+    pub fn new(table: TypeTable) -> Self {
+        Heap {
+            objects: Vec::new(),
+            table,
+        }
+    }
+
+    /// The heap's struct layout table.
+    pub fn table(&self) -> &TypeTable {
+        &self.table
+    }
+
+    /// Number of allocated (live) objects.
+    pub fn len(&self) -> usize {
+        self.objects.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocates an object, returning its location. Field values that
+    /// mention [`ObjId::SELF_PLACEHOLDER`] are patched to the new id, and
+    /// stored refcounts of non-iso targets are incremented.
+    pub fn alloc(&mut self, struct_id: usize, mut fields: Vec<Value>) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        for v in &mut fields {
+            v.patch_self(id);
+        }
+        self.objects.push(Some(Object {
+            struct_id,
+            fields: fields.clone(),
+            stored_refcount: 0,
+        }));
+        // Count the new object's own non-iso outbound references.
+        let layout = self.table.layout(struct_id).clone();
+        for (i, v) in fields.iter().enumerate() {
+            if !layout.iso[i] {
+                if let Some(target) = v.as_loc() {
+                    self.bump(target, 1);
+                }
+            }
+        }
+        id
+    }
+
+    fn bump(&mut self, id: ObjId, delta: i32) {
+        if let Some(Some(obj)) = self.objects.get_mut(id.0 as usize) {
+            obj.stored_refcount = (obj.stored_refcount as i64 + delta as i64).max(0) as u32;
+        }
+    }
+
+    /// Reads an object.
+    pub fn get(&self, id: ObjId) -> Result<&Object, RuntimeError> {
+        self.objects
+            .get(id.0 as usize)
+            .and_then(|o| o.as_ref())
+            .ok_or(RuntimeError::InvalidLocation(id))
+    }
+
+    /// Reads a field value.
+    pub fn read_field(&self, id: ObjId, field: usize) -> Result<Value, RuntimeError> {
+        let obj = self.get(id)?;
+        obj.fields
+            .get(field)
+            .cloned()
+            .ok_or_else(|| RuntimeError::TypeConfusion(format!("field #{field} of {id}")))
+    }
+
+    /// Writes a field, maintaining stored reference counts for non-`iso`
+    /// fields (§5.2: counts are updated *only* on field assignment).
+    pub fn write_field(
+        &mut self,
+        id: ObjId,
+        field: usize,
+        value: Value,
+    ) -> Result<Value, RuntimeError> {
+        let obj = self.get(id)?;
+        let struct_id = obj.struct_id;
+        let iso = self.table.layout(struct_id).iso[field];
+        let old = obj.fields[field].clone();
+        if !iso {
+            if let Some(old_target) = old.as_loc() {
+                self.bump(old_target, -1);
+            }
+            if let Some(new_target) = value.as_loc() {
+                self.bump(new_target, 1);
+            }
+        }
+        let obj = self
+            .objects
+            .get_mut(id.0 as usize)
+            .and_then(|o| o.as_mut())
+            .ok_or(RuntimeError::InvalidLocation(id))?;
+        obj.fields[field] = value;
+        Ok(old)
+    }
+
+    /// The set of locations reachable from `root` (over *all* fields) —
+    /// the `live-set` used by the paired send/recv step (Fig. 15).
+    pub fn live_set(&self, root: &Value) -> Vec<ObjId> {
+        let mut seen: Vec<ObjId> = Vec::new();
+        let mut stack: Vec<ObjId> = root.as_loc().into_iter().collect();
+        while let Some(id) = stack.pop() {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            if let Ok(obj) = self.get(id) {
+                for v in &obj.fields {
+                    if let Some(next) = v.as_loc() {
+                        if !seen.contains(&next) {
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Iterates over live `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Object)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|obj| (ObjId(i as u32), obj)))
+    }
+
+    /// Total allocations ever made (monotone).
+    pub fn allocations(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Renders the live object graph in Graphviz DOT format: solid edges
+    /// for non-`iso` (intra-region) references, bold edges for `iso`
+    /// (region-boundary) references, with stored reference counts in the
+    /// labels.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph heap {\n  node [shape=record];\n");
+        for (id, obj) in self.iter() {
+            let layout = self.table.layout(obj.struct_id);
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{} {} | rc={}\"];",
+                id.0, id, layout.name, obj.stored_refcount
+            );
+            for (i, v) in obj.fields.iter().enumerate() {
+                if let Some(target) = v.as_loc() {
+                    let style = if layout.iso[i] { "bold" } else { "solid" };
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [label=\"{}\", style={style}];",
+                        id.0, target.0, layout.field_names[i]
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_syntax::parse_program;
+
+    fn table() -> TypeTable {
+        let p = parse_program(
+            "struct data { value: int }
+             struct dll_node { iso payload : data; next : dll_node; prev : dll_node }",
+        )
+        .unwrap();
+        TypeTable::new(&p)
+    }
+
+    #[test]
+    fn alloc_with_self_patches_and_counts() {
+        let table = table();
+        let mut heap = Heap::new(table.clone());
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let payload = heap.alloc(data_id, vec![Value::Int(7)]);
+        // Size-1 circular list: next/prev are self-references.
+        let node = heap.alloc(node_id,
+            vec![
+                Value::Loc(payload),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        let obj = heap.get(node).unwrap();
+        assert_eq!(obj.fields[1], Value::Loc(node));
+        assert_eq!(obj.fields[2], Value::Loc(node));
+        // Two self-references through non-iso fields.
+        assert_eq!(obj.stored_refcount, 2);
+        // The payload is referenced only through an iso field → count 0.
+        assert_eq!(heap.get(payload).unwrap().stored_refcount, 0);
+    }
+
+    #[test]
+    fn write_field_maintains_refcounts() {
+        let table = table();
+        let mut heap = Heap::new(table.clone());
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let p1 = heap.alloc(data_id, vec![Value::Int(1)]);
+        let a = heap.alloc(node_id,
+            vec![
+                Value::Loc(p1),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        let p2 = heap.alloc(data_id, vec![Value::Int(2)]);
+        let b = heap.alloc(node_id,
+            vec![
+                Value::Loc(p2),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        // Link a.next = b (field 1, non-iso).
+        heap.write_field(a, 1, Value::Loc(b)).unwrap();
+        assert_eq!(heap.get(b).unwrap().stored_refcount, 3); // 2 self + 1 from a
+        assert_eq!(heap.get(a).unwrap().stored_refcount, 1); // lost one self-ref
+    }
+
+    #[test]
+    fn iso_writes_do_not_touch_refcounts() {
+        let table = table();
+        let mut heap = Heap::new(table.clone());
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let p1 = heap.alloc(data_id, vec![Value::Int(1)]);
+        let p2 = heap.alloc(data_id, vec![Value::Int(2)]);
+        let n = heap.alloc(node_id,
+            vec![
+                Value::Loc(p1),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        heap.write_field(n, 0, Value::Loc(p2)).unwrap();
+        assert_eq!(heap.get(p1).unwrap().stored_refcount, 0);
+        assert_eq!(heap.get(p2).unwrap().stored_refcount, 0);
+    }
+
+    #[test]
+    fn to_dot_renders_edges() {
+        let table = table();
+        let mut heap = Heap::new(table.clone());
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let p = heap.alloc(data_id, vec![Value::Int(1)]);
+        let n = heap.alloc(
+            node_id,
+            vec![
+                Value::Loc(p),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        let dot = heap.to_dot();
+        assert!(dot.contains("digraph heap"));
+        assert!(dot.contains(&format!("n{} -> n{}", n.0, p.0)), "{dot}");
+        assert!(dot.contains("style=bold"), "iso edge rendered bold: {dot}");
+        assert!(dot.contains("style=solid"), "{dot}");
+    }
+
+    #[test]
+    fn live_set_is_transitive() {
+        let table = table();
+        let mut heap = Heap::new(table.clone());
+        let data_id = table.id_of(&"data".into()).unwrap();
+        let node_id = table.id_of(&"dll_node".into()).unwrap();
+        let p = heap.alloc(data_id, vec![Value::Int(1)]);
+        let n = heap.alloc(node_id,
+            vec![
+                Value::Loc(p),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        let mut live = heap.live_set(&Value::Loc(n));
+        live.sort();
+        assert_eq!(live, vec![p, n]);
+        assert!(heap.live_set(&Value::Int(3)).is_empty());
+    }
+}

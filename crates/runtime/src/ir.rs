@@ -1,0 +1,131 @@
+//! A compact stack-machine IR for the surface language.
+//!
+//! The tree-walking semantics of Fig. 7 is compiled to a small instruction
+//! set so that threads can be suspended at any step — which is exactly
+//! what the blocking `send`/`recv` rendezvous of §7 requires. Every
+//! expression compiles to code that leaves exactly one value on the
+//! operand stack.
+
+use std::collections::HashMap;
+
+use fearless_syntax::{BinOp, Symbol, Type, UnOp};
+
+use crate::heap::TypeTable;
+
+/// One instruction of the abstract machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// Push `unit`.
+    PushUnit,
+    /// Push an integer literal.
+    PushInt(i64),
+    /// Push a boolean literal.
+    PushBool(bool),
+    /// Push `none`.
+    PushNone,
+    /// Push the `self` placeholder (inside `new` initializers).
+    PushSelf,
+    /// Push the value of a local slot.
+    Load(u16),
+    /// Pop into a local slot.
+    Store(u16),
+    /// Discard the top of stack.
+    Pop,
+    /// Pop an object reference; push the value of field `n`.
+    ReadField(u16),
+    /// Pop a value, pop an object reference; write field `n`; push unit.
+    WriteField(u16),
+    /// Pop an object reference; push the old value of (maybe-typed, iso)
+    /// field `n` and store `none` in it.
+    TakeField(u16),
+    /// Pop `v`; push `some(v)`.
+    MakeSome,
+    /// Pop a maybe; push whether it is `none`.
+    IsNone,
+    /// Pop a maybe; push whether it is `some`.
+    IsSome,
+    /// Pop `argc` field initializers; allocate a new object; push its
+    /// location.
+    New {
+        /// Struct id in the [`TypeTable`].
+        struct_id: u16,
+        /// Number of initializers (= number of fields).
+        argc: u16,
+    },
+    /// Pop the callee's parameter count of arguments; push a frame.
+    Call(u16),
+    /// Return the top of stack to the caller.
+    Ret,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a boolean; jump when false.
+    JumpIfFalse(u32),
+    /// Pop a maybe; when `some`, push the payload and fall through; when
+    /// `none`, jump (pushing nothing).
+    BranchNone(u32),
+    /// Pop rhs, pop lhs; push the operation's result.
+    Binary(BinOp),
+    /// Pop a value; push the operation's result.
+    Unary(UnOp),
+    /// Pop a value; block until a matching `recv` of channel type `n`,
+    /// transferring the value's reachable subgraph (EC3); push unit.
+    Send(u16),
+    /// Block until a matching `send` on channel type `n`; push the value.
+    Recv(u16),
+    /// Pop roots `b` then `a`; push whether their reachable subgraphs are
+    /// disjoint (E15, §5.2).
+    Disconnected,
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    /// Function name.
+    pub name: Symbol,
+    /// Number of parameters (locals `0..n_params` at entry).
+    pub n_params: usize,
+    /// Total local slots.
+    pub n_locals: usize,
+    /// Instruction sequence.
+    pub code: Vec<Inst>,
+    /// Parameter types.
+    pub param_tys: Vec<Type>,
+    /// Result type.
+    pub ret: Type,
+}
+
+/// A whole compiled program.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Struct layouts.
+    pub table: TypeTable,
+    /// Functions.
+    pub funcs: Vec<CompiledFn>,
+    /// Function indices by name.
+    pub fn_ids: HashMap<Symbol, usize>,
+    /// Interned channel types for `Send`/`Recv`.
+    pub channel_tys: Vec<Type>,
+}
+
+impl CompiledProgram {
+    /// Looks up a function index by name.
+    pub fn fn_id(&self, name: &str) -> Option<usize> {
+        self.fn_ids.get(name).copied()
+    }
+
+    /// Total instruction count across functions.
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_is_small() {
+        // The interpreter clones instructions on every step; keep them small.
+        assert!(std::mem::size_of::<Inst>() <= 16);
+    }
+}

@@ -1,0 +1,783 @@
+//! The concurrent abstract machine: per-thread frames, disjoint
+//! reservations, the dynamic reservation checks of Fig. 7, and the paired
+//! send/recv step of Fig. 15.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fearless_core::TypeError;
+use fearless_syntax::{BinOp, Program, UnOp};
+
+use crate::compile::compile;
+use crate::disconnect::{efficient_disconnected, naive_disconnected, DisconnectStrategy};
+use crate::error::RuntimeError;
+use crate::heap::Heap;
+use crate::ir::{CompiledProgram, Inst};
+use crate::value::{ObjId, Value};
+
+/// Machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Enforce the dynamic reservation discipline of §3.2 (`d` in the
+    /// small-step rules). Theorems 6.1/6.2 show these checks never fire
+    /// for well-typed programs, so real implementations erase them;
+    /// experiment E6 measures the cost.
+    pub check_reservations: bool,
+    /// Which `if disconnected` implementation to run.
+    pub strategy: DisconnectStrategy,
+    /// Scheduler seed (for exploring interleavings).
+    pub seed: u64,
+    /// Randomize thread scheduling (round-robin when false).
+    pub random_schedule: bool,
+    /// Abort after this many instructions (guards non-terminating tests).
+    pub max_steps: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            check_reservations: true,
+            strategy: DisconnectStrategy::Efficient,
+            seed: 0,
+            random_schedule: false,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Execution counters for the experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Heap field reads.
+    pub field_reads: u64,
+    /// Heap field writes.
+    pub field_writes: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// `if disconnected` checks executed.
+    pub disconnect_checks: u64,
+    /// Objects visited across all disconnection checks.
+    pub disconnect_visited: u64,
+    /// Dynamic reservation checks performed.
+    pub reservation_checks: u64,
+}
+
+/// One call frame.
+#[derive(Debug)]
+struct Frame {
+    func: usize,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+/// Thread status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Ready to step.
+    Runnable,
+    /// Blocked sending a value on a channel.
+    BlockedSend(u16, Value),
+    /// Blocked receiving from a channel.
+    BlockedRecv(u16),
+    /// Finished with a result.
+    Done(Value),
+}
+
+/// A thread: frames plus its dynamic reservation `d`.
+#[derive(Debug)]
+pub struct Thread {
+    frames: Vec<Frame>,
+    status: ThreadStatus,
+    reservation: HashSet<ObjId>,
+}
+
+impl Thread {
+    /// The thread's status.
+    pub fn status(&self) -> &ThreadStatus {
+        &self.status
+    }
+
+    /// The thread's result, if finished.
+    pub fn result(&self) -> Option<&Value> {
+        match &self.status {
+            ThreadStatus::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The thread's current reservation.
+    pub fn reservation(&self) -> &HashSet<ObjId> {
+        &self.reservation
+    }
+}
+
+/// The concurrent machine.
+pub struct Machine {
+    program: CompiledProgram,
+    heap: Heap,
+    threads: Vec<Thread>,
+    config: MachineConfig,
+    stats: Stats,
+    rng: StdRng,
+    next_sched: usize,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("threads", &self.threads.len())
+            .field("heap_objects", &self.heap.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Compiles `program` and builds a machine with the default config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors (unknown names, arity/type mismatches).
+    pub fn new(program: &Program) -> Result<Self, TypeError> {
+        Self::with_config(program, MachineConfig::default())
+    }
+
+    /// Compiles `program` with an explicit config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors.
+    pub fn with_config(program: &Program, config: MachineConfig) -> Result<Self, TypeError> {
+        Ok(Self::from_compiled(compile(program)?, config))
+    }
+
+    /// Builds a machine from an already compiled program.
+    pub fn from_compiled(program: CompiledProgram, config: MachineConfig) -> Self {
+        let heap = Heap::new(program.table.clone());
+        Machine {
+            program,
+            heap,
+            threads: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            stats: Stats::default(),
+            next_sched: 0,
+        }
+    }
+
+    /// The heap (for inspection in tests).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// A thread by id.
+    pub fn thread(&self, tid: usize) -> &Thread {
+        &self.threads[tid]
+    }
+
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Spawns a thread running `func(args…)`. The thread's reservation is
+    /// seeded with the reachable subgraphs of its arguments.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the function is unknown or the arity is wrong.
+    pub fn spawn(&mut self, func: &str, args: Vec<Value>) -> Result<usize, RuntimeError> {
+        let fid = self
+            .program
+            .fn_id(func)
+            .ok_or_else(|| RuntimeError::Missing(format!("function `{func}`")))?;
+        let f = &self.program.funcs[fid];
+        if args.len() != f.n_params {
+            return Err(RuntimeError::Missing(format!(
+                "`{func}` expects {} arguments, got {}",
+                f.n_params,
+                args.len()
+            )));
+        }
+        let mut reservation = HashSet::new();
+        if self.config.check_reservations {
+            for a in &args {
+                reservation.extend(self.heap.live_set(a));
+            }
+        }
+        let mut locals = vec![Value::Unit; f.n_locals];
+        locals[..args.len()].clone_from_slice(&args);
+        self.threads.push(Thread {
+            frames: vec![Frame {
+                func: fid,
+                pc: 0,
+                locals,
+                stack: Vec::new(),
+            }],
+            status: ThreadStatus::Runnable,
+            reservation,
+        });
+        Ok(self.threads.len() - 1)
+    }
+
+    /// Spawns `func(args…)` as the only activity and runs the machine to
+    /// completion, returning the call's result.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised during execution.
+    pub fn call(&mut self, func: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let tid = self.spawn(func, args)?;
+        self.run()?;
+        Ok(self.threads[tid]
+            .result()
+            .cloned()
+            .expect("run() leaves all threads done"))
+    }
+
+    /// Runs until every thread finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Deadlock`] when all remaining threads are blocked,
+    /// [`RuntimeError::StepLimit`] past the configured budget, or any
+    /// fault raised by a thread.
+    pub fn run(&mut self) -> Result<(), RuntimeError> {
+        const QUANTUM: u32 = 64;
+        loop {
+            let runnable: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == ThreadStatus::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let blocked = self
+                    .threads
+                    .iter()
+                    .any(|t| !matches!(t.status, ThreadStatus::Done(_)));
+                if blocked {
+                    return Err(RuntimeError::Deadlock);
+                }
+                return Ok(());
+            }
+            let tid = if self.config.random_schedule {
+                runnable[self.rng.gen_range(0..runnable.len())]
+            } else {
+                self.next_sched = (self.next_sched + 1) % runnable.len().max(1);
+                runnable[self.next_sched % runnable.len()]
+            };
+            for _ in 0..QUANTUM {
+                if self.threads[tid].status != ThreadStatus::Runnable {
+                    break;
+                }
+                self.step(tid)?;
+                if self.stats.steps > self.config.max_steps {
+                    return Err(RuntimeError::StepLimit(self.config.max_steps));
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------- reservations
+
+    fn check_reserved(
+        &mut self,
+        tid: usize,
+        loc: ObjId,
+        action: &'static str,
+    ) -> Result<(), RuntimeError> {
+        if !self.config.check_reservations {
+            return Ok(());
+        }
+        self.stats.reservation_checks += 1;
+        if self.threads[tid].reservation.contains(&loc) {
+            Ok(())
+        } else {
+            Err(RuntimeError::ReservationFault {
+                thread: tid,
+                loc,
+                action,
+            })
+        }
+    }
+
+    fn reserve(&mut self, tid: usize, loc: ObjId) {
+        if self.config.check_reservations {
+            self.threads[tid].reservation.insert(loc);
+        }
+    }
+
+    // -------------------------------------------------------------- stepping
+
+    /// Executes one instruction of thread `tid`.
+    pub fn step(&mut self, tid: usize) -> Result<(), RuntimeError> {
+        self.stats.steps += 1;
+        let frame = self.threads[tid].frames.last().expect("runnable has frames");
+        let func = frame.func;
+        let pc = frame.pc;
+        let inst = self.program.funcs[func].code[pc].clone();
+        // Advance pc by default; jumps overwrite it.
+        self.frame_mut(tid).pc = pc + 1;
+        match inst {
+            Inst::PushUnit => self.push(tid, Value::Unit),
+            Inst::PushInt(n) => self.push(tid, Value::Int(n)),
+            Inst::PushBool(b) => self.push(tid, Value::Bool(b)),
+            Inst::PushNone => self.push(tid, Value::none()),
+            Inst::PushSelf => self.push(tid, Value::Loc(ObjId::SELF_PLACEHOLDER)),
+            Inst::Load(slot) => {
+                let v = self.frame_mut(tid).locals[slot as usize].clone();
+                if let Value::Loc(l) = &v {
+                    if *l != ObjId::SELF_PLACEHOLDER {
+                        self.check_reserved(tid, *l, "variable read")?;
+                    }
+                }
+                self.push(tid, v);
+            }
+            Inst::Store(slot) => {
+                let v = self.pop(tid);
+                self.frame_mut(tid).locals[slot as usize] = v;
+            }
+            Inst::Pop => {
+                self.pop(tid);
+            }
+            Inst::ReadField(idx) => {
+                let obj = self.pop_loc(tid)?;
+                self.check_reserved(tid, obj, "field read")?;
+                self.stats.field_reads += 1;
+                let v = self.heap.read_field(obj, idx as usize)?;
+                self.push(tid, v);
+            }
+            Inst::WriteField(idx) => {
+                let value = self.pop(tid);
+                let obj = self.pop_loc(tid)?;
+                self.check_reserved(tid, obj, "field write")?;
+                self.stats.field_writes += 1;
+                self.heap.write_field(obj, idx as usize, value)?;
+                self.push(tid, Value::Unit);
+            }
+            Inst::TakeField(idx) => {
+                let obj = self.pop_loc(tid)?;
+                self.check_reserved(tid, obj, "destructive read")?;
+                self.stats.field_reads += 1;
+                self.stats.field_writes += 1;
+                let old = self.heap.write_field(obj, idx as usize, Value::none())?;
+                self.push(tid, old);
+            }
+            Inst::MakeSome => {
+                let v = self.pop(tid);
+                self.push(tid, Value::some(v));
+            }
+            Inst::IsNone => {
+                let v = self.pop(tid);
+                self.push(tid, Value::Bool(v.is_none()));
+            }
+            Inst::IsSome => {
+                let v = self.pop(tid);
+                self.push(tid, Value::Bool(!v.is_none()));
+            }
+            Inst::New { struct_id, argc } => {
+                let frame = self.frame_mut(tid);
+                let at = frame.stack.len() - argc as usize;
+                let fields: Vec<Value> = frame.stack.split_off(at);
+                let id = self.heap.alloc(struct_id as usize, fields);
+                self.stats.allocs += 1;
+                self.reserve(tid, id);
+                self.push(tid, Value::Loc(id));
+            }
+            Inst::Call(fid) => {
+                let callee = &self.program.funcs[fid as usize];
+                let n_params = callee.n_params;
+                let n_locals = callee.n_locals;
+                let frame = self.frame_mut(tid);
+                let at = frame.stack.len() - n_params;
+                let args: Vec<Value> = frame.stack.split_off(at);
+                let mut locals = vec![Value::Unit; n_locals];
+                locals[..n_params].clone_from_slice(&args);
+                self.threads[tid].frames.push(Frame {
+                    func: fid as usize,
+                    pc: 0,
+                    locals,
+                    stack: Vec::new(),
+                });
+            }
+            Inst::Ret => {
+                let v = self.pop(tid);
+                self.threads[tid].frames.pop();
+                if self.threads[tid].frames.is_empty() {
+                    self.threads[tid].status = ThreadStatus::Done(v);
+                } else {
+                    self.push(tid, v);
+                }
+            }
+            Inst::Jump(target) => self.frame_mut(tid).pc = target as usize,
+            Inst::JumpIfFalse(target) => {
+                let v = self.pop(tid);
+                if !v.expect_bool() {
+                    self.frame_mut(tid).pc = target as usize;
+                }
+            }
+            Inst::BranchNone(target) => {
+                let v = self.pop(tid);
+                match v {
+                    Value::Maybe(Some(inner)) => self.push(tid, *inner),
+                    Value::Maybe(None) => self.frame_mut(tid).pc = target as usize,
+                    other => {
+                        return Err(RuntimeError::TypeConfusion(format!(
+                            "let some on {other}"
+                        )))
+                    }
+                }
+            }
+            Inst::Binary(op) => {
+                let rhs = self.pop(tid);
+                let lhs = self.pop(tid);
+                let out = self.binary(op, lhs, rhs)?;
+                self.push(tid, out);
+            }
+            Inst::Unary(op) => {
+                let v = self.pop(tid);
+                let out = match op {
+                    UnOp::Not => Value::Bool(!v.expect_bool()),
+                    UnOp::Neg => Value::Int(v.expect_int().wrapping_neg()),
+                };
+                self.push(tid, out);
+            }
+            Inst::Send(ch) => {
+                let v = self.pop(tid);
+                // The send-step requires the live set within the sender's
+                // reservation (Fig. 15).
+                if self.config.check_reservations {
+                    for l in self.heap.live_set(&v) {
+                        self.check_reserved(tid, l, "send")?;
+                    }
+                }
+                self.threads[tid].status = ThreadStatus::BlockedSend(ch, v);
+                self.try_rendezvous(ch)?;
+            }
+            Inst::Recv(ch) => {
+                self.threads[tid].status = ThreadStatus::BlockedRecv(ch);
+                self.try_rendezvous(ch)?;
+            }
+            Inst::Disconnected => {
+                let b = self.pop_loc(tid)?;
+                let a = self.pop_loc(tid)?;
+                self.check_reserved(tid, a, "disconnection check")?;
+                self.check_reserved(tid, b, "disconnection check")?;
+                self.stats.disconnect_checks += 1;
+                let outcome = match self.config.strategy {
+                    DisconnectStrategy::Efficient => {
+                        efficient_disconnected(&self.heap, &self.program.table, a, b)
+                    }
+                    DisconnectStrategy::Naive => naive_disconnected(&self.heap, a, b),
+                };
+                self.stats.disconnect_visited += outcome.visited as u64;
+                self.push(tid, Value::Bool(outcome.disconnected));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pairs one blocked sender with one blocked receiver on channel `ch`
+    /// (rule EC3-Communication-Paired-Step).
+    fn try_rendezvous(&mut self, ch: u16) -> Result<(), RuntimeError> {
+        let sender = self
+            .threads
+            .iter()
+            .position(|t| matches!(&t.status, ThreadStatus::BlockedSend(c, _) if *c == ch));
+        let receiver = self
+            .threads
+            .iter()
+            .position(|t| matches!(&t.status, ThreadStatus::BlockedRecv(c) if *c == ch));
+        let (Some(s), Some(r)) = (sender, receiver) else {
+            return Ok(());
+        };
+        let ThreadStatus::BlockedSend(_, value) =
+            std::mem::replace(&mut self.threads[s].status, ThreadStatus::Runnable)
+        else {
+            unreachable!()
+        };
+        // Transfer d_sep from the sender's reservation to the receiver's.
+        if self.config.check_reservations {
+            let d_sep = self.heap.live_set(&value);
+            for l in &d_sep {
+                self.threads[s].reservation.remove(l);
+            }
+            self.threads[r].reservation.extend(d_sep);
+        }
+        self.stats.sends += 1;
+        self.stats.recvs += 1;
+        // Sender's send(...) evaluates to unit; receiver's recv(...) to the
+        // value.
+        self.threads[s]
+            .frames
+            .last_mut()
+            .expect("sender has frames")
+            .stack
+            .push(Value::Unit);
+        self.threads[r].status = ThreadStatus::Runnable;
+        self.threads[r]
+            .frames
+            .last_mut()
+            .expect("receiver has frames")
+            .stack
+            .push(value);
+        Ok(())
+    }
+
+    fn binary(&self, op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeError> {
+        use BinOp::*;
+        Ok(match op {
+            Add => Value::Int(lhs.expect_int().wrapping_add(rhs.expect_int())),
+            Sub => Value::Int(lhs.expect_int().wrapping_sub(rhs.expect_int())),
+            Mul => Value::Int(lhs.expect_int().wrapping_mul(rhs.expect_int())),
+            Div => {
+                let d = rhs.expect_int();
+                if d == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Value::Int(lhs.expect_int().wrapping_div(d))
+            }
+            Rem => {
+                let d = rhs.expect_int();
+                if d == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Value::Int(lhs.expect_int().wrapping_rem(d))
+            }
+            Eq => Value::Bool(lhs == rhs),
+            Ne => Value::Bool(lhs != rhs),
+            Lt => Value::Bool(lhs.expect_int() < rhs.expect_int()),
+            Le => Value::Bool(lhs.expect_int() <= rhs.expect_int()),
+            Gt => Value::Bool(lhs.expect_int() > rhs.expect_int()),
+            Ge => Value::Bool(lhs.expect_int() >= rhs.expect_int()),
+            And => Value::Bool(lhs.expect_bool() && rhs.expect_bool()),
+            Or => Value::Bool(lhs.expect_bool() || rhs.expect_bool()),
+        })
+    }
+
+    fn frame_mut(&mut self, tid: usize) -> &mut Frame {
+        self.threads[tid].frames.last_mut().expect("has frames")
+    }
+
+    fn push(&mut self, tid: usize, v: Value) {
+        self.frame_mut(tid).stack.push(v);
+    }
+
+    fn pop(&mut self, tid: usize) -> Value {
+        self.frame_mut(tid).stack.pop().expect("stack discipline")
+    }
+
+    fn pop_loc(&mut self, tid: usize) -> Result<ObjId, RuntimeError> {
+        match self.pop(tid) {
+            Value::Loc(l) => Ok(l),
+            Value::Maybe(Some(inner)) => match *inner {
+                Value::Loc(l) => Ok(l),
+                other => Err(RuntimeError::TypeConfusion(format!(
+                    "expected location, found {other}"
+                ))),
+            },
+            Value::Maybe(None) => Err(RuntimeError::NoneUnwrap),
+            other => Err(RuntimeError::TypeConfusion(format!(
+                "expected location, found {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_syntax::parse_program;
+
+    fn machine(src: &str) -> Machine {
+        Machine::new(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let mut m = machine(
+            "def sum_to(n: int) : int {
+               let acc = 0;
+               while (n > 0) { acc = acc + n; n = n - 1 };
+               acc
+             }",
+        );
+        assert_eq!(m.call("sum_to", vec![Value::Int(10)]).unwrap(), Value::Int(55));
+    }
+
+    #[test]
+    fn recursion() {
+        let mut m = machine(
+            "def fib(n: int) : int {
+               if (n < 2) { n } else { fib(n - 1) + fib(n - 2) }
+             }",
+        );
+        assert_eq!(m.call("fib", vec![Value::Int(10)]).unwrap(), Value::Int(55));
+    }
+
+    #[test]
+    fn structs_and_maybes() {
+        let mut m = machine(
+            "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def build(n: int) : sll_node {
+               let node = new sll_node(new data(n), none);
+               while (n > 1) {
+                 n = n - 1;
+                 node = new sll_node(new data(n), some(node))
+               };
+               node
+             }
+             def sum(n: sll_node) : int {
+               let total = n.payload.value;
+               let rest = 0;
+               let some(nx) = n.next in { rest = sum(nx); } else { rest = 0; };
+               total + rest
+             }
+             def main(n: int) : int { sum(build(n)) }",
+        );
+        assert_eq!(m.call("main", vec![Value::Int(4)]).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn send_recv_between_threads() {
+        let mut m = machine(
+            "struct data { value: int }
+             def producer(n: int) : unit {
+               while (n > 0) { send(new data(n)); n = n - 1 };
+               unit
+             }
+             def consumer(n: int) : int {
+               let acc = 0;
+               while (n > 0) {
+                 let d = recv(data);
+                 acc = acc + d.value;
+                 n = n - 1
+               };
+               acc
+             }",
+        );
+        m.spawn("producer", vec![Value::Int(5)]).unwrap();
+        let c = m.spawn("consumer", vec![Value::Int(5)]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.thread(c).result(), Some(&Value::Int(15)));
+        assert_eq!(m.stats().sends, 5);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut m = machine("struct data { value: int } def lonely() : data { recv(data) }");
+        m.spawn("lonely", vec![]).unwrap();
+        assert_eq!(m.run(), Err(RuntimeError::Deadlock));
+    }
+
+    #[test]
+    fn reservation_transferred_on_send() {
+        let mut m = machine(
+            "struct data { value: int }
+             def producer() : unit { send(new data(42)); unit }
+             def consumer() : int { let d = recv(data); d.value }",
+        );
+        m.spawn("producer", vec![]).unwrap();
+        let c = m.spawn("consumer", vec![]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.thread(c).result(), Some(&Value::Int(42)));
+        // The consumer now holds the object.
+        assert_eq!(m.thread(c).reservation().len(), 1);
+        assert_eq!(m.thread(0).reservation().len(), 0);
+    }
+
+    #[test]
+    fn reservation_fault_on_foreign_access() {
+        // A hand-built ill-typed scenario: thread B receives a location id
+        // via an out-of-band channel (here: we just spawn it with the raw
+        // location), then touches an object it never received.
+        let mut m = machine(
+            "struct data { value: int }
+             def make() : data { new data(1) }
+             def reader(d: data) : int { d.value }",
+        );
+        let t0 = m.spawn("make", vec![]).unwrap();
+        m.run().unwrap();
+        let loc = m.thread(t0).result().unwrap().clone();
+        // Spawn a thread with an empty reservation but the same location by
+        // constructing the machine state adversarially: pass the loc as an
+        // argument but strip the reservation afterwards via a fresh spawn
+        // of a thread that never legitimately received it.
+        let tid = m.spawn("reader", vec![loc.clone()]).unwrap();
+        // Steal the reservation to simulate a race (thread t0 still "owns").
+        m.threads[tid].reservation.clear();
+        let err = m.run().unwrap_err();
+        assert!(matches!(err, RuntimeError::ReservationFault { .. }), "{err}");
+    }
+
+    #[test]
+    fn checks_disabled_skip_reservations() {
+        let src = "struct data { value: int }
+             def make() : data { new data(1) }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                check_reservations: false,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        m.call("make", vec![]).unwrap();
+        assert_eq!(m.stats().reservation_checks, 0);
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let src = "def forever() : unit { while (true) { unit }; unit }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                max_steps: 10_000,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            m.call("forever", vec![]),
+            Err(RuntimeError::StepLimit(_))
+        ));
+    }
+
+    #[test]
+    fn circular_dll_with_self() {
+        let mut m = machine(
+            "struct data { value: int }
+             struct dll_node { iso payload : data; next : dll_node; prev : dll_node }
+             def mk(v: int) : dll_node { new dll_node(new data(v), self, self) }
+             def check() : bool {
+               let n = mk(7);
+               n.next.prev.payload.value == 7
+             }",
+        );
+        assert_eq!(m.call("check", vec![]).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,141 @@
+//! Run-time values: the only values of the core calculus are locations
+//! (Fig. 7); we add machine integers, booleans, unit, and first-class
+//! maybes per the surface language.
+
+use std::fmt;
+
+/// A heap location.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Sentinel used while constructing an object whose initializers
+    /// mention `self`; patched by `New` before the object escapes.
+    pub const SELF_PLACEHOLDER: ObjId = ObjId(u32::MAX);
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A run-time value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A reference to a heap object.
+    Loc(ObjId),
+    /// A maybe value (`none` / `some(v)`).
+    Maybe(Option<Box<Value>>),
+}
+
+impl Value {
+    /// `some(v)`.
+    pub fn some(v: Value) -> Value {
+        Value::Maybe(Some(Box::new(v)))
+    }
+
+    /// `none`.
+    pub fn none() -> Value {
+        Value::Maybe(None)
+    }
+
+    /// The location directly referenced by this value, if any (descends
+    /// through maybes).
+    pub fn as_loc(&self) -> Option<ObjId> {
+        match self {
+            Value::Loc(l) => Some(*l),
+            Value::Maybe(Some(inner)) => inner.as_loc(),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `none`.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Value::Maybe(None))
+    }
+
+    /// Expects an integer.
+    pub fn expect_int(&self) -> i64 {
+        match self {
+            Value::Int(n) => *n,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// Expects a boolean.
+    pub fn expect_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    /// Replaces `SELF_PLACEHOLDER` locations with `id` (used by `new` with
+    /// `self` initializers).
+    pub fn patch_self(&mut self, id: ObjId) {
+        match self {
+            Value::Loc(l) if *l == ObjId::SELF_PLACEHOLDER => *l = id,
+            Value::Maybe(Some(inner)) => inner.patch_self(id),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "unit"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Loc(l) => write!(f, "{l}"),
+            Value::Maybe(None) => write!(f, "none"),
+            Value::Maybe(Some(v)) => write!(f, "some({v})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_loc_descends_maybes() {
+        let v = Value::some(Value::Loc(ObjId(3)));
+        assert_eq!(v.as_loc(), Some(ObjId(3)));
+        assert_eq!(Value::none().as_loc(), None);
+        assert_eq!(Value::Int(1).as_loc(), None);
+    }
+
+    #[test]
+    fn patch_self_descends() {
+        let mut v = Value::some(Value::Loc(ObjId::SELF_PLACEHOLDER));
+        v.patch_self(ObjId(7));
+        assert_eq!(v.as_loc(), Some(ObjId(7)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::some(Value::Int(4)).to_string(), "some(4)");
+        assert_eq!(Value::none().to_string(), "none");
+        assert_eq!(Value::Loc(ObjId(2)).to_string(), "ℓ2");
+    }
+}

@@ -1,0 +1,90 @@
+//! Diagnostics shared by the lexer and parser.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::{SourceMap, Span};
+
+/// An error produced while lexing or parsing source text.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The error message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The offending source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error with a line/column location and a source excerpt.
+    pub fn render(&self, src: &str) -> String {
+        render_with_source("parse error", &self.message, self.span, src)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Renders a `kind: message` diagnostic with a caret excerpt from `src`.
+///
+/// This helper is reused by the type checker's error rendering.
+pub fn render_with_source(kind: &str, message: &str, span: Span, src: &str) -> String {
+    let map = SourceMap::new(src);
+    let loc = map.span_start(span);
+    let line_text = src.lines().nth(loc.line as usize - 1).unwrap_or("");
+    let caret_pad = " ".repeat(loc.col as usize - 1);
+    let caret_len = (span.len().max(1) as usize).min(line_text.len().saturating_sub(loc.col as usize - 1).max(1));
+    let carets = "^".repeat(caret_len);
+    format!("{kind} at {loc}: {message}\n    {line_text}\n    {caret_pad}{carets}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = ParseError::new("unexpected `;`", Span::new(4, 5));
+        assert!(e.to_string().contains("4..5"));
+        assert!(e.to_string().contains("unexpected `;`"));
+    }
+
+    #[test]
+    fn render_points_at_offender() {
+        let src = "let x = ;";
+        let e = ParseError::new("unexpected `;`", Span::new(8, 9));
+        let rendered = e.render(src);
+        assert!(rendered.contains("1:9"));
+        assert!(rendered.contains("let x = ;"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn render_survives_empty_source() {
+        let e = ParseError::new("boom", Span::new(0, 1));
+        let rendered = e.render("");
+        assert!(rendered.contains("boom"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Hand-written lexer for the surface language.
+
+use crate::diag::ParseError;
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::token::{Token, TokenKind};
+
+/// Lexes an entire source string into a token vector (terminated by `Eof`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters or malformed literals.
+///
+/// ```
+/// use fearless_syntax::lexer::lex;
+/// let tokens = lex("let x = 1;").unwrap();
+/// assert_eq!(tokens.len(), 6); // let, x, =, 1, ;, EOF
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let lo = self.pos as u32;
+            let Some(b) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(lo, lo),
+                });
+                return Ok(tokens);
+            };
+            let kind = self.next_token(b)?;
+            tokens.push(Token {
+                kind,
+                span: Span::new(lo, self.pos as u32),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.bump(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self, b: u8) -> Result<TokenKind, ParseError> {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.ident()),
+            b'0'..=b'9' => self.number(),
+            b'(' => self.punct(TokenKind::LParen),
+            b')' => self.punct(TokenKind::RParen),
+            b'{' => self.punct(TokenKind::LBrace),
+            b'}' => self.punct(TokenKind::RBrace),
+            b';' => self.punct(TokenKind::Semi),
+            b',' => self.punct(TokenKind::Comma),
+            b':' => self.punct(TokenKind::Colon),
+            b'.' => self.punct(TokenKind::Dot),
+            b'?' => self.punct(TokenKind::Question),
+            b'~' => self.punct(TokenKind::Tilde),
+            b'+' => self.punct(TokenKind::Plus),
+            b'-' => self.punct(TokenKind::Minus),
+            b'*' => self.punct(TokenKind::Star),
+            b'/' => self.punct(TokenKind::Slash),
+            b'%' => self.punct(TokenKind::Percent),
+            b'=' => Ok(self.maybe_two(b'=', TokenKind::EqEq, TokenKind::Assign)),
+            b'!' => Ok(self.maybe_two(b'=', TokenKind::NotEq, TokenKind::Bang)),
+            b'<' => Ok(self.maybe_two(b'=', TokenKind::Le, TokenKind::Lt)),
+            b'>' => Ok(self.maybe_two(b'=', TokenKind::Ge, TokenKind::Gt)),
+            b'&' => {
+                if self.peek2() == Some(b'&') {
+                    self.bump();
+                    self.bump();
+                    Ok(TokenKind::AndAnd)
+                } else {
+                    Err(self.error("expected `&&`"))
+                }
+            }
+            b'|' => {
+                if self.peek2() == Some(b'|') {
+                    self.bump();
+                    self.bump();
+                    Ok(TokenKind::OrOr)
+                } else {
+                    Err(self.error("expected `||`"))
+                }
+            }
+            other => Err(self.error(format!(
+                "unexpected character `{}`",
+                char::from(other).escape_default()
+            ))),
+        }
+    }
+
+    fn punct(&mut self, kind: TokenKind) -> Result<TokenKind, ParseError> {
+        self.bump();
+        Ok(kind)
+    }
+
+    fn maybe_two(&mut self, second: u8, two: TokenKind, one: TokenKind) -> TokenKind {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            two
+        } else {
+            one
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::new(text)))
+    }
+
+    fn number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| self.error_at(start, "integer literal out of range"))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        self.error_at(self.pos, msg)
+    }
+
+    fn error_at(&self, pos: usize, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, Span::new(pos as u32, pos as u32 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let ks = kinds("iso next : sll_node?");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Iso,
+                TokenKind::Ident("next".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("sll_node".into()),
+                TokenKind::Question,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("a <= b && c != -1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::NotEq,
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let ks = kinds("x // comment ; { } \ny");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("let x = #").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn int_out_of_range() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

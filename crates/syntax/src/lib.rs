@@ -1,0 +1,50 @@
+//! # fearless-syntax
+//!
+//! Surface language for the *tempered domination* concurrent calculus from
+//! "A Flexible Type System for Fearless Concurrency" (PLDI 2022): lexer,
+//! recursive-descent parser, AST, spans/diagnostics, and a pretty-printer.
+//!
+//! The language is a small imperative calculus with mutable structs,
+//! first-class "maybe" values, `iso` (isolated) fields, the novel
+//! `if disconnected` conditional, and blocking `send`/`recv` message-passing
+//! primitives (paper Fig. 6), plus the user-facing function-signature
+//! annotations of §4.9 (`consumes`, `after: a ~ b`).
+//!
+//! ## Example
+//!
+//! ```
+//! use fearless_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "struct data { value: int }
+//!      struct sll_node { iso payload : data; iso next : sll_node? }
+//!      def tail_payload(n: sll_node) : data? {
+//!        let some(next) = n.next in {
+//!          if (is_none(next.next)) { n.next = none; some(next.payload) }
+//!          else { tail_payload(next) }
+//!        } else { none }
+//!      }",
+//! )?;
+//! assert_eq!(program.funcs[0].name.as_str(), "tail_payload");
+//! # Ok::<(), fearless_syntax::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod symbol;
+pub mod token;
+
+pub use ast::{
+    BinOp, Expr, ExprId, ExprKind, FieldDef, FnAnnotations, FnDef, Param, Program, RegionPath,
+    RegionRel, StructDef, Type, UnOp,
+};
+pub use diag::ParseError;
+pub use parser::{parse_expr, parse_program};
+pub use span::{LineCol, SourceMap, Span};
+pub use symbol::Symbol;

@@ -1,0 +1,1006 @@
+//! Recursive-descent parser for the surface language.
+//!
+//! The concrete syntax follows the paper's examples (Figs. 1, 2, 5, 14):
+//! semicolon-separated statements inside braces, `let x = e;` bindings that
+//! scope over the remainder of their block, `let some(x) = e in { … } else
+//! { … }`, `if disconnected(a, b) { … } else { … }`, and the signature
+//! annotations of §4.9.
+
+use crate::ast::*;
+use crate::diag::ParseError;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::token::{Token, TokenKind};
+
+/// Parses a whole program (struct and function definitions).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// ```
+/// use fearless_syntax::parser::parse_program;
+/// let p = parse_program("struct data { value: int } def id(x: data): data { x }").unwrap();
+/// assert_eq!(p.structs.len(), 1);
+/// assert_eq!(p.funcs.len(), 1);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(src)?;
+    parser.program()
+}
+
+/// Parses a single expression (mainly for tests and the REPL-style examples).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let e = parser.expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+}
+
+enum BlockItem {
+    Expr(Expr),
+    LetStmt {
+        var: Symbol,
+        init: Expr,
+        span: Span,
+    },
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            next_id: 0,
+        })
+    }
+
+    fn fresh_id(&mut self) -> ExprId {
+        let id = ExprId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn mk(&mut self, kind: ExprKind, span: Span) -> Expr {
+        Expr {
+            kind,
+            span,
+            id: self.fresh_id(),
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            format!("{what}, found {}", self.peek().describe()),
+            self.span(),
+        )
+    }
+
+    fn ident(&mut self) -> Result<Symbol, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // `result` is contextual: a keyword only inside `after:`/`before:`
+            // region paths, an ordinary identifier everywhere else.
+            TokenKind::Result => {
+                self.bump();
+                Ok(Symbol::new("result"))
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    // ---------------------------------------------------------------- items
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(program),
+                TokenKind::Struct => program.structs.push(self.struct_def()?),
+                TokenKind::Def => program.funcs.push(self.fn_def()?),
+                _ => return Err(self.unexpected("expected `struct` or `def`")),
+            }
+        }
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::Struct)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            let fstart = self.span();
+            let iso = self.eat(&TokenKind::Iso);
+            let fname = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.ty()?;
+            let fspan = fstart.to(self.prev_span());
+            if fields.iter().any(|f: &FieldDef| f.name == fname) {
+                return Err(ParseError::new(
+                    format!("duplicate field `{fname}` in struct `{name}`"),
+                    fspan,
+                ));
+            }
+            fields.push(FieldDef {
+                name: fname,
+                iso,
+                ty,
+                span: fspan,
+            });
+            // Field separators: `;` (paper style) with an optional trailing one.
+            self.eat(&TokenKind::Semi);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::Def)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let params = self.params()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Colon)?;
+        let ret = self.ty()?;
+        let annotations = self.annotations()?;
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            annotations,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// Parses parameter groups: `l1, l2 : sll_node` gives both parameters
+    /// the same type (Fig. 14).
+    fn params(&mut self) -> Result<Vec<Param>, ParseError> {
+        let mut params: Vec<Param> = Vec::new();
+        let mut pending: Vec<(Symbol, Span)> = Vec::new();
+        while !self.at(&TokenKind::RParen) {
+            let span = self.span();
+            let name = self.ident()?;
+            pending.push((name, span));
+            if self.eat(&TokenKind::Colon) {
+                let ty = self.ty()?;
+                for (name, pspan) in pending.drain(..) {
+                    if params.iter().any(|p| p.name == name) {
+                        return Err(ParseError::new(
+                            format!("duplicate parameter `{name}`"),
+                            pspan,
+                        ));
+                    }
+                    params.push(Param {
+                        name,
+                        ty: ty.clone(),
+                        span: pspan,
+                    });
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            } else {
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        if let Some((name, span)) = pending.first() {
+            return Err(ParseError::new(
+                format!("parameter `{name}` is missing a type annotation"),
+                *span,
+            ));
+        }
+        Ok(params)
+    }
+
+    fn annotations(&mut self) -> Result<FnAnnotations, ParseError> {
+        let mut ann = FnAnnotations::default();
+        loop {
+            match self.peek() {
+                TokenKind::Consumes => {
+                    self.bump();
+                    ann.consumes.extend(self.ident_list()?);
+                }
+                TokenKind::Pinned => {
+                    self.bump();
+                    ann.pinned.extend(self.ident_list()?);
+                }
+                TokenKind::After => {
+                    self.bump();
+                    self.expect(TokenKind::Colon)?;
+                    ann.after.extend(self.rel_list()?);
+                }
+                TokenKind::Before => {
+                    self.bump();
+                    self.expect(TokenKind::Colon)?;
+                    ann.before.extend(self.rel_list()?);
+                }
+                _ => return Ok(ann),
+            }
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<Symbol>, ParseError> {
+        let mut out = vec![self.ident()?];
+        while self.at(&TokenKind::Comma) {
+            // A comma might belong to the next annotation group only if the
+            // following token is not an identifier; in this grammar a comma
+            // always continues the list.
+            self.bump();
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn rel_list(&mut self) -> Result<Vec<RegionRel>, ParseError> {
+        let mut out = vec![self.rel()?];
+        while self.eat(&TokenKind::Comma) {
+            out.push(self.rel()?);
+        }
+        Ok(out)
+    }
+
+    fn rel(&mut self) -> Result<RegionRel, ParseError> {
+        let start = self.span();
+        let lhs = self.region_path()?;
+        self.expect(TokenKind::Tilde)?;
+        let rhs = self.region_path()?;
+        Ok(RegionRel {
+            lhs,
+            rhs,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn region_path(&mut self) -> Result<RegionPath, ParseError> {
+        if self.eat(&TokenKind::Result) {
+            return Ok(RegionPath::Result);
+        }
+        let base = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let field = self.ident()?;
+            Ok(RegionPath::Field(base, field))
+        } else {
+            Ok(RegionPath::Param(base))
+        }
+    }
+
+    // ---------------------------------------------------------------- types
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let mut base = match self.peek().clone() {
+            TokenKind::Unit => {
+                self.bump();
+                Type::Unit
+            }
+            TokenKind::IntTy => {
+                self.bump();
+                Type::Int
+            }
+            TokenKind::BoolTy => {
+                self.bump();
+                Type::Bool
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Type::Named(name)
+            }
+            _ => return Err(self.unexpected("expected a type")),
+        };
+        while self.eat(&TokenKind::Question) {
+            base = Type::maybe(base);
+        }
+        Ok(base)
+    }
+
+    // ----------------------------------------------------------- statements
+
+    /// Parses `{ stmt; …; expr }`, desugaring `let x = e;` statements into
+    /// nested `Let` expressions scoping over the remainder of the block.
+    fn block(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut items = Vec::new();
+        let mut trailing_semi = true;
+        while !self.at(&TokenKind::RBrace) {
+            items.push(self.block_item()?);
+            trailing_semi = self.eat(&TokenKind::Semi);
+            // Permit stray extra semicolons.
+            while self.eat(&TokenKind::Semi) {}
+            if !trailing_semi && !self.at(&TokenKind::RBrace) {
+                // Brace-ended statements (if/while/let-some) may omit `;`.
+                continue;
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        let span = start.to(self.prev_span());
+        Ok(self.fold_block(items, trailing_semi, span))
+    }
+
+    fn fold_block(&mut self, items: Vec<BlockItem>, trailing_semi: bool, span: Span) -> Expr {
+        let mut tail: Option<Expr> = if trailing_semi {
+            Some(self.mk(ExprKind::Unit, Span::new(span.hi, span.hi)))
+        } else {
+            None
+        };
+        // Fold back-to-front so each `let` scopes over everything after it.
+        let mut exprs: Vec<Expr> = Vec::new();
+        for item in items.into_iter().rev() {
+            match item {
+                BlockItem::Expr(e) => exprs.push(e),
+                BlockItem::LetStmt {
+                    var,
+                    init,
+                    span: lspan,
+                } => {
+                    exprs.reverse();
+                    let body = self.seq_of(exprs, tail.take(), span);
+                    exprs = Vec::new();
+                    let body_span = body.span;
+                    let e = self.mk(
+                        ExprKind::Let {
+                            var,
+                            init: Box::new(init),
+                            body: Box::new(body),
+                        },
+                        lspan.to(body_span),
+                    );
+                    exprs.push(e);
+                }
+            }
+        }
+        exprs.reverse();
+        self.seq_of(exprs, tail, span)
+    }
+
+    fn seq_of(&mut self, mut exprs: Vec<Expr>, tail: Option<Expr>, span: Span) -> Expr {
+        if let Some(t) = tail {
+            exprs.push(t);
+        }
+        match exprs.len() {
+            0 => self.mk(ExprKind::Unit, span),
+            1 => exprs.pop().expect("len checked"),
+            _ => self.mk(ExprKind::Seq(exprs), span),
+        }
+    }
+
+    fn block_item(&mut self) -> Result<BlockItem, ParseError> {
+        if self.at(&TokenKind::Let) {
+            return self.let_item();
+        }
+        Ok(BlockItem::Expr(self.expr()?))
+    }
+
+    fn let_item(&mut self) -> Result<BlockItem, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::Let)?;
+        if self.at(&TokenKind::Some) {
+            // let some(x) = e in { … } else { … }
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let var = self.ident()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Assign)?;
+            let init = self.expr()?;
+            self.expect(TokenKind::In)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat(&TokenKind::Else) {
+                self.block()?
+            } else {
+                self.mk(ExprKind::Unit, self.prev_span())
+            };
+            let span = start.to(self.prev_span());
+            let e = self.mk(
+                ExprKind::LetSome {
+                    var,
+                    init: Box::new(init),
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                },
+                span,
+            );
+            return Ok(BlockItem::Expr(e));
+        }
+        let var = self.ident()?;
+        self.expect(TokenKind::Assign)?;
+        let init = self.expr()?;
+        if self.eat(&TokenKind::In) {
+            // Explicit-scope form: let x = e in { body }.
+            let body = self.block()?;
+            let span = start.to(self.prev_span());
+            let e = self.mk(
+                ExprKind::Let {
+                    var,
+                    init: Box::new(init),
+                    body: Box::new(body),
+                },
+                span,
+            );
+            return Ok(BlockItem::Expr(e));
+        }
+        Ok(BlockItem::LetStmt {
+            var,
+            init,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::If => self.if_expr(),
+            TokenKind::While => self.while_expr(),
+            TokenKind::LBrace => self.block(),
+            _ => self.assign_expr(),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::If)?;
+        if self.eat(&TokenKind::Disconnected) {
+            self.expect(TokenKind::LParen)?;
+            let a = self.ident()?;
+            self.expect(TokenKind::Comma)?;
+            let b = self.ident()?;
+            self.expect(TokenKind::RParen)?;
+            let then_branch = self.block()?;
+            self.expect(TokenKind::Else)?;
+            let else_branch = self.block()?;
+            let span = start.to(self.prev_span());
+            return Ok(self.mk(
+                ExprKind::IfDisconnected {
+                    a,
+                    b,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                },
+                span,
+            ));
+        }
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_branch = self.block()?;
+        let else_branch = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                self.if_expr()?
+            } else {
+                self.block()?
+            }
+        } else {
+            self.mk(ExprKind::Unit, self.prev_span())
+        };
+        let span = start.to(self.prev_span());
+        Ok(self.mk(
+            ExprKind::If {
+                cond: Box::new(cond),
+                then_branch: Box::new(then_branch),
+                else_branch: Box::new(else_branch),
+            },
+            span,
+        ))
+    }
+
+    fn while_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::While)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        let span = start.to(self.prev_span());
+        Ok(self.mk(
+            ExprKind::While {
+                cond: Box::new(cond),
+                body: Box::new(body),
+            },
+            span,
+        ))
+    }
+
+    /// Assignment or plain binary expression. `x = e`, `path.f = e`.
+    fn assign_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary_expr(0)?;
+        if self.at(&TokenKind::Assign) {
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span.to(rhs.span);
+            return match lhs.kind {
+                ExprKind::Var(name) => Ok(self.mk(ExprKind::AssignVar(name, Box::new(rhs)), span)),
+                ExprKind::Field(recv, field) => {
+                    Ok(self.mk(ExprKind::AssignField(recv, field, Box::new(rhs)), span))
+                }
+                _ => Err(ParseError::new(
+                    "invalid assignment target (expected a variable or field)",
+                    lhs.span,
+                )),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        Some(match self.peek() {
+            TokenKind::OrOr => (BinOp::Or, 1),
+            TokenKind::AndAnd => (BinOp::And, 2),
+            TokenKind::EqEq => (BinOp::Eq, 3),
+            TokenKind::NotEq => (BinOp::Ne, 3),
+            TokenKind::Lt => (BinOp::Lt, 3),
+            TokenKind::Le => (BinOp::Le, 3),
+            TokenKind::Gt => (BinOp::Gt, 3),
+            TokenKind::Ge => (BinOp::Ge, 3),
+            TokenKind::Plus => (BinOp::Add, 4),
+            TokenKind::Minus => (BinOp::Sub, 4),
+            TokenKind::Star => (BinOp::Mul, 5),
+            TokenKind::Slash => (BinOp::Div, 5),
+            TokenKind::Percent => (BinOp::Rem, 5),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Ok(self.mk(ExprKind::Unary(UnOp::Not, Box::new(inner)), span));
+        }
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Ok(self.mk(ExprKind::Unary(UnOp::Neg, Box::new(inner)), span));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat(&TokenKind::Dot) {
+            let field = self.ident()?;
+            let span = e.span.to(self.prev_span());
+            e = self.mk(ExprKind::Field(Box::new(e), field), span);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(self.mk(ExprKind::Int(n), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(self.mk(ExprKind::Bool(true), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(self.mk(ExprKind::Bool(false), start))
+            }
+            TokenKind::Unit => {
+                self.bump();
+                Ok(self.mk(ExprKind::Unit, start))
+            }
+            TokenKind::SelfKw => {
+                self.bump();
+                Ok(self.mk(ExprKind::SelfRef, start))
+            }
+            TokenKind::None => {
+                self.bump();
+                Ok(self.mk(ExprKind::NoneOf, start))
+            }
+            TokenKind::Some => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::SomeOf(Box::new(inner)), span))
+            }
+            TokenKind::IsNone => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::IsNone(Box::new(inner)), span))
+            }
+            TokenKind::IsSome => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::IsSome(Box::new(inner)), span))
+            }
+            TokenKind::Take => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let place = self.postfix_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                match place.kind {
+                    ExprKind::Field(recv, field) => {
+                        Ok(self.mk(ExprKind::Take(recv, field), span))
+                    }
+                    _ => Err(ParseError::new(
+                        "`take` expects a field place like `x.f`",
+                        span,
+                    )),
+                }
+            }
+            TokenKind::New => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.args()?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::New(name, args), span))
+            }
+            TokenKind::Send => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::Send(Box::new(inner)), span))
+            }
+            TokenKind::Recv => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(TokenKind::RParen)?;
+                let span = start.to(self.prev_span());
+                Ok(self.mk(ExprKind::Recv(ty), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(&TokenKind::RParen) {
+                    let span = start.to(self.prev_span());
+                    return Ok(self.mk(ExprKind::Unit, span));
+                }
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) && !matches!(self.peek_at(1), TokenKind::Eof) {
+                    self.bump();
+                    let args = self.args()?;
+                    let span = start.to(self.prev_span());
+                    return Ok(self.mk(ExprKind::Call(name, args), span));
+                }
+                Ok(self.mk(ExprKind::Var(name), start))
+            }
+            TokenKind::Result => {
+                self.bump();
+                Ok(self.mk(ExprKind::Var(Symbol::new("result")), start))
+            }
+            TokenKind::If => self.if_expr(),
+            TokenKind::While => self.while_expr(),
+            TokenKind::LBrace => self.block(),
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_1_structs() {
+        let src = "
+            struct sll_node {
+              iso payload : data;
+              iso next : sll_node?;
+            }
+            struct sll { iso hd : sll_node? }
+            struct dll_node {
+              iso payload : data;
+              next : dll_node;
+              prev : dll_node;
+            }
+            struct dll { iso hd : dll_node? }
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.structs.len(), 4);
+        let node = p.struct_def(&"sll_node".into()).unwrap();
+        assert!(node.field(&"payload".into()).unwrap().iso);
+        assert_eq!(
+            node.field(&"next".into()).unwrap().ty,
+            Type::maybe(Type::named("sll_node"))
+        );
+        let dll_node = p.struct_def(&"dll_node".into()).unwrap();
+        assert!(!dll_node.field(&"next".into()).unwrap().iso);
+    }
+
+    #[test]
+    fn parses_figure_2_remove_tail() {
+        let src = "
+            def remove_tail(n: sll_node) : data? {
+              let some(next) = n.next in {
+                if (is_none(next.next)) {
+                  n.next = none;
+                  some(next.payload)
+                } else { remove_tail(next) }
+              } else { none }
+            }
+        ";
+        let p = parse_program(src).unwrap();
+        let f = p.func(&"remove_tail".into()).unwrap();
+        assert_eq!(f.ret, Type::maybe(Type::named("data")));
+        assert!(matches!(f.body.kind, ExprKind::LetSome { .. }));
+    }
+
+    #[test]
+    fn parses_figure_5_if_disconnected() {
+        let src = "
+            def remove_tail(l : dll) : data? {
+              let some(hd) = l.hd in {
+                let tail = hd.prev;
+                tail.prev.next = hd;
+                hd.prev = tail.prev;
+                tail.next = tail; tail.prev = tail;
+                if disconnected(tail, hd) {
+                  l.hd = some(hd);
+                  some(tail.payload)
+                } else {
+                  l.hd = none;
+                  some(hd.payload)
+                }
+              } else { none }
+            }
+        ";
+        let p = parse_program(src).unwrap();
+        let f = p.func(&"remove_tail".into()).unwrap();
+        let mut saw_disc = false;
+        f.body.walk(&mut |e| {
+            if matches!(e.kind, ExprKind::IfDisconnected { .. }) {
+                saw_disc = true;
+            }
+        });
+        assert!(saw_disc);
+    }
+
+    #[test]
+    fn parses_figure_14_annotations() {
+        let src = "
+            def concat(l1, l2 : sll_node) : unit consumes l2 {
+              let some(l1_next) = l1.next in {
+                concat(l1_next, l2);
+              } else { l1.next = some(l2); }
+            }
+            def get_nth_node(l : dll, pos : int) : dll_node?
+                after: l.hd ~ result {
+              let some(node) = l.hd in {
+                while (pos > 0) {
+                  node = node.next;
+                  pos = pos - 1
+                };
+                some(node)
+              } else { none }
+            }
+        ";
+        let p = parse_program(src).unwrap();
+        let concat = p.func(&"concat".into()).unwrap();
+        assert_eq!(concat.params.len(), 2);
+        assert_eq!(concat.params[0].ty, Type::named("sll_node"));
+        assert_eq!(concat.annotations.consumes, vec![Symbol::new("l2")]);
+        let gnn = p.func(&"get_nth_node".into()).unwrap();
+        assert_eq!(gnn.annotations.after.len(), 1);
+        assert_eq!(
+            gnn.annotations.after[0].lhs,
+            RegionPath::Field("l".into(), "hd".into())
+        );
+        assert_eq!(gnn.annotations.after[0].rhs, RegionPath::Result);
+    }
+
+    #[test]
+    fn let_statement_scopes_over_block_rest() {
+        let e = parse_expr("{ let x = 1; let y = 2; x + y }").unwrap();
+        let ExprKind::Let { var, body, .. } = &e.kind else {
+            panic!("expected let, got {:?}", e.kind);
+        };
+        assert_eq!(var.as_str(), "x");
+        assert!(matches!(body.kind, ExprKind::Let { .. }));
+    }
+
+    #[test]
+    fn trailing_semicolon_yields_unit() {
+        let e = parse_expr("{ 1; 2; }").unwrap();
+        let ExprKind::Seq(items) = &e.kind else {
+            panic!("expected seq");
+        };
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[2].kind, ExprKind::Unit));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3 == 7 && true").unwrap();
+        let ExprKind::Binary(BinOp::And, lhs, _) = &e.kind else {
+            panic!("expected &&");
+        };
+        let ExprKind::Binary(BinOp::Eq, sum, _) = &lhs.kind else {
+            panic!("expected ==");
+        };
+        assert!(matches!(sum.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn chained_field_assignment_target() {
+        let e = parse_expr("tail.prev.next = hd").unwrap();
+        let ExprKind::AssignField(recv, field, _) = &e.kind else {
+            panic!("expected field assignment");
+        };
+        assert_eq!(field.as_str(), "next");
+        assert!(matches!(recv.kind, ExprKind::Field(_, _)));
+    }
+
+    #[test]
+    fn new_with_self_reference() {
+        let e = parse_expr("new dll_node(p, self, self)").unwrap();
+        let ExprKind::New(name, args) = &e.kind else {
+            panic!("expected new");
+        };
+        assert_eq!(name.as_str(), "dll_node");
+        assert_eq!(args.len(), 3);
+        assert!(matches!(args[1].kind, ExprKind::SelfRef));
+    }
+
+    #[test]
+    fn send_recv_take() {
+        let e = parse_expr("send(x)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Send(_)));
+        let e = parse_expr("recv(sll_node?)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Recv(Type::Maybe(_))));
+        let e = parse_expr("take(n.next)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Take(_, _)));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse_expr("1 = 2").is_err());
+        assert!(parse_expr("f() = 2").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_param_type() {
+        assert!(parse_program("def f(x) : unit { unit }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_fields_and_params() {
+        assert!(parse_program("struct s { a: int; a: bool }").is_err());
+        assert!(parse_program("def f(a: int, a: int) : unit { unit }").is_err());
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse_program(
+            "def f(x: int) : int { let y = x + 1; y * 2 }
+             def g(x: int) : int { f(f(x)) }",
+        )
+        .unwrap();
+        let mut ids = Vec::new();
+        for f in &p.funcs {
+            f.body.walk(&mut |e| ids.push(e.id));
+        }
+        let len = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), len);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let e = parse_expr("if (a) { 1 } else if (b) { 2 } else { 3 }").unwrap();
+        let ExprKind::If { else_branch, .. } = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(else_branch.kind, ExprKind::If { .. }));
+    }
+}

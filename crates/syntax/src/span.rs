@@ -1,0 +1,145 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[lo, hi)` into a source string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub lo: u32,
+    /// Exclusive end byte offset.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[lo, hi)`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        Span { lo, hi }
+    }
+
+    /// A zero-length span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { lo: 0, hi: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A 1-based line/column position resolved from a [`Span`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolves byte offsets to line/column positions for one source string.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Builds the line-start table for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Resolves a byte offset to a 1-based line/column position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Resolves the start of a span.
+    pub fn span_start(&self, span: Span) -> LineCol {
+        self.line_col(span.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::dummy().is_empty());
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncd\n\nxyz";
+        let map = SourceMap::new(src);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(map.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let map = SourceMap::new("ab");
+        assert_eq!(map.line_col(100), LineCol { line: 1, col: 3 });
+    }
+}

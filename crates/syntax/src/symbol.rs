@@ -1,0 +1,113 @@
+//! Cheap, clonable identifier strings.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An identifier in the surface language (variable, field, struct, or
+/// function name).
+///
+/// `Symbol` is a thin wrapper around a reference-counted string, so cloning
+/// is O(1) and the type can be used freely as a map key throughout the
+/// checker.
+///
+/// ```
+/// use fearless_syntax::Symbol;
+/// let s = Symbol::new("payload");
+/// assert_eq!(s.as_str(), "payload");
+/// assert_eq!(s, Symbol::new("payload"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn equality_and_ordering() {
+        let a = Symbol::new("a");
+        let b = Symbol::new("b");
+        assert!(a < b);
+        assert_ne!(a, b);
+        assert_eq!(a, Symbol::new("a"));
+    }
+
+    #[test]
+    fn usable_as_map_key_by_str() {
+        let mut m: BTreeMap<Symbol, u32> = BTreeMap::new();
+        m.insert(Symbol::new("x"), 1);
+        assert_eq!(m.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::new("hd");
+        assert_eq!(s.to_string(), "hd");
+        assert_eq!(format!("{s:?}"), "`hd`");
+    }
+}

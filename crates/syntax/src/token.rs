@@ -1,0 +1,268 @@
+//! Token definitions for the surface language.
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::symbol::Symbol;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier (or contextual keyword not listed below).
+    Ident(Symbol),
+    /// An integer literal.
+    Int(i64),
+
+    // Keywords.
+    /// `struct`
+    Struct,
+    /// `def`
+    Def,
+    /// `iso`
+    Iso,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `new`
+    New,
+    /// `some`
+    Some,
+    /// `none`
+    None,
+    /// `is_none`
+    IsNone,
+    /// `is_some`
+    IsSome,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `unit`
+    Unit,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `disconnected`
+    Disconnected,
+    /// `send`
+    Send,
+    /// `recv`
+    Recv,
+    /// `take`
+    Take,
+    /// `self`
+    SelfKw,
+    /// `consumes`
+    Consumes,
+    /// `pinned`
+    Pinned,
+    /// `after`
+    After,
+    /// `before`
+    Before,
+    /// `result`
+    Result,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `~`
+    Tilde,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    /// The literal text of a fixed token (empty for variable tokens).
+    pub fn text(&self) -> &'static str {
+        match self {
+            TokenKind::Struct => "struct",
+            TokenKind::Def => "def",
+            TokenKind::Iso => "iso",
+            TokenKind::Let => "let",
+            TokenKind::In => "in",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::New => "new",
+            TokenKind::Some => "some",
+            TokenKind::None => "none",
+            TokenKind::IsNone => "is_none",
+            TokenKind::IsSome => "is_some",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Unit => "unit",
+            TokenKind::IntTy => "int",
+            TokenKind::BoolTy => "bool",
+            TokenKind::Disconnected => "disconnected",
+            TokenKind::Send => "send",
+            TokenKind::Recv => "recv",
+            TokenKind::Take => "take",
+            TokenKind::SelfKw => "self",
+            TokenKind::Consumes => "consumes",
+            TokenKind::Pinned => "pinned",
+            TokenKind::After => "after",
+            TokenKind::Before => "before",
+            TokenKind::Result => "result",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Question => "?",
+            TokenKind::Tilde => "~",
+            TokenKind::Assign => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Eof => "",
+        }
+    }
+
+    /// Resolves a keyword from identifier text, if it is one.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "struct" => TokenKind::Struct,
+            "def" => TokenKind::Def,
+            "iso" => TokenKind::Iso,
+            "let" => TokenKind::Let,
+            "in" => TokenKind::In,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "new" => TokenKind::New,
+            "some" => TokenKind::Some,
+            "none" => TokenKind::None,
+            "is_none" => TokenKind::IsNone,
+            "is_some" => TokenKind::IsSome,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "unit" => TokenKind::Unit,
+            "int" => TokenKind::IntTy,
+            "bool" => TokenKind::BoolTy,
+            "disconnected" => TokenKind::Disconnected,
+            "send" => TokenKind::Send,
+            "recv" => TokenKind::Recv,
+            "take" => TokenKind::Take,
+            "self" => TokenKind::SelfKw,
+            "consumes" => TokenKind::Consumes,
+            "pinned" => TokenKind::Pinned,
+            "after" => TokenKind::After,
+            "before" => TokenKind::Before,
+            "result" => TokenKind::Result,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_resolution() {
+        assert_eq!(TokenKind::keyword("iso"), Some(TokenKind::Iso));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Semi.describe(), "`;`");
+        assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

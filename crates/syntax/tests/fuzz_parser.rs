@@ -1,0 +1,67 @@
+//! Fuzz-style robustness tests: the lexer and parser must return clean
+//! errors (never panic) on arbitrary input, and parse/print must be stable
+//! on mutated valid programs.
+
+use proptest::prelude::*;
+
+use fearless_syntax::{parse_program, pretty};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII soup never panics the parser.
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\\n]{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Arbitrary bytes drawn from the language's own alphabet never panic.
+    #[test]
+    fn parser_never_panics_on_language_alphabet(
+        input in "(struct|def|iso|let|some|none|if|else|while|new|send|recv|take|self|\\{|\\}|\\(|\\)|;|:|,|\\.|\\?|~|=|==|!=|<|<=|\\+|-|\\*|/|%|&&|\\|\\||[a-z_][a-z0-9_]*|[0-9]+| |\\n){0,80}"
+    ) {
+        let _ = parse_program(&input);
+    }
+
+    /// Truncating a valid program at any byte yields a clean result.
+    #[test]
+    fn truncation_is_clean(cut in 0usize..400) {
+        let src = "
+            struct data { value: int }
+            struct sll_node { iso payload : data; iso next : sll_node? }
+            def remove_tail(n : sll_node) : data? {
+              let some(next) = n.next in {
+                if (is_none(next.next)) { n.next = none; some(next.payload) }
+                else { remove_tail(next) }
+              } else { none }
+            }";
+        let cut = cut.min(src.len());
+        // Find a char boundary.
+        let mut at = cut;
+        while !src.is_char_boundary(at) {
+            at -= 1;
+        }
+        let _ = parse_program(&src[..at]);
+    }
+
+    /// Single-byte substitutions in a valid program never panic, and when
+    /// they still parse, printing still works.
+    #[test]
+    fn mutation_is_clean(pos in 0usize..300, replacement in "[ -~]") {
+        let src = "
+            struct data { value: int }
+            def f(a : int, b : int) : int {
+              let c = a + b;
+              while (c > 0) { c = c - 1 };
+              c
+            }";
+        let mut bytes = src.as_bytes().to_vec();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = replacement.as_bytes()[0];
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(program) = parse_program(&text) {
+                let _ = pretty::program_to_string(&program);
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! # fearless-verify
+//!
+//! The independent verifier half of the paper's prover–verifier
+//! architecture (§5): "its output typing derivations are checked by a
+//! verifier … making it easy to check by inspection that the type system
+//! is implemented faithfully."
+//!
+//! The prover (`fearless-core`) performs search and heuristics; this crate
+//! *replays* its derivations with no search at all:
+//!
+//! * every virtual-transformation node is re-applied through the trusted
+//!   `vir::apply` core, which validates all preconditions;
+//! * every rule node's recorded input must match the replayed state, its
+//!   premises must chain correctly, and its rule-specific side conditions
+//!   are re-checked against the expression syntax;
+//! * every intermediate state must be well-formed.
+//!
+//! A buggy prover (or a hand-forged derivation) is rejected here.
+
+#![warn(missing_docs)]
+
+mod rules;
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use fearless_core::{CheckedProgram, Derivation, Globals, TypeState};
+use fearless_syntax::{Expr, ExprId, FnDef};
+
+/// An error found while verifying a derivation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function whose derivation failed.
+    pub func: String,
+    /// The failing node index, if known.
+    pub node: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl VerifyError {
+    pub(crate) fn new(func: &str, node: Option<usize>, message: impl Into<String>) -> Self {
+        VerifyError {
+            func: func.to_string(),
+            node,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(
+                f,
+                "verification failed in `{}` at node {n}: {}",
+                self.func, self.message
+            ),
+            None => write!(f, "verification failed in `{}`: {}", self.func, self.message),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Statistics from a successful verification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Functions verified.
+    pub functions: usize,
+    /// Rule nodes verified.
+    pub rule_nodes: usize,
+    /// Virtual-transformation steps replayed.
+    pub vir_steps: usize,
+}
+
+/// Verifies every derivation of a checked program.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found; a checked program whose
+/// derivations do not replay indicates a prover bug.
+pub fn verify_program(checked: &CheckedProgram) -> Result<VerifyReport, VerifyError> {
+    let globals = fearless_core::globals_of(checked)
+        .map_err(|e| VerifyError::new("<globals>", None, e.to_string()))?;
+    let mut report = VerifyReport::default();
+    for derivation in &checked.derivations {
+        let def = checked
+            .program
+            .func(&derivation.func)
+            .ok_or_else(|| {
+                VerifyError::new(
+                    derivation.func.as_str(),
+                    None,
+                    "derivation for unknown function",
+                )
+            })?;
+        let sub = verify_derivation_in_mode(&globals, def, derivation, checked.options.mode)?;
+        report.functions += 1;
+        report.rule_nodes += sub.rule_nodes;
+        report.vir_steps += sub.vir_steps;
+    }
+    Ok(report)
+}
+
+/// Verifies one function's derivation against its definition (under the
+/// default tempered discipline).
+///
+/// # Errors
+///
+/// Returns the first mismatch found.
+pub fn verify_derivation(
+    globals: &Globals,
+    def: &FnDef,
+    derivation: &Derivation,
+) -> Result<VerifyReport, VerifyError> {
+    verify_derivation_in_mode(globals, def, derivation, fearless_core::CheckerMode::Tempered)
+}
+
+/// Verifies one function's derivation under an explicit discipline (the
+/// Take/iso-assignment rules differ between tempered domination and the
+/// global-domination baseline).
+///
+/// # Errors
+///
+/// Returns the first mismatch found.
+pub fn verify_derivation_in_mode(
+    globals: &Globals,
+    def: &FnDef,
+    derivation: &Derivation,
+    mode: fearless_core::CheckerMode,
+) -> Result<VerifyReport, VerifyError> {
+    let mut exprs: HashMap<ExprId, Expr> = HashMap::new();
+    def.body.walk(&mut |e| {
+        exprs.insert(e.id, e.clone());
+    });
+    let mut cx = rules::Cx {
+        globals,
+        def,
+        derivation,
+        exprs,
+        mode,
+        report: VerifyReport::default(),
+    };
+    cx.verify_root()?;
+    cx.report.functions = 1;
+    Ok(cx.report)
+}
+
+/// Convenience: state equality used across the verifier (re-exported from
+/// the prover's congruence so both sides agree on what "the same context"
+/// means — dangling ids are compared by danglingness, not value).
+pub fn states_agree(a: &TypeState, b: &TypeState) -> bool {
+    fearless_core::unify::congruent(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::{check_source, CheckerOptions};
+
+    const LISTS: &str = "
+        struct data { value: int }
+        struct sll_node { iso payload : data; iso next : sll_node? }
+        struct sll { iso hd : sll_node? }
+    ";
+
+    #[test]
+    fn verifies_figure_2() {
+        let checked = check_source(
+            &format!(
+                "{LISTS}
+                 def remove_tail(n : sll_node) : data? {{
+                   let some(next) = n.next in {{
+                     if (is_none(next.next)) {{
+                       n.next = none;
+                       some(next.payload)
+                     }} else {{ remove_tail(next) }}
+                   }} else {{ none }}
+                 }}"
+            ),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        let report = verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.functions, 1);
+        assert!(report.rule_nodes > 5);
+        assert!(report.vir_steps > 0);
+    }
+
+    #[test]
+    fn rejects_tampered_derivation() {
+        let mut checked = check_source(
+            &format!(
+                "{LISTS}
+                 def pass(n : sll_node) : unit {{ is_none(n.next); unit }}"
+            ),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        // Forge: flip a Focus step's variable to a name that is not bound.
+        let d = &mut checked.derivations[0];
+        let mut tampered = false;
+        for node in &mut d.nodes {
+            if let Some(fearless_core::VirStep::Focus { x, .. }) = &mut node.vir {
+                *x = fearless_syntax::Symbol::new("ghost");
+                tampered = true;
+                break;
+            }
+        }
+        assert!(tampered, "expected a focus step in the derivation");
+        let err = verify_program(&checked).unwrap_err();
+        assert!(
+            err.message.contains("focus") || err.message.contains("scope"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_forged_result_region() {
+        let mut checked = check_source(
+            &format!("{LISTS}\n def mk() : sll {{ new sll(none) }}"),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        // Forge the final result region to a bogus id.
+        checked.derivations[0].result.region = Some(fearless_core::RegionId(999));
+        let err = verify_program(&checked).unwrap_err();
+        assert!(!err.message.is_empty());
+    }
+}

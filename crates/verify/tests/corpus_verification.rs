@@ -1,0 +1,60 @@
+//! End-to-end prover–verifier check: every accepted corpus program's
+//! derivations replay cleanly through the independent verifier.
+
+use fearless_core::CheckerOptions;
+use fearless_verify::verify_program;
+
+#[test]
+fn all_accepted_corpus_entries_verify() {
+    let opts = CheckerOptions::default();
+    for entry in fearless_corpus::accepted_entries() {
+        let checked = entry
+            .check(&opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let report =
+            verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert!(report.rule_nodes > 0, "{}", entry.name);
+    }
+}
+
+#[test]
+fn search_derivations_verify_too() {
+    // Derivations produced by the backtracking-search fallback must replay
+    // just as cleanly as oracle-produced ones.
+    let opts = CheckerOptions::default().without_oracle();
+    let entry = fearless_corpus::sll::figure_2_entry();
+    let checked = entry.check(&opts).unwrap_or_else(|e| panic!("{e}"));
+    verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn pathological_joins_verify() {
+    for m in 1..=3 {
+        let src = fearless_corpus::pathological::divergent_join(m);
+        let program = fearless_corpus::pathological::parse(&src);
+        let checked =
+            fearless_core::check_program(&program, &CheckerOptions::default()).unwrap();
+        verify_program(&checked).unwrap_or_else(|e| panic!("m={m}: {e}"));
+    }
+}
+
+#[test]
+fn global_domination_derivations_verify() {
+    // The destructive-read baseline checked under the GD discipline
+    // produces GD-shaped Take/IsoAssign nodes; the verifier must replay
+    // those too.
+    let opts = CheckerOptions::with_mode(fearless_core::CheckerMode::GlobalDomination);
+    let entry = fearless_corpus::sll::destructive_entry();
+    let checked = entry.check(&opts).unwrap_or_else(|e| panic!("{e}"));
+    verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn tree_and_sort_derivations_verify() {
+    let opts = CheckerOptions::default();
+    for entry in [fearless_corpus::tree::entry(), fearless_corpus::sort::entry()] {
+        let checked = entry.check(&opts).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let report = verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert!(report.vir_steps > 20, "{}", entry.name);
+    }
+}

@@ -1,0 +1,285 @@
+//! Cross-crate checker/verifier integration: mode matrices, annotation
+//! misuse, generated program families, and prover–verifier agreement.
+
+use fearless_core::{check_program, check_source, CheckerMode, CheckerOptions};
+use fearless_verify::verify_program;
+
+const LISTS: &str = "
+    struct data { value: int }
+    struct sll_node { iso payload : data; iso next : sll_node? }
+    struct sll { iso hd : sll_node? }
+";
+
+fn tempered(src: &str) -> Result<(), String> {
+    check_source(src, &CheckerOptions::default())
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn every_corpus_entry_has_consistent_mode_verdicts() {
+    // The acceptance matrix across the three disciplines is stable; this
+    // guards the Table 1 data.
+    let matrix: Vec<(&str, [bool; 3])> = vec![
+        // name, [tempered, global-domination, tree-of-objects]
+        // The sll entry shares the Fig. 1 struct block, which includes the
+        // dll — so tree-of-objects rejects it at struct validation (the
+        // sll-only Table 1 verdict is computed in fearless-baselines).
+        ("sll", [true, false, false]),
+        ("dll", [true, false, false]),
+        ("rbt", [true, false, true]),
+        ("sll_destructive", [true, true, true]),
+    ];
+    for (name, expected) in matrix {
+        let entry = fearless_corpus::all_entries()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("missing corpus entry {name}"));
+        for (mode, want) in [
+            CheckerMode::Tempered,
+            CheckerMode::GlobalDomination,
+            CheckerMode::TreeOfObjects,
+        ]
+        .into_iter()
+        .zip(expected)
+        {
+            let got = entry.check(&CheckerOptions::with_mode(mode)).is_ok();
+            assert_eq!(got, want, "{name} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn rejected_patterns() {
+    // Returning an alias of a parameter without an annotation.
+    assert!(tempered(&format!(
+        "{LISTS} def leak(n : sll_node) : sll_node {{ n }}"
+    ))
+    .is_err());
+    // Sending a region twice.
+    assert!(tempered(&format!(
+        "{LISTS} def twice(n : sll_node) : unit consumes n {{ send(n); send(n); }}"
+    ))
+    .is_err());
+    // Using a variable after its region was sent.
+    assert!(tempered(&format!(
+        "{LISTS} def after(n : sll_node) : int consumes n {{ send(n); n.payload.value }}"
+    ))
+    .is_err());
+    // Consuming a parameter that was not declared consumed.
+    assert!(tempered(&format!(
+        "{LISTS} def sneaky(n : sll_node) : unit {{ send(n); }}"
+    ))
+    .is_err());
+    // if disconnected on roots in different regions.
+    assert!(tempered(&format!(
+        "{LISTS}
+         struct dll_node {{ iso payload : data; next : dll_node; prev : dll_node }}
+         def d(a : dll_node, b : dll_node) : int {{
+           if disconnected(a, b) {{ 1 }} else {{ 0 }}
+         }}"
+    ))
+    .is_err());
+    // Shadowing.
+    assert!(tempered(&format!(
+        "{LISTS} def shadow(n : sll_node) : int {{ let n = 1; n }}"
+    ))
+    .is_err());
+}
+
+#[test]
+fn accepted_patterns() {
+    // Consumed parameter sent away.
+    tempered(&format!(
+        "{LISTS} def ship(n : sll_node) : unit consumes n {{ send(n); }}"
+    ))
+    .unwrap();
+    // after: result ~ param (alias the parameter itself).
+    tempered(&format!(
+        "{LISTS} def identity(n : sll_node) : sll_node after: n ~ result {{ n }}"
+    ))
+    .unwrap();
+    // Receiving grows the reservation; the received list is fully usable.
+    tempered(&format!(
+        "{LISTS}
+         def sum(n : sll_node) : int {{
+           let v = n.payload.value;
+           let some(nx) = n.next in {{ v + sum(nx) }} else {{ v }}
+         }}
+         def take_delivery() : int {{ sum(recv(sll_node)) }}"
+    ))
+    .unwrap();
+    // Cyclic iso assignment within a tracked region (T7 allows cycles).
+    tempered(&format!(
+        "{LISTS}
+         def knot(a : sll_node) : unit consumes a {{
+           a.next = some(a);
+         }}"
+    ))
+    .unwrap_or_else(|e| panic!("iso self-cycle should type-check while tracked: {e}"));
+}
+
+#[test]
+fn after_relations_between_parameters() {
+    // `after: a ~ b` merges two parameters' regions at exit.
+    tempered(&format!(
+        "{LISTS}
+         struct dll_node {{ iso payload : data; next : dll_node; prev : dll_node }}
+         def link(a : dll_node, b : dll_node) : unit after: a ~ b {{
+           a.next = b;
+           b.prev = a;
+         }}"
+    ))
+    .unwrap_or_else(|e| panic!("{e}"));
+    // Without the annotation the merge is an error.
+    assert!(tempered(&format!(
+        "{LISTS}
+         struct dll_node {{ iso payload : data; next : dll_node; prev : dll_node }}
+         def link(a : dll_node, b : dll_node) : unit {{
+           a.next = b;
+           b.prev = a;
+         }}"
+    ))
+    .is_err());
+}
+
+#[test]
+fn pinned_parameters_frame_away_tracking() {
+    // A pinned parameter's region may not be focused inside the callee.
+    let err = tempered(&format!(
+        "{LISTS}
+         def peek(n : sll_node) : bool pinned n {{ is_none(n.next) }}"
+    ))
+    .unwrap_err();
+    assert!(err.contains("pinned"), "{err}");
+    // But value-field access is fine.
+    tempered(&format!(
+        "{LISTS}
+         struct counter {{ count : int }}
+         def bump(c : counter) : unit pinned c {{ c.count = c.count + 1; }}"
+    ))
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn generated_families_check_and_verify() {
+    let opts = CheckerOptions::default();
+    for n in [4usize, 16, 64] {
+        let src = fearless_corpus::pathological::straight_line(n);
+        let program = fearless_corpus::pathological::parse(&src);
+        let checked = check_program(&program, &opts).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        verify_program(&checked).unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+    for b in [2usize, 8] {
+        let src = fearless_corpus::pathological::join_chain(b, 2);
+        let program = fearless_corpus::pathological::parse(&src);
+        let checked = check_program(&program, &opts).unwrap_or_else(|e| panic!("b={b}: {e}"));
+        verify_program(&checked).unwrap_or_else(|e| panic!("b={b}: {e}"));
+    }
+}
+
+#[test]
+fn oracle_and_search_agree_on_acceptance() {
+    // For small joins the two decision procedures must agree (§4.6:
+    // search is complete; §5.1: the oracle is a heuristic for the same
+    // relation).
+    let programs = [
+        fearless_corpus::pathological::divergent_join(1),
+        fearless_corpus::pathological::divergent_join(2),
+        fearless_corpus::pathological::join_chain(3, 2),
+    ];
+    for src in &programs {
+        let program = fearless_corpus::pathological::parse(src);
+        let with = check_program(&program, &CheckerOptions::default()).is_ok();
+        let mut opts = CheckerOptions::default().without_oracle();
+        opts.search_node_budget = 2_000_000;
+        let without = check_program(&program, &opts).is_ok();
+        assert_eq!(with, without);
+        assert!(with);
+    }
+}
+
+#[test]
+fn verify_rejects_cross_function_swaps() {
+    // Swapping two functions' derivations must not verify.
+    let mut checked = check_source(
+        &format!(
+            "{LISTS}
+             def one(n : sll_node) : int {{ 1 }}
+             def two(n : sll_node) : int {{ 2 }}"
+        ),
+        &CheckerOptions::default(),
+    )
+    .unwrap();
+    let name0 = checked.derivations[0].func.clone();
+    let name1 = checked.derivations[1].func.clone();
+    checked.derivations[0].func = name1;
+    checked.derivations[1].func = name0;
+    assert!(verify_program(&checked).is_err());
+}
+
+#[test]
+fn after_param_merge_checks_and_verifies_at_call_sites() {
+    let src = format!(
+        "{LISTS}
+         struct dll_node {{ iso payload : data; next : dll_node; prev : dll_node }}
+         def link(a : dll_node, b : dll_node) : unit after: a ~ b {{
+           a.next = b;
+           b.prev = a;
+         }}
+         def caller(x : dll_node, y : dll_node) : unit after: x ~ y {{
+           link(x, y);
+         }}"
+    );
+    let checked =
+        check_source(&src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn get_nth_node_tracking_usable_at_call_site() {
+    // `after: l.hd ~ result` makes the returned node aliasable with the
+    // list's spine — the caller can mutate through it and the list sees
+    // the change.
+    let src = "
+        struct data { value: int }
+        struct dll_node { iso payload : data; next : dll_node; prev : dll_node }
+        struct dll { iso hd : dll_node? }
+        def get_nth_node(l : dll, pos : int) : dll_node?
+            after: l.hd ~ result {
+          let some(node) = l.hd in {
+            while (pos > 0) { node = node.next; pos = pos - 1 };
+            some(node)
+          } else { none }
+        }
+        def bump_nth(l : dll, pos : int) : unit {
+          let m = get_nth_node(l, pos);
+          let some(node) = m in {
+            node.payload.value = node.payload.value + 1;
+          } else { unit };
+        }";
+    let checked =
+        check_source(src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn end_to_end_pipeline_fuzz() {
+    // Generated list workloads flow through the whole pipeline: check →
+    // independently verify → run with reservation checks on. A fault at
+    // any stage is a bug somewhere in the chain.
+    for seed in 0..12u64 {
+        let src = fearless_corpus::pathological::random_list_program(seed, 14);
+        let program = fearless_corpus::pathological::parse(&src);
+        let checked = check_program(&program, &CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        verify_program(&checked).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut m = fearless_runtime::Machine::new(&program)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let out = m
+            .call("driver", vec![])
+            .unwrap_or_else(|e| panic!("seed {seed}: runtime {e}"));
+        assert!(matches!(out, fearless_runtime::Value::Int(_)), "seed {seed}");
+        assert!(m.stats().reservation_checks > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Differential testing: the abstract machine's data structures against
+//! plain Rust models, over randomized operation sequences.
+
+use proptest::prelude::*;
+
+use fearless_runtime::{Machine, Value};
+
+/// Operations on the singly linked list.
+#[derive(Clone, Debug)]
+enum SllOp {
+    PushFront(i64),
+    PopFront,
+    RemoveTail,
+    Sum,
+    Length,
+}
+
+fn sll_op() -> impl Strategy<Value = SllOp> {
+    prop_oneof![
+        (1i64..100).prop_map(SllOp::PushFront),
+        Just(SllOp::PopFront),
+        Just(SllOp::RemoveTail),
+        Just(SllOp::Sum),
+        Just(SllOp::Length),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sll_matches_vec_model(ops in prop::collection::vec(sll_op(), 1..40)) {
+        let entry = fearless_corpus::sll::entry();
+        let mut m = Machine::new(&entry.parse()).unwrap();
+        let list = m.call("sll_new", vec![]).unwrap();
+        let mut model: Vec<i64> = Vec::new();
+
+        for op in ops {
+            match op {
+                SllOp::PushFront(v) => {
+                    let d = m.call("mk", vec![Value::Int(v)]).unwrap();
+                    m.call("sll_push_front", vec![list.clone(), d]).unwrap();
+                    model.insert(0, v);
+                }
+                SllOp::PopFront => {
+                    let got = m.call("sll_pop_front", vec![list.clone()]).unwrap();
+                    let want = !model.is_empty();
+                    prop_assert_eq!(matches!(got, Value::Maybe(Some(_))), want);
+                    if want {
+                        model.remove(0);
+                    }
+                }
+                SllOp::RemoveTail => {
+                    let got = m.call("sll_remove_tail_list", vec![list.clone()]).unwrap();
+                    // Fig. 2 semantics: size-1 lists cannot lose their tail.
+                    let want = model.len() >= 2;
+                    prop_assert_eq!(matches!(got, Value::Maybe(Some(_))), want, "len={}", model.len());
+                    if want {
+                        model.pop();
+                    }
+                }
+                SllOp::Sum => {
+                    let got = m.call("sll_sum_list", vec![list.clone()]).unwrap();
+                    let want: i64 = model.iter().sum();
+                    prop_assert_eq!(got, Value::Int(want));
+                }
+                SllOp::Length => {
+                    let got = m.call("sll_length_list", vec![list.clone()]).unwrap();
+                    prop_assert_eq!(got, Value::Int(model.len() as i64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dll_matches_deque_model(
+        values in prop::collection::vec((1i64..1000, prop::bool::ANY), 1..24),
+        removals in 0usize..24,
+    ) {
+        let entry = fearless_corpus::dll::entry();
+        let mut m = Machine::new(&entry.parse()).unwrap();
+        let list = m.call("dll_new", vec![]).unwrap();
+        let mut model: std::collections::VecDeque<i64> = Default::default();
+
+        for &(v, front) in &values {
+            let d = m.call("dll_mk", vec![Value::Int(v)]).unwrap();
+            if front {
+                m.call("dll_push_front", vec![list.clone(), d]).unwrap();
+                model.push_front(v);
+            } else {
+                m.call("dll_push_back", vec![list.clone(), d]).unwrap();
+                model.push_back(v);
+            }
+        }
+        // Spot-check rotation order.
+        if !model.is_empty() {
+            let pos = (values.len() / 2) as i64;
+            let got = m.call("dll_nth_value", vec![list.clone(), Value::Int(pos)]).unwrap();
+            let want = model[(pos as usize) % model.len()];
+            prop_assert_eq!(got, Value::Int(want));
+        }
+        // Remove tails and compare counts.
+        for _ in 0..removals {
+            let got = m.call("dll_remove_tail", vec![list.clone()]).unwrap();
+            prop_assert_eq!(matches!(got, Value::Maybe(Some(_))), !model.is_empty());
+            model.pop_back();
+        }
+        let n = model.len() as i64;
+        let got = m.call("dll_sum", vec![list.clone(), Value::Int(n)]).unwrap();
+        prop_assert_eq!(got, Value::Int(model.iter().sum::<i64>()));
+    }
+
+    #[test]
+    fn rbt_matches_btreemap_model(keys in prop::collection::vec(0i64..512, 1..64)) {
+        let entry = fearless_corpus::rbt::entry();
+        let mut m = Machine::new(&entry.parse()).unwrap();
+        let tree = m.call("rbt_new", vec![]).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+
+        for (i, &k) in keys.iter().enumerate() {
+            let d = m.call("mk_data", vec![Value::Int(i as i64)]).unwrap();
+            m.call("rbt_insert", vec![tree.clone(), Value::Int(k), d]).unwrap();
+            model.insert(k, i as i64);
+            // Invariants hold after every insertion.
+            prop_assert_eq!(
+                m.call("rbt_valid", vec![tree.clone()]).unwrap(),
+                Value::Bool(true)
+            );
+        }
+        prop_assert_eq!(
+            m.call("rbt_size", vec![tree.clone()]).unwrap(),
+            Value::Int(model.len() as i64)
+        );
+        for &k in keys.iter().take(16) {
+            prop_assert_eq!(
+                m.call("rbt_value_of", vec![tree.clone(), Value::Int(k)]).unwrap(),
+                Value::Int(model[&k])
+            );
+        }
+        // Absent keys.
+        prop_assert_eq!(
+            m.call("rbt_contains", vec![tree.clone(), Value::Int(-5)]).unwrap(),
+            Value::Bool(false)
+        );
+        if let (Some((&min, _)), Some((&max, _))) = (model.iter().next(), model.iter().last()) {
+            let root = m.heap().read_field(tree.as_loc().unwrap(), 0).unwrap();
+            if let Value::Maybe(Some(root)) = root {
+                prop_assert_eq!(m.call("rb_min_key", vec![(*root).clone()]).unwrap(), Value::Int(min));
+                prop_assert_eq!(m.call("rb_max_key", vec![*root]).unwrap(), Value::Int(max));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_delete_matches_set_model(
+        inserts in prop::collection::vec(1i64..64, 1..24),
+        deletes in prop::collection::vec(1i64..64, 0..24),
+    ) {
+        let entry = fearless_corpus::tree::entry();
+        let mut m = Machine::new(&entry.parse()).unwrap();
+        let mut model: std::collections::BTreeSet<i64> = Default::default();
+
+        // Build by repeated insert (BST keyed by payload value; duplicates
+        // land in the right subtree, so deduplicate for the model).
+        let mut tree = {
+            let first = inserts[0];
+            model.insert(first);
+            let t = m.call("tree_leaf", vec![Value::Int(first)]).unwrap();
+            Value::some(t)
+        };
+        for &v in &inserts[1..] {
+            if !model.insert(v) {
+                continue; // skip duplicates to keep model exact
+            }
+            let t = m.call("tree_insert", vec![tree, Value::Int(v)]).unwrap();
+            tree = Value::some(t);
+        }
+        // Random deletions.
+        for &k in &deletes {
+            let ex = m.call("tree_delete", vec![tree, Value::Int(k)]).unwrap();
+            let ex_obj = ex.as_loc().unwrap();
+            let payload = m.heap().read_field(ex_obj, 1).unwrap();
+            prop_assert_eq!(!payload.is_none(), model.remove(&k), "key {}", k);
+            tree = m.heap().read_field(ex_obj, 0).unwrap();
+            match &tree {
+                Value::Maybe(Some(node)) => {
+                    let sum = m.call("tree_sum", vec![(**node).clone()]).unwrap();
+                    prop_assert_eq!(sum, Value::Int(model.iter().sum::<i64>()));
+                    // BST order is preserved: every remaining key is found.
+                    if let Some(&probe) = model.iter().next() {
+                        let found = m
+                            .call("tree_contains", vec![(**node).clone(), Value::Int(probe)])
+                            .unwrap();
+                        prop_assert_eq!(found, Value::Bool(true));
+                    }
+                }
+                _ => prop_assert!(model.is_empty()),
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the §5.2 `if disconnected` implementation: on
+//! randomly generated region-shaped heaps, the efficient check must be
+//! *sound* with respect to the naive reference semantics (it may say
+//! "connected" when the graphs are disjoint, never the reverse), and on
+//! well-shaped workloads the two agree.
+
+use proptest::prelude::*;
+
+use fearless_runtime::{
+    efficient_disconnected, naive_disconnected, Heap, ObjId, TypeTable, Value,
+};
+use fearless_syntax::parse_program;
+
+fn table() -> TypeTable {
+    let p = parse_program(
+        "struct data { value: int }
+         struct gnode {
+           iso payload : data?;
+           a : gnode?;
+           b : gnode?;
+         }",
+    )
+    .unwrap();
+    TypeTable::new(&p)
+}
+
+/// Builds a heap of `n` gnodes whose non-iso `a`/`b` edges are given by
+/// `edges[i] = (a_target, b_target)` as indices (None = no edge).
+fn build(
+    table: &TypeTable,
+    n: usize,
+    edges: &[(Option<usize>, Option<usize>)],
+) -> (Heap, Vec<ObjId>) {
+    let mut heap = Heap::new(table.clone());
+    let gnode = table.id_of(&"gnode".into()).unwrap();
+    let nodes: Vec<ObjId> = (0..n)
+        .map(|_| heap.alloc(gnode, vec![Value::none(), Value::none(), Value::none()]))
+        .collect();
+    for (i, (a, b)) in edges.iter().enumerate().take(n) {
+        if let Some(t) = a {
+            heap.write_field(nodes[i], 1, Value::some(Value::Loc(nodes[t % n])))
+                .unwrap();
+        }
+        if let Some(t) = b {
+            heap.write_field(nodes[i], 2, Value::some(Value::Loc(nodes[t % n])))
+                .unwrap();
+        }
+    }
+    (heap, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: efficient "disconnected" implies truly disjoint
+    /// reachable subgraphs.
+    #[test]
+    fn efficient_implies_naive(
+        n in 2usize..12,
+        edges in prop::collection::vec(
+            (prop::option::of(0usize..12), prop::option::of(0usize..12)),
+            12,
+        ),
+        roots in (0usize..12, 0usize..12),
+    ) {
+        let table = table();
+        let (heap, nodes) = build(&table, n, &edges);
+        let a = nodes[roots.0 % n];
+        let b = nodes[roots.1 % n];
+        let eff = efficient_disconnected(&heap, &table, a, b);
+        let naive = naive_disconnected(&heap, a, b);
+        if eff.disconnected {
+            prop_assert!(
+                naive.disconnected,
+                "efficient claimed disjoint but graphs intersect (n={n}, roots={roots:?})"
+            );
+        }
+    }
+
+    /// On inbound-closed graphs (every reference into either root's
+    /// subgraph originates inside it), the efficient check is also
+    /// complete: it agrees exactly with the reference semantics.
+    #[test]
+    fn exact_on_closed_graphs(
+        n in 2usize..10,
+        split in 1usize..9,
+        chain_a in prop::bool::ANY,
+        chain_b in prop::bool::ANY,
+    ) {
+        let split = split.min(n - 1).max(1);
+        // Two disjoint chains: nodes [0, split) and [split, n).
+        let mut edges: Vec<(Option<usize>, Option<usize>)> = vec![(None, None); n];
+        for (i, e) in edges.iter_mut().enumerate().take(split.saturating_sub(1)) {
+            *e = (chain_a.then_some(i + 1), None);
+        }
+        for (i, e) in edges
+            .iter_mut()
+            .enumerate()
+            .take(n.saturating_sub(1))
+            .skip(split)
+        {
+            *e = (None, chain_b.then_some(i + 1));
+        }
+        let table = table();
+        let (heap, nodes) = build(&table, n, &edges);
+        let eff = efficient_disconnected(&heap, &table, nodes[0], nodes[split]);
+        let naive = naive_disconnected(&heap, nodes[0], nodes[split]);
+        prop_assert!(naive.disconnected);
+        prop_assert_eq!(eff.disconnected, naive.disconnected);
+    }
+
+    /// The efficient traversal never visits more objects than both graphs
+    /// contain (it terminates on the smaller side).
+    #[test]
+    fn visit_bound(
+        n in 2usize..12,
+        edges in prop::collection::vec(
+            (prop::option::of(0usize..12), prop::option::of(0usize..12)),
+            12,
+        ),
+    ) {
+        let table = table();
+        let (heap, nodes) = build(&table, n, &edges);
+        let eff = efficient_disconnected(&heap, &table, nodes[0], nodes[n - 1]);
+        prop_assert!(eff.visited <= 2 * n + 2);
+    }
+}
+
+#[test]
+fn iso_edges_are_invisible_to_the_efficient_check() {
+    // Connect two nodes only through an iso field: under tempered
+    // domination the regions are separate, and the efficient check (which
+    // ignores iso edges) reports disjoint; the naive check, following all
+    // edges, reports connected. This is exactly the division of labor §5.2
+    // describes: the type system guarantees no first intersection point
+    // lies beyond an iso field.
+    let table = table();
+    let mut heap = Heap::new(table.clone());
+    let gnode = table.id_of(&"gnode".into()).unwrap();
+    let data = table.id_of(&"data".into()).unwrap();
+    let payload = heap.alloc(data, vec![Value::Int(1)]);
+    let inner = heap.alloc(gnode, vec![Value::none(), Value::none(), Value::none()]);
+    let outer = heap.alloc(
+        gnode,
+        vec![Value::none(), Value::none(), Value::none()],
+    );
+    let _ = payload;
+    // outer.payload (iso) → inner... payload is data?; use a second gnode
+    // heap shape instead: outer.payload is data-typed, so link via iso by
+    // making inner the target of outer's iso field is not typeable here;
+    // emulate with a raw write (field 0 is the iso slot).
+    heap.write_field(outer, 0, Value::some(Value::Loc(inner))).unwrap();
+    let eff = efficient_disconnected(&heap, &table, outer, inner);
+    let naive = naive_disconnected(&heap, outer, inner);
+    assert!(!naive.disconnected, "naive follows iso edges");
+    assert!(eff.disconnected, "efficient stops at region boundaries");
+}
