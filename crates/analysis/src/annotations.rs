@@ -1,0 +1,170 @@
+//! FA002 `over-strong-annotation`: annotations the program checks without.
+//!
+//! Each candidate annotation — a `pinned` parameter, a `before` region
+//! relation, a `consumes` clause, or an `iso` field declaration — is
+//! removed (or weakened) in a clone of the program, and the *whole* program
+//! is re-checked under the original options. Re-checking everything, not
+//! just the annotated function, means callers are validated too: a reported
+//! annotation can really be deleted. `after` relations are skipped — they
+//! are promises to callers outside this program, so weakening them is not
+//! locally justifiable.
+
+use fearless_core::CheckedProgram;
+use fearless_syntax::{Severity, Span};
+
+use crate::{AnalysisReport, Lint, LintCode};
+
+pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
+    let options = checked.options;
+    let still_checks = |report: &mut AnalysisReport, p: &fearless_syntax::Program| {
+        report.stats.recheck_experiments += 1;
+        fearless_core::check_program(p, &options).is_ok()
+    };
+
+    for (fi, f) in checked.program.funcs.iter().enumerate() {
+        let param_span = |name: &fearless_syntax::Symbol| -> Span {
+            f.params
+                .iter()
+                .find(|p| p.name == *name)
+                .map_or(f.span, |p| p.span)
+        };
+
+        for (i, name) in f.annotations.pinned.iter().enumerate() {
+            let mut p = checked.program.clone();
+            p.funcs[fi].annotations.pinned.remove(i);
+            if still_checks(report, &p) {
+                report.lints.push(lint(
+                    f.name.as_str(),
+                    param_span(name),
+                    format!("`pinned {name}` is unnecessary: the program checks without it"),
+                ));
+            }
+        }
+
+        for (i, rel) in f.annotations.before.iter().enumerate() {
+            let mut p = checked.program.clone();
+            p.funcs[fi].annotations.before.remove(i);
+            if still_checks(report, &p) {
+                report.lints.push(lint(
+                    f.name.as_str(),
+                    rel.span,
+                    "this `before` relation is unnecessary: the program checks without it"
+                        .to_string(),
+                ));
+            }
+        }
+
+        for (i, name) in f.annotations.consumes.iter().enumerate() {
+            let mut p = checked.program.clone();
+            p.funcs[fi].annotations.consumes.remove(i);
+            if still_checks(report, &p) {
+                report.lints.push(lint(
+                    f.name.as_str(),
+                    param_span(name),
+                    format!(
+                        "`consumes {name}` is over-strong: the program checks \
+                         without consuming it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (si, s) in checked.program.structs.iter().enumerate() {
+        for (fi, field) in s.fields.iter().enumerate() {
+            if !field.iso {
+                continue;
+            }
+            let mut p = checked.program.clone();
+            p.structs[si].fields[fi].iso = false;
+            if still_checks(report, &p) {
+                report.lints.push(Lint {
+                    code: LintCode::OverStrongAnnotation,
+                    severity: Severity::Warning,
+                    func: None,
+                    span: field.span,
+                    message: format!(
+                        "field `{}.{}` is declared `iso` but the program checks \
+                         with a plain field",
+                        s.name, field.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint(func: &str, span: Span, message: String) -> Lint {
+    Lint {
+        code: LintCode::OverStrongAnnotation,
+        severity: Severity::Warning,
+        func: Some(func.to_string()),
+        span,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::{check_source, CheckerOptions};
+
+    fn analyze(src: &str) -> AnalysisReport {
+        let checked = check_source(src, &CheckerOptions::default()).unwrap();
+        let mut report = AnalysisReport::default();
+        run(&checked, &mut report);
+        report
+    }
+
+    #[test]
+    fn unnecessary_pinned_is_reported() {
+        let report = analyze(
+            "struct data { value: int }
+             def peek(d: data) : int pinned d { d.value }",
+        );
+        assert_eq!(report.lints.len(), 1);
+        assert!(
+            report.lints[0].message.contains("pinned d"),
+            "{:?}",
+            report.lints
+        );
+        assert!(report.stats.recheck_experiments >= 1);
+    }
+
+    #[test]
+    fn load_bearing_consumes_is_kept() {
+        // `send` requires the sent region to be consumed from the caller,
+        // so `consumes d` cannot be dropped.
+        let report = analyze(
+            "struct data { value: int }
+             def ship(d: data) : unit consumes d { send(d); unit }",
+        );
+        assert!(
+            !report
+                .lints
+                .iter()
+                .any(|l| l.message.contains("consumes d")),
+            "{:?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn unused_iso_field_is_reported() {
+        // The iso-ness of `payload` is never exploited: no take, no
+        // explore, no send of the payload alone.
+        let report = analyze(
+            "struct data { value: int }
+             struct holder { iso payload : data }
+             def peek(h: holder) : int { h.payload.value }",
+        );
+        assert!(
+            report
+                .lints
+                .iter()
+                .any(|l| l.func.is_none() && l.message.contains("holder.payload")),
+            "{:?}",
+            report.lints
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden-file tests: the JSON lint report for every accepted corpus entry
+//! is compared byte-for-byte against a committed golden file.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p fearless-analyze --test lint_goldens
+//! ```
+
+use std::path::PathBuf;
+
+use fearless_analyze::analyze_program;
+use fearless_core::CheckerOptions;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn corpus_lint_reports_match_goldens() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for entry in fearless_corpus::accepted_entries() {
+        let checked = entry
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("corpus entry `{}` no longer checks: {e}", entry.name));
+        let report = analyze_program(&checked)
+            .unwrap_or_else(|e| panic!("analysis failed on `{}`: {e}", entry.name));
+        let json = report.to_json(&entry.source);
+        let path = golden_path(entry.name);
+        if bless {
+            std::fs::write(&path, &json).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for `{}` ({e}); run with BLESS=1",
+                entry.name
+            )
+        });
+        if expected != json {
+            mismatches.push(entry.name);
+            eprintln!("=== golden mismatch for `{}` ===\n{json}", entry.name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden mismatches: {mismatches:?} (re-bless with BLESS=1 if intentional)"
+    );
+}
+
+#[test]
+fn generated_pathological_programs_analyze_deterministically() {
+    use fearless_corpus::pathological;
+    for src in [
+        pathological::divergent_join(4),
+        pathological::join_chain(3, 4),
+        pathological::straight_line(20),
+        pathological::random_list_program(1, 12),
+    ] {
+        let program = pathological::parse(&src);
+        let checked = fearless_core::check_program(&program, &CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("generated program no longer checks: {e}\n{src}"));
+        let a = analyze_program(&checked).unwrap().to_json(&src);
+        let b = analyze_program(&checked).unwrap().to_json(&src);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn corpus_reports_are_deterministic() {
+    for entry in fearless_corpus::accepted_entries() {
+        let checked = entry.check(&CheckerOptions::default()).unwrap();
+        let a = analyze_program(&checked).unwrap().to_json(&entry.source);
+        let b = analyze_program(&checked).unwrap().to_json(&entry.source);
+        assert_eq!(a, b, "nondeterministic report for `{}`", entry.name);
+    }
+}

@@ -73,8 +73,8 @@ pub fn table1() -> Vec<Table1Row> {
           } else { none }
         }";
     let fig2 = fearless_syntax::parse_program(fig2_src).expect("fig2 parses");
-    let dll_structs = fearless_syntax::parse_program(fearless_corpus::STRUCTS)
-        .expect("corpus structs parse");
+    let dll_structs =
+        fearless_syntax::parse_program(fearless_corpus::STRUCTS).expect("corpus structs parse");
     let sll_lib = fearless_corpus::sll::entry();
     let gd_lib = fearless_corpus::sll::destructive_entry();
 
@@ -157,7 +157,9 @@ pub struct RemoveTailWrites {
 pub fn remove_tail_writes(n: u64) -> RemoveTailWrites {
     let tempered = {
         let mut m = Machine::new(&fearless_corpus::sll::entry().parse()).expect("compiles");
-        let l = m.call("sll_make", vec![Value::Int(n as i64)]).expect("runs");
+        let l = m
+            .call("sll_make", vec![Value::Int(n as i64)])
+            .expect("runs");
         let before = m.stats().field_writes;
         m.call("sll_remove_tail_list", vec![l]).expect("runs");
         m.stats().field_writes - before

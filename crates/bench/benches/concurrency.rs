@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
-    println!("\n{}", fearless_bench::render_concurrency(&[1, 2, 4, 8], 200));
+    println!(
+        "\n{}",
+        fearless_bench::render_concurrency(&[1, 2, 4, 8], 200)
+    );
     let mut group = c.benchmark_group("concurrency");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));

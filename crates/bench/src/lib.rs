@@ -12,9 +12,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use fearless_core::CheckerOptions;
-use fearless_runtime::{
-    DisconnectStrategy, Machine, MachineConfig, RuntimeError, Value,
-};
+use fearless_runtime::{DisconnectStrategy, Machine, MachineConfig, RuntimeError, Value};
 
 pub use fearless_baselines::{remove_tail_writes, render_table1, table1};
 
@@ -50,7 +48,11 @@ pub fn checker_speed() -> Vec<CheckTiming> {
         let verify = start.elapsed();
         out.push(CheckTiming {
             name: entry.name,
-            loc: entry.source.lines().filter(|l| !l.trim().is_empty()).count(),
+            loc: entry
+                .source
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count(),
             functions: checked.derivations.len(),
             nodes: checked.total_nodes(),
             check,
@@ -105,7 +107,9 @@ pub fn disconnect_cost(n: u64) -> DisconnectCost {
             },
         )
         .expect("compiles");
-        let l = m.call("dll_make", vec![Value::Int(n as i64)]).expect("runs");
+        let l = m
+            .call("dll_make", vec![Value::Int(n as i64)])
+            .expect("runs");
         let before = m.stats().disconnect_visited;
         m.call("dll_remove_tail", vec![l]).expect("runs");
         m.stats().disconnect_visited - before

@@ -6,7 +6,8 @@
 //! ```text
 //! fearlessc check  program.fc [--mode tempered|gd|tree] [--no-oracle]
 //! fearlessc verify program.fc
-//! fearlessc run    program.fc --entry main [--arg 42]... [--unchecked]
+//! fearlessc lint   program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
+//! fearlessc run    program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
 //! fearlessc table1
 //! ```
 
@@ -34,6 +35,17 @@ pub enum Command {
         /// Source path.
         path: String,
     },
+    /// Run the static-analysis lint passes (`fearless-analyze`).
+    Lint {
+        /// Source path.
+        path: String,
+        /// Discipline to check under before analyzing.
+        mode: CheckerMode,
+        /// Output format.
+        format: LintFormat,
+        /// Exit nonzero when any finding is reported.
+        deny_warnings: bool,
+    },
     /// Check, then run an entry function on the abstract machine.
     Run {
         /// Source path.
@@ -45,6 +57,9 @@ pub enum Command {
         /// Skip the static check and run with reservation checks anyway
         /// (for demonstrating dynamic faults, experiment E8).
         unchecked: bool,
+        /// Assert tempered domination over the whole heap after every
+        /// machine step (the dynamic sanitizer).
+        sanitize: bool,
     },
     /// Print a function's typing derivation.
     Explain {
@@ -66,10 +81,20 @@ fearlessc — tempered-domination checker, verifier, and runtime
 USAGE:
   fearlessc check  <file> [--mode tempered|gd|tree] [--no-oracle]
   fearlessc verify <file>
-  fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked]
+  fearlessc lint   <file> [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
+  fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
   fearlessc explain <file> --fn <name>
   fearlessc table1
 ";
+
+/// Output format for `fearlessc lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    /// Rendered diagnostics with source excerpts.
+    Human,
+    /// Machine-readable JSON (deterministic; golden-file friendly).
+    Json,
+}
 
 /// Parses command-line arguments (excluding the program name).
 ///
@@ -95,7 +120,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             Some("tempered") => CheckerMode::Tempered,
                             Some("gd") => CheckerMode::GlobalDomination,
                             Some("tree") => CheckerMode::TreeOfObjects,
-                            other => return Err(format!("unknown mode {other:?}")),
+                            Some(other) => {
+                                return Err(format!(
+                                    "unknown mode `{other}` (expected `tempered`, `gd`, or `tree`)"
+                                ))
+                            }
+                            None => return Err("--mode requires a value".to_string()),
                         };
                     }
                     "--no-oracle" => no_oracle = true,
@@ -112,6 +142,50 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "verify" => {
             let path = it.next().ok_or("missing file")?.to_string();
             Ok(Command::Verify { path })
+        }
+        "lint" => {
+            let mut path = None;
+            let mut mode = CheckerMode::Tempered;
+            let mut format = LintFormat::Human;
+            let mut deny_warnings = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--mode" => {
+                        mode = match it.next().map(String::as_str) {
+                            Some("tempered") => CheckerMode::Tempered,
+                            Some("gd") => CheckerMode::GlobalDomination,
+                            Some("tree") => CheckerMode::TreeOfObjects,
+                            Some(other) => {
+                                return Err(format!(
+                                    "unknown mode `{other}` (expected `tempered`, `gd`, or `tree`)"
+                                ))
+                            }
+                            None => return Err("--mode requires a value".to_string()),
+                        };
+                    }
+                    "--format" => {
+                        format = match it.next().map(String::as_str) {
+                            Some("human") => LintFormat::Human,
+                            Some("json") => LintFormat::Json,
+                            Some(other) => {
+                                return Err(format!(
+                                    "unknown format `{other}` (expected `human` or `json`)"
+                                ))
+                            }
+                            None => return Err("--format requires a value".to_string()),
+                        };
+                    }
+                    "--deny-warnings" => deny_warnings = true,
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Lint {
+                path: path.ok_or("missing file")?,
+                mode,
+                format,
+                deny_warnings,
+            })
         }
         "explain" => {
             let mut path = None;
@@ -133,6 +207,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut entry = None;
             let mut run_args = Vec::new();
             let mut unchecked = false;
+            let mut sanitize = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--entry" => entry = it.next().cloned(),
@@ -141,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         run_args.push(v.parse::<i64>().map_err(|e| e.to_string())?);
                     }
                     "--unchecked" => unchecked = true,
+                    "--sanitize-domination" => sanitize = true,
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -150,6 +226,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 entry: entry.ok_or("missing --entry")?,
                 args: run_args,
                 unchecked,
+                sanitize,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -162,6 +239,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 ///
 /// Returns a rendered diagnostic on any failure.
 pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, String> {
+    execute_on_source_with_code(cmd, src).0
+}
+
+/// Like [`execute_on_source`], but also returns the process exit status:
+/// `1` for any error, `1` for `lint --deny-warnings` with findings (the
+/// report still goes to stdout), `0` otherwise.
+pub fn execute_on_source_with_code(cmd: &Command, src: &str) -> (Result<String, String>, i32) {
+    if let Command::Lint {
+        mode,
+        format,
+        deny_warnings,
+        ..
+    } = cmd
+    {
+        return lint_source(src, *mode, *format, *deny_warnings);
+    }
+    let result = execute_plain(cmd, src);
+    let code = i32::from(result.is_err());
+    (result, code)
+}
+
+fn lint_source(
+    src: &str,
+    mode: CheckerMode,
+    format: LintFormat,
+    deny_warnings: bool,
+) -> (Result<String, String>, i32) {
+    let opts = CheckerOptions::with_mode(mode);
+    let checked = match fearless_core::check_source(src, &opts) {
+        Ok(c) => c,
+        Err(e) => return (Err(e.render(src)), 1),
+    };
+    let report = match fearless_analyze::analyze_program(&checked) {
+        Ok(r) => r,
+        Err(msg) => return (Err(msg), 1),
+    };
+    let out = match format {
+        LintFormat::Human => report.render_human(src),
+        LintFormat::Json => report.to_json(src),
+    };
+    let code = i32::from(deny_warnings && !report.is_clean());
+    (Ok(out), code)
+}
+
+fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Table1 => Ok(fearless_baselines::render_table1()),
@@ -170,8 +292,7 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, String> {
         } => {
             let mut opts = CheckerOptions::with_mode(*mode);
             opts.liveness_oracle = !no_oracle;
-            let checked =
-                fearless_core::check_source(src, &opts).map_err(|e| e.render(src))?;
+            let checked = fearless_core::check_source(src, &opts).map_err(|e| e.render(src))?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -195,38 +316,55 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, String> {
         Command::Verify { .. } => {
             let checked = fearless_core::check_source(src, &CheckerOptions::default())
                 .map_err(|e| e.render(src))?;
-            let report =
-                fearless_verify::verify_program(&checked).map_err(|e| e.to_string())?;
+            let report = fearless_verify::verify_program(&checked).map_err(|e| e.to_string())?;
             Ok(format!(
                 "verified: {} function(s), {} rule nodes, {} TS1 steps replayed\n",
                 report.functions, report.rule_nodes, report.vir_steps
             ))
         }
+        Command::Lint {
+            mode,
+            format,
+            deny_warnings,
+            ..
+        } => lint_source(src, *mode, *format, *deny_warnings).0,
         Command::Run {
             entry,
             args,
             unchecked,
+            sanitize,
             ..
         } => {
             if !unchecked {
                 fearless_core::check_source(src, &CheckerOptions::default())
                     .map_err(|e| e.render(src))?;
             }
-            let program = fearless_syntax::parse_program(src)
-                .map_err(|e| e.render(src))?;
-            let mut machine = Machine::with_config(&program, MachineConfig::default())
-                .map_err(|e| e.to_string())?;
+            let program = fearless_syntax::parse_program(src).map_err(|e| e.render(src))?;
+            let config = MachineConfig {
+                sanitize_domination: *sanitize,
+                ..MachineConfig::default()
+            };
+            let mut machine = Machine::with_config(&program, config).map_err(|e| e.to_string())?;
             let values = args.iter().map(|&n| Value::Int(n)).collect();
-            let result = machine
-                .call(entry, values)
-                .map_err(|e| e.to_string())?;
+            let result = machine.call(entry, values).map_err(|e| e.to_string())?;
             let stats = machine.stats();
-            Ok(format!(
+            let mut out = format!(
                 "{entry}(…) = {result}\n{} steps, {} allocations, {} field reads, {} field \
                  writes, {} reservation checks\n",
-                stats.steps, stats.allocs, stats.field_reads, stats.field_writes,
+                stats.steps,
+                stats.allocs,
+                stats.field_reads,
+                stats.field_writes,
                 stats.reservation_checks
-            ))
+            );
+            if *sanitize {
+                let _ = writeln!(
+                    out,
+                    "domination sanitizer: {} iso edge(s) checked, all dominating",
+                    stats.sanitize_checks
+                );
+            }
+            Ok(out)
         }
     }
 }
@@ -237,16 +375,28 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, String> {
 ///
 /// Returns the message to print to stderr (exit status 1).
 pub fn main_with(args: &[String]) -> Result<String, String> {
-    let cmd = parse_args(args)?;
+    main_with_code(args).0
+}
+
+/// Like [`main_with`], but also returns the process exit status (see
+/// [`execute_on_source_with_code`]).
+pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
+    let cmd = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => return (Err(e), 1),
+    };
     match &cmd {
-        Command::Help | Command::Table1 => execute_on_source(&cmd, ""),
+        Command::Help | Command::Table1 => execute_on_source_with_code(&cmd, ""),
         Command::Check { path, .. }
         | Command::Verify { path }
+        | Command::Lint { path, .. }
         | Command::Explain { path, .. }
         | Command::Run { path, .. } => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            execute_on_source(&cmd, &src)
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return (Err(format!("cannot read `{path}`: {e}")), 1),
+            };
+            execute_on_source_with_code(&cmd, &src)
         }
     }
 }
@@ -280,14 +430,38 @@ mod tests {
 
     #[test]
     fn parses_run() {
-        let cmd = parse_args(&s(&["run", "f.fc", "--entry", "main", "--arg", "3"])).unwrap();
+        let cmd = parse_args(&s(&[
+            "run",
+            "f.fc",
+            "--entry",
+            "main",
+            "--arg",
+            "3",
+            "--sanitize-domination",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Run {
                 path: "f.fc".into(),
                 entry: "main".into(),
                 args: vec![3],
-                unchecked: false
+                unchecked: false,
+                sanitize: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_lint_flags() {
+        let cmd = parse_args(&s(&["lint", "f.fc", "--format", "json", "--deny-warnings"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                path: "f.fc".into(),
+                mode: CheckerMode::Tempered,
+                format: LintFormat::Json,
+                deny_warnings: true
             }
         );
     }
@@ -311,6 +485,7 @@ mod tests {
             entry: "double".into(),
             args: vec![21],
             unchecked: false,
+            sanitize: false,
         };
         let out = execute_on_source(&run, PROGRAM).unwrap();
         assert!(out.contains("= 42"), "{out}");
@@ -344,5 +519,69 @@ mod tests {
     fn table1_renders() {
         let out = execute_on_source(&Command::Table1, "").unwrap();
         assert!(out.contains("dll-repr"));
+    }
+
+    fn lint_cmd(format: LintFormat, deny_warnings: bool) -> Command {
+        Command::Lint {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            format,
+            deny_warnings,
+        }
+    }
+
+    const LINTY: &str = "
+        struct data { value: int }
+        def peek(d : data) : int pinned d { d.value }
+    ";
+
+    #[test]
+    fn lint_reports_findings_without_deny_exits_zero() {
+        let (result, code) =
+            execute_on_source_with_code(&lint_cmd(LintFormat::Human, false), LINTY);
+        let out = result.unwrap();
+        assert!(out.contains("FA002"), "{out}");
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn lint_deny_warnings_exits_nonzero_on_findings() {
+        let (result, code) = execute_on_source_with_code(&lint_cmd(LintFormat::Json, true), LINTY);
+        let out = result.unwrap();
+        assert!(out.contains("\"code\": \"FA002\""), "{out}");
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn lint_deny_warnings_exits_zero_when_clean() {
+        let (result, code) = execute_on_source_with_code(
+            &lint_cmd(LintFormat::Json, true),
+            "def add(a : int, b : int) : int { a + b }",
+        );
+        assert!(result.unwrap().contains("\"lints\": []"));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn lint_on_ill_typed_program_is_an_error() {
+        let (result, code) = execute_on_source_with_code(
+            &lint_cmd(LintFormat::Human, false),
+            "def f() : int { true }",
+        );
+        assert!(result.is_err());
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn run_with_sanitizer_reports_checked_edges() {
+        let run = Command::Run {
+            path: String::new(),
+            entry: "make".into(),
+            args: vec![5],
+            unchecked: false,
+            sanitize: true,
+        };
+        let out = execute_on_source(&run, PROGRAM).unwrap();
+        assert!(out.contains("domination sanitizer"), "{out}");
     }
 }

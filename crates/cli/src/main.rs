@@ -2,11 +2,10 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match fearless_cli::main_with(&args) {
+    let (result, code) = fearless_cli::main_with_code(&args);
+    match result {
         Ok(out) => print!("{out}"),
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(1);
-        }
+        Err(msg) => eprintln!("{msg}"),
     }
+    std::process::exit(code);
 }

@@ -115,7 +115,11 @@ impl<'a> FnChecker<'a> {
         TypeError::new(msg, span)
     }
 
-    fn struct_def(&self, ty: &Type, span: Span) -> Result<&'a fearless_syntax::StructDef, TypeError> {
+    fn struct_def(
+        &self,
+        ty: &Type,
+        span: Span,
+    ) -> Result<&'a fearless_syntax::StructDef, TypeError> {
         let name = ty
             .struct_name()
             .ok_or_else(|| self.err(format!("type {ty} is not a struct"), span))?;
@@ -143,9 +147,7 @@ impl<'a> FnChecker<'a> {
         if let Some(r) = b.region {
             if !st.heap.contains(r) {
                 return Err(self.err(
-                    format!(
-                        "variable `{x}` is unusable: its region was consumed or invalidated"
-                    ),
+                    format!("variable `{x}` is unusable: its region was consumed or invalidated"),
                     span,
                 ));
             }
@@ -180,7 +182,10 @@ impl<'a> FnChecker<'a> {
         };
         if matches!(val.ty, Type::Maybe(_)) {
             return Err(self.err(
-                format!("`{x}` has maybe type {}; unwrap it with `let some(..)` first", val.ty),
+                format!(
+                    "`{x}` has maybe type {}; unwrap it with `let some(..)` first",
+                    val.ty
+                ),
                 span,
             ));
         }
@@ -266,27 +271,17 @@ impl<'a> FnChecker<'a> {
         Ok(fresh)
     }
 
-    fn field_def(
-        &self,
-        recv_ty: &Type,
-        f: &Symbol,
-        span: Span,
-    ) -> Result<FieldDef, TypeError> {
+    fn field_def(&self, recv_ty: &Type, f: &Symbol, span: Span) -> Result<FieldDef, TypeError> {
         if matches!(recv_ty, Type::Maybe(_)) {
             return Err(self.err(
-                format!(
-                    "cannot access field of maybe type {recv_ty}; unwrap with `let some(..)`"
-                ),
+                format!("cannot access field of maybe type {recv_ty}; unwrap with `let some(..)`"),
                 span,
             ));
         }
         let sdef = self.struct_def(recv_ty, span)?;
-        sdef.field(f).cloned().ok_or_else(|| {
-            self.err(
-                format!("struct `{}` has no field `{f}`", sdef.name),
-                span,
-            )
-        })
+        sdef.field(f)
+            .cloned()
+            .ok_or_else(|| self.err(format!("struct `{}` has no field `{f}`", sdef.name), span))
     }
 
     fn live_at(&self, e: &Expr) -> LiveSet {
@@ -294,7 +289,12 @@ impl<'a> FnChecker<'a> {
     }
 
     /// Conformance of a computed type against an expectation.
-    fn expect_ty(&self, actual: &Type, expected: Option<&Type>, span: Span) -> Result<(), TypeError> {
+    fn expect_ty(
+        &self,
+        actual: &Type,
+        expected: Option<&Type>,
+        span: Span,
+    ) -> Result<(), TypeError> {
         if let Some(exp) = expected {
             if actual != exp {
                 return Err(self.err(
@@ -415,7 +415,16 @@ impl<'a> FnChecker<'a> {
                     region: val.region,
                     ty: Type::maybe(val.ty.clone()),
                 };
-                self.node(input, st, e, Rule::SomeOf, out, vec![inner_chain], vec![], chain)
+                self.node(
+                    input,
+                    st,
+                    e,
+                    Rule::SomeOf,
+                    out,
+                    vec![inner_chain],
+                    vec![],
+                    chain,
+                )
             }
             ExprKind::NoneOf => {
                 let input = st.clone();
@@ -435,7 +444,16 @@ impl<'a> FnChecker<'a> {
                 } else {
                     (None, vec![])
                 };
-                self.node(input, st, e, Rule::NoneOf, ValInfo { region, ty }, vec![], data, chain)
+                self.node(
+                    input,
+                    st,
+                    e,
+                    Rule::NoneOf,
+                    ValInfo { region, ty },
+                    vec![],
+                    data,
+                    chain,
+                )
             }
             ExprKind::IsNone(inner) | ExprKind::IsSome(inner) => {
                 let input = st.clone();
@@ -641,7 +659,11 @@ impl<'a> FnChecker<'a> {
                 span,
             ));
         }
-        let region = if fd.ty.is_reference() { rval.region } else { None };
+        let region = if fd.ty.is_reference() {
+            rval.region
+        } else {
+            None
+        };
         self.node(
             input,
             st,
@@ -776,7 +798,16 @@ impl<'a> FnChecker<'a> {
             span,
         )?;
         st.gamma.set_region(x, val.region);
-        self.node(input, st, e, Rule::AssignVar, ValInfo::unit(), vec![rhs_chain], vec![], chain)
+        self.node(
+            input,
+            st,
+            e,
+            Rule::AssignVar,
+            ValInfo::unit(),
+            vec![rhs_chain],
+            vec![],
+            chain,
+        )
     }
 
     fn check_assign_field(
@@ -813,12 +844,17 @@ impl<'a> FnChecker<'a> {
         if fd.ty.is_reference() {
             // Intra-region reference: the value must live in the receiver's
             // region; attach to merge (V5).
-            let rx = rval.region.ok_or_else(|| {
-                self.err("receiver has no region".to_string(), span)
-            })?;
+            let rx = rval
+                .region
+                .ok_or_else(|| self.err("receiver has no region".to_string(), span))?;
             if let Some(rv) = val.region {
                 if rv != rx {
-                    self.vir(st, VirStep::Attach { from: rv, to: rx }, &mut rhs_chain, span)?;
+                    self.vir(
+                        st,
+                        VirStep::Attach { from: rv, to: rx },
+                        &mut rhs_chain,
+                        span,
+                    )?;
                 }
             }
         }
@@ -1150,10 +1186,7 @@ impl<'a> FnChecker<'a> {
             return Err(self.err("if disconnected requires reference variables", span));
         };
         if matches!(aval.ty, Type::Maybe(_)) || matches!(bval.ty, Type::Maybe(_)) {
-            return Err(self.err(
-                "if disconnected requires unwrapped struct references",
-                span,
-            ));
+            return Err(self.err("if disconnected requires unwrapped struct references", span));
         }
         if ra != rb {
             return Err(self.err(
@@ -1167,7 +1200,15 @@ impl<'a> FnChecker<'a> {
         // T15's premise: nothing tracked within the region.
         let live = self.live_at(e);
         let mut pre = Vec::new();
-        state::discharge_region(&mut self.deriv, st, ra, &live, &Protect::new(), &mut pre, span)?;
+        state::discharge_region(
+            &mut self.deriv,
+            st,
+            ra,
+            &live,
+            &Protect::new(),
+            &mut pre,
+            span,
+        )?;
         chain.extend(pre);
         let input = st.clone();
 
@@ -1449,14 +1490,12 @@ impl<'a> FnChecker<'a> {
         for class in &sig.input_classes {
             let mut regions: Vec<RegionId> = Vec::new();
             for p in class {
-                let r = arg_region(p).ok_or_else(|| {
-                    self.err(format!("argument for `{p}` has no region"), span)
-                })?;
+                let r = arg_region(p)
+                    .ok_or_else(|| self.err(format!("argument for `{p}` has no region"), span))?;
                 if !st.heap.contains(r) {
-                    return Err(self.err(
-                        format!("argument for `{p}` is in a consumed region"),
-                        span,
-                    ));
+                    return Err(
+                        self.err(format!("argument for `{p}` is in a consumed region"), span)
+                    );
                 }
                 if !regions.contains(&r) {
                     regions.push(r);
@@ -1570,9 +1609,10 @@ impl<'a> FnChecker<'a> {
         }
 
         let region = if sig.ret.is_reference() {
-            Some(result_region.ok_or_else(|| {
-                self.err("internal: missing result class".to_string(), span)
-            })?)
+            Some(
+                result_region
+                    .ok_or_else(|| self.err("internal: missing result class".to_string(), span))?,
+            )
         } else {
             None
         };
@@ -1622,7 +1662,16 @@ impl<'a> FnChecker<'a> {
             st.heap.remove(r);
             data.push(r);
         }
-        self.node(input, st, e, Rule::Send, ValInfo::unit(), vec![inner_chain], data, chain)
+        self.node(
+            input,
+            st,
+            e,
+            Rule::Send,
+            ValInfo::unit(),
+            vec![inner_chain],
+            data,
+            chain,
+        )
     }
 
     fn check_binary(
@@ -1778,12 +1827,8 @@ impl<'a> FnChecker<'a> {
                 },
             );
         }
-        let (found, visited) = search::find_common_counted(
-            self.globals,
-            &st_a,
-            &st_b,
-            self.opts.search_node_budget,
-        );
+        let (found, visited) =
+            search::find_common_counted(self.globals, &st_a, &st_b, self.opts.search_node_budget);
         self.deriv.search_nodes += visited;
         let found = found.ok_or_else(|| {
             self.err(
@@ -1958,9 +2003,9 @@ impl<'a> FnChecker<'a> {
                         }
                         r
                     }
-                    RegionPath::Result => val.region.ok_or_else(|| {
-                        self.err("missing result region".to_string(), span)
-                    })?,
+                    RegionPath::Result => val
+                        .region
+                        .ok_or_else(|| self.err("missing result region".to_string(), span))?,
                     RegionPath::Field(p, f) => st
                         .heap
                         .tracked_field(p, f)
@@ -2033,10 +2078,9 @@ impl<'a> FnChecker<'a> {
             for (x, vt) in &ctx.vars {
                 for f in vt.fields.keys() {
                     if !required.contains(&(x.clone(), f.clone())) {
-                        return Err(self.err(
-                            format!("`{x}.{f}` unexpectedly tracked at exit"),
-                            span,
-                        ));
+                        return Err(
+                            self.err(format!("`{x}.{f}` unexpectedly tracked at exit"), span)
+                        );
                     }
                 }
             }

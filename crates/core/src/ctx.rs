@@ -10,8 +10,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fearless_syntax::{Symbol, Type};
 
 /// A compile-time region identifier.
@@ -19,9 +17,7 @@ use fearless_syntax::{Symbol, Type};
 /// Regions are purely static: they group objects that enter or leave a
 /// thread's reservation as a unit (§1). Fresh ids are drawn from a
 /// per-function counter.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct RegionId(pub u32);
 
 impl fmt::Display for RegionId {
@@ -32,7 +28,7 @@ impl fmt::Display for RegionId {
 
 /// Tracking information for one focused variable: which of its `iso` fields
 /// are explicitly tracked, and to which regions they point.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct VarTrack {
     /// Pinned variables carry partial information: untracked `iso` fields of
     /// a pinned variable may not be assumed to dominate (§4.7).
@@ -44,7 +40,7 @@ pub struct VarTrack {
 }
 
 /// The tracking context of a single region: `r°⟨X⟩`.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct TrackCtx {
     /// Pinned regions may not gain new tracked variables (§4.7).
     pub pinned: bool,
@@ -66,7 +62,7 @@ impl TrackCtx {
 
 /// The heap context `H`: a set of tracking contexts, one per region
 /// capability held by the current expression.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct HeapCtx {
     regions: BTreeMap<RegionId, TrackCtx>,
 }
@@ -234,7 +230,7 @@ impl fmt::Display for HeapCtx {
 }
 
 /// A variable binding in `Γ`: its region (for reference types) and type.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Binding {
     /// Region of the bound value; `None` for value types (`int`, `bool`,
     /// `unit`, and maybes thereof), which are copied freely.
@@ -244,7 +240,7 @@ pub struct Binding {
 }
 
 /// The variable typing context `Γ`.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct VarCtx {
     vars: BTreeMap<Symbol, Binding>,
 }
@@ -349,7 +345,7 @@ impl fmt::Display for VarCtx {
 }
 
 /// A full static state: the pair `(H; Γ)` plus the fresh-region counter.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct TypeState {
     /// The heap context `H`.
     pub heap: HeapCtx,
@@ -377,9 +373,11 @@ impl TypeState {
     /// regions, and variable-binding edges from an implicit stack node.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph contexts {
+        let mut out = String::from(
+            "digraph contexts {
   rankdir=LR;
-");
+",
+        );
         for (r, ctx) in self.heap.iter() {
             let vars: Vec<String> = ctx
                 .vars
@@ -418,8 +416,10 @@ impl TypeState {
                 }
             }
         }
-        out.push_str("}
-");
+        out.push_str(
+            "}
+",
+        );
         out
     }
 

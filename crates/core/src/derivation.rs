@@ -8,8 +8,6 @@
 //! own leaf nodes with [`Rule::Vir`], so the verifier can replay and check
 //! every context manipulation the prover performed.
 
-use serde::{Deserialize, Serialize};
-
 use fearless_syntax::{ExprId, Symbol, Type};
 
 use crate::ctx::{RegionId, TypeState};
@@ -17,7 +15,7 @@ use crate::vir::VirStep;
 
 /// Result of a typing judgment: the region (for reference-typed values) and
 /// the type.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ValInfo {
     /// Region of the value; `None` for value types.
     pub region: Option<RegionId>,
@@ -36,7 +34,7 @@ impl ValInfo {
 }
 
 /// The syntax-directed rules of Fig. 10/13, plus `Vir` for TS1 steps.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[allow(missing_docs)]
 pub enum Rule {
     UnitLit,
@@ -70,7 +68,7 @@ pub enum Rule {
 }
 
 /// Extra information recorded for [`Rule::Call`] nodes.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct CallInfo {
     /// Callee name.
     pub callee: Option<Symbol>,
@@ -82,7 +80,7 @@ pub struct CallInfo {
 }
 
 /// A node in a typing derivation.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DerivNode {
     /// Which rule was applied.
     pub rule: Rule,
@@ -109,7 +107,7 @@ pub struct DerivNode {
 }
 
 /// A complete derivation for one function.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Derivation {
     /// The function this derivation types.
     pub func: Symbol,
@@ -149,6 +147,38 @@ impl Derivation {
         self.nodes.iter().filter_map(|n| n.vir.as_ref())
     }
 
+    /// Iterates over every premise chain: the root chain plus each rule
+    /// node's sub-chains. Every node index appears in exactly one chain.
+    pub fn all_chains(&self) -> impl Iterator<Item = &[usize]> {
+        std::iter::once(self.root_chain.as_slice()).chain(
+            self.nodes
+                .iter()
+                .flat_map(|n| n.chains.iter().map(Vec::as_slice)),
+        )
+    }
+
+    /// Maximal runs of consecutive `Vir` nodes within the chains. Each run
+    /// is a sequence of node indices whose steps rewrite the context
+    /// between two rule applications; the analysis layer checks runs for
+    /// steps whose elision still replays.
+    pub fn vir_runs(&self) -> Vec<Vec<usize>> {
+        let mut runs = Vec::new();
+        for chain in self.all_chains() {
+            let mut cur: Vec<usize> = Vec::new();
+            for &idx in chain {
+                if self.nodes[idx].rule == Rule::Vir {
+                    cur.push(idx);
+                } else if !cur.is_empty() {
+                    runs.push(std::mem::take(&mut cur));
+                }
+            }
+            if !cur.is_empty() {
+                runs.push(cur);
+            }
+        }
+        runs
+    }
+
     /// Renders the derivation as an indented typing script: every rule
     /// application with its judgment, and every TS1 step in order.
     pub fn render(&self) -> String {
@@ -177,19 +207,9 @@ impl Derivation {
                     let _ = writeln!(out, "{pad}⇝ {step}");
                 }
                 (None, Some(result)) => {
-                    let region = result
-                        .region
-                        .map(|r| format!("{r} "))
-                        .unwrap_or_default();
-                    let expr = node
-                        .expr
-                        .map(|e| format!(" @{e}"))
-                        .unwrap_or_default();
-                    let _ = writeln!(
-                        out,
-                        "{pad}{:?}{expr} : {region}{}",
-                        node.rule, result.ty
-                    );
+                    let region = result.region.map(|r| format!("{r} ")).unwrap_or_default();
+                    let expr = node.expr.map(|e| format!(" @{e}")).unwrap_or_default();
+                    let _ = writeln!(out, "{pad}{:?}{expr} : {region}{}", node.rule, result.ty);
                     for sub in &node.chains {
                         self.render_chain(sub, depth + 1, out);
                     }
@@ -293,11 +313,7 @@ mod tests {
     fn builder_counts_vir_steps() {
         let mut b = DerivBuilder::new();
         let st = TypeState::new();
-        b.push_vir(
-            VirStep::Weaken { r: RegionId(0) },
-            st.clone(),
-            st.clone(),
-        );
+        b.push_vir(VirStep::Weaken { r: RegionId(0) }, st.clone(), st.clone());
         b.push_rule(
             Rule::UnitLit,
             ExprId(0),
@@ -308,7 +324,14 @@ mod tests {
             vec![],
             None,
         );
-        let d = b.finish("f".into(), st.clone(), st.clone(), ValInfo::unit(), vec![1], vec![]);
+        let d = b.finish(
+            "f".into(),
+            st.clone(),
+            st.clone(),
+            ValInfo::unit(),
+            vec![1],
+            vec![],
+        );
         assert_eq!(d.len(), 2);
         assert_eq!(d.vir_steps, 1);
         assert_eq!(d.vir_iter().count(), 1);

@@ -3,8 +3,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use fearless_syntax::{FnDef, Program, RegionPath, StructDef, Symbol, Type};
 
 use crate::error::TypeError;
@@ -17,7 +15,7 @@ use crate::mode::CheckerMode;
 /// tracking context, except that `before:` relations merge input regions
 /// and `pinned` marks them pinned. The output is described by a partition
 /// of region paths induced by the `after:` relations.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FnSig {
     /// Function name.
     pub name: Symbol,
@@ -59,9 +57,7 @@ impl FnSig {
 
     /// The output class containing `path`, if any.
     pub fn output_class_of(&self, path: &RegionPath) -> Option<usize> {
-        self.output_classes
-            .iter()
-            .position(|c| c.contains(path))
+        self.output_classes.iter().position(|c| c.contains(path))
     }
 }
 
@@ -450,8 +446,7 @@ mod tests {
         // Output classes: one for l, one for {l.hd, result}.
         assert_eq!(sig.output_classes.len(), 2);
         let class = sig.output_class_of(&RegionPath::Result).unwrap();
-        assert!(sig.output_classes[class]
-            .contains(&RegionPath::Field("l".into(), "hd".into())));
+        assert!(sig.output_classes[class].contains(&RegionPath::Field("l".into(), "hd".into())));
         let sig2 = g.sig(&"consume".into()).unwrap();
         assert!(sig2.consumes.contains("x"));
         assert!(sig2.output_classes.is_empty());

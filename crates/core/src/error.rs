@@ -3,13 +3,11 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fearless_syntax::diag::render_with_source;
 use fearless_syntax::Span;
 
 /// An error produced while type-checking a program.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TypeError {
     message: String,
     span: Span,

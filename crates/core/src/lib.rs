@@ -47,7 +47,8 @@ pub use derivation::{CallInfo, DerivBuilder, DerivNode, Derivation, Rule, ValInf
 pub use env::{FnSig, Globals};
 pub use error::TypeError;
 pub use mode::{CheckerMode, CheckerOptions};
-pub use vir::VirStep;
+pub use search::SearchHints;
+pub use vir::{VirKind, VirStep};
 
 use fearless_syntax::{parse_program, Program};
 
@@ -94,8 +95,7 @@ pub fn check_program(
     let globals = Globals::build(program, options.mode)?;
     let mut derivations = Vec::new();
     for f in &program.funcs {
-        let d = check::check_fn(&globals, options, f)
-            .map_err(|e| e.in_func(f.name.as_str()))?;
+        let d = check::check_fn(&globals, options, f).map_err(|e| e.in_func(f.name.as_str()))?;
         derivations.push(d);
     }
     Ok(CheckedProgram {

@@ -182,14 +182,17 @@ mod tests {
 
     #[test]
     fn loop_keeps_variables_live() {
-        let e = parse_expr("{ let n = 10; let acc = 0; while (n > 0) { acc = acc + n; n = n - 1 }; acc }")
-            .unwrap();
+        let e = parse_expr(
+            "{ let n = 10; let acc = 0; while (n > 0) { acc = acc + n; n = n - 1 }; acc }",
+        )
+        .unwrap();
         let lv = Liveness::analyze(&e, &BTreeSet::new());
         // Inside the loop body, after `acc = acc + n`, both acc (used by
         // next iteration / result) and n (decrement + cond) are live.
-        let assign = find(&e, &|n| {
-            matches!(&n.kind, ExprKind::AssignVar(x, _) if x.as_str() == "acc")
-        });
+        let assign = find(
+            &e,
+            &|n| matches!(&n.kind, ExprKind::AssignVar(x, _) if x.as_str() == "acc"),
+        );
         let live = lv.live_after(assign.id);
         assert!(live.contains("acc"), "{live:?}");
         assert!(live.contains("n"), "{live:?}");
@@ -214,8 +217,7 @@ mod tests {
 
     #[test]
     fn if_disconnected_roots_live_before() {
-        let e =
-            parse_expr("{ let t = x; if disconnected(t, h) { 1 } else { 2 } }").unwrap();
+        let e = parse_expr("{ let t = x; if disconnected(t, h) { 1 } else { 2 } }").unwrap();
         let lv = Liveness::analyze(&e, &BTreeSet::new());
         // After the whole if-disconnected nothing is live.
         let disc = find(&e, &|n| matches!(&n.kind, ExprKind::IfDisconnected { .. }));

@@ -1,13 +1,11 @@
 //! Checker modes and tuning options.
 
-use serde::{Deserialize, Serialize};
-
 /// Which discipline the checker enforces.
 ///
 /// `Tempered` is the paper's system. The other two model the prior-work
 /// designs compared against in Table 1, built on the same infrastructure so
 /// the comparison is apples-to-apples (§9.5).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CheckerMode {
     /// The paper's system: tempered domination with focus/explore (§4).
     #[default]
@@ -35,7 +33,7 @@ impl CheckerMode {
 }
 
 /// Tuning options for the checker.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CheckerOptions {
     /// The discipline to enforce.
     pub mode: CheckerMode,
@@ -95,7 +93,10 @@ mod tests {
             CheckerMode::TreeOfObjects.name(),
         ];
         assert_eq!(
-            names.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            names
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             3
         );
     }

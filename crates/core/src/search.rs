@@ -16,7 +16,31 @@ use fearless_syntax::Type;
 use crate::ctx::{RegionId, TypeState};
 use crate::env::Globals;
 use crate::unify::congruent;
-use crate::vir::{self, VirStep};
+use crate::vir::{self, VirKind, VirStep};
+
+/// Move-ordering hints for the backtracking search, derived from the
+/// analysis layer's redundancy statistics: step kinds that frequently turn
+/// out to be elidable (`FA001`) are tried *last*, so the breadth-first
+/// frontier reaches useful states sooner without losing completeness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchHints {
+    /// Step kinds to demote to the end of the move ordering.
+    pub demote: std::collections::BTreeSet<VirKind>,
+}
+
+impl SearchHints {
+    /// Hints demoting the given step kinds.
+    pub fn demoting(kinds: impl IntoIterator<Item = VirKind>) -> Self {
+        SearchHints {
+            demote: kinds.into_iter().collect(),
+        }
+    }
+
+    /// Whether the hints are a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.demote.is_empty()
+    }
+}
 
 /// Result of a successful search: transformation scripts bringing each side
 /// to a common (congruent-up-to-renaming) context, plus the rename to apply
@@ -51,6 +75,19 @@ pub fn find_common_counted(
     b: &TypeState,
     budget: usize,
 ) -> (Option<CommonForm>, usize) {
+    find_common_with_hints(globals, a, b, budget, &SearchHints::default())
+}
+
+/// Like [`find_common_counted`], with move-ordering hints: demoted step
+/// kinds are enqueued after all other candidates at each expansion. The
+/// search space is unchanged (same completeness), only the visit order.
+pub fn find_common_with_hints(
+    globals: &Globals,
+    a: &TypeState,
+    b: &TypeState,
+    budget: usize,
+    hints: &SearchHints,
+) -> (Option<CommonForm>, usize) {
     let mut explored_a: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
     let mut explored_b: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
     let mut queue_a: VecDeque<(TypeState, Vec<VirStep>)> = VecDeque::new();
@@ -68,6 +105,7 @@ pub fn find_common_counted(
             true,
             &mut visited,
             budget,
+            hints,
         ) {
             Expansion::Found(found) => return (Some(found), visited),
             Expansion::Exhausted => return (None, visited),
@@ -81,6 +119,7 @@ pub fn find_common_counted(
             false,
             &mut visited,
             budget,
+            hints,
         ) {
             Expansion::Found(found) => return (Some(found), visited),
             Expansion::Exhausted => return (None, visited),
@@ -96,7 +135,7 @@ enum Expansion {
     Continue,
 }
 
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn expand_one(
     globals: &Globals,
     queue: &mut VecDeque<(TypeState, Vec<VirStep>)>,
@@ -105,6 +144,7 @@ fn expand_one(
     is_a: bool,
     visited: &mut usize,
     budget: usize,
+    hints: &SearchHints,
 ) -> Expansion {
     let Some((st, steps)) = queue.pop_front() else {
         return Expansion::Continue;
@@ -132,7 +172,12 @@ fn expand_one(
     if *visited >= budget {
         return Expansion::Exhausted;
     }
-    for step in moves(globals, &st) {
+    let mut candidates = moves(globals, &st);
+    if !hints.is_empty() {
+        // Stable partition: demoted kinds last, relative order preserved.
+        candidates.sort_by_key(|s| hints.demote.contains(&s.kind()));
+    }
+    for step in candidates {
         let mut next = st.clone();
         if vir::apply(&mut next, &step).is_ok() {
             let mut next_steps = steps.clone();
@@ -402,11 +447,44 @@ mod tests {
         let mut a = state_with(&[("x", 1)]);
         vir::focus(&mut a, RegionId(1), &Symbol::new("x")).unwrap();
         let fresh = a.fresh_region();
-        vir::explore(&mut a, RegionId(1), &Symbol::new("x"), &Symbol::new("next"), fresh).unwrap();
+        vir::explore(
+            &mut a,
+            RegionId(1),
+            &Symbol::new("x"),
+            &Symbol::new("next"),
+            fresh,
+        )
+        .unwrap();
         let b = state_with(&[("x", 5)]);
         let found = find_common(&g, &a, &b, 100_000).expect("search succeeds");
         let total = found.steps_a.len() + found.steps_b.len();
         assert!(total >= 1);
+    }
+
+    #[test]
+    fn hints_preserve_completeness() {
+        // Demoting every kind the solution needs must not lose it — only
+        // the visit order changes.
+        let g = globals();
+        let a = state_with(&[("x", 1), ("y", 1)]);
+        let b = state_with(&[("x", 2), ("y", 3)]);
+        let hints = SearchHints::demoting([VirKind::Attach, VirKind::Weaken]);
+        let (found, visited) = find_common_with_hints(&g, &a, &b, 50_000, &hints);
+        assert!(found.is_some(), "hinted search still finds the common form");
+        assert!(visited > 0);
+    }
+
+    #[test]
+    fn hints_demote_reorders_frontier() {
+        // With Focus demoted, a trivially-congruent pair is still found
+        // immediately (no steps needed at all).
+        let g = globals();
+        let a = state_with(&[("x", 1)]);
+        let b = state_with(&[("x", 9)]);
+        let hints = SearchHints::demoting([VirKind::Focus]);
+        let (found, _) = find_common_with_hints(&g, &a, &b, 10_000, &hints);
+        let found = found.expect("search succeeds");
+        assert!(found.steps_a.is_empty() && found.steps_b.is_empty());
     }
 
     #[test]

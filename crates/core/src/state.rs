@@ -119,7 +119,11 @@ pub fn normalize(
             // Re-validate: earlier steps this pass may have changed things.
             if st.heap.tracked_field(&x, &f) == Some(target)
                 && st.heap.contains(target)
-                && st.heap.tracking(target).map(|t| t.is_empty()).unwrap_or(false)
+                && st
+                    .heap
+                    .tracking(target)
+                    .map(|t| t.is_empty())
+                    .unwrap_or(false)
             {
                 record_vir(deriv, st, VirStep::Retract { r, x, f, target }, chain, span)?;
                 changed = true;
@@ -214,7 +218,13 @@ pub fn scrub_dangling(
     }
     for (r, x, f) in dangling_fields {
         let fresh = st.fresh_region();
-        record_vir(deriv, st, VirStep::ScrubField { r, x, f, fresh }, chain, span)?;
+        record_vir(
+            deriv,
+            st,
+            VirStep::ScrubField { r, x, f, fresh },
+            chain,
+            span,
+        )?;
     }
     Ok(())
 }
@@ -294,7 +304,18 @@ pub fn discharge_region(
                 ));
             }
             discharge_region(deriv, st, target, live, protect, chain, span)?;
-            record_vir(deriv, st, VirStep::Retract { r, x: x.clone(), f, target }, chain, span)?;
+            record_vir(
+                deriv,
+                st,
+                VirStep::Retract {
+                    r,
+                    x: x.clone(),
+                    f,
+                    target,
+                },
+                chain,
+                span,
+            )?;
         }
         record_vir(deriv, st, VirStep::Unfocus { r, x: x.clone() }, chain, span)?;
     }
@@ -375,7 +396,9 @@ pub fn discharge_var(
     // old region alive, so only `protect` matters here.
     if protect.contains(&r) {
         return Err(TypeError::new(
-            format!("cannot release {x}: its region is still needed but its iso fields remain tracked"),
+            format!(
+                "cannot release {x}: its region is still needed but its iso fields remain tracked"
+            ),
             span,
         ));
     }
@@ -412,7 +435,15 @@ mod tests {
         let (mut d, mut st, _r) = setup();
         let live = LiveSet::new(); // x is dead
         let mut chain = Vec::new();
-        normalize(&mut d, &mut st, &live, &Protect::new(), &mut chain, Span::dummy()).unwrap();
+        normalize(
+            &mut d,
+            &mut st,
+            &live,
+            &Protect::new(),
+            &mut chain,
+            Span::dummy(),
+        )
+        .unwrap();
         assert!(st.heap.is_empty());
         assert_eq!(chain.len(), 1); // one weaken
     }
@@ -425,7 +456,15 @@ mod tests {
         vir::explore(&mut st, r, &sym("x"), &sym("f"), t).unwrap();
         let live: LiveSet = [sym("x")].into_iter().collect();
         let mut chain = Vec::new();
-        normalize(&mut d, &mut st, &live, &Protect::new(), &mut chain, Span::dummy()).unwrap();
+        normalize(
+            &mut d,
+            &mut st,
+            &live,
+            &Protect::new(),
+            &mut chain,
+            Span::dummy(),
+        )
+        .unwrap();
         // x is live; its tracked field target t is empty and dead → retract,
         // then unfocus x; region r stays (live).
         assert!(st.heap.contains(r));

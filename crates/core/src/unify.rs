@@ -164,7 +164,15 @@ pub fn unify_sides(
     // Rename b to a's region names, keyed by the class matching.
     let rename = rename_pairs(a, b, live)?;
     if !rename.is_empty() {
-        state::record_vir(deriv, b.st, VirStep::Rename { pairs: rename.clone() }, b.chain, span)?;
+        state::record_vir(
+            deriv,
+            b.st,
+            VirStep::Rename {
+                pairs: rename.clone(),
+            },
+            b.chain,
+            span,
+        )?;
         if let Some(r) = b.result.as_mut() {
             if let Some((_, to)) = rename.iter().find(|(from, _)| from == r) {
                 *r = *to;
@@ -224,7 +232,13 @@ pub fn conform_to_target(
     };
     debug_assert_eq!(target_clone, *target, "immutable side must stay fixed");
     if !rename.is_empty() {
-        state::record_vir(deriv, b.st, VirStep::Rename { pairs: rename }, b.chain, span)?;
+        state::record_vir(
+            deriv,
+            b.st,
+            VirStep::Rename { pairs: rename },
+            b.chain,
+            span,
+        )?;
     }
     b.st.next_region = b.st.next_region.max(target.next_region);
     if !congruent(target, b.st) {
@@ -287,12 +301,11 @@ fn align(
                     // Tracked in A with held target, absent in B. Two cases:
                     // B has the field untracked → explore in B; B has it
                     // dangling → A must weaken its target.
-                    let b_dangling = b
-                        .st
-                        .heap
-                        .tracked_field(&x, &f)
-                        .map(|t| !b.st.heap.contains(t))
-                        .unwrap_or(false);
+                    let b_dangling =
+                        b.st.heap
+                            .tracked_field(&x, &f)
+                            .map(|t| !b.st.heap.contains(t))
+                            .unwrap_or(false);
                     if b_dangling {
                         let target = a.st.heap.tracked_field(&x, &f);
                         if let Some(t) = target {
@@ -341,12 +354,11 @@ fn align(
                     }
                 }
                 Key::Field(x, f) => {
-                    let a_dangling = a
-                        .st
-                        .heap
-                        .tracked_field(&x, &f)
-                        .map(|t| !a.st.heap.contains(t))
-                        .unwrap_or(false);
+                    let a_dangling =
+                        a.st.heap
+                            .tracked_field(&x, &f)
+                            .map(|t| !a.st.heap.contains(t))
+                            .unwrap_or(false);
                     if a_dangling {
                         let target = b.st.heap.tracked_field(&x, &f);
                         if let Some(t) = target {
@@ -445,11 +457,7 @@ fn explore_in(
 
 /// Computes the joint key partition: keys are in one class when they share
 /// a region on either side.
-fn joint_classes(
-    a: &Side<'_>,
-    b: &Side<'_>,
-    live: &LiveSet,
-) -> Result<Vec<Vec<Key>>, TypeError> {
+fn joint_classes(a: &Side<'_>, b: &Side<'_>, live: &LiveSet) -> Result<Vec<Vec<Key>>, TypeError> {
     let ka = keyed_regions(a.st, live, a.result);
     let kb = keyed_regions(b.st, live, b.result);
     let mut keys: Vec<Key> = ka.values().flatten().cloned().collect();
@@ -490,7 +498,11 @@ fn joint_classes(
 /// Region of a key within one state.
 fn key_region(st: &TypeState, result: Option<RegionId>, key: &Key) -> Option<RegionId> {
     match key {
-        Key::Var(x) => st.gamma.get(x).and_then(|b| b.region).filter(|r| st.heap.contains(*r)),
+        Key::Var(x) => st
+            .gamma
+            .get(x)
+            .and_then(|b| b.region)
+            .filter(|r| st.heap.contains(*r)),
         Key::Field(x, f) => st.heap.tracked_field(x, f).filter(|r| st.heap.contains(*r)),
         Key::Result => result.filter(|r| st.heap.contains(*r)),
     }
@@ -553,10 +565,7 @@ fn rename_pairs(
             continue;
         };
         // Find a's region for this key.
-        let ra = ka
-            .iter()
-            .find(|(_, ks)| ks.contains(key))
-            .map(|(r, _)| *r);
+        let ra = ka.iter().find(|(_, ks)| ks.contains(key)).map(|(r, _)| *r);
         if let Some(ra) = ra {
             pairs.insert(*rb, ra);
         }
@@ -806,12 +815,8 @@ mod tests {
             chain: &mut chain,
             result: None,
         };
-        let err =
-            conform_to_target(&mut deriv, &target, &mut b, &live, Span::dummy()).unwrap_err();
-        assert!(
-            err.message().contains("loop"),
-            "unexpected message: {err}"
-        );
+        let err = conform_to_target(&mut deriv, &target, &mut b, &live, Span::dummy()).unwrap_err();
+        assert!(err.message().contains("loop"), "unexpected message: {err}");
     }
 
     #[test]

@@ -23,14 +23,12 @@
 //! Every transformation validates its preconditions and is replayed
 //! step-by-step by the independent verifier crate.
 
-use serde::{Deserialize, Serialize};
-
 use fearless_syntax::Symbol;
 
 use crate::ctx::{RegionId, TrackCtx, TypeState, VarTrack};
 
 /// One virtual transformation step, as recorded in a typing derivation.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum VirStep {
     /// V1: focus variable `x` in region `r`.
     Focus {
@@ -110,21 +108,90 @@ pub enum VirStep {
     },
 }
 
+/// The kind of a [`VirStep`], without its operands. Used by the analysis
+/// layer to aggregate redundancy statistics and by the search to order
+/// candidate moves.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum VirKind {
+    Focus,
+    Unfocus,
+    Explore,
+    Retract,
+    Attach,
+    Weaken,
+    Rename,
+    Invalidate,
+    ScrubField,
+}
+
+impl VirKind {
+    /// Stable lower-case name (used in machine-readable lint output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VirKind::Focus => "focus",
+            VirKind::Unfocus => "unfocus",
+            VirKind::Explore => "explore",
+            VirKind::Retract => "retract",
+            VirKind::Attach => "attach",
+            VirKind::Weaken => "weaken",
+            VirKind::Rename => "rename",
+            VirKind::Invalidate => "invalidate",
+            VirKind::ScrubField => "scrub-field",
+        }
+    }
+}
+
+impl std::fmt::Display for VirKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl VirStep {
+    /// The step's kind, discarding operands.
+    pub fn kind(&self) -> VirKind {
+        match self {
+            VirStep::Focus { .. } => VirKind::Focus,
+            VirStep::Unfocus { .. } => VirKind::Unfocus,
+            VirStep::Explore { .. } => VirKind::Explore,
+            VirStep::Retract { .. } => VirKind::Retract,
+            VirStep::Attach { .. } => VirKind::Attach,
+            VirStep::Weaken { .. } => VirKind::Weaken,
+            VirStep::Rename { .. } => VirKind::Rename,
+            VirStep::Invalidate { .. } => VirKind::Invalidate,
+            VirStep::ScrubField { .. } => VirKind::ScrubField,
+        }
+    }
+}
+
 impl std::fmt::Display for VirStep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VirStep::Focus { r, x } => write!(f, "focus {x} in {r}"),
             VirStep::Unfocus { r, x } => write!(f, "unfocus {x} in {r}"),
-            VirStep::Explore { r, x, f: fld, fresh } => {
+            VirStep::Explore {
+                r,
+                x,
+                f: fld,
+                fresh,
+            } => {
                 write!(f, "explore {x}.{fld} in {r} ↦ {fresh}")
             }
-            VirStep::Retract { r, x, f: fld, target } => {
+            VirStep::Retract {
+                r,
+                x,
+                f: fld,
+                target,
+            } => {
                 write!(f, "retract {x}.{fld} in {r} (drop {target})")
             }
             VirStep::Attach { from, to } => write!(f, "attach {from} into {to}"),
             VirStep::Weaken { r } => write!(f, "weaken {r}"),
             VirStep::Invalidate { x, fresh } => write!(f, "invalidate {x} (→ {fresh})"),
-            VirStep::ScrubField { x, f: fld, fresh, .. } => {
+            VirStep::ScrubField {
+                x, f: fld, fresh, ..
+            } => {
                 write!(f, "scrub {x}.{fld} (→ {fresh})")
             }
             VirStep::Rename { pairs } => {
@@ -202,7 +269,9 @@ pub fn invalidate(st: &mut TypeState, x: &Symbol, fresh: RegionId) -> VirResult 
         return Err(format!("invalidate: {x} has no region"));
     }
     if st.heap.tracked_in(x).is_some() {
-        return Err(format!("invalidate: {x} is tracked and cannot be invalidated"));
+        return Err(format!(
+            "invalidate: {x} is tracked and cannot be invalidated"
+        ));
     }
     st.gamma.set_region(x, Some(fresh));
     st.next_region = st.next_region.max(fresh.0 + 1);
@@ -263,7 +332,13 @@ pub fn unfocus(st: &mut TypeState, r: RegionId, x: &Symbol) -> VirResult {
 /// The caller is responsible for checking that `f` is a declared `iso`
 /// field of `x`'s struct; this function enforces the context-shape
 /// preconditions.
-pub fn explore(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, fresh: RegionId) -> VirResult {
+pub fn explore(
+    st: &mut TypeState,
+    r: RegionId,
+    x: &Symbol,
+    f: &Symbol,
+    fresh: RegionId,
+) -> VirResult {
     if st.heap.contains(fresh) {
         return Err(format!("explore: region {fresh} is not fresh"));
     }
@@ -288,7 +363,13 @@ pub fn explore(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, fresh: R
 }
 
 /// V4-Retract: untracks `x.f ↦ target`, consuming the empty `target`.
-pub fn retract(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, target: RegionId) -> VirResult {
+pub fn retract(
+    st: &mut TypeState,
+    r: RegionId,
+    x: &Symbol,
+    f: &Symbol,
+    target: RegionId,
+) -> VirResult {
     match st.heap.tracking(target) {
         None => {
             return Err(format!(
@@ -313,11 +394,7 @@ pub fn retract(st: &mut TypeState, r: RegionId, x: &Symbol, f: &Symbol, target: 
     };
     match vt.fields.get(f) {
         Some(t) if *t == target => {}
-        Some(t) => {
-            return Err(format!(
-                "retract: {x}.{f} is tracked at {t}, not {target}"
-            ))
-        }
+        Some(t) => return Err(format!("retract: {x}.{f} is tracked at {t}, not {target}")),
         None => return Err(format!("retract: {x}.{f} is not tracked")),
     }
     vt.fields.remove(f);
@@ -372,7 +449,9 @@ pub fn rename(st: &mut TypeState, pairs: &[(RegionId, RegionId)]) -> VirResult {
     // Targets must not collide with held regions that are not themselves renamed.
     for (r, _) in st.heap.iter() {
         if targets.contains(&r) && !map.contains_key(&r) {
-            return Err(format!("rename: target {r} is already held and not renamed"));
+            return Err(format!(
+                "rename: target {r} is already held and not renamed"
+            ));
         }
     }
     // Nor with *dangling* mentions (Γ bindings or tracked-field targets
@@ -563,14 +642,7 @@ mod tests {
     #[test]
     fn apply_dispatches() {
         let (mut st, r) = state_with_var("x");
-        apply(
-            &mut st,
-            &VirStep::Focus {
-                r,
-                x: sym("x"),
-            },
-        )
-        .unwrap();
+        apply(&mut st, &VirStep::Focus { r, x: sym("x") }).unwrap();
         assert!(st.heap.tracked_in(&sym("x")).is_some());
     }
 }

@@ -26,9 +26,7 @@ fn unknown_variable_points_at_use() {
 
 #[test]
 fn consumed_region_use_names_the_variable() {
-    let src = format!(
-        "{LISTS}def f(n : sll_node) : int consumes n {{ send(n); n.payload.value }}"
-    );
+    let src = format!("{LISTS}def f(n : sll_node) : int consumes n {{ send(n); n.payload.value }}");
     let (msg, _) = err(&src);
     assert!(msg.contains('n'), "{msg}");
     assert!(
@@ -40,8 +38,11 @@ fn consumed_region_use_names_the_variable() {
 #[test]
 fn gd_mode_error_suggests_take() {
     let src = format!("{LISTS}def f(n : sll_node) : bool {{ is_none(n.next) }}");
-    let e = check_source(&src, &CheckerOptions::with_mode(CheckerMode::GlobalDomination))
-        .expect_err("GD forbids iso reads");
+    let e = check_source(
+        &src,
+        &CheckerOptions::with_mode(CheckerMode::GlobalDomination),
+    )
+    .expect_err("GD forbids iso reads");
     assert!(e.to_string().contains("take"), "{e}");
 }
 
@@ -79,7 +80,10 @@ fn alias_focus_conflict_names_both_variables() {
     // variable.
     let e = e.expect_err("aliased iso payloads cannot both escape");
     let msg = e.to_string();
-    assert!(msg.contains('x') || msg.contains('y') || msg.contains('p'), "{msg}");
+    assert!(
+        msg.contains('x') || msg.contains('y') || msg.contains('p'),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -91,7 +95,10 @@ fn while_invariant_error_mentions_the_loop() {
          }}"
     );
     let (msg, _) = err(&src);
-    assert!(msg.contains("loop") || msg.contains("consume") || msg.contains("region"), "{msg}");
+    assert!(
+        msg.contains("loop") || msg.contains("consume") || msg.contains("region"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -26,11 +26,7 @@ const STRUCTS: &str = "
 ";
 
 fn check(body: &str) -> Result<(), TypeError> {
-    check_source(
-        &format!("{STRUCTS}\n{body}"),
-        &CheckerOptions::default(),
-    )
-    .map(|_| ())
+    check_source(&format!("{STRUCTS}\n{body}"), &CheckerOptions::default()).map(|_| ())
 }
 
 fn check_no_oracle(body: &str) -> Result<(), TypeError> {
@@ -235,11 +231,7 @@ fn send_requires_domination() {
 
 #[test]
 fn derivations_record_vir_steps() {
-    let checked = check_source(
-        &format!("{STRUCTS}\n{FIG2}"),
-        &CheckerOptions::default(),
-    )
-    .unwrap();
+    let checked = check_source(&format!("{STRUCTS}\n{FIG2}"), &CheckerOptions::default()).unwrap();
     assert_eq!(checked.derivations.len(), 1);
     assert!(checked.total_vir_steps() > 0, "fig 2 needs focus/explore");
     assert!(checked.total_nodes() > 10);

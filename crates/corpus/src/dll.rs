@@ -173,7 +173,9 @@ mod tests {
 
     #[test]
     fn dll_checks_under_tempered() {
-        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -205,11 +207,13 @@ mod tests {
         let mut m = Machine::new(&entry().parse()).unwrap();
         let l = m.call("dll_make", vec![Value::Int(3)]).unwrap();
         assert_eq!(
-            m.call("dll_nth_value", vec![l.clone(), Value::Int(0)]).unwrap(),
+            m.call("dll_nth_value", vec![l.clone(), Value::Int(0)])
+                .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            m.call("dll_nth_value", vec![l.clone(), Value::Int(2)]).unwrap(),
+            m.call("dll_nth_value", vec![l.clone(), Value::Int(2)])
+                .unwrap(),
             Value::Int(3)
         );
         // Wraps: position 3 is the head again.

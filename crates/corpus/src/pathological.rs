@@ -176,8 +176,7 @@ mod tests {
     fn divergent_join_checks_with_oracle() {
         for m in 1..=4 {
             let p = parse(&divergent_join(m));
-            check_program(&p, &CheckerOptions::default())
-                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            check_program(&p, &CheckerOptions::default()).unwrap_or_else(|e| panic!("m={m}: {e}"));
         }
     }
 

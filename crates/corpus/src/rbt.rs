@@ -257,7 +257,9 @@ mod tests {
 
     #[test]
     fn rbt_checks_under_tempered() {
-        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -279,16 +281,19 @@ mod tests {
         for i in [0i64, 7, 23, 49] {
             let key = (i * 37) % 1009;
             assert_eq!(
-                m.call("rbt_contains", vec![t.clone(), Value::Int(key)]).unwrap(),
+                m.call("rbt_contains", vec![t.clone(), Value::Int(key)])
+                    .unwrap(),
                 Value::Bool(true)
             );
             assert_eq!(
-                m.call("rbt_value_of", vec![t.clone(), Value::Int(key)]).unwrap(),
+                m.call("rbt_value_of", vec![t.clone(), Value::Int(key)])
+                    .unwrap(),
                 Value::Int(i)
             );
         }
         assert_eq!(
-            m.call("rbt_contains", vec![t.clone(), Value::Int(5000)]).unwrap(),
+            m.call("rbt_contains", vec![t.clone(), Value::Int(5000)])
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -297,11 +302,10 @@ mod tests {
     fn rbt_black_height_is_logarithmic() {
         let mut m = Machine::new(&entry().parse()).unwrap();
         let t = m.call("rbt_fill", vec![Value::Int(255)]).unwrap();
-        let root = m
-            .heap()
-            .read_field(t.as_loc().unwrap(), 0)
-            .unwrap();
-        let Value::Maybe(Some(root)) = root else { panic!("tree empty") };
+        let root = m.heap().read_field(t.as_loc().unwrap(), 0).unwrap();
+        let Value::Maybe(Some(root)) = root else {
+            panic!("tree empty")
+        };
         let bh = m.call("rb_black_height", vec![*root]).unwrap();
         let Value::Int(bh) = bh else { panic!() };
         assert!((2..=9).contains(&bh), "black height {bh} out of range");
@@ -312,14 +316,16 @@ mod tests {
         let mut m = Machine::new(&entry().parse()).unwrap();
         let t = m.call("rbt_new", vec![]).unwrap();
         let d1 = m.call("mk_data", vec![Value::Int(1)]).unwrap();
-        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d1]).unwrap();
+        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d1])
+            .unwrap();
         let d2 = m.call("mk_data", vec![Value::Int(2)]).unwrap();
-        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d2]).unwrap();
+        m.call("rbt_insert", vec![t.clone(), Value::Int(5), d2])
+            .unwrap();
         assert_eq!(
-            m.call("rbt_value_of", vec![t.clone(), Value::Int(5)]).unwrap(),
+            m.call("rbt_value_of", vec![t.clone(), Value::Int(5)])
+                .unwrap(),
             Value::Int(2)
         );
         assert_eq!(m.call("rbt_size", vec![t]).unwrap(), Value::Int(1));
     }
-
 }

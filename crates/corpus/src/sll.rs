@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn sll_checks_under_tempered() {
-        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -253,7 +255,10 @@ mod tests {
         let d = m.call("sll_remove_tail_list", vec![l]).unwrap();
         let writes = m.stats().field_writes - before;
         assert!(matches!(d, Value::Maybe(Some(_))), "tail payload returned");
-        assert!(writes <= 3, "tempered remove_tail should be O(1) writes, got {writes}");
+        assert!(
+            writes <= 3,
+            "tempered remove_tail should be O(1) writes, got {writes}"
+        );
     }
 
     #[test]
@@ -291,9 +296,12 @@ mod tests {
         // Extract the head node to walk from.
         let hd_obj = l.as_loc().unwrap();
         let hd = m.heap().read_field(hd_obj, 0).unwrap();
-        let Value::Maybe(Some(node)) = hd else { panic!() };
+        let Value::Maybe(Some(node)) = hd else {
+            panic!()
+        };
         assert_eq!(
-            m.call("sll_walk_payload", vec![*node, Value::Int(3)]).unwrap(),
+            m.call("sll_walk_payload", vec![*node, Value::Int(3)])
+                .unwrap(),
             Value::Int(4)
         );
     }

@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn sort_checks_under_tempered() {
-        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -153,7 +155,9 @@ mod tests {
         let list = m.call("sort_build_desc", vec![Value::Int(20)]).unwrap();
         let sorted = m.call("sort_list", vec![list]).unwrap();
         let resorted = m.call("sort_list", vec![sorted]).unwrap();
-        let Value::Maybe(Some(hd)) = resorted else { panic!("empty") };
+        let Value::Maybe(Some(hd)) = resorted else {
+            panic!("empty")
+        };
         assert_eq!(
             m.call("sort_is_sorted", vec![(*hd).clone()]).unwrap(),
             Value::Bool(true)
@@ -171,9 +175,7 @@ mod tests {
         let second = m.heap().read_field(p_obj, 1).unwrap();
         let len = |m: &mut Machine, v: Value| -> i64 {
             match v {
-                Value::Maybe(Some(inner)) => {
-                    m.call("sort_len", vec![*inner]).unwrap().expect_int()
-                }
+                Value::Maybe(Some(inner)) => m.call("sort_len", vec![*inner]).unwrap().expect_int(),
                 _ => 0,
             }
         };

@@ -177,21 +177,27 @@ mod tests {
 
     #[test]
     fn tree_checks_under_tempered() {
-        entry().check(&CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
     fn bst_operations() {
         let mut m = Machine::new(&entry().parse()).unwrap();
         let t = m.call("tree_build", vec![Value::Int(16)]).unwrap();
-        assert_eq!(m.call("tree_size", vec![t.clone()]).unwrap(), Value::Int(16));
+        assert_eq!(
+            m.call("tree_size", vec![t.clone()]).unwrap(),
+            Value::Int(16)
+        );
         assert_eq!(
             m.call("tree_sum", vec![t.clone()]).unwrap(),
             Value::Int((1..=16).sum::<i64>())
         );
         for v in [1i64, 8, 16] {
             assert_eq!(
-                m.call("tree_contains", vec![t.clone(), Value::Int(v)]).unwrap(),
+                m.call("tree_contains", vec![t.clone(), Value::Int(v)])
+                    .unwrap(),
                 Value::Bool(true)
             );
         }
@@ -207,11 +213,15 @@ mod tests {
         let t = m.call("tree_build", vec![Value::Int(10)]).unwrap();
         let mut remaining = Value::some(t);
         for expect in 1..=10i64 {
-            let Value::Maybe(Some(node)) = remaining else { panic!("empty early") };
+            let Value::Maybe(Some(node)) = remaining else {
+                panic!("empty early")
+            };
             let ex = m.call("tree_remove_min", vec![*node]).unwrap();
             let ex_obj = ex.as_loc().unwrap();
             let payload = m.heap().read_field(ex_obj, 1).unwrap();
-            let Value::Maybe(Some(p)) = payload else { panic!("no payload") };
+            let Value::Maybe(Some(p)) = payload else {
+                panic!("no payload")
+            };
             let v = m.heap().read_field(p.as_loc().unwrap(), 0).unwrap();
             assert_eq!(v, Value::Int(expect));
             remaining = m.heap().read_field(ex_obj, 0).unwrap();
@@ -229,11 +239,7 @@ mod tests {
             let ex = m.call("tree_delete", vec![tree, Value::Int(key)]).unwrap();
             let ex_obj = ex.as_loc().unwrap();
             let payload = m.heap().read_field(ex_obj, 1).unwrap();
-            assert_eq!(
-                !payload.is_none(),
-                model.remove(&key),
-                "key {key}"
-            );
+            assert_eq!(!payload.is_none(), model.remove(&key), "key {key}");
             tree = m.heap().read_field(ex_obj, 0).unwrap();
             // The remaining tree stays a well-formed BST with the right sum.
             if let Value::Maybe(Some(node)) = &tree {

@@ -447,14 +447,16 @@ impl<'a> Compiler<'a> {
         Ok(())
     }
 
-    fn join_types(&self, a: &Type, b: &Type, span: fearless_syntax::Span) -> Result<Type, TypeError> {
+    fn join_types(
+        &self,
+        a: &Type,
+        b: &Type,
+        span: fearless_syntax::Span,
+    ) -> Result<Type, TypeError> {
         if a == b {
             Ok(a.clone())
         } else {
-            Err(self.err(
-                format!("branches have different types: {a} vs {b}"),
-                span,
-            ))
+            Err(self.err(format!("branches have different types: {a} vs {b}"), span))
         }
     }
 
@@ -468,10 +470,7 @@ impl<'a> Compiler<'a> {
             .struct_name()
             .ok_or_else(|| self.err(format!("{recv_ty} has no fields"), span))?;
         if matches!(recv_ty, Type::Maybe(_)) {
-            return Err(self.err(
-                format!("cannot access field of maybe type {recv_ty}"),
-                span,
-            ));
+            return Err(self.err(format!("cannot access field of maybe type {recv_ty}"), span));
         }
         let sid = self
             .table

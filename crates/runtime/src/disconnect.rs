@@ -207,7 +207,8 @@ mod tests {
         let mut nodes = Vec::new();
         for i in 0..n {
             let p = heap.alloc(data_id, vec![Value::Int(i as i64)]);
-            let node = heap.alloc(node_id,
+            let node = heap.alloc(
+                node_id,
                 vec![
                     Value::Loc(p),
                     Value::Loc(ObjId::SELF_PLACEHOLDER),

@@ -4,6 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::sanitize::DominationViolation;
 use crate::value::ObjId;
 
 /// A run-time error raised by the abstract machine.
@@ -35,6 +36,10 @@ pub enum RuntimeError {
     DivisionByZero,
     /// A function or struct referenced at run time is missing.
     Missing(String),
+    /// The domination sanitizer found an `iso` edge whose subgraph is
+    /// entered by a foreign heap edge (only reachable with
+    /// `sanitize_domination` on; well-typed programs never raise this).
+    DominationFault(Box<DominationViolation>),
 }
 
 impl fmt::Display for RuntimeError {
@@ -56,6 +61,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
             RuntimeError::Missing(what) => write!(f, "missing definition: {what}"),
+            RuntimeError::DominationFault(v) => write!(f, "domination fault: {v}"),
         }
     }
 }

@@ -287,7 +287,8 @@ mod tests {
         let node_id = table.id_of(&"dll_node".into()).unwrap();
         let payload = heap.alloc(data_id, vec![Value::Int(7)]);
         // Size-1 circular list: next/prev are self-references.
-        let node = heap.alloc(node_id,
+        let node = heap.alloc(
+            node_id,
             vec![
                 Value::Loc(payload),
                 Value::Loc(ObjId::SELF_PLACEHOLDER),
@@ -310,7 +311,8 @@ mod tests {
         let data_id = table.id_of(&"data".into()).unwrap();
         let node_id = table.id_of(&"dll_node".into()).unwrap();
         let p1 = heap.alloc(data_id, vec![Value::Int(1)]);
-        let a = heap.alloc(node_id,
+        let a = heap.alloc(
+            node_id,
             vec![
                 Value::Loc(p1),
                 Value::Loc(ObjId::SELF_PLACEHOLDER),
@@ -318,7 +320,8 @@ mod tests {
             ],
         );
         let p2 = heap.alloc(data_id, vec![Value::Int(2)]);
-        let b = heap.alloc(node_id,
+        let b = heap.alloc(
+            node_id,
             vec![
                 Value::Loc(p2),
                 Value::Loc(ObjId::SELF_PLACEHOLDER),
@@ -339,7 +342,8 @@ mod tests {
         let node_id = table.id_of(&"dll_node".into()).unwrap();
         let p1 = heap.alloc(data_id, vec![Value::Int(1)]);
         let p2 = heap.alloc(data_id, vec![Value::Int(2)]);
-        let n = heap.alloc(node_id,
+        let n = heap.alloc(
+            node_id,
             vec![
                 Value::Loc(p1),
                 Value::Loc(ObjId::SELF_PLACEHOLDER),
@@ -380,7 +384,8 @@ mod tests {
         let data_id = table.id_of(&"data".into()).unwrap();
         let node_id = table.id_of(&"dll_node".into()).unwrap();
         let p = heap.alloc(data_id, vec![Value::Int(1)]);
-        let n = heap.alloc(node_id,
+        let n = heap.alloc(
+            node_id,
             vec![
                 Value::Loc(p),
                 Value::Loc(ObjId::SELF_PLACEHOLDER),

@@ -40,6 +40,7 @@ pub mod error;
 pub mod heap;
 pub mod ir;
 pub mod machine;
+pub mod sanitize;
 pub mod value;
 
 pub use compile::compile;
@@ -50,4 +51,5 @@ pub use error::RuntimeError;
 pub use heap::{Heap, Object, StructLayout, TypeTable};
 pub use ir::{CompiledFn, CompiledProgram, Inst};
 pub use machine::{Machine, MachineConfig, Stats, Thread, ThreadStatus};
+pub use sanitize::{check_domination, DominationViolation};
 pub use value::{ObjId, Value};

@@ -33,6 +33,10 @@ pub struct MachineConfig {
     pub random_schedule: bool,
     /// Abort after this many instructions (guards non-terminating tests).
     pub max_steps: u64,
+    /// Walk the heap after every step and assert tempered domination for
+    /// every `iso` edge (the `--sanitize-domination` mode). Off by default:
+    /// the run loop pays only an untaken branch per step when disabled.
+    pub sanitize_domination: bool,
 }
 
 impl Default for MachineConfig {
@@ -43,12 +47,13 @@ impl Default for MachineConfig {
             seed: 0,
             random_schedule: false,
             max_steps: 200_000_000,
+            sanitize_domination: false,
         }
     }
 }
 
 /// Execution counters for the experiments.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Instructions executed.
     pub steps: u64,
@@ -68,6 +73,9 @@ pub struct Stats {
     pub disconnect_visited: u64,
     /// Dynamic reservation checks performed.
     pub reservation_checks: u64,
+    /// `iso` edges checked by the domination sanitizer (zero when the
+    /// sanitizer is disabled).
+    pub sanitize_checks: u64,
 }
 
 /// One call frame.
@@ -333,7 +341,10 @@ impl Machine {
     /// Executes one instruction of thread `tid`.
     pub fn step(&mut self, tid: usize) -> Result<(), RuntimeError> {
         self.stats.steps += 1;
-        let frame = self.threads[tid].frames.last().expect("runnable has frames");
+        let frame = self.threads[tid]
+            .frames
+            .last()
+            .expect("runnable has frames");
         let func = frame.func;
         let pc = frame.pc;
         let inst = self.program.funcs[func].code[pc].clone();
@@ -443,9 +454,7 @@ impl Machine {
                     Value::Maybe(Some(inner)) => self.push(tid, *inner),
                     Value::Maybe(None) => self.frame_mut(tid).pc = target as usize,
                     other => {
-                        return Err(RuntimeError::TypeConfusion(format!(
-                            "let some on {other}"
-                        )))
+                        return Err(RuntimeError::TypeConfusion(format!("let some on {other}")))
                     }
                 }
             }
@@ -493,6 +502,12 @@ impl Machine {
                 };
                 self.stats.disconnect_visited += outcome.visited as u64;
                 self.push(tid, Value::Bool(outcome.disconnected));
+            }
+        }
+        if self.config.sanitize_domination {
+            match crate::sanitize::check_domination(&self.heap) {
+                Ok(edges) => self.stats.sanitize_checks += edges as u64,
+                Err(violation) => return Err(RuntimeError::DominationFault(Box::new(violation))),
             }
         }
         Ok(())
@@ -623,7 +638,10 @@ mod tests {
                acc
              }",
         );
-        assert_eq!(m.call("sum_to", vec![Value::Int(10)]).unwrap(), Value::Int(55));
+        assert_eq!(
+            m.call("sum_to", vec![Value::Int(10)]).unwrap(),
+            Value::Int(55)
+        );
     }
 
     #[test]
@@ -729,7 +747,10 @@ mod tests {
         // Steal the reservation to simulate a race (thread t0 still "owns").
         m.threads[tid].reservation.clear();
         let err = m.run().unwrap_err();
-        assert!(matches!(err, RuntimeError::ReservationFault { .. }), "{err}");
+        assert!(
+            matches!(err, RuntimeError::ReservationFault { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -765,6 +786,66 @@ mod tests {
             m.call("forever", vec![]),
             Err(RuntimeError::StepLimit(_))
         ));
+    }
+
+    #[test]
+    fn sanitizer_catches_shared_iso_payload() {
+        // Unchecked program that aliases one `data` through two iso fields;
+        // the sanitizer faults on the first step that creates the second edge.
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def dup() : int {
+               let d = new data(7);
+               let a = new sll_node(d, none);
+               let b = new sll_node(d, none);
+               a.payload.value + b.payload.value
+             }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                sanitize_domination: true,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let err = m.call("dup", vec![]).unwrap_err();
+        match err {
+            RuntimeError::DominationFault(v) => {
+                assert!(v.to_string().contains("not dominating"), "{v}");
+            }
+            other => panic!("expected DominationFault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_clean_run_counts_checks() {
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def build(n: int) : sll_node {
+               let node = new sll_node(new data(n), none);
+               while (n > 1) {
+                 n = n - 1;
+                 node = new sll_node(new data(n), some(node))
+               };
+               node
+             }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                sanitize_domination: true,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        m.call("build", vec![Value::Int(4)]).unwrap();
+        assert!(m.stats().sanitize_checks > 0);
+
+        // The same run with the sanitizer off never walks the heap.
+        let mut off = Machine::new(&p).unwrap();
+        off.call("build", vec![Value::Int(4)]).unwrap();
+        assert_eq!(off.stats().sanitize_checks, 0);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Dynamic tempered-domination sanitizer.
+//!
+//! Tempered domination (§2.1) promises that every *untracked* `iso` field
+//! dominates its target's reachable subgraph: any heap path into the
+//! subgraph passes through that field. Statically the checker guarantees
+//! this; the sanitizer re-checks it *dynamically* after every machine step
+//! so that unchecked programs (and checker bugs) surface the first moment
+//! the heap violates the discipline.
+//!
+//! The invariant checked here is the heap-edge form, which is insensitive
+//! to legal stack aliasing and focus: for every `iso` edge `s.f ↦ t`, no
+//! *other* heap edge may cross from outside `reach(t)` into `reach(t)`,
+//! where `reach(t)` closes over all fields (back-edges such as a
+//! doubly-linked list's `prev`, or a tree's parent pointers, keep their
+//! sources inside the subgraph, so intra-region aliasing never trips the
+//! check — exactly the flexibility tempered domination buys).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fearless_syntax::Symbol;
+
+use crate::heap::Heap;
+use crate::value::{ObjId, Value};
+
+/// A violation of the tempered-domination heap invariant: an `iso` edge
+/// whose dominated subgraph is entered by a second, foreign edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DominationViolation {
+    /// Source object of the `iso` edge.
+    pub owner: ObjId,
+    /// The `iso` field.
+    pub field: Symbol,
+    /// The field's target (root of the dominated subgraph).
+    pub target: ObjId,
+    /// Source object of the intruding edge (outside the subgraph).
+    pub intruder: ObjId,
+    /// The intruding field.
+    pub intruder_field: Symbol,
+    /// Object inside the subgraph the intruding edge points to.
+    pub into: ObjId,
+    /// Heap path `target → … → into` witnessing that `into` is dominated,
+    /// as `(object, field)` hops. Empty when `into == target`.
+    pub path: Vec<(ObjId, Symbol)>,
+}
+
+impl fmt::Display for DominationViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iso edge {}.{} ↦ {} is not dominating: foreign edge {}.{} ↦ {} enters its subgraph",
+            self.owner, self.field, self.target, self.intruder, self.intruder_field, self.into
+        )?;
+        if !self.path.is_empty() {
+            write!(f, " (dominated via {}", self.target)?;
+            for (obj, fld) in &self.path {
+                write!(f, " → {obj}.{fld}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// One directed heap edge `src.field ↦ dst`.
+#[derive(Clone, Debug)]
+struct HeapEdge {
+    src: ObjId,
+    field: Symbol,
+    dst: ObjId,
+    iso: bool,
+}
+
+fn edges(heap: &Heap) -> Vec<HeapEdge> {
+    let mut out = Vec::new();
+    for (id, obj) in heap.iter() {
+        let layout = heap.table().layout(obj.struct_id);
+        for (i, v) in obj.fields.iter().enumerate() {
+            if let Some(dst) = v.as_loc() {
+                out.push(HeapEdge {
+                    src: id,
+                    field: layout.field_names[i].clone(),
+                    dst,
+                    iso: layout.iso[i],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Heap path from `from` to `to` over all fields, as `(object, field)`
+/// hops (BFS, so the shortest witness).
+fn witness_path(heap: &Heap, from: ObjId, to: ObjId) -> Vec<(ObjId, Symbol)> {
+    use std::collections::{BTreeMap, VecDeque};
+    if from == to {
+        return Vec::new();
+    }
+    let mut parent: BTreeMap<ObjId, (ObjId, Symbol)> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        let Ok(obj) = heap.get(cur) else { continue };
+        let layout = heap.table().layout(obj.struct_id);
+        for (i, v) in obj.fields.iter().enumerate() {
+            if let Some(next) = v.as_loc() {
+                if next != from && !parent.contains_key(&next) {
+                    parent.insert(next, (cur, layout.field_names[i].clone()));
+                    if next == to {
+                        let mut path = Vec::new();
+                        let mut at = to;
+                        while at != from {
+                            let (prev, fld) = parent[&at].clone();
+                            path.push((prev, fld));
+                            at = prev;
+                        }
+                        path.reverse();
+                        return path;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Walks the whole heap and asserts tempered domination for every `iso`
+/// edge, returning the number of `iso` edges checked.
+///
+/// # Errors
+///
+/// Returns the first [`DominationViolation`] found (edges are visited in
+/// allocation order, so the report is deterministic).
+pub fn check_domination(heap: &Heap) -> Result<usize, DominationViolation> {
+    let all = edges(heap);
+    let mut checked = 0usize;
+    for e in &all {
+        if !e.iso {
+            continue;
+        }
+        checked += 1;
+        let reach: BTreeSet<ObjId> = heap.live_set(&Value::Loc(e.dst)).into_iter().collect();
+        for other in &all {
+            let same_edge = other.src == e.src && other.field == e.field && other.dst == e.dst;
+            if same_edge || !reach.contains(&other.dst) || reach.contains(&other.src) {
+                continue;
+            }
+            return Err(DominationViolation {
+                owner: e.src,
+                field: e.field.clone(),
+                target: e.dst,
+                intruder: other.src,
+                intruder_field: other.field.clone(),
+                into: other.dst,
+                path: witness_path(heap, e.dst, other.dst),
+            });
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::TypeTable;
+    use fearless_syntax::parse_program;
+
+    fn table() -> TypeTable {
+        let p = parse_program(
+            "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             struct dll_node { iso payload : data; next : dll_node; prev : dll_node }",
+        )
+        .unwrap();
+        TypeTable::new(&p)
+    }
+
+    #[test]
+    fn clean_list_passes() {
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"sll_node".into()).unwrap();
+        let d1 = heap.alloc(data, vec![Value::Int(1)]);
+        let d2 = heap.alloc(data, vec![Value::Int(2)]);
+        let tail = heap.alloc(node, vec![Value::Loc(d2), Value::none()]);
+        let _head = heap.alloc(node, vec![Value::Loc(d1), Value::some(Value::Loc(tail))]);
+        let checked = check_domination(&heap).unwrap();
+        // Two payload edges plus head.next; tail.next is `none`.
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn intra_region_back_edges_are_legal() {
+        // A circular doubly-linked list: next/prev are non-iso and form
+        // cycles, but every node is inside the payload-free subgraph.
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"dll_node".into()).unwrap();
+        let d1 = heap.alloc(data, vec![Value::Int(1)]);
+        let d2 = heap.alloc(data, vec![Value::Int(2)]);
+        let a = heap.alloc(
+            node,
+            vec![
+                Value::Loc(d1),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+                Value::Loc(ObjId::SELF_PLACEHOLDER),
+            ],
+        );
+        let b = heap.alloc(node, vec![Value::Loc(d2), Value::Loc(a), Value::Loc(a)]);
+        heap.write_field(a, 1, Value::Loc(b)).unwrap();
+        heap.write_field(a, 2, Value::Loc(b)).unwrap();
+        check_domination(&heap).unwrap();
+    }
+
+    #[test]
+    fn shared_iso_target_is_a_violation() {
+        // Two nodes claim the same payload through iso fields.
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"sll_node".into()).unwrap();
+        let d = heap.alloc(data, vec![Value::Int(7)]);
+        let n1 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        let n2 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        let violation = check_domination(&heap).unwrap_err();
+        assert_eq!(violation.target, d);
+        assert_eq!(violation.into, d);
+        let owners = [violation.owner, violation.intruder];
+        assert!(owners.contains(&n1) && owners.contains(&n2));
+        let shown = violation.to_string();
+        assert!(shown.contains("not dominating"), "{shown}");
+    }
+
+    #[test]
+    fn foreign_edge_into_subgraph_interior_reports_path() {
+        // n1 --iso next--> n2 --iso payload--> d, and a foreign node n3
+        // aliases d through its own payload: the violation on n1.next's
+        // subgraph carries the witness path n2.payload.
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"sll_node".into()).unwrap();
+        let d = heap.alloc(data, vec![Value::Int(7)]);
+        let n2 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        let _n1 = heap.alloc(node, vec![Value::none(), Value::some(Value::Loc(n2))]);
+        let _n3 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        let violation = check_domination(&heap).unwrap_err();
+        assert_eq!(violation.into, d);
+        let shown = violation.to_string();
+        assert!(shown.contains("enters its subgraph"), "{shown}");
+    }
+}

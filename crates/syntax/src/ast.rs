@@ -5,13 +5,11 @@
 //! extensions: `before:` input region relations, `pinned` parameters, and a
 //! `take(x.f)` destructive read used by the baseline checkers (§9.1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::span::Span;
 use crate::symbol::Symbol;
 
 /// A type in the surface language.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Type {
     /// The unit type.
     Unit,
@@ -76,7 +74,7 @@ impl std::fmt::Display for Type {
 }
 
 /// A field declaration inside a struct (Fig. 1).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FieldDef {
     /// Field name.
     pub name: Symbol,
@@ -90,7 +88,7 @@ pub struct FieldDef {
 }
 
 /// A struct declaration.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StructDef {
     /// Struct name.
     pub name: Symbol,
@@ -114,7 +112,7 @@ impl StructDef {
 
 /// One end of a region-relation annotation: `result`, a parameter, or an
 /// `iso` field of a parameter (§4.9, `after: l.hd ~ result`).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RegionPath {
     /// The function result.
     Result,
@@ -135,7 +133,7 @@ impl std::fmt::Display for RegionPath {
 }
 
 /// A `a ~ b` region relation in a signature annotation.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RegionRel {
     /// Left path.
     pub lhs: RegionPath,
@@ -146,7 +144,7 @@ pub struct RegionRel {
 }
 
 /// A function parameter.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Param {
     /// Parameter name.
     pub name: Symbol,
@@ -157,7 +155,7 @@ pub struct Param {
 }
 
 /// Signature-level annotations (§4.9).
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct FnAnnotations {
     /// Parameters consumed by the function (absent from the output context).
     pub consumes: Vec<Symbol>,
@@ -179,7 +177,7 @@ impl FnAnnotations {
 }
 
 /// A function definition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FnDef {
     /// Function name.
     pub name: Symbol,
@@ -196,7 +194,7 @@ pub struct FnDef {
 }
 
 /// A whole program: struct declarations plus function definitions.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Program {
     /// Struct declarations, in source order.
     pub structs: Vec<StructDef>,
@@ -223,9 +221,7 @@ impl Program {
 }
 
 /// A unique identifier for an expression node within one parse.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ExprId(pub u32);
 
 impl std::fmt::Display for ExprId {
@@ -235,7 +231,7 @@ impl std::fmt::Display for ExprId {
 }
 
 /// Binary operators.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -300,7 +296,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum UnOp {
     /// Boolean negation `!`.
     Not,
@@ -309,7 +305,7 @@ pub enum UnOp {
 }
 
 /// An expression with its source span and stable id.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Expr {
     /// The expression form.
     pub kind: ExprKind,
@@ -320,7 +316,7 @@ pub struct Expr {
 }
 
 /// The expression forms of the core language (Fig. 6) plus surface sugar.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExprKind {
     /// The unit literal.
     Unit,

@@ -3,12 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::span::{SourceMap, Span};
 
 /// An error produced while lexing or parsing source text.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     message: String,
     span: Span,
@@ -47,6 +45,45 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
+/// Severity of a diagnostic or lint finding.
+///
+/// Lints produced by the analysis layer carry a severity so drivers can
+/// decide whether findings are fatal (`--deny-warnings`) or advisory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational note; never affects exit status.
+    Note,
+    /// A lint warning: the program is accepted but could be simplified or
+    /// weakened. Fatal only under `--deny-warnings`.
+    Warning,
+    /// A hard error: the program is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name (`note` / `warning` / `error`), stable for
+    /// machine-readable output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Renders a coded lint (`severity[CODE] at line:col: message`) with a
+/// caret excerpt from `src`. Used by the analysis layer's human output.
+pub fn render_lint(code: &str, severity: Severity, message: &str, span: Span, src: &str) -> String {
+    render_with_source(&format!("{severity}[{code}]"), message, span, src)
+}
+
 /// Renders a `kind: message` diagnostic with a caret excerpt from `src`.
 ///
 /// This helper is reused by the type checker's error rendering.
@@ -55,7 +92,8 @@ pub fn render_with_source(kind: &str, message: &str, span: Span, src: &str) -> S
     let loc = map.span_start(span);
     let line_text = src.lines().nth(loc.line as usize - 1).unwrap_or("");
     let caret_pad = " ".repeat(loc.col as usize - 1);
-    let caret_len = (span.len().max(1) as usize).min(line_text.len().saturating_sub(loc.col as usize - 1).max(1));
+    let caret_len = (span.len().max(1) as usize)
+        .min(line_text.len().saturating_sub(loc.col as usize - 1).max(1));
     let carets = "^".repeat(caret_len);
     format!("{kind} at {loc}: {message}\n    {line_text}\n    {caret_pad}{carets}")
 }
@@ -86,5 +124,27 @@ mod tests {
         let e = ParseError::new("boom", Span::new(0, 1));
         let rendered = e.render("");
         assert!(rendered.contains("boom"));
+    }
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn render_lint_includes_code_and_caret() {
+        let src = "def f() : unit { unit }";
+        let out = render_lint(
+            "FA001",
+            Severity::Warning,
+            "redundant step",
+            Span::new(0, 3),
+            src,
+        );
+        assert!(out.contains("warning[FA001]"), "{out}");
+        assert!(out.contains("redundant step"), "{out}");
+        assert!(out.contains('^'), "{out}");
     }
 }

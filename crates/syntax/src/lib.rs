@@ -44,7 +44,7 @@ pub use ast::{
     BinOp, Expr, ExprId, ExprKind, FieldDef, FnAnnotations, FnDef, Param, Program, RegionPath,
     RegionRel, StructDef, Type, UnOp,
 };
-pub use diag::ParseError;
+pub use diag::{ParseError, Severity};
 pub use parser::{parse_expr, parse_program};
 pub use span::{LineCol, SourceMap, Span};
 pub use symbol::Symbol;

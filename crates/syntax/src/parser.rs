@@ -50,11 +50,7 @@ struct Parser {
 
 enum BlockItem {
     Expr(Expr),
-    LetStmt {
-        var: Symbol,
-        init: Expr,
-        span: Span,
-    },
+    LetStmt { var: Symbol, init: Expr, span: Span },
 }
 
 impl Parser {
@@ -706,9 +702,7 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let span = start.to(self.prev_span());
                 match place.kind {
-                    ExprKind::Field(recv, field) => {
-                        Ok(self.mk(ExprKind::Take(recv, field), span))
-                    }
+                    ExprKind::Field(recv, field) => Ok(self.mk(ExprKind::Take(recv, field), span)),
                     _ => Err(ParseError::new(
                         "`take` expects a field place like `x.f`",
                         span,

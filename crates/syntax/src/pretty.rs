@@ -257,10 +257,7 @@ fn expr_into(e: &Expr, level: usize, out: &mut String) {
 fn inline(e: &Expr) -> String {
     let mut s = String::new();
     expr_into(e, 0, &mut s);
-    s.split('\n')
-        .map(str::trim)
-        .collect::<Vec<_>>()
-        .join(" ")
+    s.split('\n').map(str::trim).collect::<Vec<_>>().join(" ")
 }
 
 fn inline_args(args: &[Expr]) -> String {

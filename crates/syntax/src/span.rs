@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open byte range `[lo, hi)` into a source string.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// Inclusive start byte offset.
     pub lo: u32,
@@ -56,7 +54,7 @@ impl fmt::Display for Span {
 }
 
 /// A 1-based line/column position resolved from a [`Span`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LineCol {
     /// 1-based line number.
     pub line: u32,

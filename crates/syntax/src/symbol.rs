@@ -4,8 +4,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
 /// An identifier in the surface language (variable, field, struct, or
 /// function name).
 ///
@@ -67,19 +65,6 @@ impl Borrow<str> for Symbol {
 impl AsRef<str> for Symbol {
     fn as_ref(&self) -> &str {
         &self.0
-    }
-}
-
-impl Serialize for Symbol {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Symbol {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Symbol::new(s))
     }
 }
 

@@ -1,0 +1,632 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! this crate provides the API surface the repo's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range
+//! and regex-subset string strategies, `prop::collection::vec`,
+//! `prop::option::of`, `prop::bool::ANY`, [`prop_oneof!`], [`Just`], and
+//! the `prop_assert*` macros. Generation is randomized and deterministic
+//! per test name; there is no shrinking — a failing case panics with the
+//! generated values available in the assertion message.
+
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Deterministic generator seeded from the test's name (FNV-1a).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among type-erased alternatives (built by
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// The regex subset the string strategies understand: literals, escapes
+/// (`\n`, `\t`, `\r`, `\\`, and `\<punct>` for a literal), character
+/// classes with ranges (`[ -~\n]`), groups with alternation
+/// (`(a|bc|[0-9]+)`), and the postfix operators `{m}`, `{m,n}`, `*`,
+/// `+`, `?`.
+enum Pattern {
+    Seq(Vec<Pattern>),
+    Alt(Vec<Pattern>),
+    Class(Vec<char>),
+    Lit(char),
+    Rep(Box<Pattern>, usize, usize),
+}
+
+struct PatternParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    src: &'a str,
+}
+
+impl<'a> PatternParser<'a> {
+    fn new(src: &'a str) -> Self {
+        PatternParser {
+            chars: src.chars().peekable(),
+            src,
+        }
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("unsupported regex pattern {:?}: {msg}", self.src)
+    }
+
+    fn escape(&mut self) -> char {
+        match self.chars.next() {
+            Some('n') => '\n',
+            Some('t') => '\t',
+            Some('r') => '\r',
+            Some(c) => c,
+            None => self.fail("dangling backslash"),
+        }
+    }
+
+    fn alt(&mut self) -> Pattern {
+        let mut branches = vec![self.seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Pattern::Alt(branches)
+        }
+    }
+
+    fn seq(&mut self) -> Pattern {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.atom();
+            items.push(self.postfix(atom));
+        }
+        Pattern::Seq(items)
+    }
+
+    fn atom(&mut self) -> Pattern {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => Pattern::Class(self.class()),
+            Some('\\') => Pattern::Lit(self.escape()),
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.fail(&format!("postfix '{c}' with no preceding atom"))
+            }
+            Some(c) => Pattern::Lit(c),
+            None => self.fail("empty atom"),
+        }
+    }
+
+    fn class(&mut self) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => return set,
+                Some('\\') => self.escape(),
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            // A range `a-z` (a '-' right before ']' is a literal dash).
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&e| e != ']') {
+                    self.chars.next();
+                    let end = match self.chars.next() {
+                        Some('\\') => self.escape(),
+                        Some(e) => e,
+                        None => self.fail("unclosed class range"),
+                    };
+                    set.extend(c..=end);
+                    continue;
+                }
+            }
+            set.push(c);
+        }
+    }
+
+    fn postfix(&mut self, atom: Pattern) -> Pattern {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Pattern::Rep(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Pattern::Rep(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                Pattern::Rep(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut lo = String::new();
+                let mut hi = String::new();
+                let mut cur = &mut lo;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => cur = &mut hi,
+                        Some(d) if d.is_ascii_digit() => cur.push(d),
+                        _ => self.fail("malformed {m,n}"),
+                    }
+                }
+                let lo: usize = lo.parse().unwrap_or(0);
+                let hi: usize = if hi.is_empty() {
+                    lo
+                } else {
+                    hi.parse().unwrap_or(lo)
+                };
+                Pattern::Rep(Box::new(atom), lo, hi.max(lo))
+            }
+            _ => atom,
+        }
+    }
+}
+
+impl Pattern {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Pattern::Lit(c) => out.push(*c),
+            Pattern::Class(set) => {
+                if !set.is_empty() {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+            Pattern::Seq(items) => {
+                for item in items {
+                    item.emit(rng, out);
+                }
+            }
+            Pattern::Alt(branches) => {
+                branches[rng.gen_range(0..branches.len())].emit(rng, out);
+            }
+            Pattern::Rep(inner, lo, hi) => {
+                for _ in 0..rng.gen_range(*lo..=*hi) {
+                    inner.emit(rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut parser = PatternParser::new(self);
+        let pattern = parser.alt();
+        if parser.chars.next().is_some() {
+            parser.fail("trailing input after pattern");
+        }
+        let mut out = String::new();
+        pattern.emit(rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `prop` module tree
+// ---------------------------------------------------------------------------
+
+/// Combinator namespaces mirroring upstream `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Sizes acceptable as the length argument of [`vec`].
+        pub trait IntoSizeRange {
+            /// Inclusive (lo, hi) bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self)
+            }
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// A strategy for `Vec`s whose elements come from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.lo..=self.hi);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { element, lo, hi }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// A strategy for `Option`s (see [`of`]).
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen::<bool>() {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` or `Some` of the inner strategy, with equal probability.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// The strategy type of [`ANY`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+
+        /// Uniformly random booleans.
+        pub const ANY: Any = Any;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { ::std::assert!($($args)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { ::std::assert_eq!($($args)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { ::std::assert_ne!($($args)+) };
+}
+
+/// The names property tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_ascii_class_with_escape() {
+        let mut rng = TestRng::for_test("ascii");
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn regex_alternation_and_postfix() {
+        let mut rng = TestRng::for_test("alt");
+        for _ in 0..200 {
+            let s = "(ab|[0-9]+|x){1,3}".generate(&mut rng);
+            assert!(!s.is_empty());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == 'a' || c == 'b' || c == 'x'));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_sizes() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0usize..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let o = prop::option::of(0usize..3).generate(&mut rng);
+            assert!(o.is_none() || o.unwrap() < 3);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_just() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Op {
+            A(i64),
+            B,
+        }
+        let strat = prop_oneof![(1i64..5).prop_map(Op::A), Just(Op::B)];
+        let mut rng = TestRng::for_test("oneof");
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Op::A(v) => {
+                    assert!((1..5).contains(&v));
+                    saw_a = true;
+                }
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, tuples, and trailing commas.
+        #[test]
+        fn macro_smoke(
+            n in 2usize..12,
+            pair in (0usize..4, prop::bool::ANY),
+            text in "[a-c]{1,4}",
+        ) {
+            prop_assert!((2..12).contains(&n));
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!text.is_empty() && text.len() <= 4, "text={text}");
+        }
+    }
+}

@@ -57,7 +57,11 @@ impl fmt::Display for VerifyError {
                 "verification failed in `{}` at node {n}: {}",
                 self.func, self.message
             ),
-            None => write!(f, "verification failed in `{}`: {}", self.func, self.message),
+            None => write!(
+                f,
+                "verification failed in `{}`: {}",
+                self.func, self.message
+            ),
         }
     }
 }
@@ -86,16 +90,13 @@ pub fn verify_program(checked: &CheckedProgram) -> Result<VerifyReport, VerifyEr
         .map_err(|e| VerifyError::new("<globals>", None, e.to_string()))?;
     let mut report = VerifyReport::default();
     for derivation in &checked.derivations {
-        let def = checked
-            .program
-            .func(&derivation.func)
-            .ok_or_else(|| {
-                VerifyError::new(
-                    derivation.func.as_str(),
-                    None,
-                    "derivation for unknown function",
-                )
-            })?;
+        let def = checked.program.func(&derivation.func).ok_or_else(|| {
+            VerifyError::new(
+                derivation.func.as_str(),
+                None,
+                "derivation for unknown function",
+            )
+        })?;
         let sub = verify_derivation_in_mode(&globals, def, derivation, checked.options.mode)?;
         report.functions += 1;
         report.rule_nodes += sub.rule_nodes;
@@ -115,7 +116,12 @@ pub fn verify_derivation(
     def: &FnDef,
     derivation: &Derivation,
 ) -> Result<VerifyReport, VerifyError> {
-    verify_derivation_in_mode(globals, def, derivation, fearless_core::CheckerMode::Tempered)
+    verify_derivation_in_mode(
+        globals,
+        def,
+        derivation,
+        fearless_core::CheckerMode::Tempered,
+    )
 }
 
 /// Verifies one function's derivation under an explicit discipline (the
@@ -153,6 +159,85 @@ pub fn verify_derivation_in_mode(
 /// means — dangling ids are compared by danglingness, not value).
 pub fn states_agree(a: &TypeState, b: &TypeState) -> bool {
     fearless_core::unify::congruent(a, b)
+}
+
+/// Rebuilds `derivation` with the given `Vir` nodes elided: the elided
+/// indices are removed from every premise chain and the surviving `Vir`
+/// nodes of each affected run have their recorded input/output states
+/// recomputed by replaying the remaining steps through the trusted
+/// `vir::apply` core. Rule nodes are untouched, so the pruned derivation
+/// verifies iff every affected run still reaches its original endpoint.
+///
+/// This is the confirmation half of the `redundant-vir` analysis (FA001):
+/// a candidate elision is real only if the pruned derivation passes full
+/// verification.
+///
+/// # Errors
+///
+/// Returns a message when an elided index is not a `Vir` node or a
+/// surviving step no longer applies after the elision.
+pub fn elide_vir_nodes(
+    derivation: &Derivation,
+    elide: &std::collections::BTreeSet<usize>,
+) -> Result<Derivation, String> {
+    use fearless_core::Rule;
+    for &idx in elide {
+        match derivation.nodes.get(idx) {
+            Some(n) if n.rule == Rule::Vir => {}
+            Some(_) => return Err(format!("node {idx} is not a Vir node")),
+            None => return Err(format!("node {idx} is out of bounds")),
+        }
+    }
+    let mut pruned = derivation.clone();
+    // Recompute the surviving steps of every run that loses a node. Runs
+    // are maximal consecutive Vir segments, so each run's first recorded
+    // input is a trustworthy anchor.
+    for run in derivation.vir_runs() {
+        if !run.iter().any(|i| elide.contains(i)) {
+            continue;
+        }
+        let mut st = derivation.nodes[run[0]].input.clone();
+        for &idx in &run {
+            if elide.contains(&idx) {
+                continue;
+            }
+            let step = pruned.nodes[idx].vir.clone().expect("vir node");
+            pruned.nodes[idx].input = st.clone();
+            fearless_core::vir::apply(&mut st, &step)
+                .map_err(|m| format!("step `{step}` no longer applies after elision: {m}"))?;
+            pruned.nodes[idx].output = st.clone();
+        }
+    }
+    // Drop the elided indices from every chain (elided nodes stay in the
+    // arena, unreferenced — the verifier only walks chains).
+    pruned.root_chain.retain(|i| !elide.contains(i));
+    for node in &mut pruned.nodes {
+        for chain in &mut node.chains {
+            chain.retain(|i| !elide.contains(i));
+        }
+    }
+    pruned.vir_steps = pruned.vir_steps.saturating_sub(elide.len());
+    Ok(pruned)
+}
+
+/// Verifies `derivation` with the given `Vir` nodes elided (see
+/// [`elide_vir_nodes`]): the pruned derivation is replayed through the
+/// normal full verification path, so success proves the elided steps were
+/// genuinely redundant.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] when the elision breaks the replay.
+pub fn verify_with_elision(
+    globals: &Globals,
+    def: &FnDef,
+    derivation: &Derivation,
+    mode: fearless_core::CheckerMode,
+    elide: &std::collections::BTreeSet<usize>,
+) -> Result<VerifyReport, VerifyError> {
+    let pruned = elide_vir_nodes(derivation, elide)
+        .map_err(|m| VerifyError::new(derivation.func.as_str(), None, m))?;
+    verify_derivation_in_mode(globals, def, &pruned, mode)
 }
 
 #[cfg(test)]
@@ -215,6 +300,84 @@ mod tests {
             err.message.contains("focus") || err.message.contains("scope"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn empty_elision_is_identity() {
+        let checked = check_source(
+            &format!(
+                "{LISTS}
+                 def pass(n : sll_node) : unit {{ is_none(n.next); unit }}"
+            ),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        let globals = fearless_core::globals_of(&checked).unwrap();
+        let d = &checked.derivations[0];
+        let def = checked.program.func(&d.func).unwrap();
+        let full = verify_derivation(&globals, def, d).unwrap();
+        let elided = verify_with_elision(
+            &globals,
+            def,
+            d,
+            fearless_core::CheckerMode::Tempered,
+            &std::collections::BTreeSet::new(),
+        )
+        .unwrap();
+        assert_eq!(full, elided);
+    }
+
+    #[test]
+    fn eliding_a_rule_node_is_rejected() {
+        let checked = check_source(
+            &format!("{LISTS}\n def mk() : sll {{ new sll(none) }}"),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        let d = &checked.derivations[0];
+        let rule_idx = d
+            .nodes
+            .iter()
+            .position(|n| n.vir.is_none())
+            .expect("has a rule node");
+        let err = elide_vir_nodes(d, &[rule_idx].into_iter().collect()).unwrap_err();
+        assert!(err.contains("not a Vir node"), "{err}");
+        let err = elide_vir_nodes(d, &[d.nodes.len()].into_iter().collect()).unwrap_err();
+        assert!(err.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn eliding_a_load_bearing_step_fails_verification() {
+        // Figure 2 needs its explore steps; dropping one must not verify.
+        let checked = check_source(
+            &format!(
+                "{LISTS}
+                 def remove_tail(n : sll_node) : data? {{
+                   let some(next) = n.next in {{
+                     if (is_none(next.next)) {{ n.next = none; some(next.payload) }}
+                     else {{ remove_tail(next) }}
+                   }} else {{ none }}
+                 }}"
+            ),
+            &CheckerOptions::default(),
+        )
+        .unwrap();
+        let globals = fearless_core::globals_of(&checked).unwrap();
+        let d = &checked.derivations[0];
+        let def = checked.program.func(&d.func).unwrap();
+        let explore_idx = d
+            .nodes
+            .iter()
+            .position(|n| matches!(n.vir, Some(fearless_core::VirStep::Explore { .. })))
+            .expect("has an explore step");
+        let result = verify_with_elision(
+            &globals,
+            def,
+            d,
+            fearless_core::CheckerMode::Tempered,
+            &[explore_idx].into_iter().collect(),
+        );
+        assert!(result.is_err(), "load-bearing step elided but verified");
     }
 
     #[test]

@@ -196,9 +196,11 @@ impl<'a> Cx<'a> {
             // Only signature-declared fields may remain tracked.
             for (x, vt) in &ctx.vars {
                 for f in vt.fields.keys() {
-                    let declared = sig.output_classes.iter().flatten().any(|p| {
-                        matches!(p, RegionPath::Field(q, g) if q == x && g == f)
-                    });
+                    let declared = sig
+                        .output_classes
+                        .iter()
+                        .flatten()
+                        .any(|p| matches!(p, RegionPath::Field(q, g) if q == x && g == f));
                     if !declared {
                         return Err(self.err(
                             None,
@@ -315,32 +317,63 @@ impl<'a> Cx<'a> {
             .well_formed()
             .map_err(|m| self.err(Some(idx), format!("ill-formed output: {m}")))?;
 
-
         match node.rule {
             Rule::UnitLit => {
-                self.same(idx, matches!(e.kind, ExprKind::Unit), "expected unit literal")?;
+                self.same(
+                    idx,
+                    matches!(e.kind, ExprKind::Unit),
+                    "expected unit literal",
+                )?;
                 self.same(idx, eq_states(&input, &output), "literal changes context")?;
-                self.same(idx, result.ty == Type::Unit && result.region.is_none(), "bad result")
+                self.same(
+                    idx,
+                    result.ty == Type::Unit && result.region.is_none(),
+                    "bad result",
+                )
             }
             Rule::IntLit => {
-                self.same(idx, matches!(e.kind, ExprKind::Int(_)), "expected int literal")?;
+                self.same(
+                    idx,
+                    matches!(e.kind, ExprKind::Int(_)),
+                    "expected int literal",
+                )?;
                 self.same(idx, eq_states(&input, &output), "literal changes context")?;
-                self.same(idx, result.ty == Type::Int && result.region.is_none(), "bad result")
+                self.same(
+                    idx,
+                    result.ty == Type::Int && result.region.is_none(),
+                    "bad result",
+                )
             }
             Rule::BoolLit => {
-                self.same(idx, matches!(e.kind, ExprKind::Bool(_)), "expected bool literal")?;
+                self.same(
+                    idx,
+                    matches!(e.kind, ExprKind::Bool(_)),
+                    "expected bool literal",
+                )?;
                 self.same(idx, eq_states(&input, &output), "literal changes context")?;
-                self.same(idx, result.ty == Type::Bool && result.region.is_none(), "bad result")
+                self.same(
+                    idx,
+                    result.ty == Type::Bool && result.region.is_none(),
+                    "bad result",
+                )
             }
             Rule::Var => {
-                self.same(idx, eq_states(&input, &output), "variable read changes context")?;
+                self.same(
+                    idx,
+                    eq_states(&input, &output),
+                    "variable read changes context",
+                )?;
                 match &e.kind {
                     ExprKind::Var(x) => {
                         let b = input
                             .gamma
                             .get(x)
                             .ok_or_else(|| self.err(Some(idx), format!("{x} not in scope")))?;
-                        self.same(idx, b.ty == result.ty && b.region == result.region, "T2 mismatch")?;
+                        self.same(
+                            idx,
+                            b.ty == result.ty && b.region == result.region,
+                            "T2 mismatch",
+                        )?;
                         if let Some(r) = b.region {
                             self.same(idx, input.heap.contains(r), "T2: region not held")?;
                         }
@@ -365,8 +398,16 @@ impl<'a> Cx<'a> {
                 let fd = self.field_def(&rv.ty, f, idx)?;
                 self.same(idx, !fd.iso, "T4 on an iso field")?;
                 self.same(idx, result.ty == fd.ty, "field type mismatch")?;
-                let expect_region = if fd.ty.is_reference() { rv.region } else { None };
-                self.same(idx, result.region == expect_region, "intra-region read must stay in region")
+                let expect_region = if fd.ty.is_reference() {
+                    rv.region
+                } else {
+                    None
+                };
+                self.same(
+                    idx,
+                    result.region == expect_region,
+                    "intra-region read must stay in region",
+                )
             }
             Rule::IsoField => {
                 if self.mode == fearless_core::CheckerMode::GlobalDomination {
@@ -392,9 +433,18 @@ impl<'a> Cx<'a> {
                     .heap
                     .tracked_field(x, f)
                     .ok_or_else(|| self.err(Some(idx), format!("{x}.{f} untracked (T5)")))?;
-                self.same(idx, input.heap.contains(target), "T5: target region not held")?;
-                self.same(idx, node.data.first() == Some(&target), "recorded target mismatch")?;
-                self.same(idx, 
+                self.same(
+                    idx,
+                    input.heap.contains(target),
+                    "T5: target region not held",
+                )?;
+                self.same(
+                    idx,
+                    node.data.first() == Some(&target),
+                    "recorded target mismatch",
+                )?;
+                self.same(
+                    idx,
                     result.region == Some(target) && result.ty == fd.ty,
                     "T5 result mismatch",
                 )
@@ -406,11 +456,13 @@ impl<'a> Cx<'a> {
                 let end = self.walk_chain(input, &node.chains[0], &Tolerance::default())?;
                 let v = self.rule_result(&node.chains[0], rhs.id)?;
                 let mut expected = end;
-                self.same(idx, 
+                self.same(
+                    idx,
                     expected.gamma.get(x).map(|b| b.ty.clone()) == Some(v.ty.clone()),
                     "assignment changes variable type",
                 )?;
-                self.same(idx, 
+                self.same(
+                    idx,
                     expected.heap.tracked_in(x).is_none(),
                     "rebinding a tracked variable",
                 )?;
@@ -551,18 +603,25 @@ impl<'a> Cx<'a> {
                 let [r, ra, rb] = node.data[..] else {
                     return Err(self.err(Some(idx), "bad data payload"));
                 };
-                self.same(idx, 
+                self.same(
+                    idx,
                     input.gamma.get(a).and_then(|bd| bd.region) == Some(r)
                         && input.gamma.get(b).and_then(|bd| bd.region) == Some(r),
                     "T15: roots must share one region",
                 )?;
-                self.same(idx, 
-                    input.heap.tracking(r).map(|c| c.is_empty()).unwrap_or(false),
+                self.same(
+                    idx,
+                    input
+                        .heap
+                        .tracking(r)
+                        .map(|c| c.is_empty())
+                        .unwrap_or(false),
                     "T15: region tracking context must be empty",
                 )?;
                 let mut then_start = input.clone();
                 then_start.heap.remove(r);
-                self.same(idx, 
+                self.same(
+                    idx,
                     unmentioned(&then_start, ra) && unmentioned(&then_start, rb) && ra != rb,
                     "split regions must be fresh",
                 )?;
@@ -594,7 +653,11 @@ impl<'a> Cx<'a> {
                 let b = self.walk_chain(c.clone(), &node.chains[2], &Tolerance::default())?;
                 self.rule_result(&node.chains[2], body.id)
                     .map_err(|_| self.err(Some(idx), "body chain does not type the loop body"))?;
-                self.same(idx, congruent(&b, &l), "loop body does not restore the invariant")?;
+                self.same(
+                    idx,
+                    congruent(&b, &l),
+                    "loop body does not restore the invariant",
+                )?;
                 self.same(idx, eq_states(&c, &output), "loop exit state mismatch")?;
                 self.same(idx, result.ty == Type::Unit, "while yields unit")
             }
@@ -606,7 +669,11 @@ impl<'a> Cx<'a> {
                 let end = self.walk_chain(input, &node.chains[0], &Tolerance::default())?;
                 self.same(idx, eq_states(&end, &output), "some output mismatch")?;
                 let v = self.rule_result(&node.chains[0], inner.id)?;
-                self.same(idx, result.ty == Type::maybe(v.ty.clone()), "some type mismatch")?;
+                self.same(
+                    idx,
+                    result.ty == Type::maybe(v.ty.clone()),
+                    "some type mismatch",
+                )?;
                 self.same(idx, result.region == v.region, "some region mismatch")
             }
             Rule::NoneOf | Rule::Recv => {
@@ -614,7 +681,11 @@ impl<'a> Cx<'a> {
                 if let Some(&fresh) = node.data.first() {
                     self.same(idx, unmentioned(&input, fresh), "fresh region is mentioned")?;
                     expected.heap.insert(fresh, TrackCtx::empty());
-                    self.same(idx, result.region == Some(fresh), "fresh result region mismatch")?;
+                    self.same(
+                        idx,
+                        result.region == Some(fresh),
+                        "fresh result region mismatch",
+                    )?;
                     self.same(idx, result.ty.is_reference(), "fresh region for value type")?;
                 } else {
                     self.same(idx, result.region.is_none(), "value result with region")?;
@@ -624,7 +695,8 @@ impl<'a> Cx<'a> {
             Rule::IsNone | Rule::IsSome => {
                 let end = self.walk_chain(input, &node.chains[0], &Tolerance::default())?;
                 self.same(idx, eq_states(&end, &output), "output mismatch")?;
-                self.same(idx, 
+                self.same(
+                    idx,
                     result.ty == Type::Bool && result.region.is_none(),
                     "is_none yields bool",
                 )
@@ -646,7 +718,8 @@ impl<'a> Cx<'a> {
                     self.same(idx, v.region == Some(r), "sent region mismatch")?;
                     // T16: the region's tracking context must be empty —
                     // the proof that every iso field within dominates.
-                    self.same(idx, 
+                    self.same(
+                        idx,
                         end.heap.tracking(r).map(|c| c.is_empty()).unwrap_or(false),
                         "T16: tracking context not empty at send",
                     )?;
@@ -837,9 +910,7 @@ impl<'a> Cx<'a> {
                     .heap
                     .tracked_in(x)
                     .ok_or_else(|| self.err(Some(idx), "take: x untracked"))?;
-                if input.heap.tracked_field(x, f) != Some(target)
-                    || !input.heap.contains(target)
-                {
+                if input.heap.tracked_field(x, f) != Some(target) || !input.heap.contains(target) {
                     return Err(self.err(Some(idx), "take: target mismatch"));
                 }
                 if !unmentioned(input, fresh) {
@@ -1004,11 +1075,7 @@ impl<'a> Cx<'a> {
             for p in class {
                 if let Some(r) = arg_region(p) {
                     if end.heap.contains(r) {
-                        let ok = end
-                            .heap
-                            .tracking(r)
-                            .map(|c| c.is_empty())
-                            .unwrap_or(false);
+                        let ok = end.heap.tracking(r).map(|c| c.is_empty()).unwrap_or(false);
                         if !ok {
                             return Err(self.err(
                                 Some(idx),
@@ -1048,12 +1115,10 @@ impl<'a> Cx<'a> {
                     }
                 }
             }
-            let class_region = param_regions.first().copied().or_else(|| {
-                info.created
-                    .iter()
-                    .find(|(i, _)| *i == ci)
-                    .map(|(_, r)| *r)
-            });
+            let class_region = param_regions
+                .first()
+                .copied()
+                .or_else(|| info.created.iter().find(|(i, _)| *i == ci).map(|(_, r)| *r));
             let Some(class_region) = class_region else {
                 return Err(self.err(Some(idx), "output class without region"));
             };

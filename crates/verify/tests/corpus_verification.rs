@@ -11,8 +11,7 @@ fn all_accepted_corpus_entries_verify() {
         let checked = entry
             .check(&opts)
             .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
-        let report =
-            verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let report = verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         assert!(report.rule_nodes > 0, "{}", entry.name);
     }
 }
@@ -32,8 +31,7 @@ fn pathological_joins_verify() {
     for m in 1..=3 {
         let src = fearless_corpus::pathological::divergent_join(m);
         let program = fearless_corpus::pathological::parse(&src);
-        let checked =
-            fearless_core::check_program(&program, &CheckerOptions::default()).unwrap();
+        let checked = fearless_core::check_program(&program, &CheckerOptions::default()).unwrap();
         verify_program(&checked).unwrap_or_else(|e| panic!("m={m}: {e}"));
     }
 }
@@ -52,8 +50,13 @@ fn global_domination_derivations_verify() {
 #[test]
 fn tree_and_sort_derivations_verify() {
     let opts = CheckerOptions::default();
-    for entry in [fearless_corpus::tree::entry(), fearless_corpus::sort::entry()] {
-        let checked = entry.check(&opts).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+    for entry in [
+        fearless_corpus::tree::entry(),
+        fearless_corpus::sort::entry(),
+    ] {
+        let checked = entry
+            .check(&opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         let report = verify_program(&checked).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         assert!(report.vir_steps > 20, "{}", entry.name);
     }

@@ -48,7 +48,11 @@ def demo(n : int) : int {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse.
     let program = parse_program(SOURCE)?;
-    println!("parsed {} structs, {} functions", program.structs.len(), program.funcs.len());
+    println!(
+        "parsed {} structs, {} functions",
+        program.structs.len(),
+        program.funcs.len()
+    );
 
     // 2. Type-check (the prover). This produces full typing derivations.
     let checked = fearless_core::check_program(&program, &CheckerOptions::default())?;

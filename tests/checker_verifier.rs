@@ -231,8 +231,7 @@ fn after_param_merge_checks_and_verifies_at_call_sites() {
            link(x, y);
          }}"
     );
-    let checked =
-        check_source(&src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let checked = check_source(&src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
 }
 
@@ -258,8 +257,7 @@ fn get_nth_node_tracking_usable_at_call_site() {
             node.payload.value = node.payload.value + 1;
           } else { unit };
         }";
-    let checked =
-        check_source(src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let checked = check_source(src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     verify_program(&checked).unwrap_or_else(|e| panic!("{e}"));
 }
 
@@ -274,12 +272,15 @@ fn end_to_end_pipeline_fuzz() {
         let checked = check_program(&program, &CheckerOptions::default())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         verify_program(&checked).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let mut m = fearless_runtime::Machine::new(&program)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut m =
+            fearless_runtime::Machine::new(&program).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let out = m
             .call("driver", vec![])
             .unwrap_or_else(|e| panic!("seed {seed}: runtime {e}"));
-        assert!(matches!(out, fearless_runtime::Value::Int(_)), "seed {seed}");
+        assert!(
+            matches!(out, fearless_runtime::Value::Int(_)),
+            "seed {seed}"
+        );
         assert!(m.stats().reservation_checks > 0);
     }
 }

@@ -6,9 +6,7 @@
 
 use proptest::prelude::*;
 
-use fearless_runtime::{
-    efficient_disconnected, naive_disconnected, Heap, ObjId, TypeTable, Value,
-};
+use fearless_runtime::{efficient_disconnected, naive_disconnected, Heap, ObjId, TypeTable, Value};
 use fearless_syntax::parse_program;
 
 fn table() -> TypeTable {
@@ -140,16 +138,14 @@ fn iso_edges_are_invisible_to_the_efficient_check() {
     let data = table.id_of(&"data".into()).unwrap();
     let payload = heap.alloc(data, vec![Value::Int(1)]);
     let inner = heap.alloc(gnode, vec![Value::none(), Value::none(), Value::none()]);
-    let outer = heap.alloc(
-        gnode,
-        vec![Value::none(), Value::none(), Value::none()],
-    );
+    let outer = heap.alloc(gnode, vec![Value::none(), Value::none(), Value::none()]);
     let _ = payload;
     // outer.payload (iso) → inner... payload is data?; use a second gnode
     // heap shape instead: outer.payload is data-typed, so link via iso by
     // making inner the target of outer's iso field is not typeable here;
     // emulate with a raw write (field 0 is the iso slot).
-    heap.write_field(outer, 0, Value::some(Value::Loc(inner))).unwrap();
+    heap.write_field(outer, 0, Value::some(Value::Loc(inner)))
+        .unwrap();
     let eff = efficient_disconnected(&heap, &table, outer, inner);
     let naive = naive_disconnected(&heap, outer, inner);
     assert!(!naive.disconnected, "naive follows iso edges");

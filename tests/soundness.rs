@@ -129,8 +129,16 @@ fn tail_shipper_pipeline_never_faults() {
         m.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         // Each list is [1,2,3,4]; the shipped tail payload is 4, and the
         // remaining list sums 1+2+3 = 6.
-        assert_eq!(m.thread(sink).result(), Some(&Value::Int(12)), "seed {seed}");
-        assert_eq!(m.thread(lists).result(), Some(&Value::Int(18)), "seed {seed}");
+        assert_eq!(
+            m.thread(sink).result(),
+            Some(&Value::Int(12)),
+            "seed {seed}"
+        );
+        assert_eq!(
+            m.thread(lists).result(),
+            Some(&Value::Int(18)),
+            "seed {seed}"
+        );
     }
 }
 
