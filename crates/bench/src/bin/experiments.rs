@@ -45,4 +45,12 @@ fn main() {
     println!("fig. 4 statically rejected:        {}", f.fig4_rejected);
     println!("fig. 4 faults dynamically (size 1): {}", f.fig4_faults);
     println!("fig. 5 accepted + dynamically clean: {}", f.fig5_clean);
+
+    println!("\n== E9: checker instrumentation snapshot (fearless-trace) ==");
+    let snapshot = fearless_bench::trace_snapshot();
+    std::fs::write("BENCH_trace.json", &snapshot).expect("write BENCH_trace.json");
+    println!(
+        "wrote BENCH_trace.json ({} bytes, deterministic byte-for-byte)",
+        snapshot.len()
+    );
 }

@@ -401,6 +401,33 @@ pub fn figure4_outcome() -> Figure4Outcome {
     }
 }
 
+/// E9: deterministic instrumentation snapshot of the accepted corpus —
+/// the full checker trace (`fearless-trace/corpus/1`, counters only,
+/// wall-clock never serialized) as one JSON document. The `experiments`
+/// binary writes it to `BENCH_trace.json`; two runs are byte-identical.
+pub fn trace_snapshot() -> String {
+    use fearless_trace::{Json, MemorySink, Tracer};
+    let mut entries = Vec::new();
+    for entry in fearless_corpus::accepted_entries() {
+        let mut sink = MemorySink::new();
+        fearless_core::check_source_traced(
+            &entry.source,
+            &CheckerOptions::default(),
+            &mut Tracer::new(&mut sink),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e:?}", entry.name));
+        entries.push(Json::obj([
+            ("name", Json::str(entry.name)),
+            ("trace", sink.to_json_value()),
+        ]));
+    }
+    Json::obj([
+        ("schema", Json::str("fearless-trace/corpus/1")),
+        ("entries", Json::Arr(entries)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +464,15 @@ mod tests {
             let r = concurrency_run(2, 16, seed).expect("no faults");
             assert_eq!(r.messages, 32);
         }
+    }
+
+    #[test]
+    fn e9_trace_snapshot_is_deterministic() {
+        let a = trace_snapshot();
+        let b = trace_snapshot();
+        assert_eq!(a, b);
+        assert!(a.contains("\"fearless-trace/corpus/1\""));
+        assert!(!a.contains("nanos"), "wall-clock must never be serialized");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Golden counter regression for the checker's search instrumentation:
+//! the exact node/backtrack/unification/oracle counts for every accepted
+//! corpus entry are committed to `tests/goldens/search_counters.txt` and
+//! compared line-by-line. Any change to the search order, the liveness
+//! oracle, or the greedy join shows up here as a diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p fearless-bench --test search_counters
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use fearless_core::CheckerOptions;
+use fearless_trace::{MemorySink, Tracer};
+
+const KEYS: &[&str] = &[
+    "check.deriv_nodes",
+    "check.vir_steps",
+    "check.oracle_queries",
+    "check.oracle_hits",
+    "check.joins_fallback",
+    "search.runs",
+    "search.nodes",
+    "search.backtracks",
+    "search.unify_attempts",
+    "search.unify_failures",
+];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/search_counters.txt")
+}
+
+fn counter_line(name: &str, src: &str) -> String {
+    let mut sink = MemorySink::new();
+    fearless_core::check_source_traced(
+        src,
+        &CheckerOptions::default(),
+        &mut Tracer::new(&mut sink),
+    )
+    .unwrap_or_else(|e| panic!("corpus entry `{name}` no longer checks: {e:?}"));
+    let totals = sink.totals();
+    let mut line = name.to_string();
+    for key in KEYS {
+        let _ = write!(line, " {key}={}", totals.get(key).copied().unwrap_or(0));
+    }
+    line
+}
+
+#[test]
+fn corpus_search_counters_match_golden() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let mut actual = String::new();
+    for entry in fearless_corpus::accepted_entries() {
+        actual.push_str(&counter_line(entry.name, &entry.source));
+        actual.push('\n');
+    }
+    let path = golden_path();
+    if bless {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden ({e}); run with BLESS=1"));
+    assert_eq!(
+        expected, actual,
+        "search counters drifted from the golden file (re-bless with BLESS=1 if intentional)"
+    );
+}
+
+#[test]
+fn counters_are_reproducible() {
+    // The counters must be a pure function of the source — two fresh
+    // checker runs agree exactly (this is what makes the golden stable).
+    for entry in fearless_corpus::accepted_entries() {
+        let a = counter_line(entry.name, &entry.source);
+        let b = counter_line(entry.name, &entry.source);
+        assert_eq!(a, b, "nondeterministic counters for `{}`", entry.name);
+    }
+}
+
+#[test]
+fn oracle_off_counters_are_reproducible_on_generated_programs() {
+    // With the oracle disabled every join falls back to search; stay on
+    // cheap generated programs so the budget is never a factor.
+    use fearless_corpus::pathological;
+    let opts = CheckerOptions::default().without_oracle();
+    let run = |src: &str| {
+        let mut sink = MemorySink::new();
+        fearless_core::check_source_traced(src, &opts, &mut Tracer::new(&mut sink))
+            .unwrap_or_else(|e| panic!("generated program no longer checks: {e:?}\n{src}"));
+        let totals = sink.totals();
+        (
+            totals.get("search.nodes").copied().unwrap_or(0),
+            totals.get("search.backtracks").copied().unwrap_or(0),
+            totals.get("check.joins_fallback").copied().unwrap_or(0),
+            totals.get("check.oracle_hits").copied().unwrap_or(0),
+        )
+    };
+    for src in [
+        pathological::straight_line(20),
+        pathological::join_chain(2, 2),
+    ] {
+        let a = run(&src);
+        let b = run(&src);
+        assert_eq!(a, b, "nondeterministic oracle-off counters:\n{src}");
+        assert_eq!(a.3, 0, "oracle disabled yet it reported hits");
+    }
+    let (nodes, _, fallbacks, _) = run(&pathological::join_chain(2, 2));
+    assert!(fallbacks > 0, "branching program must hit the search path");
+    assert!(nodes > 0, "fallback joins must expand search nodes");
+}

@@ -1,0 +1,104 @@
+//! Zero-overhead assertion for the trace layer, mirroring
+//! `sanitizer_parity`: a machine with no sink attached performs exactly
+//! the same work as one carrying a `NoopSink` — identical stats across
+//! the board — and a recording `MemorySink` only observes (same stats,
+//! and its emitted totals mirror the machine's own counters).
+
+use fearless_runtime::{Machine, MachineConfig, Value};
+use fearless_syntax::parse_program;
+use fearless_trace::{MemorySink, NoopSink, TraceSink, Tracer};
+
+const WORKLOAD: &str = "
+    struct data { value: int }
+    struct sll { iso hd : sll_node? }
+    struct sll_node { iso payload : data; iso next : sll_node? }
+
+    def push(l : sll, d : data) : unit consumes d {
+      let node = new sll_node(d, take(l.hd));
+      l.hd = some(node);
+    }
+
+    def build(n : int) : sll {
+      let l = new sll(none);
+      while (n > 0) { push(l, new data(n)); n = n - 1 };
+      l
+    }
+
+    def total(n : sll_node) : int {
+      let v = n.payload.value;
+      let some(nx) = n.next in { v + total(nx) } else { v }
+    }
+
+    def main(n : int) : int {
+      let l = build(n);
+      let some(hd) = take(l.hd) in { total(hd) } else { 0 }
+    }
+";
+
+fn machine() -> Machine {
+    let program = parse_program(WORKLOAD).unwrap();
+    Machine::with_config(&program, MachineConfig::default()).unwrap()
+}
+
+fn run(sink: Option<Box<dyn TraceSink>>) -> (fearless_runtime::Stats, Option<Box<dyn TraceSink>>) {
+    let mut m = machine();
+    if let Some(sink) = sink {
+        m.set_trace_sink(sink);
+    }
+    let result = m.call("main", vec![Value::Int(20)]).unwrap();
+    assert_eq!(result, Value::Int(210));
+    m.emit_stats();
+    (*m.stats(), m.take_trace_sink())
+}
+
+#[test]
+fn noop_sink_is_free() {
+    let (bare, _) = run(None);
+    let (noop, _) = run(Some(Box::new(NoopSink)));
+    assert_eq!(bare, noop, "a NoopSink must not change any machine counter");
+}
+
+#[test]
+fn memory_sink_only_observes() {
+    let (bare, _) = run(None);
+    let (recorded, sink) = run(Some(Box::new(MemorySink::new())));
+    assert_eq!(
+        bare, recorded,
+        "a recording sink must not perturb execution"
+    );
+    let sink = *sink
+        .expect("sink still attached")
+        .into_any()
+        .downcast::<MemorySink>()
+        .expect("sink is a MemorySink");
+    let totals = sink.totals();
+    for (name, value) in recorded.fields() {
+        assert_eq!(
+            totals.get(name).copied().unwrap_or(0),
+            value,
+            "emitted total for `{name}` disagrees with Stats"
+        );
+    }
+}
+
+#[test]
+fn disabled_tracer_checker_output_identical() {
+    // Checker side of the same guarantee: Tracer::off, a NoopSink-backed
+    // tracer, and a MemorySink-backed tracer all yield the same
+    // derivations, rendered byte-for-byte.
+    let opts = fearless_core::CheckerOptions::default();
+    let plain = fearless_core::check_source(WORKLOAD, &opts).unwrap();
+    let mut noop = NoopSink;
+    let with_noop =
+        fearless_core::check_source_traced(WORKLOAD, &opts, &mut Tracer::new(&mut noop)).unwrap();
+    let mut mem = MemorySink::new();
+    let with_mem =
+        fearless_core::check_source_traced(WORKLOAD, &opts, &mut Tracer::new(&mut mem)).unwrap();
+    for (a, b) in plain.derivations.iter().zip(&with_noop.derivations) {
+        assert_eq!(a.render(), b.render());
+    }
+    for (a, b) in plain.derivations.iter().zip(&with_mem.derivations) {
+        assert_eq!(a.render(), b.render());
+    }
+    assert_eq!(mem.spans().count(), plain.derivations.len());
+}

@@ -1,0 +1,58 @@
+//! Property: instrumentation is observation-only. For randomly generated
+//! (type-correct-by-construction) programs, checking with a recording
+//! sink attached produces exactly the same result as checking without
+//! one — same accept/reject verdict, same derivations (rendered
+//! byte-for-byte), same node/vir/search totals.
+
+use proptest::prelude::*;
+
+use fearless_core::CheckerOptions;
+use fearless_corpus::pathological;
+use fearless_trace::{MemorySink, Tracer};
+
+fn render_outcome(
+    src: &str,
+    opts: &CheckerOptions,
+    tracer: &mut Tracer<'_>,
+) -> Result<Vec<String>, String> {
+    fearless_core::check_source_traced(src, opts, tracer)
+        .map(|checked| checked.derivations.iter().map(|d| d.render()).collect())
+        .map_err(|e| format!("{e:?}"))
+}
+
+fn assert_transparent(src: &str, opts: &CheckerOptions) {
+    let plain = render_outcome(src, opts, &mut Tracer::off());
+    let mut sink = MemorySink::new();
+    let traced = render_outcome(src, opts, &mut Tracer::new(&mut sink));
+    assert_eq!(plain, traced, "tracing changed the check result:\n{src}");
+    if let Ok(derivs) = &plain {
+        assert_eq!(
+            sink.spans().count(),
+            derivs.len(),
+            "one check span per derivation expected:\n{src}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracing_is_transparent_on_random_list_programs(seed in 0u64..1_000_000, ops in 1usize..16) {
+        let src = pathological::random_list_program(seed, ops);
+        assert_transparent(&src, &CheckerOptions::default());
+    }
+
+    #[test]
+    fn tracing_is_transparent_without_oracle(seed in 0u64..1_000_000, ops in 1usize..8) {
+        let src = pathological::random_list_program(seed, ops);
+        assert_transparent(&src, &CheckerOptions::default().without_oracle());
+    }
+}
+
+#[test]
+fn tracing_is_transparent_on_the_corpus() {
+    for entry in fearless_corpus::all_entries() {
+        assert_transparent(&entry.source, &CheckerOptions::default());
+    }
+}

@@ -4,12 +4,18 @@
 //! programs written in the tempered-domination surface language.
 //!
 //! ```text
-//! fearlessc check  program.fc [--mode tempered|gd|tree] [--no-oracle]
-//! fearlessc verify program.fc
-//! fearlessc lint   program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
-//! fearlessc run    program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
+//! fearlessc check   program.fc [--mode tempered|gd|tree] [--no-oracle] [--trace t.json] [--metrics json]
+//! fearlessc verify  program.fc
+//! fearlessc lint    program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
+//! fearlessc run     program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
+//! fearlessc profile (program.fc | --corpus) [--wall-time] [--metrics json]
 //! fearlessc table1
 //! ```
+//!
+//! `--trace <file>` writes the full `fearless-trace/1` instrumentation
+//! JSON; `--metrics json` prints it on stdout instead of the normal
+//! report. Both are deterministic byte-for-byte (wall-clock time is
+//! recorded in memory but never serialized).
 
 #![warn(missing_docs)]
 
@@ -17,6 +23,7 @@ use std::fmt::Write as _;
 
 use fearless_core::{CheckerMode, CheckerOptions};
 use fearless_runtime::{Machine, MachineConfig, Value};
+use fearless_trace::{Json, MemorySink, TraceSink, Tracer};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +36,10 @@ pub enum Command {
         mode: CheckerMode,
         /// Disable the liveness oracle (pure backtracking search).
         no_oracle: bool,
+        /// Write the instrumentation trace (JSON) to this file.
+        trace: Option<String>,
+        /// Print metrics JSON instead of the human report.
+        metrics_json: bool,
     },
     /// Type-check and independently verify the derivations.
     Verify {
@@ -45,6 +56,10 @@ pub enum Command {
         format: LintFormat,
         /// Exit nonzero when any finding is reported.
         deny_warnings: bool,
+        /// Write the instrumentation trace (JSON) to this file.
+        trace: Option<String>,
+        /// Print metrics JSON instead of the findings report.
+        metrics_json: bool,
     },
     /// Check, then run an entry function on the abstract machine.
     Run {
@@ -60,6 +75,22 @@ pub enum Command {
         /// Assert tempered domination over the whole heap after every
         /// machine step (the dynamic sanitizer).
         sanitize: bool,
+        /// Write the instrumentation trace (JSON) to this file.
+        trace: Option<String>,
+        /// Print metrics JSON instead of the human report.
+        metrics_json: bool,
+    },
+    /// Print a per-function/per-phase counter table (checker
+    /// instrumentation).
+    Profile {
+        /// Source path (`None` with `--corpus`).
+        path: Option<String>,
+        /// Profile every accepted corpus entry instead of a file.
+        corpus: bool,
+        /// Add a wall-clock time column (makes output nondeterministic).
+        wall_time: bool,
+        /// Print the raw trace JSON instead of the table.
+        metrics_json: bool,
     },
     /// Print a function's typing derivation.
     Explain {
@@ -79,12 +110,20 @@ pub const USAGE: &str = "\
 fearlessc — tempered-domination checker, verifier, and runtime
 
 USAGE:
-  fearlessc check  <file> [--mode tempered|gd|tree] [--no-oracle]
+  fearlessc check  <file> [--mode tempered|gd|tree] [--no-oracle] [--trace <file>] [--metrics json]
   fearlessc verify <file>
   fearlessc lint   <file> [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
+                   [--trace <file>] [--metrics json]
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
+                   [--trace <file>] [--metrics json]
+  fearlessc profile (<file> | --corpus) [--wall-time] [--metrics json]
   fearlessc explain <file> --fn <name>
   fearlessc table1
+
+  --trace <file>  write the full instrumentation trace (fearless-trace/1
+                  JSON) to <file>
+  --metrics json  print the trace JSON on stdout instead of the normal
+                  report (deterministic byte-for-byte)
 ";
 
 /// Output format for `fearlessc lint`.
@@ -113,6 +152,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut path = None;
             let mut mode = CheckerMode::Tempered;
             let mut no_oracle = false;
+            let mut trace = None;
+            let mut metrics_json = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--mode" => {
@@ -129,6 +170,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--no-oracle" => no_oracle = true,
+                    "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
+                    "--metrics" => metrics_json = parse_metrics(it.next())?,
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -137,6 +180,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 path: path.ok_or("missing file")?,
                 mode,
                 no_oracle,
+                trace,
+                metrics_json,
             })
         }
         "verify" => {
@@ -148,6 +193,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut mode = CheckerMode::Tempered;
             let mut format = LintFormat::Human;
             let mut deny_warnings = false;
+            let mut trace = None;
+            let mut metrics_json = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--mode" => {
@@ -176,6 +223,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--deny-warnings" => deny_warnings = true,
+                    "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
+                    "--metrics" => metrics_json = parse_metrics(it.next())?,
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -185,6 +234,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 mode,
                 format,
                 deny_warnings,
+                trace,
+                metrics_json,
             })
         }
         "explain" => {
@@ -208,6 +259,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut run_args = Vec::new();
             let mut unchecked = false;
             let mut sanitize = false;
+            let mut trace = None;
+            let mut metrics_json = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--entry" => entry = it.next().cloned(),
@@ -217,6 +270,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--unchecked" => unchecked = true,
                     "--sanitize-domination" => sanitize = true,
+                    "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
+                    "--metrics" => metrics_json = parse_metrics(it.next())?,
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -227,9 +282,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 args: run_args,
                 unchecked,
                 sanitize,
+                trace,
+                metrics_json,
+            })
+        }
+        "profile" => {
+            let mut path = None;
+            let mut corpus = false;
+            let mut wall_time = false;
+            let mut metrics_json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--corpus" => corpus = true,
+                    "--wall-time" => wall_time = true,
+                    "--metrics" => metrics_json = parse_metrics(it.next())?,
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if corpus == path.is_some() {
+                return Err("profile needs a file or --corpus (not both)".to_string());
+            }
+            Ok(Command::Profile {
+                path,
+                corpus,
+                wall_time,
+                metrics_json,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn parse_metrics(value: Option<&String>) -> Result<bool, String> {
+    match value.map(String::as_str) {
+        Some("json") => Ok(true),
+        Some(other) => Err(format!(
+            "unknown metrics format `{other}` (expected `json`)"
+        )),
+        None => Err("--metrics requires a value (`json`)".to_string()),
     }
 }
 
@@ -250,10 +341,12 @@ pub fn execute_on_source_with_code(cmd: &Command, src: &str) -> (Result<String, 
         mode,
         format,
         deny_warnings,
+        trace,
+        metrics_json,
         ..
     } = cmd
     {
-        return lint_source(src, *mode, *format, *deny_warnings);
+        return lint_source(src, *mode, *format, *deny_warnings, trace, *metrics_json);
     }
     let result = execute_plain(cmd, src);
     let code = i32::from(result.is_err());
@@ -265,22 +358,64 @@ fn lint_source(
     mode: CheckerMode,
     format: LintFormat,
     deny_warnings: bool,
+    trace: &Option<String>,
+    metrics_json: bool,
 ) -> (Result<String, String>, i32) {
+    let want = trace.is_some() || metrics_json;
+    let mut sink = MemorySink::new();
     let opts = CheckerOptions::with_mode(mode);
-    let checked = match fearless_core::check_source(src, &opts) {
-        Ok(c) => c,
-        Err(e) => return (Err(e.render(src)), 1),
+    let checked = {
+        let mut tracer = if want {
+            Tracer::new(&mut sink)
+        } else {
+            Tracer::off()
+        };
+        match fearless_core::check_source_traced(src, &opts, &mut tracer) {
+            Ok(c) => c,
+            Err(e) => return (Err(e.render(src)), 1),
+        }
     };
+    if want {
+        sink.span_enter("lint", "analyze");
+    }
     let report = match fearless_analyze::analyze_program(&checked) {
         Ok(r) => r,
         Err(msg) => return (Err(msg), 1),
     };
+    if want {
+        sink.add("lint.findings", report.lints.len() as u64);
+        sink.span_exit();
+    }
     let out = match format {
         LintFormat::Human => report.render_human(src),
         LintFormat::Json => report.to_json(src),
     };
+    let out = match finish_trace(&sink, trace.as_deref(), metrics_json, out) {
+        Ok(o) => o,
+        Err(e) => return (Err(e), 1),
+    };
     let code = i32::from(deny_warnings && !report.is_clean());
     (Ok(out), code)
+}
+
+/// Writes the trace file (when requested) and picks the final stdout
+/// payload: the trace JSON under `--metrics json`, the normal report
+/// otherwise.
+fn finish_trace(
+    sink: &MemorySink,
+    trace: Option<&str>,
+    metrics_json: bool,
+    normal: String,
+) -> Result<String, String> {
+    if let Some(path) = trace {
+        std::fs::write(path, sink.to_json())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    if metrics_json {
+        Ok(sink.to_json())
+    } else {
+        Ok(normal)
+    }
 }
 
 fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
@@ -288,11 +423,25 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Table1 => Ok(fearless_baselines::render_table1()),
         Command::Check {
-            mode, no_oracle, ..
+            mode,
+            no_oracle,
+            trace,
+            metrics_json,
+            ..
         } => {
             let mut opts = CheckerOptions::with_mode(*mode);
             opts.liveness_oracle = !no_oracle;
-            let checked = fearless_core::check_source(src, &opts).map_err(|e| e.render(src))?;
+            let want = trace.is_some() || *metrics_json;
+            let mut sink = MemorySink::new();
+            let checked = {
+                let mut tracer = if want {
+                    Tracer::new(&mut sink)
+                } else {
+                    Tracer::off()
+                };
+                fearless_core::check_source_traced(src, &opts, &mut tracer)
+                    .map_err(|e| e.render(src))?
+            };
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -301,7 +450,7 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 checked.total_nodes(),
                 checked.total_vir_steps()
             );
-            Ok(out)
+            finish_trace(&sink, trace.as_deref(), *metrics_json, out)
         }
         Command::Explain { func, .. } => {
             let checked = fearless_core::check_source(src, &CheckerOptions::default())
@@ -326,17 +475,28 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             mode,
             format,
             deny_warnings,
+            trace,
+            metrics_json,
             ..
-        } => lint_source(src, *mode, *format, *deny_warnings).0,
+        } => lint_source(src, *mode, *format, *deny_warnings, trace, *metrics_json).0,
         Command::Run {
             entry,
             args,
             unchecked,
             sanitize,
+            trace,
+            metrics_json,
             ..
         } => {
+            let want = trace.is_some() || *metrics_json;
+            let mut sink = MemorySink::new();
             if !unchecked {
-                fearless_core::check_source(src, &CheckerOptions::default())
+                let mut tracer = if want {
+                    Tracer::new(&mut sink)
+                } else {
+                    Tracer::off()
+                };
+                fearless_core::check_source_traced(src, &CheckerOptions::default(), &mut tracer)
                     .map_err(|e| e.render(src))?;
             }
             let program = fearless_syntax::parse_program(src).map_err(|e| e.render(src))?;
@@ -346,7 +506,23 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             };
             let mut machine = Machine::with_config(&program, config).map_err(|e| e.to_string())?;
             let values = args.iter().map(|&n| Value::Int(n)).collect();
-            let result = machine.call(entry, values).map_err(|e| e.to_string())?;
+            let (result, sink) = if want {
+                sink.span_enter("run", entry);
+                machine.set_trace_sink(Box::new(sink));
+                let result = machine.call(entry, values).map_err(|e| e.to_string())?;
+                machine.emit_stats();
+                let mut sink = *machine
+                    .take_trace_sink()
+                    .expect("sink installed above")
+                    .into_any()
+                    .downcast::<MemorySink>()
+                    .expect("sink is a MemorySink");
+                sink.span_exit();
+                (result, sink)
+            } else {
+                let result = machine.call(entry, values).map_err(|e| e.to_string())?;
+                (result, sink)
+            };
             let stats = machine.stats();
             let mut out = format!(
                 "{entry}(…) = {result}\n{} steps, {} allocations, {} field reads, {} field \
@@ -364,8 +540,125 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                     stats.sanitize_checks
                 );
             }
-            Ok(out)
+            finish_trace(&sink, trace.as_deref(), *metrics_json, out)
         }
+        Command::Profile {
+            path,
+            corpus,
+            wall_time,
+            metrics_json,
+        } => {
+            if *corpus {
+                profile_corpus(*wall_time, *metrics_json)
+            } else {
+                let label = path.as_deref().unwrap_or("<source>");
+                let sink = profile_source(src)?;
+                if *metrics_json {
+                    Ok(sink.to_json())
+                } else {
+                    Ok(render_profile(&sink, label, *wall_time))
+                }
+            }
+        }
+    }
+}
+
+/// Parses and checks `src` with a fresh [`MemorySink`] attached, producing
+/// one `parse` span and one `check` span per function.
+fn profile_source(src: &str) -> Result<MemorySink, String> {
+    let mut sink = MemorySink::new();
+    sink.span_enter("parse", "program");
+    let parsed = fearless_syntax::parse_program(src).map_err(|e| e.render(src));
+    sink.span_exit();
+    let program = parsed?;
+    fearless_core::check_program_traced(
+        &program,
+        &CheckerOptions::default(),
+        &mut Tracer::new(&mut sink),
+    )
+    .map_err(|e| e.render(src))?;
+    Ok(sink)
+}
+
+/// Renders the per-span counter table for `fearlessc profile`. Without
+/// `--wall-time` the output is fully deterministic.
+fn render_profile(sink: &MemorySink, label: &str, wall_time: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "profile: {label}");
+    let mut header = format!(
+        "{:<7} {:<24} {:>7} {:>7} {:>9} {:>8} {:>8} {:>7}",
+        "phase", "name", "nodes", "vir", "oracle", "search", "backtrk", "live"
+    );
+    if wall_time {
+        let _ = write!(header, " {:>10}", "time");
+    }
+    let _ = writeln!(out, "{header}");
+    let row = |phase: &str, name: &str, get: &dyn Fn(&str) -> u64, nanos: Option<u128>| -> String {
+        let oracle = format!(
+            "{}/{}",
+            get("check.oracle_hits"),
+            get("check.oracle_queries")
+        );
+        let mut line = format!(
+            "{:<7} {:<24} {:>7} {:>7} {:>9} {:>8} {:>8} {:>7}",
+            phase,
+            name,
+            get("check.deriv_nodes"),
+            get("check.vir_steps"),
+            oracle,
+            get("search.nodes"),
+            get("search.backtracks"),
+            get("check.liveness_queries"),
+        );
+        if wall_time {
+            match nanos {
+                Some(n) => {
+                    let _ = write!(line, " {:>8.3}ms", n as f64 / 1.0e6);
+                }
+                None => {
+                    let _ = write!(line, " {:>10}", "");
+                }
+            }
+        }
+        line
+    };
+    for m in sink.spans() {
+        let get = |k: &str| m.counters.get(k).copied().unwrap_or(0);
+        let _ = writeln!(out, "{}", row(&m.phase, &m.name, &get, Some(m.nanos)));
+    }
+    let totals = sink.totals();
+    let get = |k: &str| totals.get(k).copied().unwrap_or(0);
+    let _ = writeln!(out, "{}", row("total", "", &get, None));
+    out
+}
+
+/// Profiles every accepted corpus entry (`fearlessc profile --corpus`).
+fn profile_corpus(wall_time: bool, metrics_json: bool) -> Result<String, String> {
+    let mut sections = Vec::new();
+    for entry in fearless_corpus::accepted_entries() {
+        let sink =
+            profile_source(&entry.source).map_err(|e| format!("corpus `{}`: {e}", entry.name))?;
+        sections.push((entry.name, sink));
+    }
+    if metrics_json {
+        let entries = sections
+            .iter()
+            .map(|(name, sink)| {
+                Json::obj([("name", Json::str(*name)), ("trace", sink.to_json_value())])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("schema", Json::str("fearless-trace/corpus/1")),
+            ("entries", Json::Arr(entries)),
+        ])
+        .render())
+    } else {
+        let mut out = String::new();
+        for (name, sink) in &sections {
+            out.push_str(&render_profile(sink, name, wall_time));
+            out.push('\n');
+        }
+        Ok(out)
     }
 }
 
@@ -386,12 +679,17 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         Err(e) => return (Err(e), 1),
     };
     match &cmd {
-        Command::Help | Command::Table1 => execute_on_source_with_code(&cmd, ""),
+        Command::Help | Command::Table1 | Command::Profile { path: None, .. } => {
+            execute_on_source_with_code(&cmd, "")
+        }
         Command::Check { path, .. }
         | Command::Verify { path }
         | Command::Lint { path, .. }
         | Command::Explain { path, .. }
-        | Command::Run { path, .. } => {
+        | Command::Run { path, .. }
+        | Command::Profile {
+            path: Some(path), ..
+        } => {
             let src = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => return (Err(format!("cannot read `{path}`: {e}")), 1),
@@ -417,13 +715,26 @@ mod tests {
 
     #[test]
     fn parses_check_flags() {
-        let cmd = parse_args(&s(&["check", "f.fc", "--mode", "gd", "--no-oracle"])).unwrap();
+        let cmd = parse_args(&s(&[
+            "check",
+            "f.fc",
+            "--mode",
+            "gd",
+            "--no-oracle",
+            "--trace",
+            "t.json",
+            "--metrics",
+            "json",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Check {
                 path: "f.fc".into(),
                 mode: CheckerMode::GlobalDomination,
-                no_oracle: true
+                no_oracle: true,
+                trace: Some("t.json".into()),
+                metrics_json: true
             }
         );
     }
@@ -447,7 +758,9 @@ mod tests {
                 entry: "main".into(),
                 args: vec![3],
                 unchecked: false,
-                sanitize: true
+                sanitize: true,
+                trace: None,
+                metrics_json: false
             }
         );
     }
@@ -461,9 +774,47 @@ mod tests {
                 path: "f.fc".into(),
                 mode: CheckerMode::Tempered,
                 format: LintFormat::Json,
-                deny_warnings: true
+                deny_warnings: true,
+                trace: None,
+                metrics_json: false
             }
         );
+    }
+
+    #[test]
+    fn parses_profile() {
+        let cmd = parse_args(&s(&["profile", "--corpus", "--wall-time"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                path: None,
+                corpus: true,
+                wall_time: true,
+                metrics_json: false
+            }
+        );
+        let cmd = parse_args(&s(&["profile", "f.fc", "--metrics", "json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                path: Some("f.fc".into()),
+                corpus: false,
+                wall_time: false,
+                metrics_json: true
+            }
+        );
+    }
+
+    #[test]
+    fn profile_requires_file_xor_corpus() {
+        assert!(parse_args(&s(&["profile"])).is_err());
+        assert!(parse_args(&s(&["profile", "f.fc", "--corpus"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_metrics_format() {
+        assert!(parse_args(&s(&["check", "f.fc", "--metrics", "xml"])).is_err());
+        assert!(parse_args(&s(&["check", "f.fc", "--metrics"])).is_err());
     }
 
     #[test]
@@ -471,14 +822,19 @@ mod tests {
         assert!(parse_args(&s(&["frobnicate"])).is_err());
     }
 
-    #[test]
-    fn check_and_run_roundtrip() {
-        let check = Command::Check {
+    fn check_cmd() -> Command {
+        Command::Check {
             path: String::new(),
             mode: CheckerMode::Tempered,
             no_oracle: false,
-        };
-        let out = execute_on_source(&check, PROGRAM).unwrap();
+            trace: None,
+            metrics_json: false,
+        }
+    }
+
+    #[test]
+    fn check_and_run_roundtrip() {
+        let out = execute_on_source(&check_cmd(), PROGRAM).unwrap();
         assert!(out.contains("ok:"), "{out}");
         let run = Command::Run {
             path: String::new(),
@@ -486,6 +842,8 @@ mod tests {
             args: vec![21],
             unchecked: false,
             sanitize: false,
+            trace: None,
+            metrics_json: false,
         };
         let out = execute_on_source(&run, PROGRAM).unwrap();
         assert!(out.contains("= 42"), "{out}");
@@ -493,12 +851,7 @@ mod tests {
 
     #[test]
     fn check_failure_renders_source() {
-        let check = Command::Check {
-            path: String::new(),
-            mode: CheckerMode::Tempered,
-            no_oracle: false,
-        };
-        let err = execute_on_source(&check, "def f(x: int) : bool { x }").unwrap_err();
+        let err = execute_on_source(&check_cmd(), "def f(x: int) : bool { x }").unwrap_err();
         assert!(err.contains("type error"), "{err}");
         assert!(err.contains('^'), "{err}");
     }
@@ -527,6 +880,8 @@ mod tests {
             mode: CheckerMode::Tempered,
             format,
             deny_warnings,
+            trace: None,
+            metrics_json: false,
         }
     }
 
@@ -580,8 +935,123 @@ mod tests {
             args: vec![5],
             unchecked: false,
             sanitize: true,
+            trace: None,
+            metrics_json: false,
         };
         let out = execute_on_source(&run, PROGRAM).unwrap();
         assert!(out.contains("domination sanitizer"), "{out}");
+    }
+
+    #[test]
+    fn check_metrics_json_is_deterministic() {
+        let cmd = Command::Check {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            trace: None,
+            metrics_json: true,
+        };
+        let a = execute_on_source(&cmd, PROGRAM).unwrap();
+        let b = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert_eq!(a, b, "metrics JSON must be byte-identical across runs");
+        assert!(a.contains("\"fearless-trace/1\""), "{a}");
+        assert!(a.contains("\"check.deriv_nodes\""), "{a}");
+        assert!(!a.contains("nanos"), "wall-clock must never leak: {a}");
+    }
+
+    #[test]
+    fn run_metrics_json_has_check_and_run_spans() {
+        let cmd = Command::Run {
+            path: String::new(),
+            entry: "double".into(),
+            args: vec![21],
+            unchecked: false,
+            sanitize: false,
+            trace: None,
+            metrics_json: true,
+        };
+        let a = execute_on_source(&cmd, PROGRAM).unwrap();
+        let b = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"phase\": \"check\""), "{a}");
+        assert!(a.contains("\"phase\": \"run\""), "{a}");
+        assert!(a.contains("\"steps\""), "{a}");
+        assert!(a.contains("\"reservation_failures\""), "{a}");
+    }
+
+    #[test]
+    fn lint_metrics_json_replaces_report() {
+        let cmd = Command::Lint {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            format: LintFormat::Human,
+            deny_warnings: false,
+            trace: None,
+            metrics_json: true,
+        };
+        let (result, code) = execute_on_source_with_code(&cmd, LINTY);
+        let out = result.unwrap();
+        assert!(out.contains("\"lint.findings\": 1"), "{out}");
+        assert!(!out.contains("FA002"), "{out}");
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn trace_flag_writes_file() {
+        let path = std::env::temp_dir().join(format!(
+            "fearless-cli-trace-test-{}.json",
+            std::process::id()
+        ));
+        let cmd = Command::Check {
+            path: String::new(),
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            trace: Some(path.to_string_lossy().into_owned()),
+            metrics_json: false,
+        };
+        let out = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert!(out.contains("ok:"), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(written.contains("\"fearless-trace/1\""), "{written}");
+    }
+
+    #[test]
+    fn profile_renders_table() {
+        let cmd = Command::Profile {
+            path: Some("demo.fc".into()),
+            corpus: false,
+            wall_time: false,
+            metrics_json: false,
+        };
+        let a = execute_on_source(&cmd, PROGRAM).unwrap();
+        let b = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert_eq!(a, b, "profile table must be deterministic");
+        assert!(a.contains("profile: demo.fc"), "{a}");
+        assert!(a.contains("double"), "{a}");
+        assert!(a.contains("make"), "{a}");
+        assert!(a.contains("backtrk"), "{a}");
+        assert!(a.lines().last().unwrap().starts_with("total"), "{a}");
+    }
+
+    #[test]
+    fn profile_corpus_metrics_json_is_deterministic() {
+        let cmd = Command::Profile {
+            path: None,
+            corpus: true,
+            wall_time: false,
+            metrics_json: true,
+        };
+        let a = execute_on_source(&cmd, "").unwrap();
+        let b = execute_on_source(&cmd, "").unwrap();
+        assert_eq!(a, b, "corpus metrics must be byte-identical across runs");
+        assert!(a.contains("\"fearless-trace/corpus/1\""), "{a}");
+        for entry in fearless_corpus::accepted_entries() {
+            assert!(
+                a.contains(entry.name),
+                "missing corpus entry {}",
+                entry.name
+            );
+        }
     }
 }

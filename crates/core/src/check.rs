@@ -1,11 +1,13 @@
 //! The syntax-directed typing rules (Fig. 10, Fig. 13) with greedy virtual
 //! transformation insertion (§4.6) and liveness-oracle unification (§5.1).
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 use fearless_syntax::{
     BinOp, Expr, ExprKind, FieldDef, FnDef, RegionPath, Span, Symbol, Type, UnOp,
 };
+use fearless_trace::Tracer;
 
 use crate::ctx::{Binding, RegionId, TrackCtx, TypeState};
 use crate::derivation::{CallInfo, DerivBuilder, Derivation, Rule, ValInfo};
@@ -18,6 +20,25 @@ use crate::state::{self, LiveSet, Protect};
 use crate::unify::{self, Side};
 use crate::vir::{self, VirStep};
 
+/// Instrumentation counters accumulated while checking one function.
+/// Observation-only: nothing in the checker branches on them.
+#[derive(Debug, Default)]
+pub struct CheckCounters {
+    /// Liveness-oracle lookups (`live_after` queries). `Cell` because the
+    /// lookup path takes `&self`.
+    pub liveness_queries: Cell<u64>,
+    /// Join attempts routed through the greedy oracle unifier.
+    pub oracle_queries: u64,
+    /// Oracle attempts that unified without search.
+    pub oracle_hits: u64,
+    /// Joins that fell back to bounded backtracking search.
+    pub joins_fallback: u64,
+    /// Search invocations (== `joins_fallback` unless the oracle is off).
+    pub search_runs: u64,
+    /// Aggregated counters across all search runs in this function.
+    pub search: search::SearchStats,
+}
+
 /// Per-function checker (the prover half of the prover–verifier pair).
 pub struct FnChecker<'a> {
     globals: &'a Globals,
@@ -26,6 +47,8 @@ pub struct FnChecker<'a> {
     liveness: Liveness,
     /// Derivation being built.
     pub deriv: DerivBuilder,
+    /// Instrumentation counters (see [`CheckCounters`]).
+    pub counters: CheckCounters,
     /// Set during `new S(…)` argument checking: the nascent object's region
     /// and struct name (for the `self` keyword).
     self_ctx: Option<(RegionId, Symbol)>,
@@ -36,6 +59,30 @@ pub fn check_fn(
     globals: &Globals,
     opts: &CheckerOptions,
     def: &FnDef,
+) -> Result<Derivation, TypeError> {
+    check_fn_traced(globals, opts, def, &mut Tracer::off())
+}
+
+/// Like [`check_fn`], emitting a `check` span with the function's search,
+/// oracle, and virtual-transformation counters to `tracer`. With a
+/// disabled tracer this is exactly [`check_fn`].
+pub fn check_fn_traced(
+    globals: &Globals,
+    opts: &CheckerOptions,
+    def: &FnDef,
+    tracer: &mut Tracer<'_>,
+) -> Result<Derivation, TypeError> {
+    tracer.span_enter("check", def.name.as_str());
+    let result = check_fn_impl(globals, opts, def, tracer);
+    tracer.span_exit();
+    result
+}
+
+fn check_fn_impl(
+    globals: &Globals,
+    opts: &CheckerOptions,
+    def: &FnDef,
+    tracer: &mut Tracer<'_>,
 ) -> Result<Derivation, TypeError> {
     let sig = globals
         .sig(&def.name)
@@ -69,6 +116,7 @@ pub fn check_fn(
         sig,
         liveness,
         deriv: DerivBuilder::new(),
+        counters: CheckCounters::default(),
         self_ctx: None,
     };
 
@@ -101,9 +149,72 @@ pub fn check_fn(
     ck.check_exit(&mut st, &mut val, &param_regions, &mut chain, def.span)?;
 
     let output = st.clone();
-    Ok(ck
+    let deriv = ck
         .deriv
-        .finish(def.name.clone(), input, output, val, chain, param_regions))
+        .finish(def.name.clone(), input, output, val, chain, param_regions);
+    if tracer.is_enabled() {
+        emit_check_metrics(tracer, &ck.counters, &deriv);
+    }
+    Ok(deriv)
+}
+
+/// Stable counter name for a virtual-transformation kind.
+fn vir_counter(kind: vir::VirKind) -> &'static str {
+    use vir::VirKind;
+    match kind {
+        VirKind::Focus => "vir.focus",
+        VirKind::Unfocus => "vir.unfocus",
+        VirKind::Explore => "vir.explore",
+        VirKind::Retract => "vir.retract",
+        VirKind::Attach => "vir.attach",
+        VirKind::Weaken => "vir.weaken",
+        VirKind::Rename => "vir.rename",
+        VirKind::Invalidate => "vir.invalidate",
+        VirKind::ScrubField => "vir.scrub-field",
+    }
+}
+
+/// Emits the per-function counter set into the open `check` span. The full
+/// key set is always emitted (zeros included) so every function's scope has
+/// the same shape — `fearlessc profile` relies on that for its table.
+fn emit_check_metrics(tracer: &mut Tracer<'_>, counters: &CheckCounters, deriv: &Derivation) {
+    tracer.add("check.deriv_nodes", deriv.len() as u64);
+    tracer.add("check.vir_steps", deriv.vir_steps as u64);
+    tracer.add("check.liveness_queries", counters.liveness_queries.get());
+    tracer.add("check.oracle_queries", counters.oracle_queries);
+    tracer.add("check.oracle_hits", counters.oracle_hits);
+    tracer.add(
+        "check.oracle_misses",
+        counters.oracle_queries - counters.oracle_hits,
+    );
+    tracer.add("check.joins_greedy", counters.oracle_hits);
+    tracer.add("check.joins_fallback", counters.joins_fallback);
+    tracer.add("search.runs", counters.search_runs);
+    tracer.add("search.nodes", counters.search.nodes);
+    tracer.add("search.backtracks", counters.search.backtracks);
+    tracer.add("search.enqueued", counters.search.enqueued);
+    tracer.add("search.unify_attempts", counters.search.unify_attempts);
+    tracer.add("search.unify_failures", counters.search.unify_failures);
+    tracer.add(
+        "search.exhausted",
+        if counters.search.exhausted { 1 } else { 0 },
+    );
+    for kind in [
+        vir::VirKind::Focus,
+        vir::VirKind::Unfocus,
+        vir::VirKind::Explore,
+        vir::VirKind::Retract,
+        vir::VirKind::Attach,
+        vir::VirKind::Weaken,
+        vir::VirKind::Rename,
+        vir::VirKind::Invalidate,
+        vir::VirKind::ScrubField,
+    ] {
+        tracer.add(vir_counter(kind), 0);
+    }
+    for step in deriv.vir_iter() {
+        tracer.add(vir_counter(step.kind()), 1);
+    }
 }
 
 impl<'a> FnChecker<'a> {
@@ -285,6 +396,9 @@ impl<'a> FnChecker<'a> {
     }
 
     fn live_at(&self, e: &Expr) -> LiveSet {
+        self.counters
+            .liveness_queries
+            .set(self.counters.liveness_queries.get() + 1);
         self.liveness.live_after(e.id)
     }
 
@@ -1757,6 +1871,7 @@ impl<'a> FnChecker<'a> {
         let orig_b = st_b.clone();
 
         if self.opts.liveness_oracle {
+            self.counters.oracle_queries += 1;
             let attempt = {
                 let mut a = Side {
                     st: &mut st_a,
@@ -1773,6 +1888,7 @@ impl<'a> FnChecker<'a> {
             };
             match attempt {
                 Ok((region, res_a, _res_b)) => {
+                    self.counters.oracle_hits += 1;
                     val_a.region = res_a.or(region);
                     let out_val = ValInfo {
                         region: region.or(res_a),
@@ -1827,9 +1943,17 @@ impl<'a> FnChecker<'a> {
                 },
             );
         }
-        let (found, visited) =
-            search::find_common_counted(self.globals, &st_a, &st_b, self.opts.search_node_budget);
-        self.deriv.search_nodes += visited;
+        self.counters.joins_fallback += 1;
+        self.counters.search_runs += 1;
+        let (found, stats) = search::find_common_stats(
+            self.globals,
+            &st_a,
+            &st_b,
+            self.opts.search_node_budget,
+            &search::SearchHints::default(),
+        );
+        self.counters.search.absorb(&stats);
+        self.deriv.search_nodes += stats.nodes as usize;
         let found = found.ok_or_else(|| {
             self.err(
                 format!(

@@ -42,6 +42,7 @@ pub mod state;
 pub mod unify;
 pub mod vir;
 
+pub use check::CheckCounters;
 pub use ctx::{Binding, HeapCtx, RegionId, TrackCtx, TypeState, VarCtx, VarTrack};
 pub use derivation::{CallInfo, DerivBuilder, DerivNode, Derivation, Rule, ValInfo};
 pub use env::{FnSig, Globals};
@@ -92,10 +93,22 @@ pub fn check_program(
     program: &Program,
     options: &CheckerOptions,
 ) -> Result<CheckedProgram, TypeError> {
+    check_program_traced(program, options, &mut fearless_trace::Tracer::off())
+}
+
+/// Like [`check_program`], emitting per-function `check` spans (search,
+/// oracle, and virtual-transformation counters) to `tracer`. Tracing is
+/// observation-only: the result is identical to [`check_program`]'s.
+pub fn check_program_traced(
+    program: &Program,
+    options: &CheckerOptions,
+    tracer: &mut fearless_trace::Tracer<'_>,
+) -> Result<CheckedProgram, TypeError> {
     let globals = Globals::build(program, options.mode)?;
     let mut derivations = Vec::new();
     for f in &program.funcs {
-        let d = check::check_fn(&globals, options, f).map_err(|e| e.in_func(f.name.as_str()))?;
+        let d = check::check_fn_traced(&globals, options, f, tracer)
+            .map_err(|e| e.in_func(f.name.as_str()))?;
         derivations.push(d);
     }
     Ok(CheckedProgram {
@@ -111,9 +124,19 @@ pub fn check_program(
 ///
 /// Parse errors are converted into [`TypeError`]s carrying the same span.
 pub fn check_source(src: &str, options: &CheckerOptions) -> Result<CheckedProgram, TypeError> {
+    check_source_traced(src, options, &mut fearless_trace::Tracer::off())
+}
+
+/// Like [`check_source`], with instrumentation (see
+/// [`check_program_traced`]).
+pub fn check_source_traced(
+    src: &str,
+    options: &CheckerOptions,
+    tracer: &mut fearless_trace::Tracer<'_>,
+) -> Result<CheckedProgram, TypeError> {
     let program =
         parse_program(src).map_err(|e| TypeError::new(e.message().to_string(), e.span()))?;
-    check_program(&program, options)
+    check_program_traced(&program, options, tracer)
 }
 
 /// Rebuilds the validated global environment for a checked program (used

@@ -42,6 +42,39 @@ impl SearchHints {
     }
 }
 
+/// Counters describing one search run, reported to the instrumentation
+/// layer and to the golden-counter regression tests. `nodes` is exactly
+/// the "states visited" measure that [`find_common_counted`] returns and
+/// that the node budget is charged against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// States expanded (inserted into the explored set).
+    pub nodes: u64,
+    /// States dequeued but already explored — abandoned frontier entries,
+    /// the BFS analogue of backtracking.
+    pub backtracks: u64,
+    /// Successor states pushed onto a frontier.
+    pub enqueued: u64,
+    /// Cross-frontier rename attempts on canonical-key matches.
+    pub unify_attempts: u64,
+    /// Rename attempts that failed congruence validation.
+    pub unify_failures: u64,
+    /// Whether the node budget ran out before a common form was found.
+    pub exhausted: bool,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.backtracks += other.backtracks;
+        self.enqueued += other.enqueued;
+        self.unify_attempts += other.unify_attempts;
+        self.unify_failures += other.unify_failures;
+        self.exhausted |= other.exhausted;
+    }
+}
+
 /// Result of a successful search: transformation scripts bringing each side
 /// to a common (congruent-up-to-renaming) context, plus the rename to apply
 /// to side B.
@@ -88,13 +121,28 @@ pub fn find_common_with_hints(
     budget: usize,
     hints: &SearchHints,
 ) -> (Option<CommonForm>, usize) {
+    let (found, stats) = find_common_stats(globals, a, b, budget, hints);
+    (found, stats.nodes as usize)
+}
+
+/// Like [`find_common_with_hints`], returning full [`SearchStats`] instead
+/// of only the visited-node count. This is the primitive the others wrap;
+/// the search itself is identical (same expansion order, same budget
+/// accounting).
+pub fn find_common_stats(
+    globals: &Globals,
+    a: &TypeState,
+    b: &TypeState,
+    budget: usize,
+    hints: &SearchHints,
+) -> (Option<CommonForm>, SearchStats) {
     let mut explored_a: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
     let mut explored_b: HashMap<String, (TypeState, Vec<VirStep>)> = HashMap::new();
     let mut queue_a: VecDeque<(TypeState, Vec<VirStep>)> = VecDeque::new();
     let mut queue_b: VecDeque<(TypeState, Vec<VirStep>)> = VecDeque::new();
     queue_a.push_back((a.clone(), Vec::new()));
     queue_b.push_back((b.clone(), Vec::new()));
-    let mut visited = 0usize;
+    let mut stats = SearchStats::default();
 
     while !queue_a.is_empty() || !queue_b.is_empty() {
         match expand_one(
@@ -103,12 +151,12 @@ pub fn find_common_with_hints(
             &mut explored_a,
             &explored_b,
             true,
-            &mut visited,
+            &mut stats,
             budget,
             hints,
         ) {
-            Expansion::Found(found) => return (Some(found), visited),
-            Expansion::Exhausted => return (None, visited),
+            Expansion::Found(found) => return (Some(found), stats),
+            Expansion::Exhausted => return (None, stats),
             Expansion::Continue => {}
         }
         match expand_one(
@@ -117,16 +165,16 @@ pub fn find_common_with_hints(
             &mut explored_b,
             &explored_a,
             false,
-            &mut visited,
+            &mut stats,
             budget,
             hints,
         ) {
-            Expansion::Found(found) => return (Some(found), visited),
-            Expansion::Exhausted => return (None, visited),
+            Expansion::Found(found) => return (Some(found), stats),
+            Expansion::Exhausted => return (None, stats),
             Expansion::Continue => {}
         }
     }
-    (None, visited)
+    (None, stats)
 }
 
 enum Expansion {
@@ -142,7 +190,7 @@ fn expand_one(
     explored: &mut HashMap<String, (TypeState, Vec<VirStep>)>,
     other: &HashMap<String, (TypeState, Vec<VirStep>)>,
     is_a: bool,
-    visited: &mut usize,
+    stats: &mut SearchStats,
     budget: usize,
     hints: &SearchHints,
 ) -> Expansion {
@@ -151,6 +199,7 @@ fn expand_one(
     };
     let key = canonical_key(&st);
     if explored.contains_key(&key) {
+        stats.backtracks += 1;
         return Expansion::Continue;
     }
     if let Some((other_st, other_steps)) = other.get(&key) {
@@ -159,6 +208,7 @@ fn expand_one(
         } else {
             (other_st, other_steps.as_slice(), &st, steps.as_slice())
         };
+        stats.unify_attempts += 1;
         if let Some(rename) = rename_between(st_b, st_a) {
             return Expansion::Found(CommonForm {
                 steps_a: steps_a.to_vec(),
@@ -166,10 +216,12 @@ fn expand_one(
                 rename_b: rename,
             });
         }
+        stats.unify_failures += 1;
     }
     explored.insert(key, (st.clone(), steps.clone()));
-    *visited += 1;
-    if *visited >= budget {
+    stats.nodes += 1;
+    if stats.nodes as usize >= budget {
+        stats.exhausted = true;
         return Expansion::Exhausted;
     }
     let mut candidates = moves(globals, &st);
@@ -185,6 +237,7 @@ fn expand_one(
             let key = canonical_key(&next);
             if !explored.contains_key(&key) {
                 queue.push_back((next, next_steps));
+                stats.enqueued += 1;
             }
         }
     }
@@ -485,6 +538,48 @@ mod tests {
         let (found, _) = find_common_with_hints(&g, &a, &b, 10_000, &hints);
         let found = found.expect("search succeeds");
         assert!(found.steps_a.is_empty() && found.steps_b.is_empty());
+    }
+
+    #[test]
+    fn stats_exact_counts_for_trivial_pair() {
+        // Congruent-up-to-renaming inputs: side A expands its root (one
+        // node), then side B's root dequeues, key-matches A's explored set,
+        // and the rename validates. Exactly one node, no backtracks.
+        let g = globals();
+        let a = state_with(&[("x", 1)]);
+        let b = state_with(&[("x", 9)]);
+        let (found, stats) = find_common_stats(&g, &a, &b, 10_000, &SearchHints::default());
+        assert!(found.is_some());
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.backtracks, 0);
+        assert_eq!(stats.unify_attempts, 1);
+        assert_eq!(stats.unify_failures, 0);
+        assert!(!stats.exhausted);
+    }
+
+    #[test]
+    fn stats_nodes_match_counted_visited() {
+        let g = globals();
+        let a = state_with(&[("x", 1), ("y", 1)]);
+        let b = state_with(&[("x", 2), ("y", 3)]);
+        let (found_c, visited) = find_common_counted(&g, &a, &b, 50_000);
+        let (found_s, stats) = find_common_stats(&g, &a, &b, 50_000, &SearchHints::default());
+        assert_eq!(found_c.is_some(), found_s.is_some());
+        assert_eq!(stats.nodes as usize, visited);
+        assert!(stats.enqueued >= stats.nodes - 1);
+    }
+
+    #[test]
+    fn stats_flag_budget_exhaustion() {
+        let g = globals();
+        let mut a = state_with(&[("x", 1), ("y", 2)]);
+        let mut b = state_with(&[("x", 3), ("y", 3)]);
+        vir::focus(&mut a, RegionId(1), &Symbol::new("x")).unwrap();
+        vir::focus(&mut b, RegionId(3), &Symbol::new("x")).unwrap();
+        let (found, stats) = find_common_stats(&g, &a, &b, 1, &SearchHints::default());
+        assert!(found.is_none());
+        assert!(stats.exhausted);
+        assert_eq!(stats.nodes, 1);
     }
 
     #[test]

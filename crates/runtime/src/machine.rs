@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use fearless_core::TypeError;
 use fearless_syntax::{BinOp, Program, UnOp};
+use fearless_trace::{Json, TraceSink};
 
 use crate::compile::compile;
 use crate::disconnect::{efficient_disconnected, naive_disconnected, DisconnectStrategy};
@@ -73,9 +74,49 @@ pub struct Stats {
     pub disconnect_visited: u64,
     /// Dynamic reservation checks performed.
     pub reservation_checks: u64,
+    /// Reservation checks that *failed* (the access faulted). Counted
+    /// separately from checks performed: Theorems 6.1/6.2 say this stays
+    /// zero for well-typed programs.
+    pub reservation_failures: u64,
     /// `iso` edges checked by the domination sanitizer (zero when the
     /// sanitizer is disabled).
     pub sanitize_checks: u64,
+    /// Full-heap walks performed by the domination sanitizer (one per
+    /// step when enabled).
+    pub sanitize_walks: u64,
+}
+
+impl Stats {
+    /// Every counter as a `(name, value)` pair, in declaration order. The
+    /// single source of truth for serialization: a field added to the
+    /// struct without extending this table fails the exhaustiveness test
+    /// below.
+    pub fn fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("steps", self.steps),
+            ("field_reads", self.field_reads),
+            ("field_writes", self.field_writes),
+            ("allocs", self.allocs),
+            ("sends", self.sends),
+            ("recvs", self.recvs),
+            ("disconnect_checks", self.disconnect_checks),
+            ("disconnect_visited", self.disconnect_visited),
+            ("reservation_checks", self.reservation_checks),
+            ("reservation_failures", self.reservation_failures),
+            ("sanitize_checks", self.sanitize_checks),
+            ("sanitize_walks", self.sanitize_walks),
+        ]
+    }
+
+    /// The counters as a JSON object (declaration order, deterministic).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(self.fields().map(|(k, v)| (k, Json::U64(v))))
+    }
+
+    /// Rendered JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
 }
 
 /// One call frame.
@@ -137,6 +178,11 @@ pub struct Machine {
     stats: Stats,
     rng: StdRng,
     next_sched: usize,
+    /// Attached instrumentation sink. `None` (the default) costs one
+    /// untaken branch at each emission site — the same disabled-path
+    /// discipline as `sanitize_domination`, verified by the `trace_parity`
+    /// bench test.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -179,6 +225,31 @@ impl Machine {
             config,
             stats: Stats::default(),
             next_sched: 0,
+            sink: None,
+        }
+    }
+
+    /// Attaches an instrumentation sink. The machine emits a `disconnect`
+    /// event (with the heap-walk size) per `if disconnected` evaluation
+    /// and a `message` event per rendezvous; execution itself is
+    /// unaffected.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the sink (downcast it via
+    /// [`TraceSink::into_any`] to recover the concrete collector).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Flushes the current [`Stats`] counters into the attached sink
+    /// (no-op without one). Call after a run completes.
+    pub fn emit_stats(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            for (name, value) in self.stats.fields() {
+                sink.add(name, value);
+            }
         }
     }
 
@@ -322,6 +393,7 @@ impl Machine {
         if self.threads[tid].reservation.contains(&loc) {
             Ok(())
         } else {
+            self.stats.reservation_failures += 1;
             Err(RuntimeError::ReservationFault {
                 thread: tid,
                 loc,
@@ -501,12 +573,24 @@ impl Machine {
                     DisconnectStrategy::Naive => naive_disconnected(&self.heap, a, b),
                 };
                 self.stats.disconnect_visited += outcome.visited as u64;
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.event(
+                        "disconnect",
+                        &[
+                            ("visited", outcome.visited as u64),
+                            ("disconnected", u64::from(outcome.disconnected)),
+                        ],
+                    );
+                }
                 self.push(tid, Value::Bool(outcome.disconnected));
             }
         }
         if self.config.sanitize_domination {
             match crate::sanitize::check_domination(&self.heap) {
-                Ok(edges) => self.stats.sanitize_checks += edges as u64,
+                Ok(edges) => {
+                    self.stats.sanitize_checks += edges as u64;
+                    self.stats.sanitize_walks += 1;
+                }
                 Err(violation) => return Err(RuntimeError::DominationFault(Box::new(violation))),
             }
         }
@@ -542,6 +626,9 @@ impl Machine {
         }
         self.stats.sends += 1;
         self.stats.recvs += 1;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.event("message", &[("channel", u64::from(ch))]);
+        }
         // Sender's send(...) evaluates to unit; receiver's recv(...) to the
         // value.
         self.threads[s]
@@ -751,6 +838,84 @@ mod tests {
             matches!(err, RuntimeError::ReservationFault { .. }),
             "{err}"
         );
+        assert_eq!(m.stats().reservation_failures, 1);
+    }
+
+    #[test]
+    fn stats_fields_are_exhaustive() {
+        // Struct literal (no `..Default::default()`): adding a Stats field
+        // without extending `fields()` breaks this test at compile time.
+        let s = Stats {
+            steps: 1,
+            field_reads: 2,
+            field_writes: 3,
+            allocs: 4,
+            sends: 5,
+            recvs: 6,
+            disconnect_checks: 7,
+            disconnect_visited: 8,
+            reservation_checks: 9,
+            reservation_failures: 10,
+            sanitize_checks: 11,
+            sanitize_walks: 12,
+        };
+        let fields = s.fields();
+        let names: std::collections::BTreeSet<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), fields.len(), "duplicate field name");
+        let sum: u64 = fields.iter().map(|(_, v)| *v).sum();
+        assert_eq!(sum, (1..=12).sum::<u64>(), "a field is missing or repeated");
+        let json = s.to_json();
+        assert_eq!(json, s.to_json());
+        assert!(json.contains("\"reservation_failures\": 10"), "{json}");
+        assert!(json.contains("\"sanitize_walks\": 12"), "{json}");
+    }
+
+    #[test]
+    fn sink_records_message_and_disconnect_events() {
+        use fearless_trace::MemorySink;
+        let mut m = machine(
+            "struct data { value: int }
+             def producer() : unit { send(new data(42)); unit }
+             def consumer() : int { let d = recv(data); d.value }",
+        );
+        m.set_trace_sink(Box::new(MemorySink::new()));
+        m.spawn("producer", vec![]).unwrap();
+        m.spawn("consumer", vec![]).unwrap();
+        m.run().unwrap();
+        m.emit_stats();
+        let sink = m
+            .take_trace_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<MemorySink>()
+            .unwrap();
+        let events: Vec<&str> = sink.scopes()[0].events.iter().map(|e| e.name).collect();
+        assert_eq!(events, vec!["message"]);
+        assert_eq!(sink.totals()["sends"], 1);
+
+        let mut m = machine(
+            "struct data { value: int }
+             def f() : int {
+               let a = new data(1);
+               let b = new data(2);
+               if disconnected(a, b) { 1 } else { 2 }
+             }",
+        );
+        m.set_trace_sink(Box::new(MemorySink::new()));
+        assert_eq!(m.call("f", vec![]).unwrap(), Value::Int(1));
+        let sink = m
+            .take_trace_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<MemorySink>()
+            .unwrap();
+        let disconnects: Vec<_> = sink.scopes()[0]
+            .events
+            .iter()
+            .filter(|e| e.name == "disconnect")
+            .collect();
+        assert_eq!(disconnects.len(), 1);
+        assert!(disconnects[0].fields.contains(&("disconnected", 1)));
     }
 
     #[test]

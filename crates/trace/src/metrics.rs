@@ -1,0 +1,250 @@
+//! The in-memory collector: scopes of counters and events, plus
+//! deterministic JSON serialization.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::sink::TraceSink;
+
+/// A recorded point event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Integer payload fields, in emission order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// Counters and events attributed to one span (or to the implicit root
+/// scope for emissions outside any span).
+#[derive(Debug, Clone)]
+pub struct ScopeMetrics {
+    /// Coarse stage name (`"parse"`, `"check"`, `"run"`, …); empty for the
+    /// root scope.
+    pub phase: String,
+    /// Unit of work (function name, entry point); `"total"` for the root.
+    pub name: String,
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Point events in emission order.
+    pub events: Vec<EventRecord>,
+    /// Wall-clock nanoseconds spent inside the span. Deliberately
+    /// *excluded* from JSON output (it would break byte-determinism);
+    /// `fearlessc profile --wall-time` reads it directly.
+    pub nanos: u128,
+}
+
+impl ScopeMetrics {
+    fn new(phase: impl Into<String>, name: impl Into<String>) -> Self {
+        ScopeMetrics {
+            phase: phase.into(),
+            name: name.into(),
+            counters: BTreeMap::new(),
+            events: Vec::new(),
+            nanos: 0,
+        }
+    }
+
+    /// JSON object for this scope (counters sorted, events in order; no
+    /// wall-clock times).
+    pub fn to_json_value(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::U64(*v)))
+                .collect(),
+        );
+        let events = Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("name", Json::str(e.name)),
+                        (
+                            "fields",
+                            Json::Obj(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.to_string(), Json::U64(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("phase", Json::str(&self.phase)),
+            ("name", Json::str(&self.name)),
+            ("counters", counters),
+            ("events", events),
+        ])
+    }
+}
+
+/// A [`TraceSink`] that accumulates everything in memory.
+///
+/// Scope 0 is the implicit root; spans append scopes in enter order, so
+/// the collected layout is reproducible whenever the instrumented
+/// computation is.
+#[derive(Debug)]
+pub struct MemorySink {
+    scopes: Vec<ScopeMetrics>,
+    stack: Vec<(usize, Instant)>,
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        MemorySink::new()
+    }
+}
+
+impl MemorySink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MemorySink {
+            scopes: vec![ScopeMetrics::new("", "total")],
+            stack: Vec::new(),
+        }
+    }
+
+    /// All scopes: the root first, then spans in enter order.
+    pub fn scopes(&self) -> &[ScopeMetrics] {
+        &self.scopes
+    }
+
+    /// Non-root scopes in enter order.
+    pub fn spans(&self) -> impl Iterator<Item = &ScopeMetrics> {
+        self.scopes.iter().skip(1)
+    }
+
+    /// Counter totals summed across every scope.
+    pub fn totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for scope in &self.scopes {
+            for (k, v) in &scope.counters {
+                *out.entry(k).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    fn current(&mut self) -> &mut ScopeMetrics {
+        let idx = self.stack.last().map(|(i, _)| *i).unwrap_or(0);
+        &mut self.scopes[idx]
+    }
+
+    /// The full trace as a JSON value (schema `fearless-trace/1`).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("fearless-trace/1")),
+            (
+                "scopes",
+                Json::Arr(self.scopes.iter().map(|s| s.to_json_value()).collect()),
+            ),
+            (
+                "totals",
+                Json::Obj(
+                    self.totals()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rendered JSON (deterministic bytes).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn span_enter(&mut self, phase: &'static str, name: &str) {
+        self.scopes.push(ScopeMetrics::new(phase, name));
+        let idx = self.scopes.len() - 1;
+        self.stack.push((idx, Instant::now()));
+    }
+
+    fn span_exit(&mut self) {
+        if let Some((idx, start)) = self.stack.pop() {
+            self.scopes[idx].nanos += start.elapsed().as_nanos();
+        }
+    }
+
+    fn add(&mut self, counter: &'static str, delta: u64) {
+        *self.current().counters.entry(counter).or_insert(0) += delta;
+    }
+
+    fn event(&mut self, name: &'static str, fields: &[(&'static str, u64)]) {
+        self.current().events.push(EventRecord {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_attribute_to_open_span() {
+        let mut m = MemorySink::new();
+        m.add("root.c", 1);
+        m.span_enter("check", "f");
+        m.add("inner.c", 2);
+        m.add("inner.c", 3);
+        m.event("e", &[("x", 7)]);
+        m.span_exit();
+        m.add("root.c", 4);
+
+        assert_eq!(m.scopes().len(), 2);
+        assert_eq!(m.scopes()[0].counters["root.c"], 5);
+        assert_eq!(m.scopes()[1].counters["inner.c"], 5);
+        assert_eq!(m.scopes()[1].events.len(), 1);
+        assert_eq!(m.totals()["inner.c"], 5);
+    }
+
+    #[test]
+    fn nested_spans_track_stack() {
+        let mut m = MemorySink::new();
+        m.span_enter("a", "outer");
+        m.span_enter("b", "inner");
+        m.add("c", 1);
+        m.span_exit();
+        m.add("c", 1);
+        m.span_exit();
+        assert_eq!(m.scopes()[2].counters["c"], 1);
+        assert_eq!(m.scopes()[1].counters["c"], 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_excludes_time() {
+        let mut m = MemorySink::new();
+        m.span_enter("check", "f");
+        m.add("z", 1);
+        m.add("a", 2);
+        m.span_exit();
+        let one = m.to_json();
+        let two = m.to_json();
+        assert_eq!(one, two);
+        assert!(!one.contains("nanos"), "{one}");
+        // Counters sorted by name regardless of emission order.
+        assert!(one.find("\"a\": 2").unwrap() < one.find("\"z\": 1").unwrap());
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let b: Box<dyn TraceSink> = Box::new(MemorySink::new());
+        let m = b.into_any().downcast::<MemorySink>().unwrap();
+        assert_eq!(m.scopes().len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! The sink trait and the zero-cost tracer handle.
+//!
+//! Instrumented code holds a [`Tracer`], a thin wrapper around
+//! `Option<&mut dyn TraceSink>`. With no sink attached every call is an
+//! inlined untaken branch — the same disabled-path discipline as the
+//! runtime's `--sanitize-domination` flag, verified by the
+//! `trace_parity` test in `fearless-bench`.
+
+use std::any::Any;
+
+/// Receiver for instrumentation: hierarchical spans, named counters, and
+/// point events carrying small integer payloads.
+///
+/// Field names and counter names are `&'static str` so emitting costs no
+/// allocation; sinks that persist them (e.g. [`crate::MemorySink`]) copy
+/// as needed.
+pub trait TraceSink {
+    /// Opens a span. `phase` is a coarse stage name (`"parse"`, `"check"`,
+    /// `"run"`, …); `name` identifies the unit of work (a function name,
+    /// an entry point).
+    fn span_enter(&mut self, phase: &'static str, name: &str);
+
+    /// Closes the most recently opened span.
+    fn span_exit(&mut self);
+
+    /// Adds `delta` to the counter `counter` within the current span.
+    fn add(&mut self, counter: &'static str, delta: u64);
+
+    /// Records a point event within the current span.
+    fn event(&mut self, name: &'static str, fields: &[(&'static str, u64)]);
+
+    /// Upcast for recovering a concrete sink from a `Box<dyn TraceSink>`
+    /// (the machine owns its sink; callers downcast it back afterwards).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A sink that discards everything. Attaching it must be observationally
+/// identical to attaching no sink at all; the parity tests assert this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline]
+    fn span_enter(&mut self, _phase: &'static str, _name: &str) {}
+    #[inline]
+    fn span_exit(&mut self) {}
+    #[inline]
+    fn add(&mut self, _counter: &'static str, _delta: u64) {}
+    #[inline]
+    fn event(&mut self, _name: &'static str, _fields: &[(&'static str, u64)]) {}
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The handle instrumented code carries: either disabled (free) or a
+/// borrow of a sink.
+pub struct Tracer<'s> {
+    sink: Option<&'s mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Default for Tracer<'_> {
+    fn default() -> Self {
+        Tracer::off()
+    }
+}
+
+impl<'s> Tracer<'s> {
+    /// A disabled tracer: every call compiles to an untaken branch.
+    #[inline]
+    pub fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer forwarding to `sink`.
+    #[inline]
+    pub fn new(sink: &'s mut dyn TraceSink) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Use to guard instrumentation whose
+    /// *preparation* (not just emission) would cost something.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Opens a span.
+    #[inline]
+    pub fn span_enter(&mut self, phase: &'static str, name: &str) {
+        if let Some(s) = self.sink.as_mut() {
+            s.span_enter(phase, name);
+        }
+    }
+
+    /// Closes the current span.
+    #[inline]
+    pub fn span_exit(&mut self) {
+        if let Some(s) = self.sink.as_mut() {
+            s.span_exit();
+        }
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn add(&mut self, counter: &'static str, delta: u64) {
+        if let Some(s) = self.sink.as_mut() {
+            s.add(counter, delta);
+        }
+    }
+
+    /// Records a point event.
+    #[inline]
+    pub fn event(&mut self, name: &'static str, fields: &[(&'static str, u64)]) {
+        if let Some(s) = self.sink.as_mut() {
+            s.event(name, fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::off();
+        assert!(!t.is_enabled());
+        t.span_enter("check", "f");
+        t.add("x", 1);
+        t.event("e", &[("a", 2)]);
+        t.span_exit();
+    }
+
+    #[test]
+    fn noop_sink_downcasts() {
+        let b: Box<dyn TraceSink> = Box::new(NoopSink);
+        assert!(b.into_any().downcast::<NoopSink>().is_ok());
+    }
+}
