@@ -8,18 +8,30 @@
 //! annotation can really be deleted. `after` relations are skipped — they
 //! are promises to callers outside this program, so weakening them is not
 //! locally justifiable.
+//!
+//! The probe re-checks run through a fingerprint-keyed [`CheckCache`]
+//! seeded from the original checked program, so each probe only re-derives
+//! the functions its deletion actually invalidates (the mutated function
+//! plus, for signature/field edits, its transitive dependents); every
+//! untouched function is a cache hit. The verdicts are identical to full
+//! re-checks — cache correctness rests on fingerprint soundness.
 
-use fearless_core::CheckedProgram;
+use fearless_core::{CheckCache, CheckedProgram};
 use fearless_syntax::{Severity, Span};
 
 use crate::{AnalysisReport, Lint, LintCode};
 
 pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
     let options = checked.options;
-    let still_checks = |report: &mut AnalysisReport, p: &fearless_syntax::Program| {
-        report.stats.recheck_experiments += 1;
-        fearless_core::check_program(p, &options).is_ok()
-    };
+    let mut cache = CheckCache::new();
+    // A seed failure would mean the CheckedProgram is corrupt; fall back
+    // to an unseeded cache (probes still work, just cold).
+    let _ = cache.seed(checked);
+    let still_checks =
+        |report: &mut AnalysisReport, cache: &mut CheckCache, p: &fearless_syntax::Program| {
+            report.stats.recheck_experiments += 1;
+            fearless_core::check_program_incremental(p, &options, cache).is_ok()
+        };
 
     for (fi, f) in checked.program.funcs.iter().enumerate() {
         let param_span = |name: &fearless_syntax::Symbol| -> Span {
@@ -32,7 +44,7 @@ pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
         for (i, name) in f.annotations.pinned.iter().enumerate() {
             let mut p = checked.program.clone();
             p.funcs[fi].annotations.pinned.remove(i);
-            if still_checks(report, &p) {
+            if still_checks(report, &mut cache, &p) {
                 report.lints.push(lint(
                     f.name.as_str(),
                     param_span(name),
@@ -44,7 +56,7 @@ pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
         for (i, rel) in f.annotations.before.iter().enumerate() {
             let mut p = checked.program.clone();
             p.funcs[fi].annotations.before.remove(i);
-            if still_checks(report, &p) {
+            if still_checks(report, &mut cache, &p) {
                 report.lints.push(lint(
                     f.name.as_str(),
                     rel.span,
@@ -57,7 +69,7 @@ pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
         for (i, name) in f.annotations.consumes.iter().enumerate() {
             let mut p = checked.program.clone();
             p.funcs[fi].annotations.consumes.remove(i);
-            if still_checks(report, &p) {
+            if still_checks(report, &mut cache, &p) {
                 report.lints.push(lint(
                     f.name.as_str(),
                     param_span(name),
@@ -77,7 +89,7 @@ pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
             }
             let mut p = checked.program.clone();
             p.structs[si].fields[fi].iso = false;
-            if still_checks(report, &p) {
+            if still_checks(report, &mut cache, &p) {
                 report.lints.push(Lint {
                     code: LintCode::OverStrongAnnotation,
                     severity: Severity::Warning,
@@ -92,6 +104,9 @@ pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
             }
         }
     }
+
+    report.stats.recheck_cache_hits = cache.stats.hits;
+    report.stats.recheck_cache_misses = cache.stats.misses;
 }
 
 fn lint(func: &str, span: Span, message: String) -> Lint {
@@ -129,6 +144,24 @@ mod tests {
             report.lints
         );
         assert!(report.stats.recheck_experiments >= 1);
+    }
+
+    #[test]
+    fn probes_hit_the_seeded_cache() {
+        // Three functions, one probed annotation: each probe re-checks the
+        // mutated function (and nothing else), so the untouched functions
+        // are all answered from the seed.
+        let report = analyze(
+            "struct data { value: int }
+             def make(v: int) : data { new data(v) }
+             def get(d: data) : int { d.value }
+             def peek(d: data) : int pinned d { d.value }",
+        );
+        assert_eq!(report.stats.recheck_experiments, 1);
+        // The probe deletes `pinned d` from `peek`: `make` and `get` keep
+        // their fingerprints (hits); only `peek` re-derives.
+        assert_eq!(report.stats.recheck_cache_hits, 2);
+        assert_eq!(report.stats.recheck_cache_misses, 1);
     }
 
     #[test]

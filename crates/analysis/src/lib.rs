@@ -118,8 +118,13 @@ pub struct AnalysisStats {
     /// Redundant (elidable) virtual steps per kind, as confirmed by the
     /// verifier.
     pub vir_redundant: BTreeMap<VirKind, usize>,
-    /// Annotation-removal experiments run (each is a full re-check).
+    /// Annotation-removal experiments run (each probes one deletion).
     pub recheck_experiments: usize,
+    /// Per-function probe queries answered from the fingerprint cache
+    /// (not part of the JSON report; see `fearless_core::CheckCache`).
+    pub recheck_cache_hits: u64,
+    /// Per-function probe queries that actually re-ran the checker.
+    pub recheck_cache_misses: u64,
 }
 
 /// The result of analyzing one checked program.

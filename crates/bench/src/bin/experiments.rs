@@ -53,4 +53,20 @@ fn main() {
         "wrote BENCH_trace.json ({} bytes, deterministic byte-for-byte)",
         snapshot.len()
     );
+
+    println!("\n== E10: incremental + parallel checking driver (fearless-incr) ==");
+    let incr = fearless_bench::incr_snapshot(4);
+    println!(
+        "cold: {}us  warm: {}us  parallel(x{}): {}us  ({} units, {} functions derived cold, {} replayed warm)",
+        incr.cold_micros,
+        incr.warm_micros,
+        incr.jobs,
+        incr.parallel_micros,
+        incr.units,
+        incr.misses_cold,
+        incr.hits_warm
+    );
+    let incr_json = fearless_bench::render_incr_snapshot(&incr);
+    std::fs::write("BENCH_incr.json", &incr_json).expect("write BENCH_incr.json");
+    println!("wrote BENCH_incr.json ({} bytes)", incr_json.len());
 }

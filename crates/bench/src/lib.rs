@@ -428,6 +428,89 @@ pub fn trace_snapshot() -> String {
     .render()
 }
 
+/// E10 measurements: the incremental + parallel driver over the whole
+/// corpus — cold (cache filling), warm (all hits), and parallel
+/// (work-stealing pool, no cache) wall times plus the deterministic
+/// cache counters.
+#[derive(Debug, Clone)]
+pub struct IncrSnapshot {
+    /// Cold run with an empty cache (every function derives), micros.
+    pub cold_micros: u128,
+    /// Warm rerun against the filled cache (every function replays), micros.
+    pub warm_micros: u128,
+    /// Cacheless run on `jobs` worker threads, micros.
+    pub parallel_micros: u128,
+    /// Worker threads used for the parallel run.
+    pub jobs: usize,
+    /// Corpus units checked.
+    pub units: u64,
+    /// Per-function queries that derived on the cold run.
+    pub misses_cold: u64,
+    /// Per-function queries answered from the cache on the warm run.
+    pub hits_warm: u64,
+}
+
+/// E10: runs the `fearless-incr` driver over every corpus entry three
+/// ways (cold-cached, warm-cached, parallel-uncached). The timings are
+/// wall-clock (nondeterministic); the counters are exact.
+pub fn incr_snapshot(jobs: usize) -> IncrSnapshot {
+    use fearless_incr::{check_units, DiskCache};
+    use fearless_trace::Tracer;
+    use std::time::Instant;
+
+    let units: Vec<(String, fearless_syntax::Program)> = fearless_corpus::all_entries()
+        .iter()
+        .map(|e| {
+            (
+                e.name.to_string(),
+                fearless_syntax::parse_program(&e.source)
+                    .unwrap_or_else(|err| panic!("{}: {err:?}", e.name)),
+            )
+        })
+        .collect();
+    let opts = CheckerOptions::default();
+
+    let mut cache = DiskCache::ephemeral();
+    let t = Instant::now();
+    let cold = check_units(&units, &opts, 1, Some(&mut cache), &mut Tracer::off());
+    let cold_micros = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let warm = check_units(&units, &opts, 1, Some(&mut cache), &mut Tracer::off());
+    let warm_micros = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    check_units(&units, &opts, jobs, None, &mut Tracer::off());
+    let parallel_micros = t.elapsed().as_micros();
+
+    IncrSnapshot {
+        cold_micros,
+        warm_micros,
+        parallel_micros,
+        jobs,
+        units: units.len() as u64,
+        misses_cold: cold.stats.misses,
+        hits_warm: warm.stats.hits,
+    }
+}
+
+/// Renders an [`IncrSnapshot`] as the `fearless-incr-bench/1` JSON
+/// document the `experiments` binary writes to `BENCH_incr.json`.
+pub fn render_incr_snapshot(s: &IncrSnapshot) -> String {
+    use fearless_trace::Json;
+    Json::obj([
+        ("schema", Json::str("fearless-incr-bench/1")),
+        ("units", Json::U64(s.units)),
+        ("jobs", Json::U64(s.jobs as u64)),
+        ("misses_cold", Json::U64(s.misses_cold)),
+        ("hits_warm", Json::U64(s.hits_warm)),
+        ("cold_micros", Json::U64(s.cold_micros as u64)),
+        ("warm_micros", Json::U64(s.warm_micros as u64)),
+        ("parallel_micros", Json::U64(s.parallel_micros as u64)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +556,18 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"fearless-trace/corpus/1\""));
         assert!(!a.contains("nanos"), "wall-clock must never be serialized");
+    }
+
+    #[test]
+    fn e10_warm_run_hits_every_cold_miss() {
+        let s = incr_snapshot(4);
+        assert!(s.misses_cold > 0);
+        assert_eq!(
+            s.hits_warm, s.misses_cold,
+            "every cold derivation must replay warm"
+        );
+        let json = render_incr_snapshot(&s);
+        assert!(json.contains("\"fearless-incr-bench/1\""), "{json}");
     }
 
     #[test]

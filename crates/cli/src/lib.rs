@@ -4,11 +4,12 @@
 //! programs written in the tempered-domination surface language.
 //!
 //! ```text
-//! fearlessc check   program.fc [--mode tempered|gd|tree] [--no-oracle] [--trace t.json] [--metrics json]
+//! fearlessc check   (program.fc | --corpus) [--mode tempered|gd|tree] [--no-oracle]
+//!                   [--jobs N] [--cache dir] [--trace t.json] [--metrics json]
 //! fearlessc verify  program.fc
 //! fearlessc lint    program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
 //! fearlessc run     program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
-//! fearlessc profile (program.fc | --corpus) [--wall-time] [--metrics json]
+//! fearlessc profile (program.fc | --corpus) [--cache dir] [--wall-time] [--metrics json]
 //! fearlessc table1
 //! ```
 //!
@@ -16,26 +17,40 @@
 //! JSON; `--metrics json` prints it on stdout instead of the normal
 //! report. Both are deterministic byte-for-byte (wall-clock time is
 //! recorded in memory but never serialized).
+//!
+//! `check` is driven by the `fearless-incr` incremental driver: `--jobs
+//! N` fans independent per-function checks over a work-stealing pool,
+//! and `--cache <dir>` keeps a fingerprint-keyed result cache on disk.
+//! Reports, diagnostics, and metrics stay byte-identical regardless of
+//! job count or cache warmth (warmth is visible only in the dedicated
+//! `cache` summary span and in `profile --cache`'s trailing line).
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
-use fearless_core::{CheckerMode, CheckerOptions};
+use fearless_core::{CacheStats, CheckerMode, CheckerOptions};
+use fearless_incr::DiskCache;
 use fearless_runtime::{Machine, MachineConfig, Value};
 use fearless_trace::{Json, MemorySink, TraceSink, Tracer};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// Type-check a file.
+    /// Type-check a file (or the whole corpus).
     Check {
-        /// Source path.
-        path: String,
+        /// Source path (`None` with `--corpus`).
+        path: Option<String>,
+        /// Check every corpus entry instead of a file.
+        corpus: bool,
         /// Discipline.
         mode: CheckerMode,
         /// Disable the liveness oracle (pure backtracking search).
         no_oracle: bool,
+        /// Worker threads for per-function checking (1 = serial).
+        jobs: usize,
+        /// Directory holding the persistent per-function check cache.
+        cache: Option<String>,
         /// Write the instrumentation trace (JSON) to this file.
         trace: Option<String>,
         /// Print metrics JSON instead of the human report.
@@ -91,6 +106,9 @@ pub enum Command {
         wall_time: bool,
         /// Print the raw trace JSON instead of the table.
         metrics_json: bool,
+        /// Directory holding the persistent per-function check cache;
+        /// adds a trailing hit/miss/invalidation line to the table.
+        cache: Option<String>,
     },
     /// Print a function's typing derivation.
     Explain {
@@ -110,16 +128,22 @@ pub const USAGE: &str = "\
 fearlessc — tempered-domination checker, verifier, and runtime
 
 USAGE:
-  fearlessc check  <file> [--mode tempered|gd|tree] [--no-oracle] [--trace <file>] [--metrics json]
+  fearlessc check  (<file> | --corpus) [--mode tempered|gd|tree] [--no-oracle]
+                   [--jobs <n>] [--cache <dir>] [--trace <file>] [--metrics json]
   fearlessc verify <file>
   fearlessc lint   <file> [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
                    [--trace <file>] [--metrics json]
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
                    [--trace <file>] [--metrics json]
-  fearlessc profile (<file> | --corpus) [--wall-time] [--metrics json]
+  fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
   fearlessc explain <file> --fn <name>
   fearlessc table1
 
+  --jobs <n>      check independent functions on <n> worker threads
+                  (output is identical to the serial run, just faster)
+  --cache <dir>   keep a fingerprint-keyed per-function check cache in
+                  <dir>/check-cache.json; unchanged functions replay
+                  their cached outcome instead of re-checking
   --trace <file>  write the full instrumentation trace (fearless-trace/1
                   JSON) to <file>
   --metrics json  print the trace JSON on stdout instead of the normal
@@ -150,8 +174,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "table1" => Ok(Command::Table1),
         "check" => {
             let mut path = None;
+            let mut corpus = false;
             let mut mode = CheckerMode::Tempered;
             let mut no_oracle = false;
+            let mut jobs = 1usize;
+            let mut cache = None;
             let mut trace = None;
             let mut metrics_json = false;
             while let Some(a) = it.next() {
@@ -170,16 +197,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--no-oracle" => no_oracle = true,
+                    "--corpus" => corpus = true,
+                    "--jobs" => jobs = parse_jobs(it.next())?,
+                    "--cache" => {
+                        cache = Some(it.next().ok_or("--cache requires a directory")?.clone());
+                    }
                     "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
                     "--metrics" => metrics_json = parse_metrics(it.next())?,
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
+            if corpus == path.is_some() {
+                return Err("check needs a file or --corpus (not both)".to_string());
+            }
             Ok(Command::Check {
-                path: path.ok_or("missing file")?,
+                path,
+                corpus,
                 mode,
                 no_oracle,
+                jobs,
+                cache,
                 trace,
                 metrics_json,
             })
@@ -291,11 +329,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut corpus = false;
             let mut wall_time = false;
             let mut metrics_json = false;
+            let mut cache = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--corpus" => corpus = true,
                     "--wall-time" => wall_time = true,
                     "--metrics" => metrics_json = parse_metrics(it.next())?,
+                    "--cache" => {
+                        cache = Some(it.next().ok_or("--cache requires a directory")?.clone());
+                    }
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -308,10 +350,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 corpus,
                 wall_time,
                 metrics_json,
+                cache,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+}
+
+fn parse_jobs(value: Option<&String>) -> Result<usize, String> {
+    let n = value
+        .ok_or("--jobs requires a number")?
+        .parse::<usize>()
+        .map_err(|_| "--jobs requires a number".to_string())?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    Ok(n)
 }
 
 fn parse_metrics(value: Option<&String>) -> Result<bool, String> {
@@ -384,6 +438,15 @@ fn lint_source(
     };
     if want {
         sink.add("lint.findings", report.lints.len() as u64);
+        sink.add(
+            "lint.recheck_experiments",
+            report.stats.recheck_experiments as u64,
+        );
+        sink.add("lint.recheck_cache_hits", report.stats.recheck_cache_hits);
+        sink.add(
+            "lint.recheck_cache_misses",
+            report.stats.recheck_cache_misses,
+        );
         sink.span_exit();
     }
     let out = match format {
@@ -423,34 +486,26 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Table1 => Ok(fearless_baselines::render_table1()),
         Command::Check {
+            corpus,
             mode,
             no_oracle,
+            jobs,
+            cache,
             trace,
             metrics_json,
             ..
         } => {
             let mut opts = CheckerOptions::with_mode(*mode);
             opts.liveness_oracle = !no_oracle;
-            let want = trace.is_some() || *metrics_json;
-            let mut sink = MemorySink::new();
-            let checked = {
-                let mut tracer = if want {
-                    Tracer::new(&mut sink)
-                } else {
-                    Tracer::off()
-                };
-                fearless_core::check_source_traced(src, &opts, &mut tracer)
-                    .map_err(|e| e.render(src))?
-            };
-            let mut out = String::new();
-            let _ = writeln!(
-                out,
-                "ok: {} function(s), {} derivation nodes, {} virtual transformations",
-                checked.derivations.len(),
-                checked.total_nodes(),
-                checked.total_vir_steps()
-            );
-            finish_trace(&sink, trace.as_deref(), *metrics_json, out)
+            check_command(
+                src,
+                *corpus,
+                &opts,
+                *jobs,
+                cache.as_deref(),
+                trace,
+                *metrics_json,
+            )
         }
         Command::Explain { func, .. } => {
             let checked = fearless_core::check_source(src, &CheckerOptions::default())
@@ -547,36 +602,177 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             corpus,
             wall_time,
             metrics_json,
+            cache,
         } => {
             if *corpus {
-                profile_corpus(*wall_time, *metrics_json)
+                profile_corpus(*wall_time, *metrics_json, cache.as_deref())
             } else {
                 let label = path.as_deref().unwrap_or("<source>");
-                let sink = profile_source(src)?;
+                let mut disk = cache.as_deref().map(DiskCache::load);
+                let mut stats = CacheStats::default();
+                let sink = profile_source(src, "", disk.as_mut(), &mut stats)?;
+                save_cache(&disk)?;
                 if *metrics_json {
                     Ok(sink.to_json())
                 } else {
-                    Ok(render_profile(&sink, label, *wall_time))
+                    let mut out = render_profile(&sink, label, *wall_time);
+                    if cache.is_some() {
+                        let _ = writeln!(out, "{}", render_cache_line(&stats));
+                    }
+                    Ok(out)
                 }
             }
         }
     }
 }
 
+/// Runs `fearlessc check` through the `fearless-incr` driver (which all
+/// check invocations use, so serial, parallel, cold, and warm runs share
+/// one code path and one output format).
+fn check_command(
+    src: &str,
+    corpus: bool,
+    opts: &CheckerOptions,
+    jobs: usize,
+    cache: Option<&str>,
+    trace: &Option<String>,
+    metrics_json: bool,
+) -> Result<String, String> {
+    let want = trace.is_some() || metrics_json;
+    let mut sink = MemorySink::new();
+    let mut disk = cache.map(DiskCache::load);
+
+    let entries = if corpus {
+        fearless_corpus::all_entries()
+    } else {
+        Vec::new()
+    };
+    let units: Vec<(String, fearless_syntax::Program)> = if corpus {
+        let mut units = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            let program = fearless_syntax::parse_program(&entry.source)
+                .map_err(|e| format!("corpus `{}`: {}", entry.name, e.message()))?;
+            units.push((entry.name.to_string(), program));
+        }
+        units
+    } else {
+        let program = fearless_syntax::parse_program(src).map_err(|e| {
+            fearless_core::TypeError::new(e.message().to_string(), e.span()).render(src)
+        })?;
+        vec![(String::new(), program)]
+    };
+
+    let run = {
+        let mut tracer = if want {
+            Tracer::new(&mut sink)
+        } else {
+            Tracer::off()
+        };
+        fearless_incr::check_units(&units, opts, jobs, disk.as_mut(), &mut tracer)
+    };
+    // Persist even when the check fails: error outcomes replay too.
+    save_cache(&disk)?;
+
+    let mut out = String::new();
+    if corpus {
+        for (report, entry) in run.units.iter().zip(&entries) {
+            match (entry.accepted, report.first_error()) {
+                (true, None) => {
+                    let _ = writeln!(
+                        out,
+                        "{}: ok ({} function(s), {} nodes, {} vir)",
+                        entry.name,
+                        report.functions.len(),
+                        report.total_nodes(),
+                        report.total_vir_steps()
+                    );
+                }
+                (false, Some(_)) => {
+                    let _ = writeln!(out, "{}: rejected (expected)", entry.name);
+                }
+                (true, Some(e)) => {
+                    return Err(format!(
+                        "corpus `{}`: unexpected type error: {e}",
+                        entry.name
+                    ))
+                }
+                (false, None) => {
+                    return Err(format!(
+                        "corpus `{}`: checked but should have been rejected",
+                        entry.name
+                    ))
+                }
+            }
+        }
+        let _ = writeln!(out, "corpus: {} entries checked", run.units.len());
+    } else {
+        if let Some(e) = run.units[0].first_error() {
+            return Err(e.render(src));
+        }
+        let _ = writeln!(
+            out,
+            "ok: {} function(s), {} derivation nodes, {} virtual transformations",
+            run.units[0].functions.len(),
+            run.units[0].total_nodes(),
+            run.units[0].total_vir_steps()
+        );
+    }
+    finish_trace(&sink, trace.as_deref(), metrics_json, out)
+}
+
+fn save_cache(disk: &Option<DiskCache>) -> Result<(), String> {
+    match disk {
+        Some(d) => d.save(),
+        None => Ok(()),
+    }
+}
+
+fn render_cache_line(stats: &CacheStats) -> String {
+    format!(
+        "cache: {} hit(s), {} miss(es), {} invalidation(s)",
+        stats.hits, stats.misses, stats.invalidations
+    )
+}
+
 /// Parses and checks `src` with a fresh [`MemorySink`] attached, producing
-/// one `parse` span and one `check` span per function.
-fn profile_source(src: &str) -> Result<MemorySink, String> {
+/// one `parse` span and one `check` span per function. With a cache the
+/// check runs through the incremental driver (cache traffic accumulates
+/// into `stats`); without one it runs the plain traced checker.
+fn profile_source(
+    src: &str,
+    label: &str,
+    disk: Option<&mut DiskCache>,
+    stats: &mut CacheStats,
+) -> Result<MemorySink, String> {
     let mut sink = MemorySink::new();
     sink.span_enter("parse", "program");
     let parsed = fearless_syntax::parse_program(src).map_err(|e| e.render(src));
     sink.span_exit();
     let program = parsed?;
-    fearless_core::check_program_traced(
-        &program,
-        &CheckerOptions::default(),
-        &mut Tracer::new(&mut sink),
-    )
-    .map_err(|e| e.render(src))?;
+    match disk {
+        None => {
+            fearless_core::check_program_traced(
+                &program,
+                &CheckerOptions::default(),
+                &mut Tracer::new(&mut sink),
+            )
+            .map_err(|e| e.render(src))?;
+        }
+        Some(d) => {
+            let units = vec![(label.to_string(), program)];
+            let run = fearless_incr::check_units(
+                &units,
+                &CheckerOptions::default(),
+                1,
+                Some(d),
+                &mut Tracer::new(&mut sink),
+            );
+            if let Some(e) = run.units[0].first_error() {
+                return Err(e.render(src));
+            }
+            stats.absorb(&run.stats);
+        }
+    }
     Ok(sink)
 }
 
@@ -623,6 +819,11 @@ fn render_profile(sink: &MemorySink, label: &str, wall_time: bool) -> String {
         line
     };
     for m in sink.spans() {
+        // The cache summary span has its own trailing line; its counters
+        // would render as an all-zero table row here.
+        if m.phase == "cache" {
+            continue;
+        }
         let get = |k: &str| m.counters.get(k).copied().unwrap_or(0);
         let _ = writeln!(out, "{}", row(&m.phase, &m.name, &get, Some(m.nanos)));
     }
@@ -633,13 +834,20 @@ fn render_profile(sink: &MemorySink, label: &str, wall_time: bool) -> String {
 }
 
 /// Profiles every accepted corpus entry (`fearlessc profile --corpus`).
-fn profile_corpus(wall_time: bool, metrics_json: bool) -> Result<String, String> {
+fn profile_corpus(
+    wall_time: bool,
+    metrics_json: bool,
+    cache: Option<&str>,
+) -> Result<String, String> {
+    let mut disk = cache.map(DiskCache::load);
+    let mut stats = CacheStats::default();
     let mut sections = Vec::new();
     for entry in fearless_corpus::accepted_entries() {
-        let sink =
-            profile_source(&entry.source).map_err(|e| format!("corpus `{}`: {e}", entry.name))?;
+        let sink = profile_source(&entry.source, entry.name, disk.as_mut(), &mut stats)
+            .map_err(|e| format!("corpus `{}`: {e}", entry.name))?;
         sections.push((entry.name, sink));
     }
+    save_cache(&disk)?;
     if metrics_json {
         let entries = sections
             .iter()
@@ -657,6 +865,9 @@ fn profile_corpus(wall_time: bool, metrics_json: bool) -> Result<String, String>
         for (name, sink) in &sections {
             out.push_str(&render_profile(sink, name, wall_time));
             out.push('\n');
+        }
+        if cache.is_some() {
+            let _ = writeln!(out, "{}", render_cache_line(&stats));
         }
         Ok(out)
     }
@@ -679,14 +890,17 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         Err(e) => return (Err(e), 1),
     };
     match &cmd {
-        Command::Help | Command::Table1 | Command::Profile { path: None, .. } => {
-            execute_on_source_with_code(&cmd, "")
-        }
-        Command::Check { path, .. }
-        | Command::Verify { path }
+        Command::Help
+        | Command::Table1
+        | Command::Profile { path: None, .. }
+        | Command::Check { path: None, .. } => execute_on_source_with_code(&cmd, ""),
+        Command::Verify { path }
         | Command::Lint { path, .. }
         | Command::Explain { path, .. }
         | Command::Run { path, .. }
+        | Command::Check {
+            path: Some(path), ..
+        }
         | Command::Profile {
             path: Some(path), ..
         } => {
@@ -730,13 +944,46 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Check {
-                path: "f.fc".into(),
+                path: Some("f.fc".into()),
+                corpus: false,
                 mode: CheckerMode::GlobalDomination,
                 no_oracle: true,
+                jobs: 1,
+                cache: None,
                 trace: Some("t.json".into()),
                 metrics_json: true
             }
         );
+    }
+
+    #[test]
+    fn parses_check_incremental_flags() {
+        let cmd = parse_args(&s(&[
+            "check", "--corpus", "--jobs", "4", "--cache", "/tmp/c",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                path: None,
+                corpus: true,
+                mode: CheckerMode::Tempered,
+                no_oracle: false,
+                jobs: 4,
+                cache: Some("/tmp/c".into()),
+                trace: None,
+                metrics_json: false
+            }
+        );
+    }
+
+    #[test]
+    fn check_requires_file_xor_corpus_and_sane_jobs() {
+        assert!(parse_args(&s(&["check"])).is_err());
+        assert!(parse_args(&s(&["check", "f.fc", "--corpus"])).is_err());
+        assert!(parse_args(&s(&["check", "f.fc", "--jobs", "0"])).is_err());
+        assert!(parse_args(&s(&["check", "f.fc", "--jobs", "many"])).is_err());
+        assert!(parse_args(&s(&["check", "f.fc", "--jobs"])).is_err());
     }
 
     #[test]
@@ -790,17 +1037,27 @@ mod tests {
                 path: None,
                 corpus: true,
                 wall_time: true,
-                metrics_json: false
+                metrics_json: false,
+                cache: None
             }
         );
-        let cmd = parse_args(&s(&["profile", "f.fc", "--metrics", "json"])).unwrap();
+        let cmd = parse_args(&s(&[
+            "profile",
+            "f.fc",
+            "--metrics",
+            "json",
+            "--cache",
+            "/tmp/c",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Profile {
                 path: Some("f.fc".into()),
                 corpus: false,
                 wall_time: false,
-                metrics_json: true
+                metrics_json: true,
+                cache: Some("/tmp/c".into())
             }
         );
     }
@@ -824,9 +1081,12 @@ mod tests {
 
     fn check_cmd() -> Command {
         Command::Check {
-            path: String::new(),
+            path: Some(String::new()),
+            corpus: false,
             mode: CheckerMode::Tempered,
             no_oracle: false,
+            jobs: 1,
+            cache: None,
             trace: None,
             metrics_json: false,
         }
@@ -945,9 +1205,12 @@ mod tests {
     #[test]
     fn check_metrics_json_is_deterministic() {
         let cmd = Command::Check {
-            path: String::new(),
+            path: Some(String::new()),
+            corpus: false,
             mode: CheckerMode::Tempered,
             no_oracle: false,
+            jobs: 1,
+            cache: None,
             trace: None,
             metrics_json: true,
         };
@@ -1003,9 +1266,12 @@ mod tests {
             std::process::id()
         ));
         let cmd = Command::Check {
-            path: String::new(),
+            path: Some(String::new()),
+            corpus: false,
             mode: CheckerMode::Tempered,
             no_oracle: false,
+            jobs: 1,
+            cache: None,
             trace: Some(path.to_string_lossy().into_owned()),
             metrics_json: false,
         };
@@ -1023,6 +1289,7 @@ mod tests {
             corpus: false,
             wall_time: false,
             metrics_json: false,
+            cache: None,
         };
         let a = execute_on_source(&cmd, PROGRAM).unwrap();
         let b = execute_on_source(&cmd, PROGRAM).unwrap();
@@ -1041,6 +1308,7 @@ mod tests {
             corpus: true,
             wall_time: false,
             metrics_json: true,
+            cache: None,
         };
         let a = execute_on_source(&cmd, "").unwrap();
         let b = execute_on_source(&cmd, "").unwrap();
@@ -1053,5 +1321,129 @@ mod tests {
                 entry.name
             );
         }
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fearless-cli-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn parallel_check_matches_serial_byte_for_byte() {
+        let check_with_jobs = |jobs: usize| Command::Check {
+            path: None,
+            corpus: true,
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            jobs,
+            cache: None,
+            trace: None,
+            metrics_json: true,
+        };
+        let serial = check_with_jobs(1);
+        let parallel = check_with_jobs(4);
+        let a = execute_on_source(&serial, "").unwrap();
+        let b = execute_on_source(&parallel, "").unwrap();
+        assert_eq!(a, b, "metrics must not depend on the job count");
+    }
+
+    #[test]
+    fn warm_check_output_is_byte_identical_to_cold() {
+        let dir = temp_cache_dir("warm");
+        let cmd = Command::Check {
+            path: Some(String::new()),
+            corpus: false,
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            jobs: 1,
+            cache: Some(dir.to_string_lossy().into_owned()),
+            trace: None,
+            metrics_json: false,
+        };
+        let cold = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert!(dir.join("check-cache.json").is_file(), "cache persisted");
+        let warm = execute_on_source(&cmd, PROGRAM).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cold, warm, "cache warmth must not change the report");
+        assert!(cold.contains("ok: 2 function(s)"), "{cold}");
+    }
+
+    #[test]
+    fn check_corpus_reports_expected_rejections() {
+        let cmd = Command::Check {
+            path: None,
+            corpus: true,
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            jobs: 2,
+            cache: None,
+            trace: None,
+            metrics_json: false,
+        };
+        let out = execute_on_source(&cmd, "").unwrap();
+        for entry in fearless_corpus::all_entries() {
+            assert!(out.contains(entry.name), "missing {}: {out}", entry.name);
+            if !entry.accepted {
+                assert!(
+                    out.contains(&format!("{}: rejected (expected)", entry.name)),
+                    "{out}"
+                );
+            }
+        }
+        assert!(out.contains("corpus:"), "{out}");
+    }
+
+    #[test]
+    fn check_type_errors_replay_identically_from_cache() {
+        let dir = temp_cache_dir("err");
+        let cmd = Command::Check {
+            path: Some(String::new()),
+            corpus: false,
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            jobs: 1,
+            cache: Some(dir.to_string_lossy().into_owned()),
+            trace: None,
+            metrics_json: false,
+        };
+        let bad = "def f(x: int) : bool { x }";
+        let cold = execute_on_source(&cmd, bad).unwrap_err();
+        let warm = execute_on_source(&cmd, bad).unwrap_err();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cold, warm);
+        assert!(cold.contains("type error"), "{cold}");
+    }
+
+    #[test]
+    fn profile_cache_reports_hits_on_the_second_run() {
+        let dir = temp_cache_dir("profile");
+        let cmd = Command::Profile {
+            path: Some("demo.fc".into()),
+            corpus: false,
+            wall_time: false,
+            metrics_json: false,
+            cache: Some(dir.to_string_lossy().into_owned()),
+        };
+        let cold = execute_on_source(&cmd, PROGRAM).unwrap();
+        let warm = execute_on_source(&cmd, PROGRAM).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            cold.contains("cache: 0 hit(s), 2 miss(es), 0 invalidation(s)"),
+            "{cold}"
+        );
+        assert!(
+            warm.contains("cache: 2 hit(s), 0 miss(es), 0 invalidation(s)"),
+            "{warm}"
+        );
+        // Apart from the cache line, the table itself is identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
     }
 }

@@ -1,0 +1,238 @@
+//! A per-function check cache keyed on content [`Fingerprint`]s.
+//!
+//! `check_program` re-derives every function from scratch. That is
+//! wasteful exactly where the paper's modularity (§4.4) makes it
+//! unnecessary: a function's check outcome depends only on the inputs
+//! its fingerprint covers, so an unchanged fingerprint can replay the
+//! stored outcome — derivation or error — byte-for-byte. The cache
+//! powers two hot paths:
+//!
+//! * `fearless-analyze`'s FA002 counterfactual probes, which used to
+//!   re-check the whole program once per deleted annotation and now
+//!   re-check only the functions the deletion actually invalidates, and
+//! * the `fearless-incr` parallel/incremental driver behind
+//!   `fearlessc check --cache`.
+//!
+//! Cache correctness rests entirely on fingerprint soundness, which the
+//! `fingerprint_properties` proptests exercise by random mutation.
+
+use std::collections::BTreeMap;
+
+use fearless_syntax::{FnDef, Program, Symbol};
+
+use crate::check;
+use crate::derivation::Derivation;
+use crate::env::Globals;
+use crate::error::TypeError;
+use crate::fingerprint::{fn_fingerprint, Fingerprint};
+use crate::mode::CheckerOptions;
+use crate::CheckedProgram;
+
+/// Hit/miss/invalidation counters for one cache's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real `check_fn` run.
+    pub misses: u64,
+    /// Times a function name re-appeared with a *different* fingerprint
+    /// than its previous appearance (a content change forcing re-check).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Accumulates another stats block into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// An in-memory per-function check cache.
+///
+/// Entries are keyed purely by [`Fingerprint`], so the cache is shared
+/// freely across program variants (FA002 probes, incremental re-checks):
+/// content that hashes equal checks equal. Both successful derivations
+/// and type errors are cached — probe workloads re-encounter failures as
+/// often as successes.
+#[derive(Debug, Default)]
+pub struct CheckCache {
+    entries: BTreeMap<Fingerprint, Result<Derivation, TypeError>>,
+    last_seen: BTreeMap<Symbol, Fingerprint>,
+    /// Lifetime counters.
+    pub stats: CacheStats,
+}
+
+impl CheckCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CheckCache::default()
+    }
+
+    /// Number of distinct outcomes stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pre-populates the cache from an already-checked program (the
+    /// outcome of every function is known to be its derivation). This is
+    /// how FA002 seeds probes: the original program's functions become
+    /// hits, so each probe pays only for what it mutated.
+    pub fn seed(&mut self, checked: &CheckedProgram) -> Result<(), TypeError> {
+        let globals = Globals::build(&checked.program, checked.options.mode)?;
+        for (f, d) in checked.program.funcs.iter().zip(&checked.derivations) {
+            let fp = fn_fingerprint(&globals, &checked.options, f);
+            self.note_seen(&f.name, fp);
+            self.entries.insert(fp, Ok(d.clone()));
+        }
+        Ok(())
+    }
+
+    /// Records that `name` was checked at `fp`, counting an invalidation
+    /// when the fingerprint moved.
+    fn note_seen(&mut self, name: &Symbol, fp: Fingerprint) {
+        if let Some(prev) = self.last_seen.get(name) {
+            if *prev != fp {
+                self.stats.invalidations += 1;
+            }
+        }
+        self.last_seen.insert(name.clone(), fp);
+    }
+
+    /// Checks one function through the cache: on a fingerprint hit the
+    /// stored outcome is cloned back; on a miss [`check::check_fn`] runs
+    /// and its outcome is stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly cached) [`TypeError`] of the function body.
+    pub fn check_fn(
+        &mut self,
+        globals: &Globals,
+        options: &CheckerOptions,
+        def: &FnDef,
+    ) -> Result<Derivation, TypeError> {
+        let fp = fn_fingerprint(globals, options, def);
+        self.note_seen(&def.name, fp);
+        if let Some(outcome) = self.entries.get(&fp) {
+            self.stats.hits += 1;
+            return outcome.clone();
+        }
+        self.stats.misses += 1;
+        let outcome = check::check_fn(globals, options, def);
+        self.entries.insert(fp, outcome.clone());
+        outcome
+    }
+}
+
+/// Like [`crate::check_program`], but answering each per-function query
+/// from `cache` when its fingerprint matches. With a sound fingerprint
+/// the result — success or the first per-function error in definition
+/// order — is identical to a cold [`crate::check_program`] run.
+///
+/// # Errors
+///
+/// Environment-validation errors first (never cached; [`Globals::build`]
+/// is whole-program and cheap), then the first function error in
+/// definition order, exactly as [`crate::check_program`] reports them.
+pub fn check_program_incremental(
+    program: &Program,
+    options: &CheckerOptions,
+    cache: &mut CheckCache,
+) -> Result<CheckedProgram, TypeError> {
+    let globals = Globals::build(program, options.mode)?;
+    let mut derivations = Vec::new();
+    for f in &program.funcs {
+        let d = cache
+            .check_fn(&globals, options, f)
+            .map_err(|e| e.in_func(f.name.as_str()))?;
+        derivations.push(d);
+    }
+    Ok(CheckedProgram {
+        program: program.clone(),
+        derivations,
+        options: *options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_source;
+    use fearless_syntax::parse_program;
+
+    const SRC: &str = "
+        struct data { value: int }
+        def make(v: int) : data { new data(v) }
+        def get(d: data) : int { d.value }
+        def both(v: int) : int { get(make(v)) }
+    ";
+
+    #[test]
+    fn warm_rerun_is_all_hits_and_identical() {
+        let program = parse_program(SRC).unwrap();
+        let opts = CheckerOptions::default();
+        let mut cache = CheckCache::new();
+        let cold = check_program_incremental(&program, &opts, &mut cache).unwrap();
+        assert_eq!(cache.stats.misses, 3);
+        assert_eq!(cache.stats.hits, 0);
+        let warm = check_program_incremental(&program, &opts, &mut cache).unwrap();
+        assert_eq!(cache.stats.hits, 3);
+        assert_eq!(cache.stats.invalidations, 0);
+        assert_eq!(cold.derivations, warm.derivations);
+        let plain = crate::check_program(&program, &opts).unwrap();
+        assert_eq!(plain.derivations, warm.derivations);
+    }
+
+    #[test]
+    fn seeded_cache_rechecks_only_the_mutated_function() {
+        let checked = check_source(SRC, &CheckerOptions::default()).unwrap();
+        let mut cache = CheckCache::new();
+        cache.seed(&checked).unwrap();
+
+        // Rename `get`'s parameter: changes `get` (and, because parameter
+        // names appear in elaborated signatures, possibly its caller).
+        let src2 = SRC.replace(
+            "get(d: data) : int { d.value }",
+            "get(x: data) : int { x.value }",
+        );
+        let mutated = parse_program(&src2).unwrap();
+
+        let before = cache.stats;
+        let out = check_program_incremental(&mutated, &CheckerOptions::default(), &mut cache);
+        assert!(out.is_ok());
+        let delta_misses = cache.stats.misses - before.misses;
+        let delta_hits = cache.stats.hits - before.hits;
+        // `get` changed (new param name). `both` calls `get`, but the
+        // elaborated signature of `get` is unchanged only if parameter
+        // names are sig-relevant — they are (consumes/pinned refer to
+        // them), so `both` re-checks too. `make` must hit.
+        assert!(
+            delta_misses <= 2,
+            "at most get+both re-check: {delta_misses}"
+        );
+        assert!(delta_hits >= 1, "make must hit: {delta_hits}");
+        assert!(cache.stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn errors_are_cached_and_replayed() {
+        let bad = "def f(x: int) : bool { x }";
+        let program = parse_program(bad).unwrap();
+        let opts = CheckerOptions::default();
+        let mut cache = CheckCache::new();
+        let e1 = check_program_incremental(&program, &opts, &mut cache).unwrap_err();
+        let e2 = check_program_incremental(&program, &opts, &mut cache).unwrap_err();
+        assert_eq!(cache.stats.misses, 1);
+        assert_eq!(cache.stats.hits, 1);
+        assert_eq!(e1, e2);
+        let plain = crate::check_program(&program, &opts).unwrap_err();
+        assert_eq!(e1, plain);
+    }
+}

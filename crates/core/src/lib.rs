@@ -30,11 +30,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod check;
 pub mod ctx;
 pub mod derivation;
 pub mod env;
 pub mod error;
+pub mod fingerprint;
 pub mod liveness;
 pub mod mode;
 pub mod search;
@@ -42,11 +44,13 @@ pub mod state;
 pub mod unify;
 pub mod vir;
 
+pub use cache::{check_program_incremental, CacheStats, CheckCache};
 pub use check::CheckCounters;
 pub use ctx::{Binding, HeapCtx, RegionId, TrackCtx, TypeState, VarCtx, VarTrack};
 pub use derivation::{CallInfo, DerivBuilder, DerivNode, Derivation, Rule, ValInfo};
 pub use env::{FnSig, Globals};
 pub use error::TypeError;
+pub use fingerprint::{fn_fingerprint, program_fingerprints, Fingerprint};
 pub use mode::{CheckerMode, CheckerOptions};
 pub use search::SearchHints;
 pub use vir::{VirKind, VirStep};

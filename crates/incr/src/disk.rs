@@ -1,0 +1,509 @@
+//! The on-disk check cache (`fearlessc check --cache <dir>`).
+//!
+//! Layout: one deterministic JSON document, `check-cache.json`, inside
+//! the cache directory (schema `fearless-incr-cache/1`). Entries are
+//! content-addressed by [`Fingerprint`] hex and store the per-function
+//! check *summary* — verdict, derivation shape, and the span counter
+//! map — not the derivation itself: enough to replay `fearlessc check`'s
+//! report, diagnostics, and `--metrics json` spans byte-for-byte without
+//! re-deriving anything. A `names` table maps the last fingerprint seen
+//! per qualified function name, which is what turns a content change
+//! into a counted *invalidation*.
+//!
+//! The workspace is offline by design, so the file is rendered through
+//! `fearless-trace`'s [`Json`] tree and read back by the minimal parser
+//! in this module (exactly the subset that renderer emits). A missing or
+//! unreadable file degrades to an empty cache, never an error.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use fearless_core::Fingerprint;
+use fearless_trace::Json;
+
+/// File name inside the cache directory.
+pub const CACHE_FILE: &str = "check-cache.json";
+
+/// Schema tag of the cache document.
+pub const SCHEMA: &str = "fearless-incr-cache/1";
+
+/// A cached per-function check outcome — the replayable summary of one
+/// `check_fn` run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CachedOutcome {
+    /// The function checked. Stores the derivation shape (for the check
+    /// report) and the full span counter map (for metrics replay).
+    Ok {
+        /// Derivation nodes.
+        nodes: u64,
+        /// Virtual-transformation steps.
+        vir_steps: u64,
+        /// Backtracking-search states visited.
+        search_nodes: u64,
+        /// The `check` span's counters, keyed by counter name.
+        counters: BTreeMap<String, u64>,
+    },
+    /// The function failed to check.
+    Err {
+        /// The checker's message (no function prefix; the driver
+        /// re-attaches it).
+        message: String,
+        /// Span start byte.
+        span_lo: u32,
+        /// Span end byte.
+        span_hi: u32,
+    },
+}
+
+impl CachedOutcome {
+    fn to_json(&self) -> Json {
+        match self {
+            CachedOutcome::Ok {
+                nodes,
+                vir_steps,
+                search_nodes,
+                counters,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("nodes", Json::U64(*nodes)),
+                ("vir_steps", Json::U64(*vir_steps)),
+                ("search_nodes", Json::U64(*search_nodes)),
+                (
+                    "counters",
+                    Json::Obj(
+                        counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            CachedOutcome::Err {
+                message,
+                span_lo,
+                span_hi,
+            } => Json::obj([
+                ("ok", Json::Bool(false)),
+                ("message", Json::str(message.clone())),
+                ("span_lo", Json::U64(*span_lo as u64)),
+                ("span_hi", Json::U64(*span_hi as u64)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Option<CachedOutcome> {
+        let fields = match v {
+            Json::Obj(fields) => fields,
+            _ => return None,
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        match get("ok")? {
+            Json::Bool(true) => {
+                let mut counters = BTreeMap::new();
+                if let Some(Json::Obj(cs)) = get("counters") {
+                    for (k, v) in cs {
+                        if let Json::U64(n) = v {
+                            counters.insert(k.clone(), *n);
+                        }
+                    }
+                }
+                Some(CachedOutcome::Ok {
+                    nodes: as_u64(get("nodes")?)?,
+                    vir_steps: as_u64(get("vir_steps")?)?,
+                    search_nodes: as_u64(get("search_nodes")?)?,
+                    counters,
+                })
+            }
+            Json::Bool(false) => Some(CachedOutcome::Err {
+                message: as_str(get("message")?)?.to_string(),
+                span_lo: as_u64(get("span_lo")?)? as u32,
+                span_hi: as_u64(get("span_hi")?)? as u32,
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn as_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Json) -> Option<&str> {
+    match v {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// The persistent cache: content-addressed outcomes plus the name →
+/// fingerprint table used for invalidation accounting.
+#[derive(Debug, Default)]
+pub struct DiskCache {
+    dir: Option<PathBuf>,
+    entries: BTreeMap<String, CachedOutcome>,
+    names: BTreeMap<String, String>,
+}
+
+impl DiskCache {
+    /// An in-memory cache that [`DiskCache::save`] will not persist
+    /// (used by benchmarks and warm/cold comparisons inside one
+    /// process).
+    pub fn ephemeral() -> Self {
+        DiskCache::default()
+    }
+
+    /// Loads the cache from `dir`, degrading to empty on any read or
+    /// parse failure (a cache must never turn into an error).
+    pub fn load(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let mut cache = DiskCache {
+            dir: Some(dir.clone()),
+            ..DiskCache::default()
+        };
+        let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE)) else {
+            return cache;
+        };
+        let Some(root) = parse_json(&text) else {
+            return cache;
+        };
+        let Json::Obj(fields) = &root else {
+            return cache;
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        if get("schema").and_then(as_str) != Some(SCHEMA) {
+            return cache;
+        }
+        if let Some(Json::Obj(entries)) = get("entries") {
+            for (fp, v) in entries {
+                if Fingerprint::from_hex(fp).is_some() {
+                    if let Some(outcome) = CachedOutcome::from_json(v) {
+                        cache.entries.insert(fp.clone(), outcome);
+                    }
+                }
+            }
+        }
+        if let Some(Json::Obj(names)) = get("names") {
+            for (name, v) in names {
+                if let Some(fp) = as_str(v) {
+                    cache.names.insert(name.clone(), fp.to_string());
+                }
+            }
+        }
+        cache
+    }
+
+    /// Number of stored outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a cached outcome by fingerprint.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<&CachedOutcome> {
+        self.entries.get(&fp.to_hex())
+    }
+
+    /// Stores an outcome under `fp`.
+    pub fn insert(&mut self, fp: Fingerprint, outcome: CachedOutcome) {
+        self.entries.insert(fp.to_hex(), outcome);
+    }
+
+    /// Records the fingerprint now current for a qualified function
+    /// name, returning `true` when this *changed* an existing record (an
+    /// invalidation).
+    pub fn note_name(&mut self, qualified: &str, fp: Fingerprint) -> bool {
+        let hex = fp.to_hex();
+        let invalidated = self.names.get(qualified).is_some_and(|prev| prev != &hex);
+        self.names.insert(qualified.to_string(), hex);
+        invalidated
+    }
+
+    /// Renders the cache document (deterministic bytes).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "entries",
+                Json::Obj(
+                    self.entries
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "names",
+                Json::Obj(
+                    self.names
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Writes the cache back to its directory (creating it if needed).
+    /// Ephemeral caches are a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory or file cannot be written.
+    pub fn save(&self) -> Result<(), String> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
+        let path = dir.join(CACHE_FILE);
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| format!("cannot write cache `{}`: {e}", path.display()))
+    }
+
+    /// The backing directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+///// Parses the JSON subset `fearless_trace::Json::render` emits (objects,
+/// arrays, strings with the renderer's escapes, unsigned integers,
+/// booleans, null). Returns `None` on any malformed input.
+pub fn parse_json(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r' | b',') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            loop {
+                skip_ws(b, pos);
+                match *b.get(*pos)? {
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    b'"' => {
+                        let key = parse_string(b, pos)?;
+                        skip_ws(b, pos);
+                        if *b.get(*pos)? != b':' {
+                            return None;
+                        }
+                        *pos += 1;
+                        let value = parse_value(b, pos)?;
+                        fields.push((key, value));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(b, pos);
+                if *b.get(*pos)? == b']' {
+                    *pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                items.push(parse_value(b, pos)?);
+            }
+        }
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b't' => {
+            if b[*pos..].starts_with(b"true") {
+                *pos += 4;
+                Some(Json::Bool(true))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b[*pos..].starts_with(b"false") {
+                *pos += 5;
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b[*pos..].starts_with(b"null") {
+                *pos += 4;
+                Some(Json::Null)
+            } else {
+                None
+            }
+        }
+        b'0'..=b'9' => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()?
+                .parse::<u64>()
+                .ok()
+                .map(Json::U64)
+        }
+        _ => None,
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if *b.get(*pos)? != b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar (the renderer leaves non-ASCII
+                // unescaped).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiskCache {
+        let mut c = DiskCache::ephemeral();
+        let fp = Fingerprint::from_hex("00000000000000000000000000000abc").unwrap();
+        let mut counters = BTreeMap::new();
+        counters.insert("check.deriv_nodes".to_string(), 7);
+        counters.insert("vir.focus".to_string(), 2);
+        c.insert(
+            fp,
+            CachedOutcome::Ok {
+                nodes: 7,
+                vir_steps: 2,
+                search_nodes: 0,
+                counters,
+            },
+        );
+        let fp2 = Fingerprint::from_hex("00000000000000000000000000000def").unwrap();
+        c.insert(
+            fp2,
+            CachedOutcome::Err {
+                message: "cannot \"unify\"\nbranches".to_string(),
+                span_lo: 3,
+                span_hi: 9,
+            },
+        );
+        c.note_name("prog/f", fp);
+        c.note_name("prog/g", fp2);
+        c
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let c = sample();
+        let text = c.to_json();
+        let parsed = parse_json(&text).expect("parses");
+        // Re-render: byte identity proves the parser inverted the
+        // renderer exactly.
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("fearless-incr-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = sample();
+        c.dir = Some(dir.clone());
+        c.save().unwrap();
+        let loaded = DiskCache::load(&dir);
+        assert_eq!(loaded.to_json(), c.to_json());
+        let fp = Fingerprint::from_hex("00000000000000000000000000000abc").unwrap();
+        assert!(matches!(
+            loaded.lookup(fp),
+            Some(CachedOutcome::Ok { nodes: 7, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_or_corrupt_degrades_to_empty() {
+        let dir =
+            std::env::temp_dir().join(format!("fearless-incr-missing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(DiskCache::load(&dir).is_empty());
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), "{ not json").unwrap();
+        assert!(DiskCache::load(&dir).is_empty());
+        std::fs::write(
+            dir.join(CACHE_FILE),
+            "{\n  \"schema\": \"some-other/9\",\n  \"entries\": {}\n}\n",
+        )
+        .unwrap();
+        assert!(DiskCache::load(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn note_name_counts_moves_only() {
+        let mut c = DiskCache::ephemeral();
+        let a = Fingerprint::from_hex("00000000000000000000000000000001").unwrap();
+        let b = Fingerprint::from_hex("00000000000000000000000000000002").unwrap();
+        assert!(
+            !c.note_name("p/f", a),
+            "first sighting is not an invalidation"
+        );
+        assert!(!c.note_name("p/f", a), "same fingerprint is stable");
+        assert!(c.note_name("p/f", b), "moved fingerprint invalidates");
+    }
+}

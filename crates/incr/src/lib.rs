@@ -1,0 +1,432 @@
+//! # fearless-incr
+//!
+//! The incremental + parallel checking driver behind `fearlessc check
+//! --jobs N --cache <dir>`.
+//!
+//! The checker is signature-modular (§4.4): every function is checked
+//! against its signature environment independently, so per-function
+//! results are cacheable by content [`Fingerprint`] and the check
+//! workload — a file's functions, or the whole corpus — is
+//! embarrassingly parallel. This crate exploits both:
+//!
+//! * [`disk::DiskCache`] — a deterministic on-disk JSON cache of
+//!   per-function check summaries, keyed by fingerprint, carrying enough
+//!   (verdict, derivation shape, span counters) to replay reports,
+//!   diagnostics, and `--metrics json` spans byte-for-byte.
+//! * [`pool`] — a small hand-rolled work-stealing thread pool (no
+//!   external deps) that drives independent `check_fn` queries.
+//! * [`check_units`] — the driver: fingerprint serially, answer hits
+//!   from the cache, fan misses out over the pool, then re-assemble
+//!   results and trace spans in definition order so output bytes never
+//!   depend on the schedule or on cache warmth (only the dedicated
+//!   `cache` summary span reflects warmth).
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod pool;
+
+use fearless_core::env::Globals;
+use fearless_core::{check, CacheStats, CheckerOptions, Fingerprint, TypeError};
+use fearless_syntax::{Program, Span};
+use fearless_trace::{MemorySink, Tracer};
+
+pub use disk::{CachedOutcome, DiskCache};
+
+/// Every counter name a `check` span can carry, used to re-intern
+/// counters parsed back from the on-disk cache as the `&'static str`
+/// keys the trace layer requires. `counter_names::intern` must stay in
+/// sync with `fearless_core::check::emit_check_metrics`; the
+/// `all_emitted_counters_are_internable` test in this crate's
+/// integration suite guards the pairing.
+pub mod counter_names {
+    /// The full table.
+    pub const ALL: &[&str] = &[
+        "check.deriv_nodes",
+        "check.vir_steps",
+        "check.liveness_queries",
+        "check.oracle_queries",
+        "check.oracle_hits",
+        "check.oracle_misses",
+        "check.joins_greedy",
+        "check.joins_fallback",
+        "search.runs",
+        "search.nodes",
+        "search.backtracks",
+        "search.enqueued",
+        "search.unify_attempts",
+        "search.unify_failures",
+        "search.exhausted",
+        "vir.focus",
+        "vir.unfocus",
+        "vir.explore",
+        "vir.retract",
+        "vir.attach",
+        "vir.weaken",
+        "vir.rename",
+        "vir.invalidate",
+        "vir.scrub-field",
+    ];
+
+    /// Maps a counter name back to its static identity, if known.
+    pub fn intern(name: &str) -> Option<&'static str> {
+        ALL.iter().find(|k| **k == name).copied()
+    }
+}
+
+/// One function's check result as seen by the driver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FnSummary {
+    /// Function name.
+    pub name: String,
+    /// Content fingerprint the outcome is keyed under.
+    pub fingerprint: Fingerprint,
+    /// Whether the outcome came from the cache.
+    pub cache_hit: bool,
+    /// The (replayable) outcome.
+    pub outcome: CachedOutcome,
+}
+
+/// The checked summary of one unit (a source file, or one corpus
+/// entry).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnitReport {
+    /// Unit label (a corpus entry name; empty for a plain file).
+    pub label: String,
+    /// Environment-validation error, if the unit never reached
+    /// per-function checking.
+    pub env_error: Option<TypeError>,
+    /// Per-function summaries in definition order.
+    pub functions: Vec<FnSummary>,
+}
+
+impl UnitReport {
+    /// The first error in definition order (environment errors first),
+    /// with the function context attached — identical to what
+    /// `check_program` would have reported.
+    pub fn first_error(&self) -> Option<TypeError> {
+        if let Some(e) = &self.env_error {
+            return Some(e.clone());
+        }
+        self.functions.iter().find_map(|f| match &f.outcome {
+            CachedOutcome::Err {
+                message,
+                span_lo,
+                span_hi,
+            } => Some(
+                TypeError::new(message.clone(), Span::new(*span_lo, *span_hi))
+                    .in_func(f.name.clone()),
+            ),
+            CachedOutcome::Ok { .. } => None,
+        })
+    }
+
+    /// Total derivation nodes across successfully checked functions.
+    pub fn total_nodes(&self) -> u64 {
+        self.functions
+            .iter()
+            .filter_map(|f| match &f.outcome {
+                CachedOutcome::Ok { nodes, .. } => Some(*nodes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total virtual-transformation steps across checked functions.
+    pub fn total_vir_steps(&self) -> u64 {
+        self.functions
+            .iter()
+            .filter_map(|f| match &f.outcome {
+                CachedOutcome::Ok { vir_steps, .. } => Some(*vir_steps),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// The result of one driver run over a set of units.
+#[derive(Debug)]
+pub struct CheckRun {
+    /// Per-unit reports, in input order.
+    pub units: Vec<UnitReport>,
+    /// Cache traffic for this run (all zeros when no cache was given).
+    pub stats: CacheStats,
+}
+
+/// Checks a set of `(label, program)` units, answering per-function
+/// queries from `cache` (when given) and running misses on `jobs`
+/// worker threads.
+///
+/// Results — reports, diagnostics, and the `check` spans replayed into
+/// `tracer` — are byte-deterministic and independent of both the number
+/// of jobs and cache warmth. Cache warmth is observable only in
+/// [`CheckRun::stats`] and the trailing `cache` summary span (emitted
+/// iff a cache is in use). The cache is updated in memory; call
+/// [`DiskCache::save`] afterwards to persist it.
+pub fn check_units(
+    units: &[(String, Program)],
+    options: &CheckerOptions,
+    jobs: usize,
+    mut cache: Option<&mut DiskCache>,
+    tracer: &mut Tracer<'_>,
+) -> CheckRun {
+    let mut stats = CacheStats::default();
+    // Tracing and the cache both need the per-function counter map; a
+    // bare run can skip collecting it entirely.
+    let want_counters = tracer.is_enabled() || cache.is_some();
+
+    // Phase 1 (serial): validate environments and fingerprint every
+    // function; split into cache hits and misses.
+    struct PendingUnit<'p> {
+        label: &'p str,
+        globals: Option<Globals>,
+        env_error: Option<TypeError>,
+        // (name, fingerprint, cached outcome or miss marker)
+        fns: Vec<(String, Fingerprint, Option<CachedOutcome>)>,
+    }
+    let mut pending: Vec<PendingUnit<'_>> = Vec::with_capacity(units.len());
+    for (label, program) in units {
+        match Globals::build(program, options.mode) {
+            Err(e) => pending.push(PendingUnit {
+                label,
+                globals: None,
+                env_error: Some(e),
+                fns: Vec::new(),
+            }),
+            Ok(globals) => {
+                let mut fns = Vec::with_capacity(program.funcs.len());
+                for f in &program.funcs {
+                    let fp = fearless_core::fn_fingerprint(&globals, options, f);
+                    let qualified = format!("{label}:{}", f.name);
+                    let cached = match cache.as_deref_mut() {
+                        Some(c) => {
+                            if c.note_name(&qualified, fp) {
+                                stats.invalidations += 1;
+                            }
+                            let cached = c.lookup(fp).cloned();
+                            match &cached {
+                                Some(_) => stats.hits += 1,
+                                None => stats.misses += 1,
+                            }
+                            cached
+                        }
+                        None => None,
+                    };
+                    fns.push((f.name.to_string(), fp, cached));
+                }
+                pending.push(PendingUnit {
+                    label,
+                    globals: Some(globals),
+                    env_error: None,
+                    fns,
+                });
+            }
+        }
+    }
+
+    // Phase 2 (parallel): run every miss through the pool. Each job
+    // checks one function with a private sink and returns its
+    // replayable outcome.
+    let mut jobs_list = Vec::new();
+    for (ui, unit) in pending.iter().enumerate() {
+        for (fi, (_, _, cached)) in unit.fns.iter().enumerate() {
+            if cached.is_none() {
+                jobs_list.push((ui, fi));
+            }
+        }
+    }
+    let outcomes: Vec<((usize, usize), CachedOutcome)> = {
+        let pending = &pending;
+        pool::run_jobs(jobs, jobs_list, move |(ui, fi)| {
+            let unit = &pending[ui];
+            let globals = unit.globals.as_ref().expect("misses imply globals");
+            let def = &units[ui].1.funcs[fi];
+            let outcome = check_one(globals, options, def, want_counters);
+            ((ui, fi), outcome)
+        })
+    };
+
+    // Phase 3 (serial): merge outcomes back, replay spans in definition
+    // order, and feed fresh results into the cache.
+    let mut fresh: std::collections::BTreeMap<(usize, usize), CachedOutcome> =
+        outcomes.into_iter().collect();
+    let mut run = CheckRun {
+        units: Vec::with_capacity(pending.len()),
+        stats,
+    };
+    for (ui, unit) in pending.into_iter().enumerate() {
+        let mut report = UnitReport {
+            label: unit.label.to_string(),
+            env_error: unit.env_error,
+            functions: Vec::with_capacity(unit.fns.len()),
+        };
+        for (fi, (name, fp, cached)) in unit.fns.into_iter().enumerate() {
+            let (outcome, cache_hit) = match cached {
+                Some(outcome) => (outcome, true),
+                None => {
+                    let outcome = fresh.remove(&(ui, fi)).expect("pool returned every job");
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.insert(fp, outcome.clone());
+                    }
+                    (outcome, false)
+                }
+            };
+            replay_span(tracer, &name, &outcome);
+            report.functions.push(FnSummary {
+                name,
+                fingerprint: fp,
+                cache_hit,
+                outcome,
+            });
+        }
+        run.units.push(report);
+    }
+
+    // The warmth-dependent summary span: the one deliberate difference
+    // between a cold and a warm trace.
+    if let Some(c) = cache {
+        tracer.span_enter("cache", "summary");
+        tracer.add("cache.hits", run.stats.hits);
+        tracer.add("cache.misses", run.stats.misses);
+        tracer.add("cache.invalidations", run.stats.invalidations);
+        tracer.add("cache.entries", c.len() as u64);
+        tracer.span_exit();
+    }
+    run
+}
+
+/// Checks one function and summarizes the outcome (with its span
+/// counters when `want_counters`).
+fn check_one(
+    globals: &Globals,
+    options: &CheckerOptions,
+    def: &fearless_syntax::FnDef,
+    want_counters: bool,
+) -> CachedOutcome {
+    if want_counters {
+        let mut sink = MemorySink::new();
+        let result = check::check_fn_traced(globals, options, def, &mut Tracer::new(&mut sink));
+        match result {
+            Ok(d) => CachedOutcome::Ok {
+                nodes: d.len() as u64,
+                vir_steps: d.vir_steps as u64,
+                search_nodes: d.search_nodes as u64,
+                counters: sink
+                    .spans()
+                    .next()
+                    .map(|s| {
+                        s.counters
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), *v))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            },
+            Err(e) => CachedOutcome::Err {
+                message: e.message().to_string(),
+                span_lo: e.span().lo,
+                span_hi: e.span().hi,
+            },
+        }
+    } else {
+        match check::check_fn(globals, options, def) {
+            Ok(d) => CachedOutcome::Ok {
+                nodes: d.len() as u64,
+                vir_steps: d.vir_steps as u64,
+                search_nodes: d.search_nodes as u64,
+                counters: Default::default(),
+            },
+            Err(e) => CachedOutcome::Err {
+                message: e.message().to_string(),
+                span_lo: e.span().lo,
+                span_hi: e.span().hi,
+            },
+        }
+    }
+}
+
+/// Replays one function's `check` span into `tracer`. Fresh and cached
+/// outcomes replay identically, which is what makes warm metrics match
+/// cold metrics byte-for-byte.
+fn replay_span(tracer: &mut Tracer<'_>, name: &str, outcome: &CachedOutcome) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.span_enter("check", name);
+    if let CachedOutcome::Ok { counters, .. } = outcome {
+        for (k, v) in counters {
+            if let Some(key) = counter_names::intern(k) {
+                tracer.add(key, *v);
+            }
+        }
+    }
+    tracer.span_exit();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_syntax::parse_program;
+
+    const SRC: &str = "
+        struct data { value: int }
+        def make(v: int) : data { new data(v) }
+        def get(d: data) : int { d.value }
+    ";
+
+    fn units() -> Vec<(String, Program)> {
+        vec![(String::new(), parse_program(SRC).unwrap())]
+    }
+
+    #[test]
+    fn matches_check_program() {
+        let opts = CheckerOptions::default();
+        let run = check_units(&units(), &opts, 1, None, &mut Tracer::off());
+        let checked = fearless_core::check_program(&units()[0].1, &opts).expect("program checks");
+        assert_eq!(run.units[0].total_nodes(), checked.total_nodes() as u64);
+        assert_eq!(
+            run.units[0].total_vir_steps(),
+            checked.total_vir_steps() as u64
+        );
+        assert!(run.units[0].first_error().is_none());
+        assert_eq!(run.stats, CacheStats::default());
+    }
+
+    #[test]
+    fn first_error_matches_serial_checker() {
+        let bad = "def f(x: int) : bool { x }\ndef g(y: int) : int { y }";
+        let program = parse_program(bad).unwrap();
+        let opts = CheckerOptions::default();
+        let unit = vec![(String::new(), program.clone())];
+        for jobs in [1, 4] {
+            let run = check_units(&unit, &opts, jobs, None, &mut Tracer::off());
+            let incr_err = run.units[0].first_error().expect("f fails");
+            let serial_err = fearless_core::check_program(&program, &opts).unwrap_err();
+            assert_eq!(incr_err, serial_err, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn warm_run_is_all_hits_with_equal_reports() {
+        let opts = CheckerOptions::default();
+        let mut cache = DiskCache::ephemeral();
+        let cold = check_units(&units(), &opts, 1, Some(&mut cache), &mut Tracer::off());
+        assert_eq!(cold.stats.misses, 2);
+        let warm = check_units(&units(), &opts, 2, Some(&mut cache), &mut Tracer::off());
+        assert_eq!(warm.stats.hits, 2);
+        assert_eq!(warm.stats.misses, 0);
+        assert_eq!(warm.stats.invalidations, 0);
+        // Reports are identical apart from the hit flags.
+        let strip = |units: &[UnitReport]| {
+            let mut units = units.to_vec();
+            for u in &mut units {
+                for f in &mut u.functions {
+                    f.cache_hit = false;
+                }
+            }
+            units
+        };
+        assert_eq!(strip(&cold.units), strip(&warm.units));
+        assert!(warm.units[0].functions.iter().all(|f| f.cache_hit));
+    }
+}

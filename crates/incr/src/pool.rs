@@ -1,0 +1,144 @@
+//! A small hand-rolled work-stealing thread pool.
+//!
+//! The workspace is dependency-free by design (no `rayon`), and the
+//! workload — one independent `check_fn` query per task — is exactly the
+//! shape work stealing was made for: tasks vary wildly in cost (a
+//! three-line accessor vs. a search-heavy red-black-tree rebalance), so
+//! static round-robin partitioning leaves workers idle while one grinds.
+//!
+//! Design: every worker owns a deque seeded round-robin. A worker pops
+//! its own deque from the *front* (LIFO-ish locality is irrelevant here;
+//! front-pop keeps seeded order) and, when empty, steals from the *back*
+//! of the other deques. Deques are `Mutex<VecDeque>` — contention is one
+//! lock per task, negligible against a multi-millisecond check — and
+//! results land in an index-addressed slot table, so the output order is
+//! the input order no matter which worker ran what. Determinism of
+//! results therefore never depends on the schedule; only wall-clock
+//! does.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over `items` on `jobs` worker threads, returning results in
+/// input order. `jobs <= 1` (or a single item) runs inline on the
+/// calling thread with no pool at all.
+pub fn run_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n).max(1);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Seed the per-worker deques round-robin, tagging each item with its
+    // input index so results can be reassembled in order.
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back((i, item));
+    }
+
+    let remaining = AtomicUsize::new(n);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let remaining = &remaining;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own queue first (front), then steal from the back of
+                // the others, scanning from our right-hand neighbour.
+                let mut task = deques[me].lock().unwrap().pop_front();
+                if task.is_none() {
+                    for k in 1..workers {
+                        let victim = (me + k) % workers;
+                        task = deques[victim].lock().unwrap().pop_back();
+                        if task.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match task {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        *slots[i].lock().unwrap() = Some(r);
+                        remaining.fetch_sub(1, Ordering::Release);
+                    }
+                    None => {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // Another worker still holds in-flight tasks we
+                        // cannot steal; let it finish.
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = run_jobs(8, items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = run_jobs(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = run_jobs(4, Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skewed_costs_get_stolen() {
+        // One pathological task plus many cheap ones: with stealing, the
+        // cheap tasks all complete even though they were seeded onto the
+        // same deque rotation as the expensive one.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_jobs(4, items, |x| {
+            if x == 0 {
+                // Simulate an expensive check.
+                let mut acc = 0u64;
+                for i in 0..2_000_000u64 {
+                    acc = acc.wrapping_add(i ^ acc);
+                }
+                acc.wrapping_mul(0) + 1000
+            } else {
+                x
+            }
+        });
+        assert_eq!(out[0], 1000);
+        assert_eq!(out[63], 63);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = run_jobs(32, vec![5, 6], |x| x);
+        assert_eq!(out, vec![5, 6]);
+    }
+}

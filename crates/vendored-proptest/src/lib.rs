@@ -386,7 +386,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use rand::Rng as _;
 
-        /// Sizes acceptable as the length argument of [`vec`].
+        /// Sizes acceptable as the length argument of [`vec()`].
         pub trait IntoSizeRange {
             /// Inclusive (lo, hi) bounds.
             fn bounds(self) -> (usize, usize);
