@@ -69,4 +69,28 @@ fn main() {
     let incr_json = fearless_bench::render_incr_snapshot(&incr);
     std::fs::write("BENCH_incr.json", &incr_json).expect("write BENCH_incr.json");
     println!("wrote BENCH_incr.json ({} bytes)", incr_json.len());
+
+    println!(
+        "\n== E11: chaos throughput + sanitizer overhead under fault injection (fearless-chaos) =="
+    );
+    let chaos = fearless_bench::chaos_snapshot(25);
+    println!(
+        "{} scenario(s) x {} seed(s): {} run(s), {} violation(s), {} deferral(s), {} forced \
+         redeliver(ies)",
+        chaos.scenarios,
+        chaos.seeds,
+        chaos.runs,
+        chaos.violations,
+        chaos.deferrals,
+        chaos.forced_deliveries
+    );
+    println!(
+        "sanitizer on: {}us  off: {}us  per-step-walk overhead: {:.1}%",
+        chaos.sanitized_micros,
+        chaos.unsanitized_micros,
+        100.0 * (chaos.sanitized_micros as f64 / chaos.unsanitized_micros.max(1) as f64 - 1.0)
+    );
+    let chaos_json = fearless_bench::render_chaos_snapshot(&chaos);
+    std::fs::write("BENCH_chaos.json", &chaos_json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json ({} bytes)", chaos_json.len());
 }

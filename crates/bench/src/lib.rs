@@ -511,6 +511,99 @@ pub fn render_incr_snapshot(s: &IncrSnapshot) -> String {
     .render()
 }
 
+/// E11 measurements: the chaos layer's throughput and the per-step
+/// domination-sanitizer's overhead, both under full fault injection.
+/// Oracle counters are exact and deterministic; the timings (and hence
+/// `schedules/sec`) are wall-clock.
+#[derive(Debug, Clone)]
+pub struct ChaosSnapshot {
+    /// Scenarios swept.
+    pub scenarios: u64,
+    /// Schedule seeds per scenario.
+    pub seeds: u64,
+    /// Total machine runs (baseline + seeds, sanitized + unsanitized).
+    pub runs: u64,
+    /// Oracle violations across both sweeps (must be 0).
+    pub violations: u64,
+    /// Rendezvous deliveries the adversarial schedules deferred.
+    pub deferrals: u64,
+    /// Deferred deliveries the machine force-redelivered.
+    pub forced_deliveries: u64,
+    /// Full sweep with the per-step sanitizer walking the heap, micros.
+    pub sanitized_micros: u128,
+    /// The identical sweep without the sanitizer, micros.
+    pub unsanitized_micros: u128,
+}
+
+/// E11: runs the full chaos scenario sweep twice — sanitizer on and off
+/// — under all faults, recording oracle counters and wall time.
+pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
+    use fearless_chaos::{run_chaos, ChaosOptions};
+    use std::time::Instant;
+
+    let base = ChaosOptions {
+        seeds,
+        ..ChaosOptions::default()
+    };
+    let t = Instant::now();
+    let sanitized = run_chaos(&base);
+    let sanitized_micros = t.elapsed().as_micros();
+    let t = Instant::now();
+    let plain = run_chaos(&ChaosOptions {
+        sanitize: false,
+        ..base
+    });
+    let unsanitized_micros = t.elapsed().as_micros();
+
+    let scenarios = sanitized.scenarios.len() as u64;
+    ChaosSnapshot {
+        scenarios,
+        seeds,
+        runs: 2 * scenarios * (seeds + 1),
+        violations: (sanitized.violation_count() + plain.violation_count()) as u64,
+        deferrals: sanitized.scenarios.iter().map(|s| s.deferrals).sum(),
+        forced_deliveries: sanitized
+            .scenarios
+            .iter()
+            .map(|s| s.forced_deliveries)
+            .sum(),
+        sanitized_micros,
+        unsanitized_micros,
+    }
+}
+
+/// Renders a [`ChaosSnapshot`] as the `fearless-chaos-bench/1` JSON
+/// document the `experiments` binary writes to `BENCH_chaos.json`.
+pub fn render_chaos_snapshot(s: &ChaosSnapshot) -> String {
+    use fearless_trace::Json;
+    let per_sweep = s.runs / 2;
+    let schedules_per_sec = |micros: u128| {
+        (per_sweep as u128 * 1_000_000)
+            .checked_div(micros)
+            .unwrap_or(0) as u64
+    };
+    Json::obj([
+        ("schema", Json::str("fearless-chaos-bench/1")),
+        ("scenarios", Json::U64(s.scenarios)),
+        ("seeds", Json::U64(s.seeds)),
+        ("runs", Json::U64(s.runs)),
+        ("violations", Json::U64(s.violations)),
+        ("deferrals", Json::U64(s.deferrals)),
+        ("forced_deliveries", Json::U64(s.forced_deliveries)),
+        ("sanitized_micros", Json::U64(s.sanitized_micros as u64)),
+        ("unsanitized_micros", Json::U64(s.unsanitized_micros as u64)),
+        (
+            "schedules_per_sec_sanitized",
+            Json::U64(schedules_per_sec(s.sanitized_micros)),
+        ),
+        (
+            "schedules_per_sec",
+            Json::U64(schedules_per_sec(s.unsanitized_micros)),
+        ),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,5 +669,17 @@ mod tests {
         assert!(o.fig4_rejected);
         assert!(o.fig4_faults);
         assert!(o.fig5_clean);
+    }
+
+    #[test]
+    fn e11_chaos_sweep_is_clean_and_exercises_faults() {
+        let s = chaos_snapshot(3);
+        assert_eq!(s.violations, 0);
+        assert!(s.deferrals > 0, "fault injection never fired");
+        assert!(s.forced_deliveries > 0, "redelivery never exercised");
+        assert_eq!(s.runs, 2 * s.scenarios * 4);
+        let json = render_chaos_snapshot(&s);
+        assert!(json.contains("\"fearless-chaos-bench/1\""), "{json}");
+        assert!(json.contains("\"schedules_per_sec\""), "{json}");
     }
 }

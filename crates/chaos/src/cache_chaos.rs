@@ -1,0 +1,204 @@
+//! Cache-corruption drills: save a real check cache, damage it the way
+//! crashes damage files (truncation, bit flips, torn writes, stale
+//! schema), reload, and verify the crash-safety contract end to end —
+//! the corrupted run's reports must be **byte-identical** to a cold
+//! run's, with the recovery visible only in the `recoveries` stat.
+
+use std::path::Path;
+
+use fearless_core::CheckerOptions;
+use fearless_incr::disk::CACHE_FILE;
+use fearless_incr::{check_units, DiskCache};
+use fearless_syntax::Program;
+use fearless_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The corruption classes injected into a saved cache document.
+pub const CORRUPTIONS: &[&str] = &[
+    "truncate",
+    "bit_flip",
+    "torn_write",
+    "version_bump",
+    "garbage",
+];
+
+/// Damages the cache document in `dir` according to `class` (one of
+/// [`CORRUPTIONS`]), deterministically from `seed`.
+///
+/// # Errors
+///
+/// I/O failures or an unknown class.
+pub fn inject_corruption(dir: &Path, class: &str, seed: u64) -> Result<(), String> {
+    let path = dir.join(CACHE_FILE);
+    let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let damaged: Vec<u8> = match class {
+        // Crash mid-write without the atomic rename: only a prefix
+        // landed.
+        "truncate" => {
+            let keep = rng.gen_range(0..bytes.len().max(1));
+            bytes[..keep].to_vec()
+        }
+        // Storage decay: one flipped bit somewhere in the document.
+        "bit_flip" => {
+            let mut b = bytes.clone();
+            if !b.is_empty() {
+                let at = rng.gen_range(0..b.len());
+                b[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            b
+        }
+        // Torn write: new prefix, old/garbage tail.
+        "torn_write" => {
+            let cut = rng.gen_range(0..bytes.len().max(1));
+            let mut b = bytes[..cut].to_vec();
+            b.extend_from_slice(b"\"entries\": {}}trailing-torn-tail");
+            b
+        }
+        // A future (or ancient) schema wrote the file.
+        "version_bump" => String::from_utf8_lossy(&bytes)
+            .replace("fearless-incr-cache/1", "fearless-incr-cache/99")
+            .into_bytes(),
+        // Not even UTF-8.
+        "garbage" => vec![0xff, 0x00, 0xfe, b'{', 0x80, b'}'],
+        other => return Err(format!("unknown corruption class `{other}`")),
+    };
+    std::fs::write(&path, damaged).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// One corruption class's drill outcome.
+#[derive(Clone, Debug)]
+pub struct DrillOutcome {
+    /// Corruption class.
+    pub class: String,
+    /// Load outcome: `true` when the loader flagged a recovery. A
+    /// truncation at offset 0 (or a bit flip in trailing whitespace) can
+    /// legitimately load clean — `recovered` reports what happened, and
+    /// `reports_match` is the invariant that must always hold.
+    pub recovered: bool,
+    /// The loader's reason, when recovered.
+    pub reason: Option<&'static str>,
+    /// Whether the corrupted-cache run's reports were byte-identical to
+    /// the cold run's. **Must be true for every class.**
+    pub reports_match: bool,
+    /// `recoveries` stat of the corrupted run.
+    pub recoveries: u64,
+}
+
+/// Runs the full corruption matrix over `units` inside `dir` (created
+/// if needed): save a warm cache, damage it per class, and compare the
+/// recovered run against a cold run.
+///
+/// # Errors
+///
+/// Propagates I/O failures from saving or corrupting the document.
+pub fn run_cache_drills(
+    dir: &Path,
+    units: &[(String, Program)],
+    seed: u64,
+) -> Result<Vec<DrillOutcome>, String> {
+    let opts = CheckerOptions::default();
+    // Reference cold run (no cache at all).
+    let mut cold_cache = DiskCache::ephemeral();
+    let cold = check_units(units, &opts, 1, Some(&mut cold_cache), &mut Tracer::off());
+
+    let mut outcomes = Vec::new();
+    for (i, class) in CORRUPTIONS.iter().enumerate() {
+        // Fresh warm document for every class: corruption is applied to
+        // a pristine save, not to the previous class's leftovers.
+        let _ = std::fs::remove_dir_all(dir);
+        let mut warm = DiskCache::load(dir);
+        let _ = check_units(units, &opts, 1, Some(&mut warm), &mut Tracer::off());
+        warm.save()?;
+        inject_corruption(dir, class, seed.wrapping_add(i as u64))?;
+
+        let mut damaged = DiskCache::load(dir);
+        let recovered = damaged.recovered_reason().is_some();
+        let reason = damaged.recovered_reason();
+        let run = check_units(units, &opts, 1, Some(&mut damaged), &mut Tracer::off());
+        // Byte-identical diagnostics: identical unit reports (summaries,
+        // errors, derivation shapes — everything the CLI renders).
+        // Cache-hit flags legitimately differ when the document survived
+        // corruption (e.g. a truncation at the exact end), so compare
+        // with hits stripped exactly as a warm-vs-cold comparison would.
+        let strip = |units: &[fearless_incr::UnitReport]| {
+            let mut units = units.to_vec();
+            for u in &mut units {
+                for f in &mut u.functions {
+                    f.cache_hit = false;
+                }
+            }
+            units
+        };
+        let reports_match = strip(&run.units) == strip(&cold.units);
+        outcomes.push(DrillOutcome {
+            class: class.to_string(),
+            recovered,
+            reason,
+            reports_match,
+            recoveries: run.stats.recoveries,
+        });
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    Ok(outcomes)
+}
+
+/// Convenience: the corpus' accepted entries as check units.
+pub fn corpus_units() -> Vec<(String, Program)> {
+    fearless_corpus::accepted_entries()
+        .into_iter()
+        .map(|e| (e.name.to_string(), e.parse()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drill_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fearless-chaos-drill-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn every_corruption_class_degrades_to_cold_byte_identical() {
+        let units = corpus_units();
+        let dir = drill_dir("matrix");
+        let outcomes = run_cache_drills(&dir, &units, 0xc0ffee).unwrap();
+        assert_eq!(outcomes.len(), CORRUPTIONS.len());
+        for o in &outcomes {
+            assert!(
+                o.reports_match,
+                "{}: corrupted-cache run diverged from cold run",
+                o.class
+            );
+            assert_eq!(
+                o.recovered,
+                o.recoveries > 0,
+                "{}: recovery stat must mirror the load outcome",
+                o.class
+            );
+        }
+        // The matrix as a whole must actually exercise recovery.
+        assert!(
+            outcomes.iter().filter(|o| o.recovered).count() >= 3,
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn garbage_and_version_bump_always_recover() {
+        // These two classes can never load clean, whatever the seed.
+        let units = corpus_units();
+        let dir = drill_dir("certain");
+        for seed in [1u64, 99, 12345] {
+            let outcomes = run_cache_drills(&dir, &units, seed).unwrap();
+            for o in outcomes {
+                if o.class == "garbage" || o.class == "version_bump" {
+                    assert!(o.recovered, "{}: seed {seed}", o.class);
+                    assert_eq!(o.recoveries, 1, "{}: seed {seed}", o.class);
+                }
+            }
+        }
+    }
+}

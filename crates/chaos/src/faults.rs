@@ -1,0 +1,136 @@
+//! The fault vocabulary (`--faults` on the CLI).
+//!
+//! Each fault maps onto one decision hook of the runtime's
+//! [`fearless_runtime::Schedule`] trait, so "injecting a fault" is never
+//! a special machine mode — it is an adversarial answer to a question
+//! the scheduler is asked anyway. That keeps fault-free and faulted runs
+//! on the identical instruction path, which is what makes the
+//! determinism guarantee (same seed ⇒ same bytes) cheap to uphold.
+
+use std::fmt;
+
+/// Which adversarial behaviors the chaos schedule may exhibit. All
+/// decisions remain deterministic functions of the run's seed; a spec
+/// only widens the space the seeded generator explores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultSpec {
+    /// Occasionally defer a ready rendezvous (message *delay*): the pair
+    /// is retried at the next scheduling decision.
+    pub delay: bool,
+    /// Pick sender/receiver pairs at random instead of
+    /// lowest-thread-first (message *reorder* across competing threads).
+    pub reorder: bool,
+    /// Aggressively defer deliveries (message *drop*). The runtime's
+    /// redelivery guarantee force-pairs the lowest matchable channel
+    /// whenever nothing else can run, so a "dropped" message is delayed
+    /// arbitrarily but never lost — injected faults must not manufacture
+    /// deadlocks in live programs.
+    pub drop: bool,
+    /// Preempt at every small-step boundary (quantum 1) instead of
+    /// random-length bursts.
+    pub preempt: bool,
+    /// Bias scheduling toward re-running the previous thread until it
+    /// blocks, piling several blocked senders/receivers onto one channel
+    /// so rendezvous pairing happens under *contention*.
+    pub contend: bool,
+}
+
+impl FaultSpec {
+    /// Every fault enabled.
+    pub fn all() -> Self {
+        FaultSpec {
+            delay: true,
+            reorder: true,
+            drop: true,
+            preempt: true,
+            contend: true,
+        }
+    }
+
+    /// No faults: the chaos schedule still permutes step order from its
+    /// seed, but messages deliver eagerly in thread order.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Parses a `--faults` spec: `all`, `none`, or a comma-separated
+    /// subset of `delay`, `reorder`, `drop`, `preempt`, `contend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "all" => return Ok(FaultSpec::all()),
+            "none" => return Ok(FaultSpec::none()),
+            _ => {}
+        }
+        let mut out = FaultSpec::none();
+        for token in spec.split(',') {
+            match token.trim() {
+                "delay" => out.delay = true,
+                "reorder" => out.reorder = true,
+                "drop" => out.drop = true,
+                "preempt" => out.preempt = true,
+                "contend" => out.contend = true,
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (expected all, none, or a comma list of \
+                         delay, reorder, drop, preempt, contend)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = [
+            ("delay", self.delay),
+            ("reorder", self.reorder),
+            ("drop", self.drop),
+            ("preempt", self.preempt),
+            ("contend", self.contend),
+        ]
+        .iter()
+        .filter(|(_, on)| *on)
+        .map(|(n, _)| *n)
+        .collect();
+        if names.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", names.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_keywords_and_lists() {
+        assert_eq!(FaultSpec::parse("all").unwrap(), FaultSpec::all());
+        assert_eq!(FaultSpec::parse("none").unwrap(), FaultSpec::none());
+        let s = FaultSpec::parse("delay, reorder").unwrap();
+        assert!(s.delay && s.reorder && !s.drop && !s.preempt && !s.contend);
+        assert!(FaultSpec::parse("delay,bogus").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for spec in [
+            FaultSpec::all(),
+            FaultSpec::none(),
+            FaultSpec {
+                delay: true,
+                contend: true,
+                ..FaultSpec::none()
+            },
+        ] {
+            assert_eq!(FaultSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+}

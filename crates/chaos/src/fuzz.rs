@@ -1,0 +1,304 @@
+//! The panic-free-pipeline fuzzer: seeded mutations of real corpus
+//! programs, plus raw byte soup, pushed through the whole toolchain —
+//! lexer → parser → checker → runtime — under a `catch_unwind`
+//! trampoline. The pipeline's contract is *diagnostics, never panics*:
+//! any panic that escapes a stage is an internal compiler error, and
+//! the fuzzer exists to prove there are none.
+//!
+//! Mutation is grammar-aware at the token level (swap, delete,
+//! duplicate, keyword-substitute) so inputs stay close enough to the
+//! grammar to reach deep into the checker, while the raw-bytes mode
+//! covers the lexer's first line of defense. Everything is a
+//! deterministic function of the case seed: a failing case replays from
+//! its seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fearless_core::CheckerOptions;
+use fearless_runtime::{Machine, MachineConfig};
+use fearless_syntax::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Keywords and atoms the mutator substitutes into token slots.
+const VOCAB: &[&str] = &[
+    "def",
+    "struct",
+    "iso",
+    "let",
+    "while",
+    "if",
+    "else",
+    "new",
+    "send",
+    "recv",
+    "take",
+    "some",
+    "none",
+    "self",
+    "unit",
+    "int",
+    "bool",
+    "data",
+    "true",
+    "false",
+    "disconnected",
+    "consumes",
+    "in",
+    "0",
+    "1",
+    "42",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ":",
+    ",",
+    ".",
+    "=",
+    "==",
+    "+",
+    "-",
+    "?",
+    "!",
+];
+
+/// How far one input made it through the pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// The parser rejected it (cleanly).
+    Parse,
+    /// Parsed; the checker rejected it (cleanly).
+    Check,
+    /// Checked; the runtime ran it (result or clean runtime error).
+    Run,
+}
+
+/// Aggregate fuzz outcome.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Inputs fed through the pipeline.
+    pub cases: u64,
+    /// Inputs stopped (cleanly) at the parser.
+    pub parse_rejects: u64,
+    /// Inputs stopped (cleanly) at the checker.
+    pub check_rejects: u64,
+    /// Inputs that reached the runtime.
+    pub ran: u64,
+    /// Panics that escaped a pipeline stage, as `(seed, stage)` —
+    /// each one is an internal-compiler-error bug. Must stay empty.
+    pub panics: Vec<(u64, &'static str)>,
+}
+
+impl FuzzReport {
+    /// Whether no panic escaped any stage.
+    pub fn ok(&self) -> bool {
+        self.panics.is_empty()
+    }
+}
+
+/// Splits source into mutation-sized tokens: identifier/number runs,
+/// single punctuation bytes, and whitespace runs (kept so mutation
+/// preserves token boundaries).
+fn tokenize(src: &str) -> Vec<&str> {
+    let class = |ch: char| {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            0u8
+        } else if ch.is_ascii_whitespace() {
+            1
+        } else {
+            2
+        }
+    };
+    let mut out = Vec::new();
+    let mut iter = src.char_indices().peekable();
+    while let Some((start, ch)) = iter.next() {
+        let c = class(ch);
+        let mut end = start + ch.len_utf8();
+        // Punctuation stays per-char; word/space runs coalesce. Slicing
+        // by char boundaries keeps non-ASCII source (corpus comments,
+        // fuzz soup) from tearing a multi-byte character.
+        if c != 2 {
+            while let Some(&(next, nch)) = iter.peek() {
+                if class(nch) != c {
+                    break;
+                }
+                end = next + nch.len_utf8();
+                iter.next();
+            }
+        }
+        out.push(&src[start..end]);
+    }
+    out
+}
+
+/// Applies `rounds` seeded grammar-aware mutations to `src`.
+pub fn mutate_source(src: &str, seed: u64, rounds: u32) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tokens: Vec<String> = tokenize(src).into_iter().map(str::to_string).collect();
+    for _ in 0..rounds {
+        if tokens.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..tokens.len());
+        match rng.gen_range(0..6u8) {
+            // Substitute a vocabulary token.
+            0 => tokens[at] = VOCAB[rng.gen_range(0..VOCAB.len())].to_string(),
+            // Delete.
+            1 => {
+                tokens.remove(at);
+            }
+            // Duplicate in place.
+            2 => {
+                let t = tokens[at].clone();
+                tokens.insert(at, t);
+            }
+            // Swap with another position.
+            3 => {
+                let other = rng.gen_range(0..tokens.len());
+                tokens.swap(at, other);
+            }
+            // Splice a random token in.
+            4 => tokens.insert(at, VOCAB[rng.gen_range(0..VOCAB.len())].to_string()),
+            // Truncate from here.
+            _ => tokens.truncate(at),
+        }
+    }
+    tokens.concat()
+}
+
+/// A seeded soup of printable ASCII, brackets, and occasional non-ASCII
+/// (the raw-bytes mode).
+pub fn random_source(seed: u64, len: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        let c = match rng.gen_range(0..10u8) {
+            0..=5 => char::from(rng.gen_range(0x20..0x7fu8)),
+            6 => '\n',
+            7 => ['{', '}', '(', ')', ';'][rng.gen_range(0..5usize)],
+            8 => char::from(rng.gen_range(b'a'..=b'z')),
+            _ => '\u{03bb}',
+        };
+        out.push(c);
+    }
+    out
+}
+
+/// Pushes one input through lexer → parser → checker → runtime,
+/// trapping panics per stage. A small fuel budget keeps accidental
+/// infinite loops from hanging the fuzzer.
+pub fn pipeline_one(source: &str) -> Result<Stage, &'static str> {
+    let parsed =
+        catch_unwind(AssertUnwindSafe(|| parse_program(source))).map_err(|_| "parser panicked")?;
+    let Ok(program) = parsed else {
+        return Ok(Stage::Parse);
+    };
+    let checked = catch_unwind(AssertUnwindSafe(|| {
+        fearless_core::check_program(&program, &CheckerOptions::default())
+    }))
+    .map_err(|_| "checker panicked")?;
+    if checked.is_err() {
+        return Ok(Stage::Check);
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        let config = MachineConfig {
+            fuel: Some(50_000),
+            ..MachineConfig::default()
+        };
+        let Ok(mut m) = Machine::with_config(&program, config) else {
+            return;
+        };
+        let zero_arg: Vec<String> = program
+            .funcs
+            .iter()
+            .filter(|f| f.params.is_empty())
+            .map(|f| f.name.as_str().to_string())
+            .collect();
+        for f in zero_arg {
+            if m.spawn(&f, Vec::new()).is_err() {
+                return;
+            }
+        }
+        // Clean runtime errors (deadlock, fuel, faults) are fine; only
+        // panics are bugs.
+        let _ = m.run();
+    }))
+    .map_err(|_| "runtime panicked")?;
+    Ok(Stage::Run)
+}
+
+/// Runs `cases` fuzz inputs derived from `base_seed`: three quarters
+/// grammar-aware mutations of corpus programs, one quarter raw byte
+/// soup.
+pub fn run_fuzz(cases: u64, base_seed: u64) -> FuzzReport {
+    let corpus: Vec<String> = fearless_corpus::all_entries()
+        .into_iter()
+        .map(|e| e.source)
+        .collect();
+    let mut report = FuzzReport::default();
+    for case in 0..cases {
+        let seed = base_seed.wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let source = if case % 4 == 3 {
+            random_source(seed, rng.gen_range(1..400usize))
+        } else {
+            let base = &corpus[rng.gen_range(0..corpus.len())];
+            let rounds = rng.gen_range(1..24u32);
+            mutate_source(base, seed, rounds)
+        };
+        report.cases += 1;
+        match pipeline_one(&source) {
+            Ok(Stage::Parse) => report.parse_rejects += 1,
+            Ok(Stage::Check) => report.check_rejects += 1,
+            Ok(Stage::Run) => report.ran += 1,
+            Err(stage) => report.panics.push((seed, stage)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Case count for the in-tree smoke run; CI's chaos job raises this
+    /// to ≥10k via the `FEARLESS_FUZZ_CASES` environment variable on the
+    /// `chaos fuzz` subcommand.
+    const SMOKE_CASES: u64 = 300;
+
+    #[test]
+    fn no_panic_escapes_the_pipeline() {
+        let report = run_fuzz(SMOKE_CASES, 0xfea51e55);
+        assert!(report.ok(), "ICE seeds: {:?}", report.panics);
+        assert_eq!(report.cases, SMOKE_CASES);
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let base = &fearless_corpus::all_entries()[0].source;
+        assert_eq!(mutate_source(base, 9, 12), mutate_source(base, 9, 12));
+        assert_eq!(random_source(5, 100), random_source(5, 100));
+    }
+
+    #[test]
+    fn fuzzer_reaches_every_stage() {
+        // The mix must actually exercise parser rejects, checker
+        // rejects, AND full runs — a fuzzer stuck at the lexer proves
+        // nothing about the checker.
+        let report = run_fuzz(400, 7);
+        assert!(report.parse_rejects > 0, "{report:?}");
+        assert!(report.check_rejects > 0, "{report:?}");
+        assert!(report.ran > 0, "{report:?}");
+    }
+
+    #[test]
+    fn tokenizer_roundtrips() {
+        let src = "def f(x: int) : bool { x == 1 }";
+        assert_eq!(tokenize(src).concat(), src);
+        // Multi-byte chars must not tear at slice boundaries.
+        let unicode = "def λ→f(x: int) ⇒ { x ≠ 1 }";
+        assert_eq!(tokenize(unicode).concat(), unicode);
+    }
+}

@@ -1,0 +1,176 @@
+//! The scenario corpus: concurrent programs from `fearless-corpus` with
+//! fixed spawn plans, each *confluent* — every legal interleaving of a
+//! well-typed run produces the same per-thread results. Confluence is
+//! what turns "re-run under an adversarial schedule" into an oracle: a
+//! chaos run must reproduce the round-robin baseline's results exactly,
+//! or something (machine, checker, or check) is unsound.
+
+use fearless_corpus::{dll, msg};
+use fearless_runtime::{compile, CompiledProgram, Value};
+use fearless_syntax::parse_program;
+
+/// One thread to spawn: function name plus integer arguments.
+#[derive(Clone, Debug)]
+pub struct Spawn {
+    /// Function to run.
+    pub func: String,
+    /// Integer arguments (the corpus drivers take only ints).
+    pub args: Vec<i64>,
+}
+
+impl Spawn {
+    fn new(func: &str, args: &[i64]) -> Self {
+        Spawn {
+            func: func.to_string(),
+            args: args.to_vec(),
+        }
+    }
+
+    /// The arguments as machine values.
+    pub fn values(&self) -> Vec<Value> {
+        self.args.iter().map(|n| Value::Int(*n)).collect()
+    }
+}
+
+/// A named concurrent scenario.
+pub struct Scenario {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// What the scenario stresses.
+    pub description: &'static str,
+    /// The compiled program (compiled once, cloned per run).
+    pub program: CompiledProgram,
+    /// Threads to spawn, in order.
+    pub spawns: Vec<Spawn>,
+    /// Whether the per-step domination sanitizer is a valid oracle for
+    /// this scenario. Tempered domination (§2.1) permits *transient*
+    /// violations while an `iso` field is tracked/invalidated
+    /// mid-function — e.g. `dll_remove_tail`'s excision window, where
+    /// the detached tail still points into `reach(hd)` while `l.hd` is
+    /// annotated invalid. The per-step heap walk has no access to those
+    /// annotations, so scenarios that exercise such windows opt out;
+    /// the reservation, differential-disconnect, and confluence oracles
+    /// still apply in full.
+    pub sanitize: bool,
+}
+
+fn scenario(
+    name: &'static str,
+    description: &'static str,
+    source: &str,
+    spawns: Vec<Spawn>,
+) -> Scenario {
+    let program = parse_program(source)
+        .unwrap_or_else(|e| panic!("chaos scenario `{name}` failed to parse: {e}"));
+    let program = compile(&program)
+        .unwrap_or_else(|e| panic!("chaos scenario `{name}` failed to compile: {e}"));
+    Scenario {
+        name,
+        description,
+        program,
+        spawns,
+        sanitize: true,
+    }
+}
+
+/// All chaos scenarios.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let pipeline_src = msg::pipeline_entry().source;
+    let worklist_src = msg::worklist_entry().source;
+    let dll_src = dll::entry().source;
+    vec![
+        scenario(
+            "pipeline",
+            "producer/consumer over iso payloads; every message transfers a reservation",
+            &pipeline_src,
+            vec![Spawn::new("producer", &[10]), Spawn::new("consumer", &[10])],
+        ),
+        scenario(
+            "pipeline_relay",
+            "three-stage relay: two channels, cross-thread repacking",
+            &pipeline_src,
+            vec![
+                Spawn::new("producer", &[8]),
+                Spawn::new("relay", &[8]),
+                Spawn::new("packet_consumer", &[8]),
+            ],
+        ),
+        scenario(
+            "worklist",
+            "whole-list reservations (entire spines) moving between threads",
+            &worklist_src,
+            vec![
+                Spawn::new("batch_producer", &[4, 3]),
+                Spawn::new("batch_consumer", &[4]),
+            ],
+        ),
+        scenario(
+            "worklist_tails",
+            "tail excision + onward shipping: three channels, four threads",
+            &worklist_src,
+            vec![
+                Spawn::new("batch_producer", &[3, 3]),
+                Spawn::new("tail_shipper", &[3]),
+                Spawn::new("tail_sink", &[3]),
+                Spawn::new("parcel_consumer", &[3]),
+            ],
+        ),
+        Scenario {
+            // Built literally (not via `scenario`) to opt out of the
+            // per-step sanitizer: `dll_remove_tail` transiently violates
+            // heap-edge domination inside its excision window, which
+            // tempered domination legalises via the invalidated `l.hd`
+            // annotation (see the `sanitize` field docs).
+            sanitize: false,
+            ..scenario(
+                "dll_excise",
+                "circular dll tail excision: `if disconnected` under the differential oracle",
+                &dll_src,
+                vec![Spawn::new("dll_demo", &[6])],
+            )
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+
+    #[test]
+    fn scenarios_build_and_spawns_resolve() {
+        let scenarios = all_scenarios();
+        assert!(scenarios.len() >= 5);
+        for s in &scenarios {
+            for sp in &s.spawns {
+                let fid = s
+                    .program
+                    .fn_id(&sp.func)
+                    .unwrap_or_else(|| panic!("{}: unknown spawn fn {}", s.name, sp.func));
+                assert_eq!(
+                    s.program.funcs[fid].n_params,
+                    sp.args.len(),
+                    "{}: {} arity",
+                    s.name,
+                    sp.func
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_sources_are_well_typed() {
+        // Chaos scenarios assert zero reservation faults, which the
+        // theorems only promise for *checked* programs.
+        let opts = CheckerOptions::default();
+        for entry in [
+            fearless_corpus::msg::pipeline_entry(),
+            fearless_corpus::msg::worklist_entry(),
+            fearless_corpus::dll::entry(),
+        ] {
+            entry
+                .check(&opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        }
+    }
+}

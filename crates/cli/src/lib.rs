@@ -10,6 +10,9 @@
 //! fearlessc lint    program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
 //! fearlessc run     program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
 //! fearlessc profile (program.fc | --corpus) [--cache dir] [--wall-time] [--metrics json]
+//! fearlessc chaos   (program.fc | --corpus) [--seeds N] [--faults spec] [--fuel N] [--json]
+//! fearlessc chaos fuzz   [--cases N] [--seed N]
+//! fearlessc chaos drills [--dir dir] [--seed N]
 //! fearlessc table1
 //! ```
 //!
@@ -29,6 +32,7 @@
 
 use std::fmt::Write as _;
 
+use fearless_chaos::{ChaosOptions, FaultSpec};
 use fearless_core::{CacheStats, CheckerMode, CheckerOptions};
 use fearless_incr::DiskCache;
 use fearless_runtime::{Machine, MachineConfig, Value};
@@ -110,6 +114,32 @@ pub enum Command {
         /// adds a trailing hit/miss/invalidation line to the table.
         cache: Option<String>,
     },
+    /// Deterministic fault injection (`fearless-chaos`).
+    Chaos {
+        /// Sub-mode: adversarial schedules, pipeline fuzzing, or
+        /// cache-corruption drills.
+        mode: ChaosMode,
+        /// Source path (`None` with `--corpus`; schedules mode only).
+        path: Option<String>,
+        /// Sweep the built-in scenario corpus instead of a file.
+        corpus: bool,
+        /// Schedule seeds per scenario.
+        seeds: u64,
+        /// Fault vocabulary the adversarial schedules may exhibit.
+        faults: FaultSpec,
+        /// Step-fuel budget per run.
+        fuel: u64,
+        /// Walk the heap each step asserting tempered domination.
+        sanitize: bool,
+        /// Print the deterministic report JSON instead of the summary.
+        json: bool,
+        /// Fuzz cases (`None`: `FEARLESS_FUZZ_CASES`, then the default).
+        cases: Option<u64>,
+        /// Base seed for fuzz inputs / drill corruption.
+        seed: u64,
+        /// Scratch directory for cache drills.
+        dir: Option<String>,
+    },
     /// Print a function's typing derivation.
     Explain {
         /// Source path.
@@ -136,6 +166,10 @@ USAGE:
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
                    [--trace <file>] [--metrics json]
   fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
+  fearlessc chaos  (<file> | --corpus) [--seeds <n>] [--faults <spec>] [--fuel <n>]
+                   [--no-sanitize] [--json]
+  fearlessc chaos fuzz   [--cases <n>] [--seed <n>]
+  fearlessc chaos drills [--dir <dir>] [--seed <n>]
   fearlessc explain <file> --fn <name>
   fearlessc table1
 
@@ -148,6 +182,17 @@ USAGE:
                   JSON) to <file>
   --metrics json  print the trace JSON on stdout instead of the normal
                   report (deterministic byte-for-byte)
+
+  chaos runs the deterministic fault-injection layer: adversarial
+  schedules against the soundness oracles (default), whole-pipeline
+  fuzzing (`chaos fuzz`, case count also settable via the
+  FEARLESS_FUZZ_CASES environment variable), and cache-corruption
+  drills (`chaos drills`). --faults takes `all`, `none`, or a comma
+  list of delay, reorder, drop, preempt, contend. Identical seeds
+  produce byte-identical reports.
+
+exit status: 0 ok; 1 diagnostics/violations; 2 missing input file;
+3 unreadable input file; 4 input not valid UTF-8; 70 internal error
 ";
 
 /// Output format for `fearlessc lint`.
@@ -158,6 +203,27 @@ pub enum LintFormat {
     /// Machine-readable JSON (deterministic; golden-file friendly).
     Json,
 }
+
+/// Sub-mode of `fearlessc chaos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Seeded adversarial-schedule sweep against the soundness oracles.
+    Schedules,
+    /// Grammar-aware + raw-bytes fuzzing of the whole pipeline.
+    Fuzz,
+    /// Cache-corruption matrix against the crash-safe loader.
+    Drills,
+}
+
+/// Exit status: the input file does not exist.
+pub const EXIT_MISSING_FILE: i32 = 2;
+/// Exit status: the input file exists but cannot be read.
+pub const EXIT_UNREADABLE: i32 = 3;
+/// Exit status: the input file is not valid UTF-8.
+pub const EXIT_INVALID_UTF8: i32 = 4;
+/// Exit status: an internal error (a panic) escaped the driver — a bug
+/// in `fearlessc` itself, never in the user's program.
+pub const EXIT_ICE: i32 = 70;
 
 /// Parses command-line arguments (excluding the program name).
 ///
@@ -353,8 +419,78 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cache,
             })
         }
+        "chaos" => {
+            let mut mode = ChaosMode::Schedules;
+            let mut path = None;
+            let mut corpus = false;
+            let defaults = ChaosOptions::default();
+            let mut seeds = defaults.seeds;
+            let mut faults = defaults.faults;
+            let mut fuel = defaults.fuel;
+            let mut sanitize = defaults.sanitize;
+            let mut json = false;
+            let mut cases = None;
+            let mut seed = 0u64;
+            let mut dir = None;
+            let mut first = true;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "fuzz" if first => mode = ChaosMode::Fuzz,
+                    "drills" if first => mode = ChaosMode::Drills,
+                    "--corpus" => corpus = true,
+                    "--seeds" => seeds = parse_u64(it.next(), "--seeds")?,
+                    "--faults" => {
+                        faults = FaultSpec::parse(it.next().ok_or("--faults requires a spec")?)?;
+                    }
+                    "--fuel" => fuel = parse_u64(it.next(), "--fuel")?,
+                    "--no-sanitize" => sanitize = false,
+                    "--json" => json = true,
+                    "--cases" => cases = Some(parse_u64(it.next(), "--cases")?),
+                    "--seed" => seed = parse_u64(it.next(), "--seed")?,
+                    "--dir" => dir = Some(it.next().ok_or("--dir requires a directory")?.clone()),
+                    p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+                first = false;
+            }
+            match mode {
+                ChaosMode::Schedules => {
+                    if corpus == path.is_some() {
+                        return Err("chaos needs a file or --corpus (not both)".to_string());
+                    }
+                }
+                ChaosMode::Fuzz | ChaosMode::Drills => {
+                    if corpus || path.is_some() {
+                        return Err(
+                            "chaos fuzz/drills generate their own inputs (no file or --corpus)"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            Ok(Command::Chaos {
+                mode,
+                path,
+                corpus,
+                seeds,
+                faults,
+                fuel,
+                sanitize,
+                json,
+                cases,
+                seed,
+                dir,
+            })
+        }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+}
+
+fn parse_u64(value: Option<&String>, flag: &str) -> Result<u64, String> {
+    value
+        .ok_or(format!("{flag} requires a number"))?
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} requires a number"))
 }
 
 fn parse_jobs(value: Option<&String>) -> Result<usize, String> {
@@ -505,6 +641,36 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 cache.as_deref(),
                 trace,
                 *metrics_json,
+            )
+        }
+        Command::Chaos {
+            mode,
+            corpus,
+            seeds,
+            faults,
+            fuel,
+            sanitize,
+            json,
+            cases,
+            seed,
+            dir,
+            ..
+        } => {
+            let opts = ChaosOptions {
+                seeds: *seeds,
+                faults: *faults,
+                fuel: *fuel,
+                sanitize: *sanitize,
+            };
+            chaos_command(
+                src,
+                *mode,
+                *corpus,
+                &opts,
+                *json,
+                *cases,
+                *seed,
+                dir.as_deref(),
             )
         }
         Command::Explain { func, .. } => {
@@ -720,6 +886,109 @@ fn check_command(
     finish_trace(&sink, trace.as_deref(), metrics_json, out)
 }
 
+/// Default fuzz case count when neither `--cases` nor
+/// `FEARLESS_FUZZ_CASES` is given.
+const DEFAULT_FUZZ_CASES: u64 = 2_000;
+
+/// Runs `fearlessc chaos`: the fault-injection layer's three drills.
+/// Any oracle violation, escaped panic, or report divergence is an
+/// `Err` (exit status 1) carrying the full report.
+#[allow(clippy::too_many_arguments)]
+fn chaos_command(
+    src: &str,
+    mode: ChaosMode,
+    corpus: bool,
+    opts: &ChaosOptions,
+    json: bool,
+    cases: Option<u64>,
+    seed: u64,
+    dir: Option<&str>,
+) -> Result<String, String> {
+    match mode {
+        ChaosMode::Schedules => {
+            let report = if corpus {
+                fearless_chaos::run_chaos(opts)
+            } else {
+                fearless_chaos::run_source_chaos(src, opts)?
+            };
+            let out = if json {
+                let mut j = report.to_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            };
+            if report.ok() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
+        ChaosMode::Fuzz => {
+            let cases = cases
+                .or_else(|| {
+                    std::env::var("FEARLESS_FUZZ_CASES")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or(DEFAULT_FUZZ_CASES);
+            let report = fearless_chaos::run_fuzz(cases, seed);
+            let mut out = format!(
+                "fuzz: {} case(s) from seed {seed}: {} parse reject(s), {} check reject(s), {} \
+                 ran\n",
+                report.cases, report.parse_rejects, report.check_rejects, report.ran
+            );
+            if report.ok() {
+                out.push_str("fuzz: no panic escaped the pipeline\n");
+                Ok(out)
+            } else {
+                for (s, stage) in &report.panics {
+                    let _ = writeln!(out, "internal error: seed {s}: {stage}");
+                }
+                Err(out)
+            }
+        }
+        ChaosMode::Drills => {
+            let dir = dir.map(std::path::PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("fearless-chaos-drills-{}", std::process::id()))
+            });
+            let units = fearless_chaos::cache_chaos::corpus_units();
+            let outcomes = fearless_chaos::run_cache_drills(&dir, &units, seed)?;
+            let mut out = String::new();
+            let mut failed = 0usize;
+            let mut recovered = 0usize;
+            for o in &outcomes {
+                recovered += usize::from(o.recovered);
+                failed += usize::from(!o.reports_match);
+                let _ = writeln!(
+                    out,
+                    "drill {:<12} {:<32} {}",
+                    o.class,
+                    match o.reason {
+                        Some(r) => format!("recovered ({r})"),
+                        None => "loaded clean".to_string(),
+                    },
+                    if o.reports_match {
+                        "reports byte-identical to cold"
+                    } else {
+                        "REPORTS DIVERGED FROM COLD RUN"
+                    }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "drills: {} class(es), {recovered} recover(ies), seed {seed}",
+                outcomes.len()
+            );
+            if failed == 0 {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
+    }
+}
+
 fn save_cache(disk: &Option<DiskCache>) -> Result<(), String> {
     match disk {
         Some(d) => d.save(),
@@ -728,10 +997,16 @@ fn save_cache(disk: &Option<DiskCache>) -> Result<(), String> {
 }
 
 fn render_cache_line(stats: &CacheStats) -> String {
-    format!(
+    let mut line = format!(
         "cache: {} hit(s), {} miss(es), {} invalidation(s)",
         stats.hits, stats.misses, stats.invalidations
-    )
+    );
+    // Recoveries are rare (a corrupt on-disk document degraded to a cold
+    // start); keep the common-path line unchanged.
+    if stats.recoveries > 0 {
+        let _ = write!(line, ", {} recovery(ies)", stats.recoveries);
+    }
+    line
 }
 
 /// Parses and checks `src` with a fresh [`MemorySink`] attached, producing
@@ -883,7 +1158,9 @@ pub fn main_with(args: &[String]) -> Result<String, String> {
 }
 
 /// Like [`main_with`], but also returns the process exit status (see
-/// [`execute_on_source_with_code`]).
+/// [`execute_on_source_with_code`]). File-loading failures get their
+/// own statuses so scripts can tell them apart from diagnostics:
+/// [`EXIT_MISSING_FILE`], [`EXIT_UNREADABLE`], [`EXIT_INVALID_UTF8`].
 pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
     let cmd = match parse_args(args) {
         Ok(c) => c,
@@ -893,6 +1170,7 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         Command::Help
         | Command::Table1
         | Command::Profile { path: None, .. }
+        | Command::Chaos { path: None, .. }
         | Command::Check { path: None, .. } => execute_on_source_with_code(&cmd, ""),
         Command::Verify { path }
         | Command::Lint { path, .. }
@@ -903,14 +1181,73 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         }
         | Command::Profile {
             path: Some(path), ..
-        } => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => return (Err(format!("cannot read `{path}`: {e}")), 1),
-            };
-            execute_on_source_with_code(&cmd, &src)
+        }
+        | Command::Chaos {
+            path: Some(path), ..
+        } => match load_source(path) {
+            Ok(src) => execute_on_source_with_code(&cmd, &src),
+            Err((msg, code)) => (Err(msg), code),
+        },
+    }
+}
+
+/// Reads an input file, classifying failures into rendered diagnostics
+/// with distinct exit statuses.
+fn load_source(path: &str) -> Result<String, (String, i32)> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            (
+                format!("error: no such file `{path}`\n  = help: check the path (or use --corpus where supported)"),
+                EXIT_MISSING_FILE,
+            )
+        } else {
+            (format!("error: cannot read `{path}`: {e}"), EXIT_UNREADABLE)
+        }
+    })?;
+    String::from_utf8(bytes).map_err(|e| {
+        (
+            format!(
+                "error: `{path}` is not valid UTF-8 (invalid byte at offset {})\n  = help: \
+                 fearless source files must be UTF-8 encoded",
+                e.utf8_error().valid_up_to()
+            ),
+            EXIT_INVALID_UTF8,
+        )
+    })
+}
+
+/// Runs `f`, converting any escaping panic into a structured
+/// internal-compiler-error diagnostic with status [`EXIT_ICE`]. This is
+/// the last line of the panic-free-pipeline contract: user input must
+/// never produce a raw backtrace.
+pub fn catch_ice<F>(f: F) -> (Result<String, String>, i32)
+where
+    F: FnOnce() -> (Result<String, String>, i32) + std::panic::UnwindSafe,
+{
+    match std::panic::catch_unwind(f) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            (
+                Err(format!(
+                    "internal error: the driver panicked: {msg}\n  = note: this is a bug in \
+                     fearlessc, not in your program\n  = help: re-run with the same command line \
+                     and attach the input file when reporting"
+                )),
+                EXIT_ICE,
+            )
         }
     }
+}
+
+/// [`main_with_code`] behind the [`catch_ice`] boundary — what the
+/// `fearlessc` binary actually calls.
+pub fn main_guarded(args: &[String]) -> (Result<String, String>, i32) {
+    catch_ice(|| main_with_code(args))
 }
 
 #[cfg(test)]

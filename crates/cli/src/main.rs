@@ -1,8 +1,12 @@
 //! `fearlessc` entry point.
 
 fn main() {
+    // The ICE boundary in `main_guarded` renders escaped panics as
+    // structured diagnostics (exit status 70); silence the default hook
+    // so users never see a raw backtrace on top of them.
+    std::panic::set_hook(Box::new(|_| {}));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (result, code) = fearless_cli::main_with_code(&args);
+    let (result, code) = fearless_cli::main_guarded(&args);
     match result {
         Ok(out) => print!("{out}"),
         Err(msg) => eprintln!("{msg}"),

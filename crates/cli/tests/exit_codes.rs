@@ -1,0 +1,161 @@
+//! Integration tests for the driver's exit-status contract and the
+//! `chaos` subcommand surface: file-loading failures are rendered
+//! diagnostics with *distinct* statuses (never panics, never a generic
+//! `1`), and internal panics stop at the ICE boundary.
+
+use fearless_cli::{
+    catch_ice, main_with_code, EXIT_ICE, EXIT_INVALID_UTF8, EXIT_MISSING_FILE, EXIT_UNREADABLE,
+};
+
+fn args(items: &[&str]) -> Vec<String> {
+    items.iter().map(|x| x.to_string()).collect()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fearless-cli-exit-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn missing_file_is_a_diagnostic_with_its_own_status() {
+    for cmd in ["check", "verify", "lint", "explain"] {
+        let mut a = vec![cmd.to_string(), "/no/such/file.fc".to_string()];
+        if cmd == "explain" {
+            a.extend(args(&["--fn", "f"]));
+        }
+        let (result, code) = main_with_code(&a);
+        let msg = result.unwrap_err();
+        assert_eq!(code, EXIT_MISSING_FILE, "{cmd}: {msg}");
+        assert!(msg.contains("no such file"), "{cmd}: {msg}");
+        assert!(msg.contains("/no/such/file.fc"), "{cmd}: {msg}");
+    }
+}
+
+#[test]
+fn unreadable_file_is_a_diagnostic_with_its_own_status() {
+    // A directory exists but cannot be read as a file.
+    let dir = temp_path("dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (result, code) = main_with_code(&args(&["check", dir.to_str().unwrap()]));
+    let _ = std::fs::remove_dir_all(&dir);
+    let msg = result.unwrap_err();
+    assert_eq!(code, EXIT_UNREADABLE, "{msg}");
+    assert!(msg.contains("cannot read"), "{msg}");
+}
+
+#[test]
+fn invalid_utf8_is_a_diagnostic_with_its_own_status() {
+    let path = temp_path("utf8");
+    std::fs::write(&path, [b'd', b'e', b'f', 0xff, 0xfe, b'!']).unwrap();
+    let (result, code) = main_with_code(&args(&["check", path.to_str().unwrap()]));
+    let _ = std::fs::remove_file(&path);
+    let msg = result.unwrap_err();
+    assert_eq!(code, EXIT_INVALID_UTF8, "{msg}");
+    assert!(msg.contains("not valid UTF-8"), "{msg}");
+    assert!(msg.contains("offset 3"), "{msg}");
+}
+
+#[test]
+fn type_errors_keep_the_generic_failure_status() {
+    let path = temp_path("typeerr");
+    std::fs::write(&path, "def f(x: int) : bool { x }").unwrap();
+    let (result, code) = main_with_code(&args(&["check", path.to_str().unwrap()]));
+    let _ = std::fs::remove_file(&path);
+    assert!(result.is_err());
+    assert_eq!(code, 1, "diagnostics stay on status 1");
+}
+
+#[test]
+fn ice_boundary_renders_panics_with_its_own_status() {
+    let (result, code) = catch_ice(|| panic!("synthetic driver bug"));
+    let msg = result.unwrap_err();
+    assert_eq!(code, EXIT_ICE);
+    assert!(msg.contains("internal error"), "{msg}");
+    assert!(msg.contains("synthetic driver bug"), "{msg}");
+    assert!(msg.contains("bug in fearlessc"), "{msg}");
+}
+
+#[test]
+fn ice_boundary_passes_clean_runs_through() {
+    let (result, code) = catch_ice(|| (Ok("fine".to_string()), 0));
+    assert_eq!(result.unwrap(), "fine");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn chaos_corpus_sweep_is_clean_and_json_is_deterministic() {
+    let sweep = args(&["chaos", "--corpus", "--seeds", "3", "--json"]);
+    let (a, code) = main_with_code(&sweep);
+    let a = a.unwrap();
+    assert_eq!(code, 0);
+    let (b, _) = main_with_code(&sweep);
+    assert_eq!(a, b.unwrap(), "identical seeds must give identical bytes");
+    assert!(a.contains("\"seed_digests\""), "{a}");
+
+    let (text, code) = main_with_code(&args(&["chaos", "--corpus", "--seeds", "2"]));
+    assert_eq!(code, 0);
+    assert!(text.unwrap().contains("all oracles held"));
+}
+
+#[test]
+fn chaos_on_a_source_file_works_end_to_end() {
+    let path = temp_path("chaos-src");
+    std::fs::write(
+        &path,
+        "struct data { value: int }
+         def ping() : unit { send(new data(1)); unit }
+         def pong() : int { recv(data).value }",
+    )
+    .unwrap();
+    let (result, code) = main_with_code(&args(&[
+        "chaos",
+        path.to_str().unwrap(),
+        "--seeds",
+        "3",
+        "--faults",
+        "delay,reorder",
+    ]));
+    let _ = std::fs::remove_file(&path);
+    let out = result.unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("delay,reorder"), "{out}");
+}
+
+#[test]
+fn chaos_fuzz_smoke_runs_clean() {
+    let (result, code) = main_with_code(&args(&["chaos", "fuzz", "--cases", "60", "--seed", "11"]));
+    let out = result.unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("60 case(s)"), "{out}");
+    assert!(out.contains("no panic escaped"), "{out}");
+}
+
+#[test]
+fn chaos_drills_smoke_runs_clean() {
+    let dir = temp_path("chaos-drills");
+    let (result, code) = main_with_code(&args(&[
+        "chaos",
+        "drills",
+        "--seed",
+        "5",
+        "--dir",
+        dir.to_str().unwrap(),
+    ]));
+    let out = result.unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("byte-identical to cold"), "{out}");
+}
+
+#[test]
+fn chaos_argument_validation() {
+    // Schedules mode needs exactly one input.
+    assert_eq!(main_with_code(&args(&["chaos"])).1, 1);
+    assert_eq!(main_with_code(&args(&["chaos", "f.fc", "--corpus"])).1, 1);
+    // Fuzz and drills generate their own inputs.
+    assert_eq!(main_with_code(&args(&["chaos", "fuzz", "--corpus"])).1, 1);
+    assert_eq!(main_with_code(&args(&["chaos", "drills", "f.fc"])).1, 1);
+    // Bad fault specs are parse errors.
+    assert_eq!(
+        main_with_code(&args(&["chaos", "--corpus", "--faults", "bogus"])).1,
+        1
+    );
+}

@@ -38,6 +38,12 @@ pub struct CacheStats {
     /// Times a function name re-appeared with a *different* fingerprint
     /// than its previous appearance (a content change forcing re-check).
     pub invalidations: u64,
+    /// Times a persistent cache was found corrupt (truncated, torn,
+    /// bit-flipped, checksum or schema mismatch) and silently degraded
+    /// to a cold start. Diagnostics stay byte-identical to a cold run;
+    /// only this counter (and the `cache.recoveries` trace counter)
+    /// records that recovery happened.
+    pub recoveries: u64,
 }
 
 impl CacheStats {
@@ -46,6 +52,7 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.invalidations += other.invalidations;
+        self.recoveries += other.recoveries;
     }
 }
 

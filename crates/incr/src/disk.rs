@@ -14,6 +14,24 @@
 //! `fearless-trace`'s [`Json`] tree and read back by the minimal parser
 //! in this module (exactly the subset that renderer emits). A missing or
 //! unreadable file degrades to an empty cache, never an error.
+//!
+//! ## Crash safety
+//!
+//! The cache is a *cache*: it must survive any on-disk corruption —
+//! truncation, bit flips, torn writes, schema drift — by silently
+//! degrading to a cold start with byte-identical diagnostics. Two
+//! mechanisms enforce that:
+//!
+//! * **Atomic save**: [`DiskCache::save`] writes a temp file in the
+//!   cache directory and `rename`s it over `check-cache.json`, so a
+//!   crash mid-save leaves either the old document or the new one,
+//!   never a torn hybrid (a stray temp file is inert).
+//! * **Content checksum**: the document embeds an FNV-1a 64 checksum of
+//!   the canonical `{entries, names}` payload rendering. [`DiskCache::load`]
+//!   re-renders the parsed payload and compares; any mismatch (or
+//!   malformed JSON, or a schema-tag mismatch) discards the file and
+//!   records a [`LoadOutcome::Recovered`] that drivers surface as the
+//!   `cache_recoveries` stat and a `cache_recovery` trace event.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -138,6 +156,32 @@ fn as_str(v: &Json) -> Option<&str> {
     }
 }
 
+/// How a [`DiskCache::load`] went.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LoadOutcome {
+    /// No persistent document existed (first run, or an ephemeral
+    /// cache) — an ordinary cold start.
+    #[default]
+    Cold,
+    /// The document parsed and its checksum verified; entries are live.
+    Warm,
+    /// A document existed but was unusable; the cache degraded to a
+    /// cold start. The payload says why (for the trace event) — it
+    /// never changes diagnostics.
+    Recovered(&'static str),
+}
+
+/// FNV-1a 64 over `text`, in fixed-width lowercase hex — the content
+/// checksum embedded in (and verified against) the cache document.
+pub fn checksum_hex(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// The persistent cache: content-addressed outcomes plus the name →
 /// fingerprint table used for invalidation accounting.
 #[derive(Debug, Default)]
@@ -145,6 +189,7 @@ pub struct DiskCache {
     dir: Option<PathBuf>,
     entries: BTreeMap<String, CachedOutcome>,
     names: BTreeMap<String, String>,
+    load_outcome: LoadOutcome,
 }
 
 impl DiskCache {
@@ -155,28 +200,51 @@ impl DiskCache {
         DiskCache::default()
     }
 
-    /// Loads the cache from `dir`, degrading to empty on any read or
-    /// parse failure (a cache must never turn into an error).
+    /// Loads the cache from `dir`, degrading to an empty cold-start
+    /// cache on *any* read, parse, schema, or checksum failure (a cache
+    /// must never turn into an error — the failure is recorded in
+    /// [`DiskCache::load_outcome`] only).
     pub fn load(dir: impl Into<PathBuf>) -> Self {
         let dir = dir.into();
         let mut cache = DiskCache {
             dir: Some(dir.clone()),
             ..DiskCache::default()
         };
-        let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE)) else {
-            return cache;
+        let recovered = |mut cache: DiskCache, reason: &'static str| {
+            cache.load_outcome = LoadOutcome::Recovered(reason);
+            cache
+        };
+        let bytes = match std::fs::read(dir.join(CACHE_FILE)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return cache,
+            Err(_) => return recovered(cache, "unreadable"),
+        };
+        let Ok(text) = String::from_utf8(bytes) else {
+            return recovered(cache, "invalid utf-8");
         };
         let Some(root) = parse_json(&text) else {
-            return cache;
+            return recovered(cache, "malformed json");
         };
         let Json::Obj(fields) = &root else {
-            return cache;
+            return recovered(cache, "malformed json");
         };
         let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
         if get("schema").and_then(as_str) != Some(SCHEMA) {
-            return cache;
+            return recovered(cache, "schema mismatch");
         }
-        if let Some(Json::Obj(entries)) = get("entries") {
+        let Some(stored_checksum) = get("checksum").and_then(as_str) else {
+            return recovered(cache, "missing checksum");
+        };
+        let entries = get("entries").cloned().unwrap_or(Json::Obj(Vec::new()));
+        let names = get("names").cloned().unwrap_or(Json::Obj(Vec::new()));
+        // Re-render the parsed payload canonically; any content-altering
+        // corruption (bit flip, truncation that still parses, torn
+        // write) changes these bytes and fails the comparison.
+        let payload = Json::obj([("entries", entries.clone()), ("names", names.clone())]).render();
+        if checksum_hex(&payload) != stored_checksum {
+            return recovered(cache, "checksum mismatch");
+        }
+        if let Json::Obj(entries) = &entries {
             for (fp, v) in entries {
                 if Fingerprint::from_hex(fp).is_some() {
                     if let Some(outcome) = CachedOutcome::from_json(v) {
@@ -185,14 +253,41 @@ impl DiskCache {
                 }
             }
         }
-        if let Some(Json::Obj(names)) = get("names") {
+        if let Json::Obj(names) = &names {
             for (name, v) in names {
                 if let Some(fp) = as_str(v) {
                     cache.names.insert(name.clone(), fp.to_string());
                 }
             }
         }
+        cache.load_outcome = LoadOutcome::Warm;
         cache
+    }
+
+    /// How the load went (checksum-verified, cold, or recovered from a
+    /// corrupt document).
+    pub fn load_outcome(&self) -> LoadOutcome {
+        self.load_outcome
+    }
+
+    /// The recovery reason, when the persistent document existed but
+    /// was discarded as corrupt.
+    pub fn recovered_reason(&self) -> Option<&'static str> {
+        match self.load_outcome {
+            LoadOutcome::Recovered(reason) => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// Like [`DiskCache::recovered_reason`], but one-shot: the marker is
+    /// cleared so a driver running several batches over one cache counts
+    /// the recovery exactly once.
+    pub fn take_recovered_reason(&mut self) -> Option<&'static str> {
+        let reason = self.recovered_reason();
+        if reason.is_some() {
+            self.load_outcome = LoadOutcome::Cold;
+        }
+        reason
     }
 
     /// Number of stored outcomes.
@@ -225,34 +320,45 @@ impl DiskCache {
         invalidated
     }
 
-    /// Renders the cache document (deterministic bytes).
+    /// The canonical `{entries, names}` payload rendering the checksum
+    /// covers.
+    fn payload_json(&self) -> (Json, Json) {
+        let entries = Json::Obj(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let names = Json::Obj(
+            self.names
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                .collect(),
+        );
+        (entries, names)
+    }
+
+    /// Renders the cache document (deterministic bytes, embedded
+    /// content checksum).
     pub fn to_json(&self) -> String {
+        let (entries, names) = self.payload_json();
+        let payload = Json::obj([("entries", entries.clone()), ("names", names.clone())]).render();
         Json::obj([
             ("schema", Json::str(SCHEMA)),
-            (
-                "entries",
-                Json::Obj(
-                    self.entries
-                        .iter()
-                        .map(|(k, v)| (k.clone(), v.to_json()))
-                        .collect(),
-                ),
-            ),
-            (
-                "names",
-                Json::Obj(
-                    self.names
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
-                        .collect(),
-                ),
-            ),
+            ("checksum", Json::str(checksum_hex(&payload))),
+            ("entries", entries),
+            ("names", names),
         ])
         .render()
     }
 
     /// Writes the cache back to its directory (creating it if needed).
     /// Ephemeral caches are a no-op.
+    ///
+    /// The write is atomic: the document lands in a temp file first and
+    /// is `rename`d over [`CACHE_FILE`], so a crash mid-save leaves
+    /// either the previous document or the new one, never a torn
+    /// hybrid.
     ///
     /// # Errors
     ///
@@ -264,8 +370,13 @@ impl DiskCache {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
         let path = dir.join(CACHE_FILE);
-        std::fs::write(&path, self.to_json())
-            .map_err(|e| format!("cannot write cache `{}`: {e}", path.display()))
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("cannot write cache temp `{}`: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot commit cache `{}`: {e}", path.display())
+        })
     }
 
     /// The backing directory, if persistent.
@@ -491,6 +602,129 @@ mod tests {
         )
         .unwrap();
         assert!(DiskCache::load(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes `c` into a fresh temp dir and returns the dir.
+    fn saved_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fearless-incr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = sample();
+        c.dir = Some(dir.clone());
+        c.save().unwrap();
+        dir
+    }
+
+    /// Asserts a corrupted document degrades to a cold start with the
+    /// given recovery reason, then cleans up.
+    fn assert_recovers(dir: &Path, reason: &str) {
+        let loaded = DiskCache::load(dir);
+        assert!(loaded.is_empty(), "corrupt cache must be empty");
+        assert_eq!(
+            loaded.recovered_reason(),
+            Some(reason),
+            "load outcome was {:?}",
+            loaded.load_outcome()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn intact_document_loads_warm() {
+        let dir = saved_dir("warm");
+        let loaded = DiskCache::load(&dir);
+        assert_eq!(loaded.load_outcome(), LoadOutcome::Warm);
+        assert_eq!(loaded.recovered_reason(), None);
+        assert_eq!(loaded.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_cold_not_recovered() {
+        let dir = std::env::temp_dir().join(format!("fearless-incr-cold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let loaded = DiskCache::load(&dir);
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.load_outcome(), LoadOutcome::Cold);
+    }
+
+    #[test]
+    fn truncated_document_recovers() {
+        let dir = saved_dir("trunc");
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_recovers(&dir, "malformed json");
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_checksum() {
+        let dir = saved_dir("flip");
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside a stored value: the document still
+        // parses, so only the checksum catches it.
+        let flipped = text.replace("\"nodes\": 7", "\"nodes\": 8");
+        assert_ne!(flipped, text, "payload digit present");
+        std::fs::write(&path, flipped).unwrap();
+        assert_recovers(&dir, "checksum mismatch");
+    }
+
+    #[test]
+    fn torn_write_tail_recovers() {
+        // Simulate a torn write: the first half of the new document
+        // followed by the tail of a different (older) one — parseable
+        // prefixes of torn files are exactly what the checksum exists
+        // to reject.
+        let dir = saved_dir("torn");
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut torn = text[..text.len() / 2].to_string();
+        torn.push_str("garbage-tail\u{0}\u{0}\u{0}");
+        std::fs::write(&path, torn).unwrap();
+        assert_recovers(&dir, "malformed json");
+    }
+
+    #[test]
+    fn schema_version_bump_recovers() {
+        let dir = saved_dir("schema");
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(SCHEMA, "fearless-incr-cache/2");
+        std::fs::write(&path, text).unwrap();
+        assert_recovers(&dir, "schema mismatch");
+    }
+
+    #[test]
+    fn invalid_utf8_recovers() {
+        let dir = saved_dir("utf8");
+        std::fs::write(dir.join(CACHE_FILE), [0xff, 0xfe, b'{', b'}']).unwrap();
+        assert_recovers(&dir, "invalid utf-8");
+    }
+
+    #[test]
+    fn missing_checksum_field_recovers() {
+        let dir = saved_dir("nochk");
+        let path = dir.join(CACHE_FILE);
+        // Strip the checksum line but keep valid JSON + schema.
+        std::fs::write(
+            &path,
+            format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": {{}},\n  \"names\": {{}}\n}}"),
+        )
+        .unwrap();
+        assert_recovers(&dir, "missing checksum");
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let dir = saved_dir("tmpclean");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

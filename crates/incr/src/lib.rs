@@ -31,7 +31,7 @@ use fearless_core::{check, CacheStats, CheckerOptions, Fingerprint, TypeError};
 use fearless_syntax::{Program, Span};
 use fearless_trace::{MemorySink, Tracer};
 
-pub use disk::{CachedOutcome, DiskCache};
+pub use disk::{checksum_hex, CachedOutcome, DiskCache, LoadOutcome};
 
 /// Every counter name a `check` span can carry, used to re-intern
 /// counters parsed back from the on-disk cache as the `&'static str`
@@ -171,6 +171,19 @@ pub fn check_units(
     tracer: &mut Tracer<'_>,
 ) -> CheckRun {
     let mut stats = CacheStats::default();
+    if let Some(c) = cache.as_deref_mut() {
+        if let Some(reason) = c.take_recovered_reason() {
+            // A corrupt persistent cache degraded to a cold start.
+            // Diagnostics stay byte-identical to a true cold run; only
+            // the stat (and this trace event) record the recovery.
+            stats.recoveries += 1;
+            if tracer.is_enabled() {
+                tracer.span_enter("cache_recovery", reason);
+                tracer.add("cache.recoveries", 1);
+                tracer.span_exit();
+            }
+        }
+    }
     // Tracing and the cache both need the per-function counter map; a
     // bare run can skip collecting it entirely.
     let want_counters = tracer.is_enabled() || cache.is_some();
@@ -289,6 +302,9 @@ pub fn check_units(
         tracer.add("cache.hits", run.stats.hits);
         tracer.add("cache.misses", run.stats.misses);
         tracer.add("cache.invalidations", run.stats.invalidations);
+        if run.stats.recoveries > 0 {
+            tracer.add("cache.recoveries", run.stats.recoveries);
+        }
         tracer.add("cache.entries", c.len() as u64);
         tracer.span_exit();
     }
@@ -404,6 +420,39 @@ mod tests {
             let serial_err = fearless_core::check_program(&program, &opts).unwrap_err();
             assert_eq!(incr_err, serial_err, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn corrupt_cache_run_matches_cold_run_and_counts_recovery() {
+        let opts = CheckerOptions::default();
+        let dir = std::env::temp_dir().join(format!(
+            "fearless-incr-recover-units-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(disk::CACHE_FILE), "{ torn mid-wri").unwrap();
+
+        let mut corrupt = DiskCache::load(&dir);
+        assert_eq!(corrupt.recovered_reason(), Some("malformed json"));
+        let recovered = check_units(&units(), &opts, 1, Some(&mut corrupt), &mut Tracer::off());
+
+        let mut cold = DiskCache::ephemeral();
+        let cold_run = check_units(&units(), &opts, 1, Some(&mut cold), &mut Tracer::off());
+
+        // Same reports, same hit/miss traffic; only the recovery stat
+        // differs.
+        assert_eq!(recovered.units, cold_run.units);
+        assert_eq!(recovered.stats.hits, cold_run.stats.hits);
+        assert_eq!(recovered.stats.misses, cold_run.stats.misses);
+        assert_eq!(recovered.stats.recoveries, 1);
+        assert_eq!(cold_run.stats.recoveries, 0);
+
+        // Saving the recovered cache heals the document on disk.
+        corrupt.save().unwrap();
+        let healed = DiskCache::load(&dir);
+        assert_eq!(healed.load_outcome(), LoadOutcome::Warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

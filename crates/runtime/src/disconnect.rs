@@ -26,6 +26,13 @@ pub enum DisconnectStrategy {
     Efficient,
     /// The naive full-traversal reference semantics.
     Naive,
+    /// Run both and fault (`RuntimeError::DisconnectDisagreement`) when
+    /// the efficient check claims "disconnected" against the reference
+    /// semantics. The check's result and its `Stats` contribution are
+    /// the efficient side's, so a differential run is observationally
+    /// identical to an efficient one unless the oracle fires. Used by
+    /// the chaos harness as a soundness oracle.
+    Differential,
 }
 
 /// Outcome of a disconnection check, with the number of objects visited

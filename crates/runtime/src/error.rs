@@ -32,6 +32,21 @@ pub enum RuntimeError {
     Deadlock,
     /// The step budget was exhausted.
     StepLimit(u64),
+    /// The caller-provided step-fuel budget (`MachineConfig::fuel`) ran
+    /// out. Distinct from [`RuntimeError::StepLimit`] so harnesses can
+    /// tell "the harness bounded this run" from "the internal guard
+    /// tripped".
+    FuelExhausted(u64),
+    /// The differential `if disconnected` oracle found the efficient
+    /// check claiming "disconnected" where the naive reference semantics
+    /// says "connected" — a soundness bug in the §5.2 algorithm (only
+    /// reachable with `DisconnectStrategy::Differential`).
+    DisconnectDisagreement {
+        /// First root of the check.
+        a: ObjId,
+        /// Second root of the check.
+        b: ObjId,
+    },
     /// Division by zero.
     DivisionByZero,
     /// A function or struct referenced at run time is missing.
@@ -59,6 +74,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TypeConfusion(msg) => write!(f, "dynamic type confusion: {msg}"),
             RuntimeError::Deadlock => write!(f, "deadlock: all threads blocked on send/recv"),
             RuntimeError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            RuntimeError::FuelExhausted(n) => write!(f, "fuel budget of {n} step(s) exhausted"),
+            RuntimeError::DisconnectDisagreement { a, b } => write!(
+                f,
+                "disconnect disagreement: efficient check claims `disconnected({a}, {b})` but \
+                 the naive reference semantics says the graphs intersect"
+            ),
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
             RuntimeError::Missing(what) => write!(f, "missing definition: {what}"),
             RuntimeError::DominationFault(v) => write!(f, "domination fault: {v}"),

@@ -41,6 +41,7 @@ pub mod heap;
 pub mod ir;
 pub mod machine;
 pub mod sanitize;
+pub mod schedule;
 pub mod value;
 
 pub use compile::compile;
@@ -52,4 +53,5 @@ pub use heap::{Heap, Object, StructLayout, TypeTable};
 pub use ir::{CompiledFn, CompiledProgram, Inst};
 pub use machine::{Machine, MachineConfig, Stats, Thread, ThreadStatus};
 pub use sanitize::{check_domination, DominationViolation};
+pub use schedule::{RoundRobin, Schedule, SeededRandom};
 pub use value::{ObjId, Value};

@@ -4,9 +4,6 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use fearless_core::TypeError;
 use fearless_syntax::{BinOp, Program, UnOp};
 use fearless_trace::{Json, TraceSink};
@@ -16,6 +13,7 @@ use crate::disconnect::{efficient_disconnected, naive_disconnected, DisconnectSt
 use crate::error::RuntimeError;
 use crate::heap::Heap;
 use crate::ir::{CompiledProgram, Inst};
+use crate::schedule::{RoundRobin, Schedule, SeededRandom};
 use crate::value::{ObjId, Value};
 
 /// Machine configuration.
@@ -38,6 +36,14 @@ pub struct MachineConfig {
     /// every `iso` edge (the `--sanitize-domination` mode). Off by default:
     /// the run loop pays only an untaken branch per step when disabled.
     pub sanitize_domination: bool,
+    /// Step-fuel budget: when set, [`Machine::run`] yields
+    /// [`RuntimeError::FuelExhausted`] once this many instructions have
+    /// executed. Unlike `max_steps` (an internal guard against
+    /// non-terminating *tests*, reported as [`RuntimeError::StepLimit`]),
+    /// fuel is a caller-facing budget — the chaos harness and fuzz
+    /// drivers rely on it to turn runaway programs into a clean,
+    /// deterministic error instead of a hang.
+    pub fuel: Option<u64>,
 }
 
 impl Default for MachineConfig {
@@ -49,6 +55,7 @@ impl Default for MachineConfig {
             random_schedule: false,
             max_steps: 200_000_000,
             sanitize_domination: false,
+            fuel: None,
         }
     }
 }
@@ -176,8 +183,10 @@ pub struct Machine {
     threads: Vec<Thread>,
     config: MachineConfig,
     stats: Stats,
-    rng: StdRng,
-    next_sched: usize,
+    /// The scheduling policy. Built from the config (round-robin, or
+    /// seeded-random with `random_schedule`) and replaceable via
+    /// [`Machine::set_schedule`] for adversarial exploration.
+    schedule: Box<dyn Schedule>,
     /// Attached instrumentation sink. `None` (the default) costs one
     /// untaken branch at each emission site — the same disabled-path
     /// discipline as `sanitize_domination`, verified by the `trace_parity`
@@ -217,16 +226,27 @@ impl Machine {
     /// Builds a machine from an already compiled program.
     pub fn from_compiled(program: CompiledProgram, config: MachineConfig) -> Self {
         let heap = Heap::new(program.table.clone());
+        let schedule: Box<dyn Schedule> = if config.random_schedule {
+            Box::new(SeededRandom::new(config.seed))
+        } else {
+            Box::new(RoundRobin::default())
+        };
         Machine {
             program,
             heap,
             threads: Vec::new(),
-            rng: StdRng::seed_from_u64(config.seed),
             config,
             stats: Stats::default(),
-            next_sched: 0,
+            schedule,
             sink: None,
         }
+    }
+
+    /// Replaces the scheduling policy (see [`Schedule`]). Identical
+    /// configurations with identical (deterministic) schedules produce
+    /// byte-identical runs — the chaos harness's determinism guarantee.
+    pub fn set_schedule(&mut self, schedule: Box<dyn Schedule>) {
+        self.schedule = schedule;
     }
 
     /// Attaches an instrumentation sink. The machine emits a `disconnect`
@@ -338,11 +358,14 @@ impl Machine {
     /// # Errors
     ///
     /// [`RuntimeError::Deadlock`] when all remaining threads are blocked,
-    /// [`RuntimeError::StepLimit`] past the configured budget, or any
+    /// [`RuntimeError::StepLimit`] past the configured budget,
+    /// [`RuntimeError::FuelExhausted`] past the configured fuel, or any
     /// fault raised by a thread.
     pub fn run(&mut self) -> Result<(), RuntimeError> {
-        const QUANTUM: u32 = 64;
         loop {
+            // Decision point: retry rendezvous the schedule deferred
+            // earlier (eager schedules never leave any pending).
+            self.deliver_pending()?;
             let runnable: Vec<usize> = self
                 .threads
                 .iter()
@@ -351,6 +374,14 @@ impl Machine {
                 .map(|(i, _)| i)
                 .collect();
             if runnable.is_empty() {
+                // Redelivery guarantee: a deferring schedule can delay or
+                // reorder a message but never lose it — when nothing else
+                // can run, the lowest matchable channel is force-paired.
+                if let Some(ch) = self.matchable_channels().first().copied() {
+                    self.schedule.on_forced_delivery(ch);
+                    self.rendezvous(ch)?;
+                    continue;
+                }
                 let blocked = self
                     .threads
                     .iter()
@@ -360,19 +391,21 @@ impl Machine {
                 }
                 return Ok(());
             }
-            let tid = if self.config.random_schedule {
-                runnable[self.rng.gen_range(0..runnable.len())]
-            } else {
-                self.next_sched = (self.next_sched + 1) % runnable.len().max(1);
-                runnable[self.next_sched % runnable.len()]
-            };
-            for _ in 0..QUANTUM {
+            let tid = self.schedule.pick(&runnable);
+            debug_assert!(runnable.contains(&tid), "schedule picked a blocked thread");
+            let quantum = self.schedule.quantum().max(1);
+            for _ in 0..quantum {
                 if self.threads[tid].status != ThreadStatus::Runnable {
                     break;
                 }
                 self.step(tid)?;
                 if self.stats.steps > self.config.max_steps {
                     return Err(RuntimeError::StepLimit(self.config.max_steps));
+                }
+                if let Some(fuel) = self.config.fuel {
+                    if self.stats.steps > fuel {
+                        return Err(RuntimeError::FuelExhausted(fuel));
+                    }
                 }
             }
         }
@@ -571,6 +604,20 @@ impl Machine {
                         efficient_disconnected(&self.heap, &self.program.table, a, b)
                     }
                     DisconnectStrategy::Naive => naive_disconnected(&self.heap, a, b),
+                    DisconnectStrategy::Differential => {
+                        // Soundness oracle (§5.2): the efficient check may
+                        // conservatively answer "connected", but claiming
+                        // "disconnected" against the reference semantics
+                        // is a bug. Stats count only the efficient side so
+                        // a differential run is stats-identical to an
+                        // efficient one.
+                        let eff = efficient_disconnected(&self.heap, &self.program.table, a, b);
+                        let naive = naive_disconnected(&self.heap, a, b);
+                        if eff.disconnected && !naive.disconnected {
+                            return Err(RuntimeError::DisconnectDisagreement { a, b });
+                        }
+                        eff
+                    }
                 };
                 self.stats.disconnect_visited += outcome.visited as u64;
                 if let Some(sink) = self.sink.as_mut() {
@@ -597,20 +644,80 @@ impl Machine {
         Ok(())
     }
 
-    /// Pairs one blocked sender with one blocked receiver on channel `ch`
-    /// (rule EC3-Communication-Paired-Step).
+    /// Channels with at least one blocked sender *and* one blocked
+    /// receiver, ascending (each is a deliverable rendezvous).
+    fn matchable_channels(&self) -> Vec<u16> {
+        let mut senders: Vec<u16> = Vec::new();
+        let mut receivers: Vec<u16> = Vec::new();
+        for t in &self.threads {
+            match &t.status {
+                ThreadStatus::BlockedSend(c, _) => senders.push(*c),
+                ThreadStatus::BlockedRecv(c) => receivers.push(*c),
+                _ => {}
+            }
+        }
+        let mut out: Vec<u16> = senders
+            .into_iter()
+            .filter(|c| receivers.contains(c))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Delivers every pending rendezvous the schedule does not defer.
+    /// Eager schedules (the defaults) never leave a matchable channel
+    /// behind, so this is a no-op outside fault injection.
+    fn deliver_pending(&mut self) -> Result<(), RuntimeError> {
+        loop {
+            let mut progressed = false;
+            for ch in self.matchable_channels() {
+                if !self.schedule.defer_delivery(ch) {
+                    self.rendezvous(ch)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Offers a rendezvous on `ch` to the schedule right after a thread
+    /// blocked on it; the schedule may defer (delay/drop faults), in
+    /// which case the pair is retried at the next decision point.
     fn try_rendezvous(&mut self, ch: u16) -> Result<(), RuntimeError> {
-        let sender = self
+        if self.matchable_channels().contains(&ch) && !self.schedule.defer_delivery(ch) {
+            self.rendezvous(ch)?;
+        }
+        Ok(())
+    }
+
+    /// Pairs one blocked sender with one blocked receiver on channel `ch`
+    /// (rule EC3-Communication-Paired-Step). With several candidates on
+    /// either end the schedule chooses the pairing (message reorder);
+    /// the defaults take the lowest thread ids, matching the historical
+    /// behavior.
+    fn rendezvous(&mut self, ch: u16) -> Result<(), RuntimeError> {
+        let senders: Vec<usize> = self
             .threads
             .iter()
-            .position(|t| matches!(&t.status, ThreadStatus::BlockedSend(c, _) if *c == ch));
-        let receiver = self
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.status, ThreadStatus::BlockedSend(c, _) if *c == ch))
+            .map(|(i, _)| i)
+            .collect();
+        let receivers: Vec<usize> = self
             .threads
             .iter()
-            .position(|t| matches!(&t.status, ThreadStatus::BlockedRecv(c) if *c == ch));
-        let (Some(s), Some(r)) = (sender, receiver) else {
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.status, ThreadStatus::BlockedRecv(c) if *c == ch))
+            .map(|(i, _)| i)
+            .collect();
+        let (Some(_), Some(_)) = (senders.first(), receivers.first()) else {
             return Ok(());
         };
+        let (s, r) = self.schedule.pick_pair(&senders, &receivers);
+        debug_assert!(senders.contains(&s) && receivers.contains(&r));
         let ThreadStatus::BlockedSend(_, value) =
             std::mem::replace(&mut self.threads[s].status, ThreadStatus::Runnable)
         else {
@@ -1011,6 +1118,125 @@ mod tests {
         let mut off = Machine::new(&p).unwrap();
         off.call("build", vec![Value::Int(4)]).unwrap();
         assert_eq!(off.stats().sanitize_checks, 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_clean_error() {
+        let src = "def forever() : unit { while (true) { unit }; unit }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                fuel: Some(1_000),
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            m.call("forever", vec![]),
+            Err(RuntimeError::FuelExhausted(1_000))
+        );
+    }
+
+    #[test]
+    fn differential_strategy_matches_efficient_stats() {
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def f() : int {
+               let a = new sll_node(new data(1), none);
+               let b = new sll_node(new data(2), none);
+               if disconnected(a, b) { 1 } else { 2 }
+             }";
+        let p = parse_program(src).unwrap();
+        let run = |strategy| {
+            let mut m = Machine::with_config(
+                &p,
+                MachineConfig {
+                    strategy,
+                    ..MachineConfig::default()
+                },
+            )
+            .unwrap();
+            let v = m.call("f", vec![]).unwrap();
+            (v, *m.stats())
+        };
+        let (v_eff, s_eff) = run(DisconnectStrategy::Efficient);
+        let (v_diff, s_diff) = run(DisconnectStrategy::Differential);
+        assert_eq!(v_eff, v_diff);
+        assert_eq!(s_eff, s_diff, "differential must be stats-transparent");
+        assert!(s_diff.disconnect_checks > 0);
+    }
+
+    /// A schedule that always defers deliveries: messages still arrive
+    /// (forced redelivery), so the run completes with identical results.
+    struct AlwaysDefer {
+        inner: crate::schedule::RoundRobin,
+        forced: u64,
+    }
+
+    impl crate::schedule::Schedule for AlwaysDefer {
+        fn pick(&mut self, runnable: &[usize]) -> usize {
+            self.inner.pick(runnable)
+        }
+        fn defer_delivery(&mut self, _ch: u16) -> bool {
+            true
+        }
+        fn on_forced_delivery(&mut self, _ch: u16) {
+            self.forced += 1;
+        }
+    }
+
+    #[test]
+    fn deferred_deliveries_are_forced_not_lost() {
+        let mut m = machine(
+            "struct data { value: int }
+             def producer(n: int) : unit {
+               while (n > 0) { send(new data(n)); n = n - 1 };
+               unit
+             }
+             def consumer(n: int) : int {
+               let acc = 0;
+               while (n > 0) {
+                 let d = recv(data);
+                 acc = acc + d.value;
+                 n = n - 1
+               };
+               acc
+             }",
+        );
+        m.set_schedule(Box::new(AlwaysDefer {
+            inner: crate::schedule::RoundRobin::default(),
+            forced: 0,
+        }));
+        m.spawn("producer", vec![Value::Int(5)]).unwrap();
+        let c = m.spawn("consumer", vec![Value::Int(5)]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.thread(c).result(), Some(&Value::Int(15)));
+        assert_eq!(m.stats().sends, 5, "every deferred message redelivered");
+    }
+
+    #[test]
+    fn custom_schedules_with_same_seed_are_byte_identical() {
+        let src = "struct data { value: int }
+             def producer(n: int) : unit {
+               while (n > 0) { send(new data(n)); n = n - 1 };
+               unit
+             }
+             def consumer(n: int) : int {
+               let acc = 0;
+               while (n > 0) { let d = recv(data); acc = acc + d.value; n = n - 1 };
+               acc
+             }";
+        let p = parse_program(src).unwrap();
+        let run = |seed: u64| {
+            let mut m = Machine::new(&p).unwrap();
+            m.set_schedule(Box::new(crate::schedule::SeededRandom::new(seed)));
+            m.spawn("producer", vec![Value::Int(8)]).unwrap();
+            m.spawn("consumer", vec![Value::Int(8)]).unwrap();
+            m.run().unwrap();
+            m.stats().to_json()
+        };
+        assert_eq!(run(3), run(3), "same seed, same stats bytes");
     }
 
     #[test]

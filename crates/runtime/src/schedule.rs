@@ -1,0 +1,143 @@
+//! Pluggable thread scheduling for the abstract machine.
+//!
+//! The paper's soundness theorems quantify over *every* interleaving of
+//! machine threads, so the machine must not bake in one schedule. This
+//! module abstracts every scheduling decision the run loop makes behind
+//! the [`Schedule`] trait:
+//!
+//! * which runnable thread steps next ([`Schedule::pick`]),
+//! * how many instructions it may run before the next decision point
+//!   ([`Schedule::quantum`]),
+//! * whether a possible send/recv rendezvous is delivered now or
+//!   deferred ([`Schedule::defer_delivery`] — the hook fault injectors
+//!   use to model message delay, reorder, and drop-with-redelivery), and
+//! * which sender/receiver pair is matched when several are blocked on
+//!   the same channel ([`Schedule::pick_pair`]).
+//!
+//! Two built-in implementations reproduce the machine's historical
+//! behavior: [`RoundRobin`] (the default) and [`SeededRandom`]
+//! (`MachineConfig::random_schedule`). Adversarial schedules — the
+//! `fearless-chaos` explorer — live outside this crate and plug in via
+//! [`crate::Machine::set_schedule`].
+//!
+//! Progress guarantee: deferral is advisory. When no thread is runnable
+//! but a matchable sender/receiver pair exists, the run loop *forces*
+//! the delivery (reporting it through [`Schedule::on_forced_delivery`]),
+//! so a deferring schedule can delay or reorder messages but never turn
+//! a live program into a deadlock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduling policy consulted by [`crate::Machine::run`].
+///
+/// All methods must be deterministic functions of the schedule's own
+/// state: the machine guarantees that identical configurations and
+/// identical schedules produce byte-identical runs.
+pub trait Schedule {
+    /// Picks the next thread to step from `runnable` (non-empty, sorted
+    /// ascending by thread id). Returns a *thread id* drawn from
+    /// `runnable`.
+    fn pick(&mut self, runnable: &[usize]) -> usize;
+
+    /// Number of instructions the picked thread may execute before the
+    /// next decision point (must be ≥ 1).
+    fn quantum(&mut self) -> u32 {
+        64
+    }
+
+    /// Whether to defer a deliverable rendezvous on `ch`. Deferred
+    /// deliveries are retried at every later decision point and forced
+    /// when nothing else can run, so deferral models delay/drop with
+    /// guaranteed redelivery, never loss.
+    fn defer_delivery(&mut self, _ch: u16) -> bool {
+        false
+    }
+
+    /// Chooses which blocked sender and receiver to pair on a channel
+    /// (both slices non-empty, sorted ascending by thread id). Returns
+    /// `(sender_tid, receiver_tid)`.
+    fn pick_pair(&mut self, senders: &[usize], receivers: &[usize]) -> (usize, usize) {
+        (senders[0], receivers[0])
+    }
+
+    /// Notification that a deferred delivery on `ch` was forced because
+    /// no thread was runnable (fault injectors count these).
+    fn on_forced_delivery(&mut self, _ch: u16) {}
+}
+
+/// The default cooperative schedule: threads step in cyclic order with a
+/// fixed quantum, and rendezvous are delivered eagerly.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Schedule for RoundRobin {
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        self.next = (self.next + 1) % runnable.len().max(1);
+        runnable[self.next % runnable.len()]
+    }
+}
+
+/// Uniform random thread choice from a seeded PRNG, with the default
+/// quantum and eager delivery (`MachineConfig::random_schedule`).
+#[derive(Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Builds the schedule from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Schedule for SeededRandom {
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::default();
+        let runnable = [0usize, 1, 2];
+        let picks: Vec<usize> = (0..6).map(|_| s.pick(&runnable)).collect();
+        assert_eq!(picks, vec![1, 2, 0, 1, 2, 0]);
+        assert_eq!(s.quantum(), 64);
+        assert!(!s.defer_delivery(0));
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible() {
+        let runnable = [0usize, 1, 2, 3];
+        let a: Vec<usize> = {
+            let mut s = SeededRandom::new(7);
+            (0..32).map(|_| s.pick(&runnable)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut s = SeededRandom::new(7);
+            (0..32).map(|_| s.pick(&runnable)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<usize> = {
+            let mut s = SeededRandom::new(8);
+            (0..32).map(|_| s.pick(&runnable)).collect()
+        };
+        assert_ne!(a, c, "different seeds should explore different orders");
+    }
+
+    #[test]
+    fn default_pair_pick_is_lowest_ids() {
+        let mut s = RoundRobin::default();
+        assert_eq!(s.pick_pair(&[2, 5], &[1, 4]), (2, 1));
+    }
+}

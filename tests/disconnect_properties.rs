@@ -6,7 +6,11 @@
 
 use proptest::prelude::*;
 
-use fearless_runtime::{efficient_disconnected, naive_disconnected, Heap, ObjId, TypeTable, Value};
+use fearless_chaos::{ChaosSchedule, FaultSpec};
+use fearless_runtime::{
+    efficient_disconnected, naive_disconnected, DisconnectStrategy, Heap, Machine, MachineConfig,
+    ObjId, TypeTable, Value,
+};
 use fearless_syntax::parse_program;
 
 fn table() -> TypeTable {
@@ -105,6 +109,73 @@ proptest! {
         let naive = naive_disconnected(&heap, nodes[0], nodes[split]);
         prop_assert!(naive.disconnected);
         prop_assert_eq!(eff.disconnected, naive.disconnected);
+    }
+
+    /// Soundness is preserved across arbitrary *excision sequences*: a
+    /// run of random edge rewrites/clears — the machine's excision
+    /// pattern (`tail.prev.next = hd; hd.prev = tail.prev; ...`) is
+    /// exactly such a sequence of field writes. After every single
+    /// write, the efficient check may still never claim "disconnected"
+    /// when the reference semantics says "connected".
+    #[test]
+    fn sound_after_every_step_of_random_excision_sequences(
+        n in 2usize..10,
+        edges in prop::collection::vec(
+            (prop::option::of(0usize..10), prop::option::of(0usize..10)),
+            10,
+        ),
+        ops in prop::collection::vec(
+            (0usize..10, prop::bool::ANY, prop::option::of(0usize..10)),
+            1..14,
+        ),
+        roots in (0usize..10, 0usize..10),
+    ) {
+        let table = table();
+        let (mut heap, nodes) = build(&table, n, &edges);
+        let a = nodes[roots.0 % n];
+        let b = nodes[roots.1 % n];
+        for (src, which, tgt) in ops {
+            let field = if which { 1 } else { 2 };
+            let value = match tgt {
+                Some(t) => Value::some(Value::Loc(nodes[t % n])),
+                None => Value::none(),
+            };
+            heap.write_field(nodes[src % n], field, value).unwrap();
+            let eff = efficient_disconnected(&heap, &table, a, b);
+            if eff.disconnected {
+                let naive = naive_disconnected(&heap, a, b);
+                prop_assert!(
+                    naive.disconnected,
+                    "efficient claimed disjoint mid-excision but graphs intersect \
+                     (n={n}, roots={roots:?})"
+                );
+            }
+        }
+    }
+
+    /// The dll excision demo run to completion under injected
+    /// adversarial schedule seeds, with every `if disconnected`
+    /// adjudicated by the differential oracle
+    /// ([`DisconnectStrategy::Differential`] errors out on any unsound
+    /// disagreement): the run must finish clean for every seed.
+    #[test]
+    fn differential_oracle_holds_under_injected_schedules(
+        seed in 0u64..48,
+        n in 2i64..8,
+    ) {
+        let program = parse_program(&fearless_corpus::dll::entry().source).unwrap();
+        let config = MachineConfig {
+            check_reservations: true,
+            strategy: DisconnectStrategy::Differential,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::with_config(&program, config).unwrap();
+        m.set_schedule(Box::new(ChaosSchedule::new(seed, FaultSpec::all())));
+        m.spawn("dll_demo", vec![Value::Int(n)]).unwrap();
+        prop_assert!(
+            m.run().is_ok(),
+            "seed {seed}, n {n}: differential disconnect run failed"
+        );
     }
 
     /// The efficient traversal never visits more objects than both graphs
