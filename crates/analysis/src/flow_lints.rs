@@ -1,0 +1,368 @@
+//! FA005–FA007: lints over the checker's flow facts
+//! (`fearless_core::flow_facts`) combined with the `fearless-flow`
+//! summaries.
+//!
+//! * **FA005 `iso-escape`** — a `take(x.f)` severs an `iso` subgraph
+//!   into a fresh region and a later `send` discharges *that same
+//!   region*, with no assignment back to `x.f` in between or after: the
+//!   subgraph escapes the thread and the severed field is never
+//!   re-established locally. Legal, but every caller inherits an
+//!   invisible repair obligation.
+//! * **FA006 `provably-redundant-dynamic-check`** — an
+//!   `if disconnected(a, b)` nested in the *else* branch of an identical
+//!   check, with only heap-quiet derivation nodes between the two: the
+//!   else branch means the graphs intersect, nothing has mutated the
+//!   heap since, so the inner runtime walk is guaranteed to answer
+//!   "connected" again — a wasted walk whose then-arm is dead.
+//!   Heap-quietness of intervening `call`s is resolved through the
+//!   `fearless-flow` call-graph closure.
+//! * **FA007 `unreachable-disconnect-branch`** — `if disconnected(x, x)`:
+//!   a root always reaches itself, so the then-arm can never execute.
+
+use fearless_core::{flow_facts, CheckedProgram, Derivation, FnFlowFacts, Rule};
+use fearless_flow::ProgramFlow;
+use fearless_syntax::Severity;
+
+use crate::{AnalysisReport, Lint, LintCode};
+
+pub(crate) fn run(checked: &CheckedProgram, report: &mut AnalysisReport) {
+    let facts = flow_facts(checked);
+    // The flow summaries only gate FA006's treatment of `call`s; if the
+    // program cannot be compiled (impossible for checked programs, but
+    // the signature is honest), calls are simply treated as noisy.
+    let flow = fearless_flow::analyze_checked(checked).ok();
+    for (derivation, facts) in checked.derivations.iter().zip(&facts) {
+        iso_escape(facts, report);
+        redundant_checks(derivation, facts, flow.as_ref(), report);
+        unreachable_branches(facts, report);
+    }
+}
+
+/// FA005: a `take` whose fresh region a later `send` discharges, with
+/// the severed field never re-assigned after the `take`.
+fn iso_escape(facts: &FnFlowFacts, report: &mut AnalysisReport) {
+    for take in &facts.takes {
+        let Some(region) = take.region else { continue };
+        let (Some(recv), Some(field)) = (&take.recv, &take.field) else {
+            continue;
+        };
+        let Some(send) = facts
+            .sends
+            .iter()
+            .find(|s| s.region == Some(region) && s.node > take.node)
+        else {
+            continue;
+        };
+        let repaired = facts.field_assigns.iter().any(|fa| {
+            fa.node > take.node
+                && fa.recv.as_ref() == Some(recv)
+                && fa.field.as_ref() == Some(field)
+        });
+        if repaired {
+            continue;
+        }
+        report.lints.push(Lint {
+            code: LintCode::IsoEscape,
+            severity: Severity::Warning,
+            func: Some(facts.func.as_str().to_string()),
+            span: send.span,
+            message: format!(
+                "the subgraph taken from `{recv}.{field}` is sent away and the \
+                 field is never re-established in this function; every caller \
+                 inherits the repair obligation"
+            ),
+        });
+    }
+}
+
+/// How a chain scan for FA006 ended.
+enum Scan {
+    /// Found an identical inner check reachable through quiet nodes only.
+    Found(usize),
+    /// The whole chain is heap-quiet.
+    Quiet,
+    /// A node that can mutate the heap ended the window.
+    Noisy,
+}
+
+/// FA006: identical `if disconnected` in the else branch of another,
+/// separated only by heap-quiet nodes.
+fn redundant_checks(
+    derivation: &Derivation,
+    facts: &FnFlowFacts,
+    flow: Option<&ProgramFlow>,
+    report: &mut AnalysisReport,
+) {
+    for outer in &facts.disconnects {
+        let node = &derivation.nodes[outer.node];
+        // chains = [then_chain, else_chain] (see `check_if_disconnected`).
+        let Some(else_chain) = node.chains.get(1) else {
+            continue;
+        };
+        let Scan::Found(inner_idx) =
+            scan_chain(derivation, facts, flow, &outer.a, &outer.b, else_chain)
+        else {
+            continue;
+        };
+        let Some(inner) = facts.disconnects.iter().find(|d| d.node == inner_idx) else {
+            continue;
+        };
+        report.lints.push(Lint {
+            code: LintCode::RedundantDynamicCheck,
+            severity: Severity::Warning,
+            func: Some(facts.func.as_str().to_string()),
+            span: inner.span,
+            message: format!(
+                "`if disconnected({a}, {b})` re-asks the enclosing check's question \
+                 in its else branch with no heap mutation in between: the graphs \
+                 still intersect, so this walk always answers `false` and its \
+                 then-branch is dead",
+                a = outer.a,
+                b = outer.b,
+            ),
+        });
+    }
+}
+
+/// Walks `chain` in evaluation order looking for an `if disconnected`
+/// over the same roots, crossing only heap-quiet nodes. Descends through
+/// `Seq` and `Let` (straight-line scaffolding); any other construct is
+/// crossed only when its whole subtree is quiet.
+fn scan_chain(
+    derivation: &Derivation,
+    facts: &FnFlowFacts,
+    flow: Option<&ProgramFlow>,
+    a: &fearless_syntax::Symbol,
+    b: &fearless_syntax::Symbol,
+    chain: &[usize],
+) -> Scan {
+    for &idx in chain {
+        let node = &derivation.nodes[idx];
+        match node.rule {
+            Rule::IfDisconnected => {
+                let same = facts
+                    .disconnects
+                    .iter()
+                    .any(|d| d.node == idx && &d.a == a && &d.b == b);
+                if same {
+                    return Scan::Found(idx);
+                } else if !subtree_quiet(derivation, flow, idx) {
+                    return Scan::Noisy;
+                }
+            }
+            Rule::Seq | Rule::Let => {
+                for sub in &node.chains {
+                    match scan_chain(derivation, facts, flow, a, b, sub) {
+                        Scan::Found(i) => return Scan::Found(i),
+                        Scan::Quiet => {}
+                        Scan::Noisy => return Scan::Noisy,
+                    }
+                }
+            }
+            _ => {
+                if !subtree_quiet(derivation, flow, idx) {
+                    return Scan::Noisy;
+                }
+            }
+        }
+    }
+    Scan::Quiet
+}
+
+/// Whether the derivation subtree rooted at `idx` can mutate the heap's
+/// edge set (or move values across threads). `call`s are resolved
+/// through the flow summaries' call-graph closure; without summaries
+/// they count as noisy.
+fn subtree_quiet(derivation: &Derivation, flow: Option<&ProgramFlow>, idx: usize) -> bool {
+    let node = &derivation.nodes[idx];
+    match node.rule {
+        Rule::AssignField
+        | Rule::IsoAssignField
+        | Rule::Take
+        | Rule::New
+        | Rule::Send
+        | Rule::Recv => return false,
+        Rule::Call => {
+            let quiet = node
+                .call
+                .as_ref()
+                .and_then(|c| c.callee.as_ref())
+                .is_some_and(|callee| flow.is_some_and(|flow| flow.heap_quiet(callee.as_str())));
+            if !quiet {
+                return false;
+            }
+        }
+        _ => {}
+    }
+    node.chains
+        .iter()
+        .flatten()
+        .all(|&child| subtree_quiet(derivation, flow, child))
+}
+
+/// FA007: `if disconnected(x, x)` — the then-branch can never run.
+fn unreachable_branches(facts: &FnFlowFacts, report: &mut AnalysisReport) {
+    for d in &facts.disconnects {
+        if d.a != d.b {
+            continue;
+        }
+        report.lints.push(Lint {
+            code: LintCode::UnreachableDisconnectBranch,
+            severity: Severity::Warning,
+            func: Some(facts.func.as_str().to_string()),
+            span: d.span,
+            message: format!(
+                "`if disconnected({a}, {a})` compares a root with itself; a root \
+                 always reaches itself, so the then-branch is unreachable",
+                a = d.a,
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::{check_source, CheckerOptions};
+
+    fn analyze(src: &str) -> AnalysisReport {
+        let checked = check_source(src, &CheckerOptions::default()).unwrap();
+        let mut report = AnalysisReport::default();
+        run(&checked, &mut report);
+        report
+    }
+
+    fn codes(report: &AnalysisReport) -> Vec<&'static str> {
+        report.lints.iter().map(|l| l.code.code()).collect()
+    }
+
+    const STRUCTS: &str = "struct data { value: int }
+        struct sll_node { iso payload : data; iso next : sll_node? }
+        struct sll { iso hd : sll_node? }
+        struct dll_node { iso payload : data; next : dll_node; prev : dll_node }
+        struct dll { iso hd : dll_node? }";
+
+    #[test]
+    fn take_then_send_without_repair_is_an_iso_escape() {
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def ship(l : sll) : unit {{
+               let some(n) = take(l.hd) in {{ send(n); }} else {{ unit; }};
+               unit
+             }}"
+        ));
+        assert_eq!(codes(&report), ["FA005"], "{:?}", report.lints);
+        assert!(report.lints[0].message.contains("`l.hd`"));
+    }
+
+    #[test]
+    fn repairing_the_field_suppresses_the_escape() {
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def rotate(l : sll) : unit {{
+               let some(n) = take(l.hd) in {{
+                 let rest = take(n.next);
+                 send(n);
+                 l.hd = rest;
+               }} else {{ unit; }};
+               unit
+             }}"
+        ));
+        assert!(!codes(&report).contains(&"FA005"), "{:?}", report.lints);
+    }
+
+    #[test]
+    fn consuming_the_take_locally_is_clean() {
+        // The severed subgraph feeds an allocation instead of a send: no
+        // escape.
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def repack(l : sll, d : data) : unit consumes d {{
+               let node = new sll_node(d, take(l.hd));
+               l.hd = some(node);
+             }}"
+        ));
+        assert!(report.is_clean(), "{:?}", report.lints);
+    }
+
+    #[test]
+    fn nested_identical_disconnected_in_else_is_redundant() {
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def double_check(l : dll) : data? {{
+               let some(hd) = l.hd in {{
+                 let tail = hd.prev;
+                 tail.prev.next = hd;
+                 hd.prev = tail.prev;
+                 tail.next = tail; tail.prev = tail;
+                 if disconnected(tail, hd) {{
+                   l.hd = some(hd);
+                   some(tail.payload)
+                 }} else {{
+                   if disconnected(tail, hd) {{
+                     l.hd = some(hd);
+                     some(tail.payload)
+                   }} else {{
+                     l.hd = none;
+                     some(hd.payload)
+                   }}
+                 }}
+               }} else {{ none }}
+             }}"
+        ));
+        assert_eq!(codes(&report), ["FA006"], "{:?}", report.lints);
+    }
+
+    #[test]
+    fn mutation_between_checks_suppresses_fa006() {
+        // The field write between the two checks can (in principle)
+        // change the verdict: not redundant.
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def recheck(l : dll) : data? {{
+               let some(hd) = l.hd in {{
+                 let tail = hd.prev;
+                 tail.prev.next = hd;
+                 hd.prev = tail.prev;
+                 tail.next = tail; tail.prev = tail;
+                 if disconnected(tail, hd) {{
+                   l.hd = some(hd);
+                   some(tail.payload)
+                 }} else {{
+                   tail.next = tail;
+                   if disconnected(tail, hd) {{
+                     l.hd = some(hd);
+                     some(tail.payload)
+                   }} else {{
+                     l.hd = none;
+                     some(hd.payload)
+                   }}
+                 }}
+               }} else {{ none }}
+             }}"
+        ));
+        assert!(!codes(&report).contains(&"FA006"), "{:?}", report.lints);
+    }
+
+    #[test]
+    fn self_disconnected_is_unreachable() {
+        let report = analyze(&format!(
+            "{STRUCTS}
+             def probe(n : dll_node) : int {{
+               if disconnected(n, n) {{ 1 }} else {{ 2 }}
+             }}"
+        ));
+        assert_eq!(codes(&report), ["FA007"], "{:?}", report.lints);
+    }
+
+    #[test]
+    fn the_dll_library_is_flow_clean() {
+        // The real corpus dll code must not trip any of the new lints.
+        let checked = fearless_corpus::dll::entry()
+            .check(&CheckerOptions::default())
+            .unwrap();
+        let mut report = AnalysisReport::default();
+        run(&checked, &mut report);
+        assert!(report.is_clean(), "{:?}", report.lints);
+    }
+}

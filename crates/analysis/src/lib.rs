@@ -15,6 +15,13 @@
 //!   were never pinned, focused, attached, or otherwise used.
 //! * **FA004 `unused-tracking`** — focus/unfocus pairs with no tracked-field
 //!   operation in between.
+//! * **FA005 `iso-escape`** — a taken `iso` subgraph is sent away while the
+//!   severed field is never re-established in the same function.
+//! * **FA006 `provably-redundant-dynamic-check`** — an `if disconnected`
+//!   repeated in the else branch of an identical check with no heap
+//!   mutation in between (resolved through the `fearless-flow` summaries).
+//! * **FA007 `unreachable-disconnect-branch`** — `if disconnected(x, x)`,
+//!   whose then-branch can never execute.
 //!
 //! Every lint carries a stable code, a severity, a source span, and renders
 //! both as a human-readable diagnostic (via [`fearless_syntax::diag`]) and
@@ -39,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod annotations;
+mod flow_lints;
 mod json;
 mod redundant;
 mod regions;
@@ -60,6 +68,13 @@ pub enum LintCode {
     DeadRegion,
     /// FA004: a focus/unfocus pair with no tracked-field operation between.
     UnusedTracking,
+    /// FA005: a taken `iso` subgraph escapes by `send` with the severed
+    /// field never re-established.
+    IsoEscape,
+    /// FA006: a dynamic `disconnected` walk the flow facts prove redundant.
+    RedundantDynamicCheck,
+    /// FA007: an `if disconnected` arm the graph proves dead.
+    UnreachableDisconnectBranch,
 }
 
 impl LintCode {
@@ -70,6 +85,9 @@ impl LintCode {
             LintCode::OverStrongAnnotation => "FA002",
             LintCode::DeadRegion => "FA003",
             LintCode::UnusedTracking => "FA004",
+            LintCode::IsoEscape => "FA005",
+            LintCode::RedundantDynamicCheck => "FA006",
+            LintCode::UnreachableDisconnectBranch => "FA007",
         }
     }
 
@@ -80,6 +98,9 @@ impl LintCode {
             LintCode::OverStrongAnnotation => "over-strong-annotation",
             LintCode::DeadRegion => "dead-region",
             LintCode::UnusedTracking => "unused-tracking",
+            LintCode::IsoEscape => "iso-escape",
+            LintCode::RedundantDynamicCheck => "provably-redundant-dynamic-check",
+            LintCode::UnreachableDisconnectBranch => "unreachable-disconnect-branch",
         }
     }
 }
@@ -209,6 +230,7 @@ pub fn analyze_program(checked: &CheckedProgram) -> Result<AnalysisReport, Strin
     redundant::run(checked, &globals, &mut report);
     annotations::run(checked, &mut report);
     regions::run(checked, &mut report);
+    flow_lints::run(checked, &mut report);
 
     // Deterministic order: definition order of the function, then span,
     // then code. Struct-level lints (no function) sort first.

@@ -85,10 +85,18 @@ fn main() {
         chaos.forced_deliveries
     );
     println!(
-        "sanitizer on: {}us  off: {}us  per-step-walk overhead: {:.1}%",
+        "sanitizer on: {}us  with flow facts: {}us  off: {}us  per-step-walk overhead: {:.1}%",
         chaos.sanitized_micros,
+        chaos.sanitized_flow_micros,
         chaos.unsanitized_micros,
         100.0 * (chaos.sanitized_micros as f64 / chaos.unsanitized_micros.max(1) as f64 - 1.0)
+    );
+    println!(
+        "flow facts: {} walk(s) skipped, {} partial walk(s); amortized sweep is {:.1}x faster \
+         than the full sanitizer",
+        chaos.sanitize_skipped,
+        chaos.sanitize_partial_walks,
+        chaos.sanitized_micros as f64 / chaos.sanitized_flow_micros.max(1) as f64
     );
     let chaos_json = fearless_bench::render_chaos_snapshot(&chaos);
     std::fs::write("BENCH_chaos.json", &chaos_json).expect("write BENCH_chaos.json");

@@ -531,12 +531,21 @@ pub struct ChaosSnapshot {
     pub forced_deliveries: u64,
     /// Full sweep with the per-step sanitizer walking the heap, micros.
     pub sanitized_micros: u128,
+    /// The sanitized sweep with the static flow index installed —
+    /// `Safe` steps skip the walk, `RegionLocal` steps re-check only
+    /// the touched neighborhood — micros.
+    pub sanitized_flow_micros: u128,
     /// The identical sweep without the sanitizer, micros.
     pub unsanitized_micros: u128,
+    /// Walks skipped outright during the flow-amortized sweep.
+    pub sanitize_skipped: u64,
+    /// Full walks downgraded to partial walks during that sweep.
+    pub sanitize_partial_walks: u64,
 }
 
-/// E11: runs the full chaos scenario sweep twice — sanitizer on and off
-/// — under all faults, recording oracle counters and wall time.
+/// E11: runs the full chaos scenario sweep three times — sanitizer on,
+/// sanitizer amortized by the static flow index, and sanitizer off —
+/// under all faults, recording oracle counters and wall time.
 pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
     use fearless_chaos::{run_chaos, ChaosOptions};
     use std::time::Instant;
@@ -549,6 +558,12 @@ pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
     let sanitized = run_chaos(&base);
     let sanitized_micros = t.elapsed().as_micros();
     let t = Instant::now();
+    let flow = run_chaos(&ChaosOptions {
+        flow_facts: true,
+        ..base
+    });
+    let sanitized_flow_micros = t.elapsed().as_micros();
+    let t = Instant::now();
     let plain = run_chaos(&ChaosOptions {
         sanitize: false,
         ..base
@@ -559,8 +574,9 @@ pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
     ChaosSnapshot {
         scenarios,
         seeds,
-        runs: 2 * scenarios * (seeds + 1),
-        violations: (sanitized.violation_count() + plain.violation_count()) as u64,
+        runs: 3 * scenarios * (seeds + 1),
+        violations: (sanitized.violation_count() + flow.violation_count() + plain.violation_count())
+            as u64,
         deferrals: sanitized.scenarios.iter().map(|s| s.deferrals).sum(),
         forced_deliveries: sanitized
             .scenarios
@@ -568,7 +584,14 @@ pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
             .map(|s| s.forced_deliveries)
             .sum(),
         sanitized_micros,
+        sanitized_flow_micros,
         unsanitized_micros,
+        sanitize_skipped: flow.scenarios.iter().map(|s| s.sanitize_skipped).sum(),
+        sanitize_partial_walks: flow
+            .scenarios
+            .iter()
+            .map(|s| s.sanitize_partial_walks)
+            .sum(),
     }
 }
 
@@ -576,7 +599,7 @@ pub fn chaos_snapshot(seeds: u64) -> ChaosSnapshot {
 /// document the `experiments` binary writes to `BENCH_chaos.json`.
 pub fn render_chaos_snapshot(s: &ChaosSnapshot) -> String {
     use fearless_trace::Json;
-    let per_sweep = s.runs / 2;
+    let per_sweep = s.runs / 3;
     let schedules_per_sec = |micros: u128| {
         (per_sweep as u128 * 1_000_000)
             .checked_div(micros)
@@ -591,10 +614,23 @@ pub fn render_chaos_snapshot(s: &ChaosSnapshot) -> String {
         ("deferrals", Json::U64(s.deferrals)),
         ("forced_deliveries", Json::U64(s.forced_deliveries)),
         ("sanitized_micros", Json::U64(s.sanitized_micros as u64)),
+        (
+            "sanitized_flow_micros",
+            Json::U64(s.sanitized_flow_micros as u64),
+        ),
         ("unsanitized_micros", Json::U64(s.unsanitized_micros as u64)),
+        ("sanitize_skipped", Json::U64(s.sanitize_skipped)),
+        (
+            "sanitize_partial_walks",
+            Json::U64(s.sanitize_partial_walks),
+        ),
         (
             "schedules_per_sec_sanitized",
             Json::U64(schedules_per_sec(s.sanitized_micros)),
+        ),
+        (
+            "schedules_per_sec_sanitized_flow",
+            Json::U64(schedules_per_sec(s.sanitized_flow_micros)),
         ),
         (
             "schedules_per_sec",
@@ -677,9 +713,14 @@ mod tests {
         assert_eq!(s.violations, 0);
         assert!(s.deferrals > 0, "fault injection never fired");
         assert!(s.forced_deliveries > 0, "redelivery never exercised");
-        assert_eq!(s.runs, 2 * s.scenarios * 4);
+        assert_eq!(s.runs, 3 * s.scenarios * 4);
+        assert!(
+            s.sanitize_skipped > 0,
+            "the flow sweep never skipped a walk"
+        );
         let json = render_chaos_snapshot(&s);
         assert!(json.contains("\"fearless-chaos-bench/1\""), "{json}");
         assert!(json.contains("\"schedules_per_sec\""), "{json}");
+        assert!(json.contains("\"sanitized_flow_micros\""), "{json}");
     }
 }

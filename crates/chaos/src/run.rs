@@ -20,7 +20,9 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use fearless_incr::checksum_hex;
-use fearless_runtime::{DisconnectStrategy, Machine, MachineConfig, Schedule, ThreadStatus};
+use fearless_runtime::{
+    DisconnectStrategy, FlowIndex, Machine, MachineConfig, Schedule, ThreadStatus,
+};
 use fearless_trace::Json;
 
 use crate::faults::FaultSpec;
@@ -39,6 +41,14 @@ pub struct ChaosOptions {
     pub fuel: u64,
     /// Walk the heap after every step asserting tempered domination.
     pub sanitize: bool,
+    /// Install the `fearless-flow` static step-safety index so the
+    /// sanitizer skips `Safe` steps and partial-walks `RegionLocal`
+    /// ones (the amortized sanitizer).
+    pub flow_facts: bool,
+    /// Shadow every skipped or partial check with a full walk and abort
+    /// on disagreement (the differential soundness oracle for the flow
+    /// classification; implies the cost of the full sanitizer).
+    pub crosscheck: bool,
 }
 
 impl Default for ChaosOptions {
@@ -48,6 +58,8 @@ impl Default for ChaosOptions {
             faults: FaultSpec::all(),
             fuel: 2_000_000,
             sanitize: true,
+            flow_facts: false,
+            crosscheck: false,
         }
     }
 }
@@ -97,6 +109,12 @@ pub struct ScenarioReport {
     pub deferrals: u64,
     /// Deferred deliveries the machine force-redelivered.
     pub forced_deliveries: u64,
+    /// Sanitizer walks skipped outright on statically `Safe` steps
+    /// (always 0 without [`ChaosOptions::flow_facts`]).
+    pub sanitize_skipped: u64,
+    /// Full walks downgraded to touched-neighborhood re-checks on
+    /// `RegionLocal` steps (always 0 without flow facts).
+    pub sanitize_partial_walks: u64,
     /// Oracle violations, each tagged with its seed (empty = clean).
     pub violations: Vec<String>,
 }
@@ -112,6 +130,11 @@ pub struct ChaosReport {
     pub fuel: u64,
     /// Whether the domination sanitizer walked the heap each step.
     pub sanitize: bool,
+    /// Whether the static flow index amortized the sanitizer.
+    pub flow_facts: bool,
+    /// Whether the differential soundness oracle shadowed every
+    /// classified check with a full walk.
+    pub crosscheck: bool,
     /// Per-scenario results.
     pub scenarios: Vec<ScenarioReport>,
 }
@@ -136,6 +159,8 @@ impl ChaosReport {
             ("seeds", Json::U64(self.seeds)),
             ("fuel", Json::U64(self.fuel)),
             ("sanitize", Json::Bool(self.sanitize)),
+            ("flow_facts", Json::Bool(self.flow_facts)),
+            ("crosscheck", Json::Bool(self.crosscheck)),
             (
                 "scenarios",
                 Json::Arr(
@@ -156,6 +181,11 @@ impl ChaosReport {
                                 ),
                                 ("deferrals", Json::U64(s.deferrals)),
                                 ("forced_deliveries", Json::U64(s.forced_deliveries)),
+                                ("sanitize_skipped", Json::U64(s.sanitize_skipped)),
+                                (
+                                    "sanitize_partial_walks",
+                                    Json::U64(s.sanitize_partial_walks),
+                                ),
                                 (
                                     "violations",
                                     Json::Arr(
@@ -177,11 +207,13 @@ impl ChaosReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "chaos: {} seed(s)/scenario, faults [{}], fuel {}, sanitizer {}",
+            "chaos: {} seed(s)/scenario, faults [{}], fuel {}, sanitizer {}{}{}",
             self.seeds,
             self.faults,
             self.fuel,
-            if self.sanitize { "on" } else { "off" }
+            if self.sanitize { "on" } else { "off" },
+            if self.flow_facts { " (flow facts)" } else { "" },
+            if self.crosscheck { " (crosscheck)" } else { "" }
         );
         for s in &self.scenarios {
             let verdict = if s.violations.is_empty() {
@@ -189,15 +221,21 @@ impl ChaosReport {
             } else {
                 format!("{} VIOLATION(S)", s.violations.len())
             };
-            let _ = writeln!(
-                out,
-                "  {:<16} {:>4} runs  {:>6} deferral(s)  {:>4} forced  {}",
+            let mut line = format!(
+                "  {:<16} {:>4} runs  {:>6} deferral(s)  {:>4} forced",
                 s.name,
                 s.seed_digests.len(),
                 s.deferrals,
                 s.forced_deliveries,
-                verdict
             );
+            if self.flow_facts {
+                let _ = write!(
+                    line,
+                    "  {:>8} skipped  {:>6} partial",
+                    s.sanitize_skipped, s.sanitize_partial_walks
+                );
+            }
+            let _ = writeln!(out, "{line}  {verdict}");
             for v in &s.violations {
                 let _ = writeln!(out, "    - {v}");
             }
@@ -230,14 +268,20 @@ fn machine_config(opts: &ChaosOptions, scenario: &Scenario) -> MachineConfig {
 }
 
 /// Runs `scenario` once under `schedule` (or the default round-robin
-/// when `None`), returning the per-thread results rendering and the
-/// stats digest, or the error that aborted the run.
+/// when `None`), returning the per-thread results rendering, the stats
+/// digest, and the sanitizer's `(skipped, partial_walks)` counters, or
+/// the error that aborted the run.
 fn run_once(
     scenario: &Scenario,
     opts: &ChaosOptions,
+    flow: Option<&FlowIndex>,
     schedule: Option<Box<dyn Schedule>>,
-) -> Result<(String, String), String> {
+) -> Result<(String, String, (u64, u64)), String> {
     let mut m = Machine::from_compiled(scenario.program.clone(), machine_config(opts, scenario));
+    if let Some(index) = flow {
+        m.set_flow_index(index.clone());
+        m.set_flow_crosscheck(opts.crosscheck);
+    }
     if let Some(s) = schedule {
         m.set_schedule(s);
     }
@@ -254,8 +298,13 @@ fn run_once(
         };
         results.push_str(&format!("t{tid}={r};"));
     }
-    let digest = checksum_hex(&format!("{results}|{}", m.stats().to_json()));
-    Ok((results, digest))
+    let stats = m.stats();
+    let digest = checksum_hex(&format!("{results}|{}", stats.to_json()));
+    Ok((
+        results,
+        digest,
+        (stats.sanitize_skipped, stats.sanitize_partial_walks),
+    ))
 }
 
 /// Runs the full seed sweep for one scenario.
@@ -266,9 +315,16 @@ pub fn run_scenario(scenario: &Scenario, opts: &ChaosOptions) -> ScenarioReport 
         seed_digests: Vec::with_capacity(opts.seeds as usize),
         deferrals: 0,
         forced_deliveries: 0,
+        sanitize_skipped: 0,
+        sanitize_partial_walks: 0,
         violations: Vec::new(),
     };
-    let baseline = match run_once(scenario, opts, None) {
+    // The flow analysis is a pure function of the compiled program, so
+    // one index serves the baseline and every seed.
+    let flow = opts
+        .flow_facts
+        .then(|| fearless_flow::analyze_compiled(&scenario.program).index());
+    let baseline = match run_once(scenario, opts, flow.as_ref(), None) {
         Ok(ok) => ok,
         Err(e) => {
             report.violations.push(format!("baseline: {e}"));
@@ -276,6 +332,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &ChaosOptions) -> ScenarioReport 
         }
     };
     report.baseline_digest = baseline.1.clone();
+    report.sanitize_skipped += baseline.2 .0;
+    report.sanitize_partial_walks += baseline.2 .1;
     for seed in 0..opts.seeds {
         let deferrals = Rc::new(Cell::new(0u64));
         let forced = Rc::new(Cell::new(0u64));
@@ -284,8 +342,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &ChaosOptions) -> ScenarioReport 
             deferrals: Rc::clone(&deferrals),
             forced: Rc::clone(&forced),
         });
-        match run_once(scenario, opts, Some(schedule)) {
-            Ok((results, digest)) => {
+        match run_once(scenario, opts, flow.as_ref(), Some(schedule)) {
+            Ok((results, digest, (skipped, partial))) => {
                 if results != baseline.0 {
                     report.violations.push(format!(
                         "seed {seed}: results diverged from baseline: {results} != {}",
@@ -293,6 +351,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &ChaosOptions) -> ScenarioReport 
                     ));
                 }
                 report.seed_digests.push(digest);
+                report.sanitize_skipped += skipped;
+                report.sanitize_partial_walks += partial;
             }
             Err(e) => {
                 report.violations.push(format!("seed {seed}: {e}"));
@@ -312,6 +372,8 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
         seeds: opts.seeds,
         fuel: opts.fuel,
         sanitize: opts.sanitize,
+        flow_facts: opts.flow_facts,
+        crosscheck: opts.crosscheck,
         scenarios: Vec::new(),
     };
     for scenario in all_scenarios() {
@@ -363,6 +425,8 @@ pub fn run_source_chaos(source: &str, opts: &ChaosOptions) -> Result<ChaosReport
         seeds: opts.seeds,
         fuel: opts.fuel,
         sanitize: opts.sanitize,
+        flow_facts: opts.flow_facts,
+        crosscheck: opts.crosscheck,
         scenarios: vec![run_scenario(&scenario, opts)],
     })
 }
@@ -406,6 +470,41 @@ mod tests {
             assert!(s.violations.is_empty(), "{}: {:?}", s.name, s.violations);
             assert_eq!(s.seed_digests.len(), 10);
         }
+    }
+
+    #[test]
+    fn flow_facts_amortize_the_sanitizer_without_violations() {
+        let opts = ChaosOptions {
+            seeds: 4,
+            flow_facts: true,
+            ..ChaosOptions::default()
+        };
+        let report = run_chaos(&opts);
+        assert!(report.ok(), "{}", report.render_text());
+        let skipped: u64 = report.scenarios.iter().map(|s| s.sanitize_skipped).sum();
+        assert!(
+            skipped > 0,
+            "no walk was ever skipped:\n{}",
+            report.render_text()
+        );
+        // Determinism survives the new machinery.
+        assert_eq!(report.to_json(), run_chaos(&opts).to_json());
+    }
+
+    #[test]
+    fn crosscheck_oracle_finds_no_unsound_classification() {
+        // The differential soundness oracle: every skipped or partial
+        // check is shadowed by a full walk; a disagreement is a
+        // `FlowUnsound` runtime error, which surfaces as a violation.
+        let opts = ChaosOptions {
+            seeds: 4,
+            flow_facts: true,
+            crosscheck: true,
+            ..ChaosOptions::default()
+        };
+        let report = run_chaos(&opts);
+        assert!(report.ok(), "{}", report.render_text());
+        assert!(!report.render_text().contains("flow classification unsound"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! fearlessc verify  program.fc
 //! fearlessc lint    program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
 //! fearlessc run     program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
+//! fearlessc flow    (program.fc | --corpus) [--cache dir]
 //! fearlessc profile (program.fc | --corpus) [--cache dir] [--wall-time] [--metrics json]
 //! fearlessc chaos   (program.fc | --corpus) [--seeds N] [--faults spec] [--fuel N] [--json]
 //! fearlessc chaos fuzz   [--cases N] [--seed N]
@@ -34,6 +35,7 @@ use std::fmt::Write as _;
 
 use fearless_chaos::{ChaosOptions, FaultSpec};
 use fearless_core::{CacheStats, CheckerMode, CheckerOptions};
+use fearless_flow::{FlowCache, ProgramFlow};
 use fearless_incr::DiskCache;
 use fearless_runtime::{Machine, MachineConfig, Value};
 use fearless_trace::{Json, MemorySink, TraceSink, Tracer};
@@ -94,10 +96,23 @@ pub enum Command {
         /// Assert tempered domination over the whole heap after every
         /// machine step (the dynamic sanitizer).
         sanitize: bool,
+        /// Install the static flow index so the sanitizer skips
+        /// statically `Safe` steps and partial-walks `RegionLocal` ones.
+        flow_facts: bool,
         /// Write the instrumentation trace (JSON) to this file.
         trace: Option<String>,
         /// Print metrics JSON instead of the human report.
         metrics_json: bool,
+    },
+    /// Dump the `fearless-flow` per-function step-safety summaries as
+    /// deterministic JSON.
+    Flow {
+        /// Source path (`None` with `--corpus`).
+        path: Option<String>,
+        /// Analyze every accepted corpus entry instead of a file.
+        corpus: bool,
+        /// Directory holding the persistent per-function flow cache.
+        cache: Option<String>,
     },
     /// Print a per-function/per-phase counter table (checker
     /// instrumentation).
@@ -131,6 +146,11 @@ pub enum Command {
         fuel: u64,
         /// Walk the heap each step asserting tempered domination.
         sanitize: bool,
+        /// Amortize the sanitizer with the static flow index.
+        flow_facts: bool,
+        /// Shadow every classified check with a full walk (the
+        /// differential soundness oracle; implies `--flow-facts`).
+        crosscheck: bool,
         /// Print the deterministic report JSON instead of the summary.
         json: bool,
         /// Fuzz cases (`None`: `FEARLESS_FUZZ_CASES`, then the default).
@@ -164,10 +184,11 @@ USAGE:
   fearlessc lint   <file> [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
                    [--trace <file>] [--metrics json]
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
-                   [--trace <file>] [--metrics json]
+                   [--flow-facts] [--trace <file>] [--metrics json]
+  fearlessc flow   (<file> | --corpus) [--cache <dir>]
   fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
   fearlessc chaos  (<file> | --corpus) [--seeds <n>] [--faults <spec>] [--fuel <n>]
-                   [--no-sanitize] [--json]
+                   [--no-sanitize] [--flow-facts] [--crosscheck] [--json]
   fearlessc chaos fuzz   [--cases <n>] [--seed <n>]
   fearlessc chaos drills [--dir <dir>] [--seed <n>]
   fearlessc explain <file> --fn <name>
@@ -182,6 +203,17 @@ USAGE:
                   JSON) to <file>
   --metrics json  print the trace JSON on stdout instead of the normal
                   report (deterministic byte-for-byte)
+
+  flow classifies every step of every function as safe / region-local /
+  unknown for the domination sanitizer (schema fearless-flow/1; with
+  --corpus, fearless-flow-corpus/1) and prints the summaries as
+  deterministic JSON. --cache <dir> keeps <dir>/flow.json keyed by the
+  checker's function fingerprints; warm and cold runs are
+  byte-identical. --flow-facts (run, chaos) installs the same
+  classification so the sanitizer skips statically safe steps;
+  --crosscheck (chaos) shadows every skipped or partial check with a
+  full walk and reports any disagreement — the differential soundness
+  oracle for the flow analysis.
 
   chaos runs the deterministic fault-injection layer: adversarial
   schedules against the soundness oracles (default), whole-pipeline
@@ -363,6 +395,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut run_args = Vec::new();
             let mut unchecked = false;
             let mut sanitize = false;
+            let mut flow_facts = false;
             let mut trace = None;
             let mut metrics_json = false;
             while let Some(a) = it.next() {
@@ -374,6 +407,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--unchecked" => unchecked = true,
                     "--sanitize-domination" => sanitize = true,
+                    "--flow-facts" => flow_facts = true,
                     "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
                     "--metrics" => metrics_json = parse_metrics(it.next())?,
                     p if path.is_none() => path = Some(p.to_string()),
@@ -386,8 +420,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 args: run_args,
                 unchecked,
                 sanitize,
+                flow_facts,
                 trace,
                 metrics_json,
+            })
+        }
+        "flow" => {
+            let mut path = None;
+            let mut corpus = false;
+            let mut cache = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--corpus" => corpus = true,
+                    "--cache" => {
+                        cache = Some(it.next().ok_or("--cache requires a directory")?.clone());
+                    }
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if corpus == path.is_some() {
+                return Err("flow needs a file or --corpus (not both)".to_string());
+            }
+            Ok(Command::Flow {
+                path,
+                corpus,
+                cache,
             })
         }
         "profile" => {
@@ -428,6 +486,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut faults = defaults.faults;
             let mut fuel = defaults.fuel;
             let mut sanitize = defaults.sanitize;
+            let mut flow_facts = defaults.flow_facts;
+            let mut crosscheck = defaults.crosscheck;
             let mut json = false;
             let mut cases = None;
             let mut seed = 0u64;
@@ -444,6 +504,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--fuel" => fuel = parse_u64(it.next(), "--fuel")?,
                     "--no-sanitize" => sanitize = false,
+                    "--flow-facts" => flow_facts = true,
+                    "--crosscheck" => {
+                        flow_facts = true;
+                        crosscheck = true;
+                    }
                     "--json" => json = true,
                     "--cases" => cases = Some(parse_u64(it.next(), "--cases")?),
                     "--seed" => seed = parse_u64(it.next(), "--seed")?,
@@ -476,6 +541,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 faults,
                 fuel,
                 sanitize,
+                flow_facts,
+                crosscheck,
                 json,
                 cases,
                 seed,
@@ -650,6 +717,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             faults,
             fuel,
             sanitize,
+            flow_facts,
+            crosscheck,
             json,
             cases,
             seed,
@@ -661,6 +730,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 faults: *faults,
                 fuel: *fuel,
                 sanitize: *sanitize,
+                flow_facts: *flow_facts,
+                crosscheck: *crosscheck,
             };
             chaos_command(
                 src,
@@ -705,6 +776,7 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             args,
             unchecked,
             sanitize,
+            flow_facts,
             trace,
             metrics_json,
             ..
@@ -726,6 +798,10 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 ..MachineConfig::default()
             };
             let mut machine = Machine::with_config(&program, config).map_err(|e| e.to_string())?;
+            if *flow_facts {
+                let compiled = fearless_runtime::compile(&program).map_err(|e| e.to_string())?;
+                machine.set_flow_index(fearless_flow::analyze_compiled(&compiled).index());
+            }
             let values = args.iter().map(|&n| Value::Int(n)).collect();
             let (result, sink) = if want {
                 sink.span_enter("run", entry);
@@ -760,9 +836,17 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                     "domination sanitizer: {} iso edge(s) checked, all dominating",
                     stats.sanitize_checks
                 );
+                if *flow_facts {
+                    let _ = writeln!(
+                        out,
+                        "flow facts: {} walk(s) skipped, {} partial walk(s)",
+                        stats.sanitize_skipped, stats.sanitize_partial_walks
+                    );
+                }
             }
             finish_trace(&sink, trace.as_deref(), *metrics_json, out)
         }
+        Command::Flow { corpus, cache, .. } => flow_command(src, *corpus, cache.as_deref()),
         Command::Profile {
             path,
             corpus,
@@ -989,6 +1073,48 @@ fn chaos_command(
     }
 }
 
+/// Runs `fearlessc flow`: check, compile, classify, and print the
+/// per-function step-safety summaries as deterministic JSON. With
+/// `--cache <dir>`, per-function summaries replay from `<dir>/flow.json`
+/// keyed by the checker's function fingerprints — warm and cold runs
+/// print byte-identical documents.
+fn flow_command(src: &str, corpus: bool, cache: Option<&str>) -> Result<String, String> {
+    let mut disk = cache.map(FlowCache::load);
+    let opts = CheckerOptions::default();
+    let flow_of = |src: &str, disk: &mut Option<FlowCache>| -> Result<ProgramFlow, String> {
+        let checked = fearless_core::check_source(src, &opts).map_err(|e| e.render(src))?;
+        match disk {
+            Some(c) => {
+                fearless_flow::analyze_checked_cached(&checked, c).map_err(|e| e.to_string())
+            }
+            None => fearless_flow::analyze_checked(&checked).map_err(|e| e.to_string()),
+        }
+    };
+    let mut out = if corpus {
+        let mut entries = Vec::new();
+        for entry in fearless_corpus::accepted_entries() {
+            let flow = flow_of(&entry.source, &mut disk)
+                .map_err(|e| format!("corpus `{}`: {e}", entry.name))?;
+            entries.push(Json::obj([
+                ("name", Json::str(entry.name)),
+                ("flow", flow.to_json_value()),
+            ]));
+        }
+        Json::obj([
+            ("schema", Json::str(fearless_flow::CORPUS_SCHEMA)),
+            ("entries", Json::Arr(entries)),
+        ])
+        .render()
+    } else {
+        flow_of(src, &mut disk)?.to_json()
+    };
+    out.push('\n');
+    if let Some(c) = &disk {
+        c.save()?;
+    }
+    Ok(out)
+}
+
 fn save_cache(disk: &Option<DiskCache>) -> Result<(), String> {
     match disk {
         Some(d) => d.save(),
@@ -1171,6 +1297,7 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         | Command::Table1
         | Command::Profile { path: None, .. }
         | Command::Chaos { path: None, .. }
+        | Command::Flow { path: None, .. }
         | Command::Check { path: None, .. } => execute_on_source_with_code(&cmd, ""),
         Command::Verify { path }
         | Command::Lint { path, .. }
@@ -1180,6 +1307,9 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
             path: Some(path), ..
         }
         | Command::Profile {
+            path: Some(path), ..
+        }
+        | Command::Flow {
             path: Some(path), ..
         }
         | Command::Chaos {
@@ -1343,10 +1473,42 @@ mod tests {
                 args: vec![3],
                 unchecked: false,
                 sanitize: true,
+                flow_facts: false,
                 trace: None,
                 metrics_json: false
             }
         );
+    }
+
+    #[test]
+    fn parses_flow() {
+        let cmd = parse_args(&s(&["flow", "f.fc", "--cache", "/tmp/c"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Flow {
+                path: Some("f.fc".into()),
+                corpus: false,
+                cache: Some("/tmp/c".into())
+            }
+        );
+        assert!(parse_args(&s(&["flow"])).is_err());
+        assert!(parse_args(&s(&["flow", "f.fc", "--corpus"])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flow_flags() {
+        let cmd = parse_args(&s(&["chaos", "--corpus", "--crosscheck"])).unwrap();
+        match cmd {
+            Command::Chaos {
+                flow_facts,
+                crosscheck,
+                ..
+            } => {
+                assert!(flow_facts, "--crosscheck implies --flow-facts");
+                assert!(crosscheck);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -1439,6 +1601,7 @@ mod tests {
             args: vec![21],
             unchecked: false,
             sanitize: false,
+            flow_facts: false,
             trace: None,
             metrics_json: false,
         };
@@ -1532,6 +1695,7 @@ mod tests {
             args: vec![5],
             unchecked: false,
             sanitize: true,
+            flow_facts: false,
             trace: None,
             metrics_json: false,
         };
@@ -1567,6 +1731,7 @@ mod tests {
             args: vec![21],
             unchecked: false,
             sanitize: false,
+            flow_facts: false,
             trace: None,
             metrics_json: true,
         };
@@ -1751,6 +1916,94 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(cold, warm);
         assert!(cold.contains("type error"), "{cold}");
+    }
+
+    #[test]
+    fn flow_dumps_deterministic_summaries() {
+        let cmd = Command::Flow {
+            path: Some(String::new()),
+            corpus: false,
+            cache: None,
+        };
+        let a = execute_on_source(&cmd, PROGRAM).unwrap();
+        let b = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert_eq!(a, b, "flow JSON must be byte-identical across runs");
+        assert!(a.contains("\"schema\": \"fearless-flow/1\""), "{a}");
+        assert!(a.contains("\"name\": \"double\""), "{a}");
+        assert!(a.contains("\"totals\""), "{a}");
+    }
+
+    #[test]
+    fn flow_corpus_covers_every_accepted_entry() {
+        let cmd = Command::Flow {
+            path: None,
+            corpus: true,
+            cache: None,
+        };
+        let a = execute_on_source(&cmd, "").unwrap();
+        let b = execute_on_source(&cmd, "").unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"fearless-flow-corpus/1\""), "{a}");
+        for entry in fearless_corpus::accepted_entries() {
+            assert!(a.contains(entry.name), "missing {}", entry.name);
+        }
+    }
+
+    #[test]
+    fn flow_cache_warm_run_is_byte_identical_to_cold() {
+        let dir = temp_cache_dir("flow");
+        let cached = Command::Flow {
+            path: Some(String::new()),
+            corpus: false,
+            cache: Some(dir.to_string_lossy().into_owned()),
+        };
+        let uncached = Command::Flow {
+            path: Some(String::new()),
+            corpus: false,
+            cache: None,
+        };
+        let cold = execute_on_source(&cached, PROGRAM).unwrap();
+        assert!(dir.join("flow.json").is_file(), "cache persisted");
+        let warm = execute_on_source(&cached, PROGRAM).unwrap();
+        let plain = execute_on_source(&uncached, PROGRAM).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cold, warm, "cache warmth must not change the document");
+        assert_eq!(cold, plain, "the cache must not change the document");
+    }
+
+    #[test]
+    fn run_with_flow_facts_reports_skips() {
+        let src = "
+            struct data { value: int }
+            def bump(d : data) : unit { d.value = d.value + 1; }
+            def main(n : int) : int {
+              let d = new data(n);
+              bump(d); bump(d);
+              d.value
+            }
+        ";
+        let run = Command::Run {
+            path: String::new(),
+            entry: "main".into(),
+            args: vec![5],
+            unchecked: false,
+            sanitize: true,
+            flow_facts: true,
+            trace: None,
+            metrics_json: false,
+        };
+        let out = execute_on_source(&run, src).unwrap();
+        assert!(out.contains("= 7"), "{out}");
+        assert!(out.contains("flow facts:"), "{out}");
+        // The scalar field writes are statically safe: at least one walk
+        // must have been skipped.
+        let skips: u64 = out
+            .lines()
+            .find(|l| l.starts_with("flow facts:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(skips > 0, "{out}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn temp_path(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn missing_file_is_a_diagnostic_with_its_own_status() {
-    for cmd in ["check", "verify", "lint", "explain"] {
+    for cmd in ["check", "verify", "lint", "explain", "flow"] {
         let mut a = vec![cmd.to_string(), "/no/such/file.fc".to_string()];
         if cmd == "explain" {
             a.extend(args(&["--fn", "f"]));
@@ -79,6 +79,105 @@ fn ice_boundary_passes_clean_runs_through() {
     let (result, code) = catch_ice(|| (Ok("fine".to_string()), 0));
     assert_eq!(result.unwrap(), "fine");
     assert_eq!(code, 0);
+}
+
+/// Each of the FA005–FA007 flow lints participates in the
+/// `--deny-warnings` exit-code contract: findings print to stdout and
+/// the process exits 1, exactly like the older lints.
+#[test]
+fn flow_lints_honor_the_deny_warnings_contract() {
+    let structs = "struct data { value: int }
+         struct sll_node { iso payload : data; iso next : sll_node? }
+         struct sll { iso hd : sll_node? }
+         struct dll_node { iso payload : data; next : dll_node; prev : dll_node }";
+    let cases = [
+        (
+            "FA005",
+            "def ship(l : sll) : unit {
+               let some(n) = take(l.hd) in { send(n); } else { unit; };
+               unit
+             }",
+        ),
+        (
+            "FA006",
+            "def double_check(n : dll_node) : int {
+               let m = n.next;
+               if disconnected(m, n) { 1 } else {
+                 if disconnected(m, n) { 2 } else { 3 }
+               }
+             }",
+        ),
+        (
+            "FA007",
+            "def self_check(n : dll_node) : int {
+               if disconnected(n, n) { 1 } else { 2 }
+             }",
+        ),
+    ];
+    for (code_name, func) in cases {
+        let path = temp_path(&format!("lint-{code_name}"));
+        std::fs::write(&path, format!("{structs}\n{func}")).unwrap();
+        let plain = args(&["lint", path.to_str().unwrap(), "--format", "json"]);
+        let (result, code) = main_with_code(&plain);
+        let out = result.unwrap();
+        assert!(out.contains(code_name), "{code_name}: {out}");
+        assert_eq!(code, 0, "{code_name}: findings alone must not fail");
+
+        let mut deny = plain.clone();
+        deny.push("--deny-warnings".to_string());
+        let (result, code) = main_with_code(&deny);
+        let _ = std::fs::remove_file(&path);
+        let out = result.unwrap();
+        assert!(out.contains(code_name), "{code_name}: {out}");
+        assert_eq!(code, 1, "{code_name}: --deny-warnings must exit 1");
+    }
+}
+
+#[test]
+fn flow_subcommand_works_end_to_end_with_a_cache() {
+    let path = temp_path("flow-src");
+    std::fs::write(
+        &path,
+        "struct data { value: int }
+         def set_value(d : data) : unit { d.value = 7; }",
+    )
+    .unwrap();
+    let dir = temp_path("flow-cache");
+    let cmd = args(&[
+        "flow",
+        path.to_str().unwrap(),
+        "--cache",
+        dir.to_str().unwrap(),
+    ]);
+    let (cold, code) = main_with_code(&cmd);
+    let cold = cold.unwrap();
+    assert_eq!(code, 0);
+    let (warm, code) = main_with_code(&cmd);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(code, 0);
+    assert_eq!(cold, warm.unwrap(), "warm run must be byte-identical");
+    assert!(cold.contains("\"fearless-flow/1\""), "{cold}");
+    assert!(cold.contains("\"set_value\""), "{cold}");
+}
+
+#[test]
+fn chaos_flow_facts_sweep_is_clean() {
+    let sweep = args(&[
+        "chaos",
+        "--corpus",
+        "--seeds",
+        "2",
+        "--flow-facts",
+        "--json",
+    ]);
+    let (a, code) = main_with_code(&sweep);
+    let a = a.unwrap();
+    assert_eq!(code, 0, "{a}");
+    assert!(a.contains("\"flow_facts\": true"), "{a}");
+    assert!(a.contains("\"sanitize_skipped\""), "{a}");
+    let (b, _) = main_with_code(&sweep);
+    assert_eq!(a, b.unwrap(), "flow-facts sweep must stay deterministic");
 }
 
 #[test]

@@ -1,0 +1,276 @@
+//! Stable per-function flow facts mined from typing derivations.
+//!
+//! The checker's derivations record everything the flow layer needs to
+//! reason about where `iso` subgraphs move: which regions `take`
+//! retargets, which regions `send` discharges, which fields are
+//! re-established by assignment, and where `if disconnected` forces a
+//! dynamic reachability walk. This module distills those events into a
+//! small, stable [`FnFlowFacts`] structure so downstream consumers (the
+//! `fearless-flow` analysis and the FA005–FA007 lints in
+//! `fearless-analyze`) depend on a narrow interface instead of on the
+//! derivation encoding itself.
+//!
+//! Facts are listed in derivation-node order, which for the sequential
+//! core language follows evaluation order — "a send *after* a take" is
+//! simply a larger node index.
+
+use std::collections::BTreeMap;
+
+use fearless_syntax::{Expr, ExprId, ExprKind, Span, Symbol};
+
+use crate::ctx::RegionId;
+use crate::derivation::Rule;
+use crate::CheckedProgram;
+
+/// A `take(x.f)`: the `iso` field's subgraph is severed into a region of
+/// its own.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TakeFact {
+    /// Index of the `Take` node in the function's derivation arena.
+    pub node: usize,
+    /// The region the taken subgraph now lives in.
+    pub region: Option<RegionId>,
+    /// Receiver variable, when the receiver is a plain variable.
+    pub recv: Option<Symbol>,
+    /// The field taken from.
+    pub field: Option<Symbol>,
+    /// Source span of the `take` expression.
+    pub span: Span,
+}
+
+/// A `send(e)`: the value's region is discharged and its subgraph leaves
+/// the thread.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SendFact {
+    /// Index of the `Send` node in the derivation arena.
+    pub node: usize,
+    /// The discharged region of the sent value.
+    pub region: Option<RegionId>,
+    /// Source span of the `send` expression.
+    pub span: Span,
+}
+
+/// A field assignment `x.f = e` (plain or `iso`): the field is
+/// (re-)established with a new target.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FieldAssignFact {
+    /// Index of the assignment node in the derivation arena.
+    pub node: usize,
+    /// Receiver variable, when the receiver is a plain variable.
+    pub recv: Option<Symbol>,
+    /// The assigned field.
+    pub field: Option<Symbol>,
+    /// Source span of the assignment.
+    pub span: Span,
+}
+
+/// An `if disconnected(a, b)`: a dynamic reachability walk over the two
+/// roots' shared region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DisconnectFact {
+    /// Index of the `IfDisconnected` node in the derivation arena.
+    pub node: usize,
+    /// First root variable.
+    pub a: Symbol,
+    /// Second root variable.
+    pub b: Symbol,
+    /// The shared region both roots live in at the check.
+    pub region: Option<RegionId>,
+    /// Source span of the `if disconnected` expression.
+    pub span: Span,
+}
+
+/// Every flow-relevant event of one function, in derivation-node order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FnFlowFacts {
+    /// The function these facts describe.
+    pub func: Symbol,
+    /// All `take` events.
+    pub takes: Vec<TakeFact>,
+    /// All `send` events.
+    pub sends: Vec<SendFact>,
+    /// All field assignments (plain and `iso`).
+    pub field_assigns: Vec<FieldAssignFact>,
+    /// All `if disconnected` checks.
+    pub disconnects: Vec<DisconnectFact>,
+}
+
+/// Owned, per-expression extract of the shapes the facts need (the AST
+/// walker hands out short-lived borrows, so the map stores owned data).
+#[derive(Clone, Debug)]
+enum ExprShape {
+    Take { recv: Option<Symbol>, field: Symbol },
+    AssignField { recv: Option<Symbol>, field: Symbol },
+    Disconnect { a: Symbol, b: Symbol },
+    Other,
+}
+
+fn shape_of(e: &Expr) -> ExprShape {
+    let var_of = |recv: &Expr| match &recv.kind {
+        ExprKind::Var(x) => Some(x.clone()),
+        _ => None,
+    };
+    match &e.kind {
+        ExprKind::Take(recv, field) => ExprShape::Take {
+            recv: var_of(recv),
+            field: field.clone(),
+        },
+        ExprKind::AssignField(recv, field, _) => ExprShape::AssignField {
+            recv: var_of(recv),
+            field: field.clone(),
+        },
+        ExprKind::IfDisconnected { a, b, .. } => ExprShape::Disconnect {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        _ => ExprShape::Other,
+    }
+}
+
+/// Extracts [`FnFlowFacts`] for every function of a checked program, in
+/// definition order.
+pub fn flow_facts(checked: &CheckedProgram) -> Vec<FnFlowFacts> {
+    checked
+        .derivations
+        .iter()
+        .map(|d| {
+            let mut facts = FnFlowFacts {
+                func: d.func.clone(),
+                takes: Vec::new(),
+                sends: Vec::new(),
+                field_assigns: Vec::new(),
+                disconnects: Vec::new(),
+            };
+            let exprs: BTreeMap<ExprId, (Span, ExprShape)> = checked
+                .program
+                .func(&d.func)
+                .map(|def| {
+                    let mut map = BTreeMap::new();
+                    def.body.walk(&mut |e| {
+                        map.insert(e.id, (e.span, shape_of(e)));
+                    });
+                    map
+                })
+                .unwrap_or_default();
+            for (idx, node) in d.nodes.iter().enumerate() {
+                let info = node.expr.and_then(|id| exprs.get(&id));
+                let span = info.map(|(s, _)| *s).unwrap_or_default();
+                let shape = info.map(|(_, k)| k);
+                match node.rule {
+                    Rule::Take => {
+                        let (recv, field) = match shape {
+                            Some(ExprShape::Take { recv, field }) => {
+                                (recv.clone(), Some(field.clone()))
+                            }
+                            _ => (None, None),
+                        };
+                        facts.takes.push(TakeFact {
+                            node: idx,
+                            region: node.result.as_ref().and_then(|r| r.region),
+                            recv,
+                            field,
+                            span,
+                        });
+                    }
+                    Rule::Send => {
+                        facts.sends.push(SendFact {
+                            node: idx,
+                            region: node.data.first().copied(),
+                            span,
+                        });
+                    }
+                    Rule::AssignField | Rule::IsoAssignField => {
+                        let (recv, field) = match shape {
+                            Some(ExprShape::AssignField { recv, field }) => {
+                                (recv.clone(), Some(field.clone()))
+                            }
+                            _ => (None, None),
+                        };
+                        facts.field_assigns.push(FieldAssignFact {
+                            node: idx,
+                            recv,
+                            field,
+                            span,
+                        });
+                    }
+                    Rule::IfDisconnected => {
+                        if let Some(ExprShape::Disconnect { a, b }) = shape {
+                            facts.disconnects.push(DisconnectFact {
+                                node: idx,
+                                a: a.clone(),
+                                b: b.clone(),
+                                region: node.data.first().copied(),
+                                span,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            facts
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::CheckerOptions;
+
+    fn facts_of(src: &str) -> Vec<FnFlowFacts> {
+        let checked =
+            crate::check_source(src, &CheckerOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        flow_facts(&checked)
+    }
+
+    #[test]
+    fn take_send_and_reassign_are_recorded() {
+        let all = facts_of(
+            "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             struct sll { iso hd : sll_node? }
+             def pop_and_ship(l : sll) : unit {
+               let some(n) = take(l.hd) in { send(n); } else { unit; };
+               unit
+             }
+             def repair(l : sll, n : sll_node) : unit consumes n {
+               l.hd = some(n);
+             }",
+        );
+        assert_eq!(all.len(), 2);
+        let pop = &all[0];
+        assert_eq!(pop.func.as_str(), "pop_and_ship");
+        assert_eq!(pop.takes.len(), 1);
+        assert_eq!(pop.takes[0].recv.as_ref().map(|s| s.as_str()), Some("l"));
+        assert_eq!(pop.takes[0].field.as_ref().map(|s| s.as_str()), Some("hd"));
+        assert!(pop.takes[0].region.is_some());
+        assert_eq!(pop.sends.len(), 1);
+        // The send discharges the region the take created.
+        assert_eq!(pop.sends[0].region, pop.takes[0].region);
+        assert!(pop.sends[0].node > pop.takes[0].node, "send follows take");
+
+        let repair = &all[1];
+        assert_eq!(repair.field_assigns.len(), 1);
+        assert_eq!(
+            repair.field_assigns[0].field.as_ref().map(|s| s.as_str()),
+            Some("hd")
+        );
+    }
+
+    #[test]
+    fn disconnect_roots_are_recorded() {
+        let all = facts_of(
+            "struct data { value: int }
+             struct dll_node { iso payload : data; next : dll_node; prev : dll_node }
+             def probe(n : dll_node) : int {
+               let m = n.next;
+               if disconnected(m, n) { 1 } else { 2 }
+             }",
+        );
+        let probe = &all[0];
+        assert_eq!(probe.disconnects.len(), 1);
+        assert_eq!(probe.disconnects[0].a.as_str(), "m");
+        assert_eq!(probe.disconnects[0].b.as_str(), "n");
+        assert!(probe.disconnects[0].region.is_some());
+    }
+}

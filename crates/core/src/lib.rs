@@ -37,6 +37,7 @@ pub mod derivation;
 pub mod env;
 pub mod error;
 pub mod fingerprint;
+pub mod flowfacts;
 pub mod liveness;
 pub mod mode;
 pub mod search;
@@ -51,6 +52,7 @@ pub use derivation::{CallInfo, DerivBuilder, DerivNode, Derivation, Rule, ValInf
 pub use env::{FnSig, Globals};
 pub use error::TypeError;
 pub use fingerprint::{fn_fingerprint, program_fingerprints, Fingerprint};
+pub use flowfacts::{flow_facts, DisconnectFact, FieldAssignFact, FnFlowFacts, SendFact, TakeFact};
 pub use mode::{CheckerMode, CheckerOptions};
 pub use search::SearchHints;
 pub use vir::{VirKind, VirStep};

@@ -1,0 +1,98 @@
+//! Flow anti-patterns: programs the checker *accepts* but whose flow
+//! facts reveal avoidable costs — the positive examples for the
+//! FA005–FA007 lints in `fearless-analyze`.
+//!
+//! * `fp_ship_without_repair` takes an `iso` field's subgraph and sends
+//!   it away without ever re-establishing the severed field (FA005
+//!   `iso-escape`): legal, but the list is left headless with no local
+//!   evidence that anyone repairs it.
+//! * `fp_double_check` repeats an identical `if disconnected(tail, hd)`
+//!   directly inside the else branch of the first one (FA006
+//!   `provably-redundant-dynamic-check`): nothing mutates the heap in
+//!   between, so the inner runtime walk must reach the same verdict and
+//!   its then-arm is dead.
+//! * `fp_self_check` asks `if disconnected(n, n)` (FA007
+//!   `unreachable-disconnect-branch`): a root always reaches itself, so
+//!   the then-arm can never execute.
+
+use crate::{CorpusEntry, STRUCTS};
+
+/// The flow anti-pattern functions.
+pub const FLOW_PATTERN_FUNCS: &str = "
+// FA005: take an iso subgraph and ship it; `l.hd` is never repaired.
+def fp_ship_without_repair(l : sll) : unit {
+  let some(n) = take(l.hd) in {
+    send(n);
+  } else { unit; };
+  unit
+}
+
+// FA006: the inner `if disconnected(tail, hd)` re-asks the outer
+// question with no heap mutation in between — the inner walk always
+// answers `false` again, so its then-arm is dead and the walk is wasted.
+def fp_double_check(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    tail.next = tail; tail.prev = tail;
+    if disconnected(tail, hd) {
+      l.hd = some(hd);
+      some(tail.payload)
+    } else {
+      if disconnected(tail, hd) {
+        l.hd = some(hd);
+        some(tail.payload)
+      } else {
+        l.hd = none;
+        some(hd.payload)
+      }
+    }
+  } else { none }
+}
+
+// FA007: a root always reaches itself, so this then-arm never runs.
+def fp_self_check(n : dll_node) : int {
+  if disconnected(n, n) { 1 } else { 2 }
+}
+";
+
+/// The accepted flow anti-pattern entry.
+pub fn entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "flow_patterns",
+        source: format!("{STRUCTS}{FLOW_PATTERN_FUNCS}"),
+        accepted: true,
+        description: "checker-accepted flow anti-patterns that trigger FA005–FA007",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_core::CheckerOptions;
+
+    #[test]
+    fn flow_patterns_check_under_tempered() {
+        entry()
+            .check(&CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn self_check_takes_the_else_branch() {
+        use fearless_runtime::{Machine, Value};
+        // A root always reaches itself: the then-arm must be dead.
+        let src = format!(
+            "{STRUCTS}{FLOW_PATTERN_FUNCS}
+             def drive() : int {{
+               let d = new data(1);
+               let n = new dll_node(d, self, self);
+               fp_self_check(n)
+             }}"
+        );
+        let program = fearless_syntax::parse_program(&src).unwrap();
+        let mut m = Machine::new(&program).unwrap();
+        assert_eq!(m.call("drive", vec![]).unwrap(), Value::Int(2));
+    }
+}

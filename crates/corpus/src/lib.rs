@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod dll;
+pub mod flow_patterns;
 pub mod msg;
 pub mod pathological;
 pub mod rbt;
@@ -90,6 +91,7 @@ pub fn all_entries() -> Vec<CorpusEntry> {
         msg::pipeline_entry(),
         msg::worklist_entry(),
         sll::destructive_entry(),
+        flow_patterns::entry(),
     ]
 }
 

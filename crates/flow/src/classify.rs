@@ -1,0 +1,309 @@
+//! Per-function abstract interpretation over the stack-machine IR.
+//!
+//! The classifier answers one question per `(function, pc)`: *can this
+//! instruction change a heap edge, and if so, can the change only touch
+//! objects the machine names while executing it?* To answer it for field
+//! writes it needs the receiver's struct layout, so it runs a small
+//! abstract interpretation whose domain is "the static type of each
+//! stack slot and local, or ⊤ when two paths disagree". Types come from
+//! the already-checked program, so the abstraction is exact wherever the
+//! compiled code is monomorphic — which, in this language, is
+//! everywhere except values routed through `none` or `self`.
+//!
+//! The result is deliberately conservative in three places:
+//!
+//! * an `iso` field write is left [`StepSafety::Unknown`] even though the
+//!   partial walk's touched-set argument would cover it — `iso` writes
+//!   are exactly the steps that move domination frontiers, and we want
+//!   the full-walk oracle on every one of them;
+//! * a write through a ⊤ receiver is [`StepSafety::Unknown`];
+//! * an unreachable pc is [`StepSafety::Unknown`] (it never executes, so
+//!   the verdict is moot, but `Unknown` keeps "skip" claims honest).
+
+use fearless_runtime::{CompiledProgram, Inst, StepSafety};
+use fearless_syntax::Type;
+
+/// Abstract value: a known static type, or ⊤.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Abs {
+    Ty(Type),
+    Top,
+}
+
+impl Abs {
+    fn join(&self, other: &Abs) -> Abs {
+        if self == other {
+            self.clone()
+        } else {
+            Abs::Top
+        }
+    }
+}
+
+/// Abstract machine state at one pc: operand stack and local slots.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct State {
+    stack: Vec<Abs>,
+    locals: Vec<Abs>,
+}
+
+impl State {
+    /// Pointwise join. `None` when the stack depths disagree — compiled
+    /// code is depth-consistent, so a mismatch means the analysis lost
+    /// track and the whole function must degrade to `Unknown`.
+    fn join(&self, other: &State) -> Option<State> {
+        if self.stack.len() != other.stack.len() || self.locals.len() != other.locals.len() {
+            return None;
+        }
+        Some(State {
+            stack: self
+                .stack
+                .iter()
+                .zip(&other.stack)
+                .map(|(a, b)| a.join(b))
+                .collect(),
+            locals: self
+                .locals
+                .iter()
+                .zip(&other.locals)
+                .map(|(a, b)| a.join(b))
+                .collect(),
+        })
+    }
+}
+
+/// Classifies every pc of function `func` of `program`.
+pub(crate) fn classify_fn(program: &CompiledProgram, func: usize) -> Vec<StepSafety> {
+    let f = &program.funcs[func];
+    let code = &f.code;
+    let mut states: Vec<Option<State>> = vec![None; code.len()];
+    let mut entry_locals: Vec<Abs> = f.param_tys.iter().cloned().map(Abs::Ty).collect();
+    entry_locals.resize(f.n_locals, Abs::Top);
+    let entry = State {
+        stack: Vec::new(),
+        locals: entry_locals,
+    };
+    let mut work: Vec<usize> = Vec::new();
+    if !code.is_empty() {
+        states[0] = Some(entry);
+        work.push(0);
+    }
+    // Worklist fixpoint. `Abs` has no infinite ascending chain (one step
+    // to ⊤), so this terminates quickly.
+    while let Some(pc) = work.pop() {
+        let state = states[pc].clone().expect("queued pc has a state");
+        let Some(succs) = transfer(program, code, pc, state) else {
+            // Stack underflow or an out-of-range operand: the analysis
+            // lost track of this function. Degrade everything.
+            return vec![StepSafety::Unknown; code.len()];
+        };
+        for (succ, out) in succs {
+            if succ >= code.len() {
+                return vec![StepSafety::Unknown; code.len()];
+            }
+            let merged = match &states[succ] {
+                None => out,
+                Some(prev) => match prev.join(&out) {
+                    Some(m) => m,
+                    None => return vec![StepSafety::Unknown; code.len()],
+                },
+            };
+            if states[succ].as_ref() != Some(&merged) {
+                states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    code.iter()
+        .enumerate()
+        .map(|(pc, inst)| match &states[pc] {
+            None => StepSafety::Unknown,
+            Some(state) => verdict(program, inst, state),
+        })
+        .collect()
+}
+
+/// The safety verdict for `inst` executing in abstract state `state`.
+fn verdict(program: &CompiledProgram, inst: &Inst, state: &State) -> StepSafety {
+    let receiver_layout = |depth: usize| {
+        // The receiver sits `depth` slots below the top of stack.
+        let abs = state.stack.iter().rev().nth(depth)?;
+        let Abs::Ty(ty) = abs else { return None };
+        let name = ty.struct_name()?;
+        let id = program.table.id_of(name)?;
+        Some(program.table.layout(id))
+    };
+    match inst {
+        Inst::WriteField(n) => match receiver_layout(1) {
+            Some(layout) => {
+                let n = *n as usize;
+                if !layout.is_ref.get(n).copied().unwrap_or(true) {
+                    // Writing a scalar field never adds or removes a
+                    // heap edge.
+                    StepSafety::Safe
+                } else if layout.iso.get(n).copied().unwrap_or(true) {
+                    // An `iso` write moves a domination frontier: keep
+                    // the full walk.
+                    StepSafety::Unknown
+                } else {
+                    StepSafety::RegionLocal
+                }
+            }
+            None => StepSafety::Unknown,
+        },
+        Inst::TakeField(n) => match receiver_layout(0) {
+            Some(layout) => {
+                let n = *n as usize;
+                if !layout.is_ref.get(n).copied().unwrap_or(true) {
+                    StepSafety::Safe
+                } else {
+                    // `take` severs one named edge; the machine collects
+                    // the receiver and the severed subgraph's root.
+                    StepSafety::RegionLocal
+                }
+            }
+            None => StepSafety::Unknown,
+        },
+        Inst::New { struct_id, .. } => {
+            let layout = program.table.layout(*struct_id as usize);
+            if layout.is_ref.iter().any(|r| *r) {
+                // Fresh edges out of a fresh object; the machine
+                // collects the object and every initializer.
+                StepSafety::RegionLocal
+            } else {
+                StepSafety::Safe
+            }
+        }
+        // Everything else leaves the heap's edge set untouched: pure
+        // stack traffic, control flow, scalar ops, field *reads*, and
+        // the rendezvous instructions (a transfer moves a subgraph
+        // between threads without rewriting any stored field).
+        _ => StepSafety::Safe,
+    }
+}
+
+/// Applies `inst` at `pc` to `state`; returns the successor states, or
+/// `None` when the stack shape does not match the instruction.
+fn transfer(
+    program: &CompiledProgram,
+    code: &[Inst],
+    pc: usize,
+    mut state: State,
+) -> Option<Vec<(usize, State)>> {
+    let next = pc + 1;
+    let pop = |state: &mut State| state.stack.pop();
+    match &code[pc] {
+        Inst::PushUnit => state.stack.push(Abs::Ty(Type::Unit)),
+        Inst::PushInt(_) => state.stack.push(Abs::Ty(Type::Int)),
+        Inst::PushBool(_) => state.stack.push(Abs::Ty(Type::Bool)),
+        // `none` and `self` carry no struct identity the classifier can
+        // use; any write through them stays `Unknown`.
+        Inst::PushNone | Inst::PushSelf => state.stack.push(Abs::Top),
+        Inst::Load(i) => {
+            let v = state.locals.get(*i as usize)?.clone();
+            state.stack.push(v);
+        }
+        Inst::Store(i) => {
+            let v = pop(&mut state)?;
+            let slot = state.locals.get_mut(*i as usize)?;
+            *slot = v;
+        }
+        Inst::Pop => {
+            pop(&mut state)?;
+        }
+        Inst::ReadField(n) => {
+            let recv = pop(&mut state)?;
+            let pushed = field_ty(program, &recv, *n)
+                .map(Abs::Ty)
+                .unwrap_or(Abs::Top);
+            state.stack.push(pushed);
+        }
+        Inst::WriteField(_) => {
+            pop(&mut state)?;
+            pop(&mut state)?;
+            state.stack.push(Abs::Ty(Type::Unit));
+        }
+        Inst::TakeField(n) => {
+            let recv = pop(&mut state)?;
+            let pushed = field_ty(program, &recv, *n)
+                .map(Abs::Ty)
+                .unwrap_or(Abs::Top);
+            state.stack.push(pushed);
+        }
+        Inst::MakeSome => {
+            let v = pop(&mut state)?;
+            let pushed = match v {
+                Abs::Ty(t) => Abs::Ty(Type::Maybe(Box::new(t))),
+                Abs::Top => Abs::Top,
+            };
+            state.stack.push(pushed);
+        }
+        Inst::IsNone | Inst::IsSome => {
+            pop(&mut state)?;
+            state.stack.push(Abs::Ty(Type::Bool));
+        }
+        Inst::New { struct_id, argc } => {
+            for _ in 0..*argc {
+                pop(&mut state)?;
+            }
+            let name = program.table.layout(*struct_id as usize).name.clone();
+            state.stack.push(Abs::Ty(Type::Named(name)));
+        }
+        Inst::Call(f) => {
+            let callee = program.funcs.get(*f as usize)?;
+            for _ in 0..callee.n_params {
+                pop(&mut state)?;
+            }
+            state.stack.push(Abs::Ty(callee.ret.clone()));
+        }
+        Inst::Ret => {
+            pop(&mut state)?;
+            return Some(Vec::new());
+        }
+        Inst::Jump(t) => return Some(vec![(*t as usize, state)]),
+        Inst::JumpIfFalse(t) => {
+            pop(&mut state)?;
+            return Some(vec![(next, state.clone()), (*t as usize, state)]);
+        }
+        Inst::BranchNone(t) => {
+            let m = pop(&mut state)?;
+            let jump_state = state.clone();
+            let payload = match m {
+                Abs::Ty(Type::Maybe(inner)) => Abs::Ty(*inner),
+                _ => Abs::Top,
+            };
+            state.stack.push(payload);
+            return Some(vec![(next, state), (*t as usize, jump_state)]);
+        }
+        Inst::Binary(_) => {
+            pop(&mut state)?;
+            pop(&mut state)?;
+            state.stack.push(Abs::Top);
+        }
+        Inst::Unary(_) => {
+            pop(&mut state)?;
+            state.stack.push(Abs::Top);
+        }
+        Inst::Send(_) => {
+            pop(&mut state)?;
+            state.stack.push(Abs::Ty(Type::Unit));
+        }
+        Inst::Recv(ch) => {
+            let ty = program.channel_tys.get(*ch as usize)?.clone();
+            state.stack.push(Abs::Ty(ty));
+        }
+        Inst::Disconnected => {
+            pop(&mut state)?;
+            pop(&mut state)?;
+            state.stack.push(Abs::Ty(Type::Bool));
+        }
+    }
+    Some(vec![(next, state)])
+}
+
+/// The declared type of field `n` when the receiver's struct is known.
+fn field_ty(program: &CompiledProgram, recv: &Abs, n: u16) -> Option<Type> {
+    let Abs::Ty(ty) = recv else { return None };
+    let id = program.table.id_of(ty.struct_name()?)?;
+    program.table.layout(id).field_tys.get(n as usize).cloned()
+}

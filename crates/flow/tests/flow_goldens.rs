@@ -1,0 +1,96 @@
+//! Golden flow-facts documents for the corpus: the exact per-pc
+//! step-safety strings, heap-quiet flags, and call graphs of every
+//! accepted entry are committed under `tests/goldens/` and compared
+//! byte-for-byte. Any change to the classifier, the compiler's code
+//! layout, or the heap-quiet closure shows up here as a diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p fearless-flow --test flow_goldens
+//! ```
+
+use std::path::PathBuf;
+
+use fearless_core::CheckerOptions;
+use fearless_flow::FlowCache;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/goldens/{name}.json"))
+}
+
+fn flow_json(src: &str) -> String {
+    fearless_flow::analyze_source(src, &CheckerOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .to_json()
+}
+
+#[test]
+fn corpus_flow_facts_match_goldens() {
+    let bless = std::env::var_os("BLESS").is_some();
+    for entry in fearless_corpus::accepted_entries() {
+        let actual = flow_json(&entry.source);
+        let path = golden_path(entry.name);
+        if bless {
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for `{}` ({e}); run with BLESS=1",
+                entry.name
+            )
+        });
+        assert_eq!(
+            expected, actual,
+            "flow facts drifted from the golden for `{}` (re-bless with BLESS=1 if intentional)",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn corpus_flow_facts_are_reproducible() {
+    for entry in fearless_corpus::accepted_entries() {
+        let a = flow_json(&entry.source);
+        let b = flow_json(&entry.source);
+        assert_eq!(a, b, "nondeterministic flow facts for `{}`", entry.name);
+    }
+}
+
+#[test]
+fn warm_cached_corpus_facts_match_the_goldens_byte_for_byte() {
+    // The cache must be invisible in the output: decode a summary from
+    // disk and it renders exactly like a freshly computed one.
+    let dir =
+        std::env::temp_dir().join(format!("fearless-flow-golden-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for pass in ["cold", "warm"] {
+        let mut cache = FlowCache::load(&dir);
+        for entry in fearless_corpus::accepted_entries() {
+            let checked = entry
+                .check(&CheckerOptions::default())
+                .unwrap_or_else(|e| panic!("{e}"));
+            let flow = fearless_flow::analyze_checked_cached(&checked, &mut cache)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let golden = std::fs::read_to_string(golden_path(entry.name))
+                .unwrap_or_else(|e| panic!("missing golden for `{}` ({e})", entry.name));
+            assert_eq!(
+                golden,
+                flow.to_json(),
+                "{pass} cached facts diverged for `{}`",
+                entry.name
+            );
+        }
+        let (_, misses) = cache.stats();
+        match pass {
+            // Entries sharing identical library functions hit each
+            // other's summaries even cold; what a cold start cannot do
+            // is replay everything.
+            "cold" => assert!(misses > 0, "cold pass must miss"),
+            _ => assert_eq!(misses, 0, "warm pass must not miss"),
+        }
+        cache.save().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

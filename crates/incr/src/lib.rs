@@ -31,7 +31,7 @@ use fearless_core::{check, CacheStats, CheckerOptions, Fingerprint, TypeError};
 use fearless_syntax::{Program, Span};
 use fearless_trace::{MemorySink, Tracer};
 
-pub use disk::{checksum_hex, CachedOutcome, DiskCache, LoadOutcome};
+pub use disk::{checksum_hex, parse_json, CachedOutcome, DiskCache, LoadOutcome};
 
 /// Every counter name a `check` span can carry, used to re-intern
 /// counters parsed back from the on-disk cache as the `&'static str`

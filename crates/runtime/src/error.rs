@@ -55,6 +55,16 @@ pub enum RuntimeError {
     /// entered by a foreign heap edge (only reachable with
     /// `sanitize_domination` on; well-typed programs never raise this).
     DominationFault(Box<DominationViolation>),
+    /// The flow-facts crosscheck oracle found a full sanitizer walk
+    /// failing on a step the static classification let the machine skip
+    /// or only partially check — the flow analysis is unsound for this
+    /// program (only reachable with `Machine::set_flow_crosscheck`).
+    FlowUnsound {
+        /// The classification that passed (`"safe"` or `"region-local"`).
+        safety: &'static str,
+        /// The violation the shadowed full walk found.
+        violation: Box<DominationViolation>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -83,6 +93,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
             RuntimeError::Missing(what) => write!(f, "missing definition: {what}"),
             RuntimeError::DominationFault(v) => write!(f, "domination fault: {v}"),
+            RuntimeError::FlowUnsound { safety, violation } => write!(
+                f,
+                "flow classification unsound: step classified `{safety}` passed its check but \
+                 the full walk found {violation}"
+            ),
         }
     }
 }

@@ -1,0 +1,148 @@
+//! Step-safety classifications consumed by the domination sanitizer.
+//!
+//! The sanitizer's full-heap walk after *every* step is what makes
+//! `--sanitize-domination` cost ~19x (experiment E11). Most instructions
+//! cannot change any heap edge at all, and most of the rest can only
+//! dirty the neighborhood of the objects they touch. A static analysis
+//! (the `fearless-flow` crate) classifies every `(function, pc)` ahead of
+//! time; the machine consults the resulting [`FlowIndex`] to decide, per
+//! step, whether to skip the walk, re-check only the affected `iso`
+//! edges, or fall back to the full walk.
+//!
+//! The classification lives here — not in the analysis crate — so the
+//! runtime stays dependency-free: the machine only needs the verdicts,
+//! never the analysis that produced them.
+
+/// How one instruction can affect the tempered-domination invariant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum StepSafety {
+    /// The instruction provably changes no heap edge (loads, stores,
+    /// arithmetic, jumps, calls, sends — anything that never writes a
+    /// field or allocates). The sanitizer walk is skipped entirely.
+    Safe,
+    /// The instruction may add or remove heap edges, but only at objects
+    /// the machine can name while executing it (the written object, the
+    /// old and new field values, a fresh allocation's initializers). Only
+    /// `iso` edges whose dominated subgraph reaches one of those objects
+    /// are re-checked (see `sanitize::check_domination_touched`).
+    RegionLocal,
+    /// No static claim (e.g. an `iso` field write, or an instruction the
+    /// analysis could not resolve). The full walk runs, exactly as
+    /// without a [`FlowIndex`].
+    #[default]
+    Unknown,
+}
+
+impl StepSafety {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StepSafety::Safe => "safe",
+            StepSafety::RegionLocal => "region-local",
+            StepSafety::Unknown => "unknown",
+        }
+    }
+
+    /// One-letter code used by the compact per-pc encoding (`S`/`R`/`U`).
+    pub fn code(self) -> char {
+        match self {
+            StepSafety::Safe => 'S',
+            StepSafety::RegionLocal => 'R',
+            StepSafety::Unknown => 'U',
+        }
+    }
+
+    /// Parses the [`StepSafety::code`] encoding back.
+    pub fn from_code(c: char) -> Option<StepSafety> {
+        match c {
+            'S' => Some(StepSafety::Safe),
+            'R' => Some(StepSafety::RegionLocal),
+            'U' => Some(StepSafety::Unknown),
+            _ => None,
+        }
+    }
+}
+
+/// Per-`(function, pc)` safety verdicts for one compiled program.
+///
+/// Out-of-range lookups answer [`StepSafety::Unknown`], so a stale or
+/// partial index degrades to the full walk instead of unsoundly skipping
+/// it.
+#[derive(Clone, Debug, Default)]
+pub struct FlowIndex {
+    funcs: Vec<Vec<StepSafety>>,
+}
+
+impl FlowIndex {
+    /// Builds an index from per-function verdict vectors, in compiled
+    /// function order (parallel to `CompiledProgram::funcs`).
+    pub fn new(funcs: Vec<Vec<StepSafety>>) -> Self {
+        FlowIndex { funcs }
+    }
+
+    /// The verdict for `pc` of function `func`.
+    pub fn safety(&self, func: usize, pc: usize) -> StepSafety {
+        self.funcs
+            .get(func)
+            .and_then(|f| f.get(pc))
+            .copied()
+            .unwrap_or(StepSafety::Unknown)
+    }
+
+    /// Number of functions covered.
+    pub fn fn_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Total `(safe, region_local, unknown)` verdicts across the index.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut safe = 0;
+        let mut region_local = 0;
+        let mut unknown = 0;
+        for f in &self.funcs {
+            for s in f {
+                match s {
+                    StepSafety::Safe => safe += 1,
+                    StepSafety::RegionLocal => region_local += 1,
+                    StepSafety::Unknown => unknown += 1,
+                }
+            }
+        }
+        (safe, region_local, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_is_unknown() {
+        let idx = FlowIndex::new(vec![vec![StepSafety::Safe]]);
+        assert_eq!(idx.safety(0, 0), StepSafety::Safe);
+        assert_eq!(idx.safety(0, 1), StepSafety::Unknown);
+        assert_eq!(idx.safety(5, 0), StepSafety::Unknown);
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for s in [
+            StepSafety::Safe,
+            StepSafety::RegionLocal,
+            StepSafety::Unknown,
+        ] {
+            assert_eq!(StepSafety::from_code(s.code()), Some(s));
+        }
+        assert_eq!(StepSafety::from_code('x'), None);
+    }
+
+    #[test]
+    fn counts_tally_every_verdict() {
+        let idx = FlowIndex::new(vec![
+            vec![StepSafety::Safe, StepSafety::RegionLocal],
+            vec![StepSafety::Unknown, StepSafety::Safe],
+        ]);
+        assert_eq!(idx.counts(), (2, 1, 1));
+        assert_eq!(idx.fn_count(), 2);
+    }
+}

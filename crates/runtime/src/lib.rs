@@ -37,6 +37,7 @@
 pub mod compile;
 pub mod disconnect;
 pub mod error;
+pub mod flow;
 pub mod heap;
 pub mod ir;
 pub mod machine;
@@ -49,9 +50,10 @@ pub use disconnect::{
     efficient_disconnected, naive_disconnected, DisconnectOutcome, DisconnectStrategy,
 };
 pub use error::RuntimeError;
+pub use flow::{FlowIndex, StepSafety};
 pub use heap::{Heap, Object, StructLayout, TypeTable};
 pub use ir::{CompiledFn, CompiledProgram, Inst};
 pub use machine::{Machine, MachineConfig, Stats, Thread, ThreadStatus};
-pub use sanitize::{check_domination, DominationViolation};
+pub use sanitize::{check_domination, check_domination_touched, DominationViolation};
 pub use schedule::{RoundRobin, Schedule, SeededRandom};
 pub use value::{ObjId, Value};

@@ -11,6 +11,7 @@ use fearless_trace::{Json, TraceSink};
 use crate::compile::compile;
 use crate::disconnect::{efficient_disconnected, naive_disconnected, DisconnectStrategy};
 use crate::error::RuntimeError;
+use crate::flow::{FlowIndex, StepSafety};
 use crate::heap::Heap;
 use crate::ir::{CompiledProgram, Inst};
 use crate::schedule::{RoundRobin, Schedule, SeededRandom};
@@ -89,8 +90,15 @@ pub struct Stats {
     /// sanitizer is disabled).
     pub sanitize_checks: u64,
     /// Full-heap walks performed by the domination sanitizer (one per
-    /// step when enabled).
+    /// step when enabled and no flow facts classify the step).
     pub sanitize_walks: u64,
+    /// Sanitizer walks skipped because flow facts classified the step as
+    /// [`StepSafety::Safe`] (provably no heap-edge change).
+    pub sanitize_skipped: u64,
+    /// Partial re-walks performed because flow facts classified the step
+    /// as [`StepSafety::RegionLocal`]: only `iso` edges whose subgraph
+    /// reaches a touched object were re-checked.
+    pub sanitize_partial_walks: u64,
 }
 
 impl Stats {
@@ -98,7 +106,7 @@ impl Stats {
     /// single source of truth for serialization: a field added to the
     /// struct without extending this table fails the exhaustiveness test
     /// below.
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("steps", self.steps),
             ("field_reads", self.field_reads),
@@ -112,6 +120,8 @@ impl Stats {
             ("reservation_failures", self.reservation_failures),
             ("sanitize_checks", self.sanitize_checks),
             ("sanitize_walks", self.sanitize_walks),
+            ("sanitize_skipped", self.sanitize_skipped),
+            ("sanitize_partial_walks", self.sanitize_partial_walks),
         ]
     }
 
@@ -192,6 +202,13 @@ pub struct Machine {
     /// discipline as `sanitize_domination`, verified by the `trace_parity`
     /// bench test.
     sink: Option<Box<dyn TraceSink>>,
+    /// Static step-safety verdicts consulted by the domination sanitizer.
+    /// `None` (the default) means every step gets the full walk.
+    flow: Option<FlowIndex>,
+    /// Differential soundness oracle: when set, every step the flow index
+    /// let the sanitizer skip or partially check is *also* full-walked,
+    /// and a disagreement raises [`RuntimeError::FlowUnsound`].
+    flow_crosscheck: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -239,7 +256,27 @@ impl Machine {
             stats: Stats::default(),
             schedule,
             sink: None,
+            flow: None,
+            flow_crosscheck: false,
         }
+    }
+
+    /// Installs static step-safety verdicts (see [`FlowIndex`]). With the
+    /// sanitizer enabled, `Safe` steps skip the walk, `RegionLocal` steps
+    /// re-check only the `iso` edges reaching the step's touched objects,
+    /// and `Unknown` steps keep the full walk. Without the sanitizer this
+    /// has no effect.
+    pub fn set_flow_index(&mut self, index: FlowIndex) {
+        self.flow = Some(index);
+    }
+
+    /// Enables the differential soundness oracle: every skipped or
+    /// partial sanitizer check is shadowed by a full walk, and a full
+    /// walk failing where the classified check passed raises
+    /// [`RuntimeError::FlowUnsound`]. For testing the flow analysis, not
+    /// for production runs (it is strictly slower than no flow index).
+    pub fn set_flow_crosscheck(&mut self, on: bool) {
+        self.flow_crosscheck = on;
     }
 
     /// Replaces the scheduling policy (see [`Schedule`]). Identical
@@ -455,6 +492,11 @@ impl Machine {
         let inst = self.program.funcs[func].code[pc].clone();
         // Advance pc by default; jumps overwrite it.
         self.frame_mut(tid).pc = pc + 1;
+        // Objects this step's heap mutation names (receiver, old/new field
+        // values, fresh allocations): the seed set for partial sanitizer
+        // walks. Only collected when a flow index can actually use it.
+        let collect = self.config.sanitize_domination && self.flow.is_some();
+        let mut touched: Vec<ObjId> = Vec::new();
         match inst {
             Inst::PushUnit => self.push(tid, Value::Unit),
             Inst::PushInt(n) => self.push(tid, Value::Int(n)),
@@ -489,7 +531,14 @@ impl Machine {
                 let obj = self.pop_loc(tid)?;
                 self.check_reserved(tid, obj, "field write")?;
                 self.stats.field_writes += 1;
-                self.heap.write_field(obj, idx as usize, value)?;
+                if collect {
+                    touched.push(obj);
+                    collect_locs(&value, &mut touched);
+                }
+                let old = self.heap.write_field(obj, idx as usize, value)?;
+                if collect {
+                    collect_locs(&old, &mut touched);
+                }
                 self.push(tid, Value::Unit);
             }
             Inst::TakeField(idx) => {
@@ -498,6 +547,10 @@ impl Machine {
                 self.stats.field_reads += 1;
                 self.stats.field_writes += 1;
                 let old = self.heap.write_field(obj, idx as usize, Value::none())?;
+                if collect {
+                    touched.push(obj);
+                    collect_locs(&old, &mut touched);
+                }
                 self.push(tid, old);
             }
             Inst::MakeSome => {
@@ -516,8 +569,16 @@ impl Machine {
                 let frame = self.frame_mut(tid);
                 let at = frame.stack.len() - argc as usize;
                 let fields: Vec<Value> = frame.stack.split_off(at);
+                if collect {
+                    for v in &fields {
+                        collect_locs(v, &mut touched);
+                    }
+                }
                 let id = self.heap.alloc(struct_id as usize, fields);
                 self.stats.allocs += 1;
+                if collect {
+                    touched.push(id);
+                }
                 self.reserve(tid, id);
                 self.push(tid, Value::Loc(id));
             }
@@ -633,12 +694,37 @@ impl Machine {
             }
         }
         if self.config.sanitize_domination {
-            match crate::sanitize::check_domination(&self.heap) {
-                Ok(edges) => {
-                    self.stats.sanitize_checks += edges as u64;
-                    self.stats.sanitize_walks += 1;
+            let safety = match &self.flow {
+                Some(index) => index.safety(func, pc),
+                None => StepSafety::Unknown,
+            };
+            let outcome = match safety {
+                StepSafety::Safe => {
+                    self.stats.sanitize_skipped += 1;
+                    Ok(0)
                 }
+                StepSafety::RegionLocal => {
+                    self.stats.sanitize_partial_walks += 1;
+                    crate::sanitize::check_domination_touched(&self.heap, &touched)
+                }
+                StepSafety::Unknown => {
+                    self.stats.sanitize_walks += 1;
+                    crate::sanitize::check_domination(&self.heap)
+                }
+            };
+            match outcome {
+                Ok(edges) => self.stats.sanitize_checks += edges as u64,
                 Err(violation) => return Err(RuntimeError::DominationFault(Box::new(violation))),
+            }
+            // Differential oracle: the classified check passed; the full
+            // walk must agree, or the static classification is unsound.
+            if self.flow_crosscheck && safety != StepSafety::Unknown {
+                if let Err(violation) = crate::sanitize::check_domination(&self.heap) {
+                    return Err(RuntimeError::FlowUnsound {
+                        safety: safety.as_str(),
+                        violation: Box::new(violation),
+                    });
+                }
             }
         }
         Ok(())
@@ -814,6 +900,16 @@ impl Machine {
     }
 }
 
+/// Collects every heap location a value names (seeing through `some`),
+/// skipping the `self` placeholder.
+fn collect_locs(v: &Value, out: &mut Vec<ObjId>) {
+    match v {
+        Value::Loc(l) if *l != ObjId::SELF_PLACEHOLDER => out.push(*l),
+        Value::Maybe(Some(inner)) => collect_locs(inner, out),
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -965,16 +1061,20 @@ mod tests {
             reservation_failures: 10,
             sanitize_checks: 11,
             sanitize_walks: 12,
+            sanitize_skipped: 13,
+            sanitize_partial_walks: 14,
         };
         let fields = s.fields();
         let names: std::collections::BTreeSet<&str> = fields.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), fields.len(), "duplicate field name");
         let sum: u64 = fields.iter().map(|(_, v)| *v).sum();
-        assert_eq!(sum, (1..=12).sum::<u64>(), "a field is missing or repeated");
+        assert_eq!(sum, (1..=14).sum::<u64>(), "a field is missing or repeated");
         let json = s.to_json();
         assert_eq!(json, s.to_json());
         assert!(json.contains("\"reservation_failures\": 10"), "{json}");
         assert!(json.contains("\"sanitize_walks\": 12"), "{json}");
+        assert!(json.contains("\"sanitize_skipped\": 13"), "{json}");
+        assert!(json.contains("\"sanitize_partial_walks\": 14"), "{json}");
     }
 
     #[test]
@@ -1118,6 +1218,129 @@ mod tests {
         let mut off = Machine::new(&p).unwrap();
         off.call("build", vec![Value::Int(4)]).unwrap();
         assert_eq!(off.stats().sanitize_checks, 0);
+    }
+
+    /// Builds the all-`Safe`-except-heap-mutations index a correct flow
+    /// analysis would produce for any program: `WriteField` verdicts come
+    /// from `f(pc)`, `TakeField`/`New` are `RegionLocal`, everything else
+    /// `Safe`.
+    fn hand_index(p: &CompiledProgram, write_verdict: StepSafety) -> FlowIndex {
+        FlowIndex::new(
+            p.funcs
+                .iter()
+                .map(|f| {
+                    f.code
+                        .iter()
+                        .map(|inst| match inst {
+                            Inst::WriteField(_) => write_verdict,
+                            Inst::TakeField(_) | Inst::New { .. } => StepSafety::RegionLocal,
+                            _ => StepSafety::Safe,
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn flow_index_skips_and_partially_walks() {
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def build(n: int) : sll_node {
+               let node = new sll_node(new data(n), none);
+               while (n > 1) {
+                 n = n - 1;
+                 node = new sll_node(new data(n), some(node))
+               };
+               node
+             }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                sanitize_domination: true,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let index = hand_index(m.program(), StepSafety::Unknown);
+        m.set_flow_index(index);
+        m.set_flow_crosscheck(true);
+        m.call("build", vec![Value::Int(6)]).unwrap();
+        let s = *m.stats();
+        assert!(s.sanitize_skipped > 0, "{s:?}");
+        assert!(s.sanitize_partial_walks > 0, "{s:?}");
+        assert!(
+            s.sanitize_skipped + s.sanitize_partial_walks + s.sanitize_walks == s.steps,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn flow_index_still_catches_violations_via_partial_walks() {
+        // The unchecked aliasing program: the violating step is a `New`
+        // (RegionLocal), so the partial walk alone must catch it.
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def dup() : int {
+               let d = new data(7);
+               let a = new sll_node(d, none);
+               let b = new sll_node(d, none);
+               a.payload.value + b.payload.value
+             }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                sanitize_domination: true,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let index = hand_index(m.program(), StepSafety::Unknown);
+        m.set_flow_index(index);
+        let err = m.call("dup", vec![]).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::DominationFault(_)),
+            "partial walk must fault: {err}"
+        );
+        assert!(m.stats().sanitize_partial_walks > 0);
+    }
+
+    #[test]
+    fn flow_crosscheck_reports_unsound_classification() {
+        // An adversarial index that marks every step Safe: the sanitizer
+        // skips everything, and the crosscheck oracle must flag the skip
+        // that hid the violation.
+        let src = "struct data { value: int }
+             struct sll_node { iso payload : data; iso next : sll_node? }
+             def dup() : int {
+               let d = new data(7);
+               let a = new sll_node(d, none);
+               let b = new sll_node(d, none);
+               a.payload.value + b.payload.value
+             }";
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                sanitize_domination: true,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let all_safe = FlowIndex::new(
+            m.program()
+                .funcs
+                .iter()
+                .map(|f| vec![StepSafety::Safe; f.code.len()])
+                .collect(),
+        );
+        m.set_flow_index(all_safe);
+        m.set_flow_crosscheck(true);
+        let err = m.call("dup", vec![]).unwrap_err();
+        assert!(matches!(err, RuntimeError::FlowUnsound { .. }), "{err}");
+        assert!(err.to_string().contains("flow"), "{err}");
     }
 
     #[test]

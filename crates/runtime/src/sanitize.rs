@@ -124,6 +124,28 @@ fn witness_path(heap: &Heap, from: ObjId, to: ObjId) -> Vec<(ObjId, Symbol)> {
     Vec::new()
 }
 
+/// Asserts tempered domination for the single `iso` edge `e` against
+/// every other heap edge.
+fn check_edge(heap: &Heap, all: &[HeapEdge], e: &HeapEdge) -> Result<(), DominationViolation> {
+    let reach: BTreeSet<ObjId> = heap.live_set(&Value::Loc(e.dst)).into_iter().collect();
+    for other in all {
+        let same_edge = other.src == e.src && other.field == e.field && other.dst == e.dst;
+        if same_edge || !reach.contains(&other.dst) || reach.contains(&other.src) {
+            continue;
+        }
+        return Err(DominationViolation {
+            owner: e.src,
+            field: e.field.clone(),
+            target: e.dst,
+            intruder: other.src,
+            intruder_field: other.field.clone(),
+            into: other.dst,
+            path: witness_path(heap, e.dst, other.dst),
+        });
+    }
+    Ok(())
+}
+
 /// Walks the whole heap and asserts tempered domination for every `iso`
 /// edge, returning the number of `iso` edges checked.
 ///
@@ -139,22 +161,69 @@ pub fn check_domination(heap: &Heap) -> Result<usize, DominationViolation> {
             continue;
         }
         checked += 1;
-        let reach: BTreeSet<ObjId> = heap.live_set(&Value::Loc(e.dst)).into_iter().collect();
-        for other in &all {
-            let same_edge = other.src == e.src && other.field == e.field && other.dst == e.dst;
-            if same_edge || !reach.contains(&other.dst) || reach.contains(&other.src) {
-                continue;
+        check_edge(heap, &all, e)?;
+    }
+    Ok(checked)
+}
+
+/// Re-checks only the `iso` edges a step touching `touched` could have
+/// violated, returning the number of `iso` edges checked.
+///
+/// `touched` is the set of objects named by a heap-mutating step: the
+/// written object, every location in the old and new field values, and a
+/// fresh allocation plus its reference initializers. The edges that need
+/// re-checking are exactly those `s.f ↦ t` where `t` reaches a touched
+/// object in the *post-step* heap:
+///
+/// * a new edge `o.g ↦ d` entering `reach(t)` has `d ∈ touched` and
+///   `d ∈ reach(t)`, so `t` reaches a touched object;
+/// * a freshly created `iso` edge itself has its target in `touched`;
+/// * extending `reach(t)` (by writing a field of some `o ∈ reach(t)`)
+///   means `t` reaches `o ∈ touched`;
+/// * removing an edge `o.g ↦ d` can only newly violate an `iso` edge
+///   whose subgraph still contains `o` (the removed edge's source), and
+///   `o ∈ touched` — the path `t → … → o` never used the removed edge,
+///   whose source is `o` itself.
+///
+/// "`t` reaches a touched object" is computed as the backward-reachable
+/// closure of `touched` over all heap edges. Given a heap that satisfied
+/// domination *before* the step (the machine's inductive discipline:
+/// every prior step was either skipped because it provably changed no
+/// edge, or checked), a pass here implies the full
+/// [`check_domination`] would pass too.
+///
+/// # Errors
+///
+/// Returns the first [`DominationViolation`] found, in the same
+/// deterministic allocation order as the full walk.
+pub fn check_domination_touched(
+    heap: &Heap,
+    touched: &[ObjId],
+) -> Result<usize, DominationViolation> {
+    if touched.is_empty() {
+        return Ok(0);
+    }
+    let all = edges(heap);
+    // Backward closure: every object with a heap path *to* a touched one.
+    let mut hot: BTreeSet<ObjId> = touched.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        for e in &all {
+            if hot.contains(&e.dst) && hot.insert(e.src) {
+                grew = true;
             }
-            return Err(DominationViolation {
-                owner: e.src,
-                field: e.field.clone(),
-                target: e.dst,
-                intruder: other.src,
-                intruder_field: other.field.clone(),
-                into: other.dst,
-                path: witness_path(heap, e.dst, other.dst),
-            });
         }
+        if !grew {
+            break;
+        }
+    }
+    let mut checked = 0usize;
+    for e in &all {
+        if !e.iso || !hot.contains(&e.dst) {
+            continue;
+        }
+        checked += 1;
+        check_edge(heap, &all, e)?;
     }
     Ok(checked)
 }
@@ -231,6 +300,47 @@ mod tests {
         assert!(owners.contains(&n1) && owners.contains(&n2));
         let shown = violation.to_string();
         assert!(shown.contains("not dominating"), "{shown}");
+    }
+
+    #[test]
+    fn touched_check_finds_violation_named_by_touched_set() {
+        // Same shared-payload heap as `shared_iso_target_is_a_violation`,
+        // but checked through the partial walk: touching just the second
+        // node (the step that created the foreign edge) must suffice.
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"sll_node".into()).unwrap();
+        let d = heap.alloc(data, vec![Value::Int(7)]);
+        let _n1 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        let n2 = heap.alloc(node, vec![Value::Loc(d), Value::none()]);
+        // The allocating step names the fresh object and its initializers.
+        let violation = check_domination_touched(&heap, &[n2, d]).unwrap_err();
+        assert_eq!(violation.into, d);
+        // An empty touched set checks nothing.
+        assert_eq!(check_domination_touched(&heap, &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn touched_check_skips_unrelated_subgraphs() {
+        // Two disjoint clean lists: touching one re-checks only the edges
+        // whose subgraph reaches it.
+        let t = table();
+        let mut heap = Heap::new(t.clone());
+        let data = t.id_of(&"data".into()).unwrap();
+        let node = t.id_of(&"sll_node".into()).unwrap();
+        let d1 = heap.alloc(data, vec![Value::Int(1)]);
+        let n1 = heap.alloc(node, vec![Value::Loc(d1), Value::none()]);
+        let d2 = heap.alloc(data, vec![Value::Int(2)]);
+        let _n2 = heap.alloc(node, vec![Value::Loc(d2), Value::none()]);
+        let full = check_domination(&heap).unwrap();
+        assert_eq!(full, 2);
+        // Touching n1's payload re-checks n1.payload only.
+        assert_eq!(check_domination_touched(&heap, &[d1]).unwrap(), 1);
+        // Touching the node itself reaches no iso-edge target, so only
+        // edges whose subgraph contains n1 would re-check; none point at
+        // the node, but n1 itself backward-reaches nothing more.
+        assert_eq!(check_domination_touched(&heap, &[n1]).unwrap(), 0);
     }
 
     #[test]
