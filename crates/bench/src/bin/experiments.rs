@@ -101,4 +101,13 @@ fn main() {
     let chaos_json = fearless_bench::render_chaos_snapshot(&chaos);
     std::fs::write("BENCH_chaos.json", &chaos_json).expect("write BENCH_chaos.json");
     println!("wrote BENCH_chaos.json ({} bytes)", chaos_json.len());
+
+    println!("\n== E12: observability layer snapshot (fearless-obs) ==");
+    let obs_json = fearless_bench::obs_snapshot();
+    std::fs::write("BENCH_obs.json", &obs_json).expect("write BENCH_obs.json");
+    println!(
+        "wrote BENCH_obs.json ({} bytes; deterministic modulo _nondet keys — \
+         compare with `fearlessc bench-diff`)",
+        obs_json.len()
+    );
 }

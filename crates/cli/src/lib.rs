@@ -6,16 +6,31 @@
 //! ```text
 //! fearlessc check   (program.fc | --corpus) [--mode tempered|gd|tree] [--no-oracle]
 //!                   [--jobs N] [--cache dir] [--trace t.json] [--metrics json]
+//!                   [--obs journal.json] [--trace-out trace.json]
 //! fearlessc verify  program.fc
 //! fearlessc lint    program.fc [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
 //! fearlessc run     program.fc --entry main [--arg 42]... [--unchecked] [--sanitize-domination]
+//!                   [--obs journal.json] [--trace-out trace.json]
+//! fearlessc report  (program.fc --entry main [--arg 42]... | --corpus) [--json]
+//!                   [--sanitize-domination] [--flow-facts] [--obs f] [--trace-out f]
 //! fearlessc flow    (program.fc | --corpus) [--cache dir]
 //! fearlessc profile (program.fc | --corpus) [--cache dir] [--wall-time] [--metrics json]
 //! fearlessc chaos   (program.fc | --corpus) [--seeds N] [--faults spec] [--fuel N] [--json]
 //! fearlessc chaos fuzz   [--cases N] [--seed N]
 //! fearlessc chaos drills [--dir dir] [--seed N]
+//! fearlessc bench-diff   old.json new.json [--threshold pct] [--json]
+//! fearlessc strip-nondet file.json
 //! fearlessc table1
 //! ```
+//!
+//! The observability surface (`fearless-obs`) hangs off most commands:
+//! `--obs <file>` writes the deterministic event journal (schema
+//! `fearless-obs/1`, byte-identical across cold/warm/serial/parallel
+//! runs), `--trace-out <file>` writes a Chrome trace-event / Perfetto
+//! document, `report` renders per-machine runtime lanes, `bench-diff`
+//! gates BENCH_*.json counters against a baseline, and `strip-nondet`
+//! removes `_nondet`-tagged (wall-clock) fields so CI can byte-diff
+//! otherwise nondeterministic output. See docs/OBSERVABILITY.md.
 //!
 //! `--trace <file>` writes the full `fearless-trace/1` instrumentation
 //! JSON; `--metrics json` prints it on stdout instead of the normal
@@ -61,6 +76,10 @@ pub enum Command {
         trace: Option<String>,
         /// Print metrics JSON instead of the human report.
         metrics_json: bool,
+        /// Write the deterministic event journal (fearless-obs/1) here.
+        obs: Option<String>,
+        /// Write a Chrome trace-event / Perfetto document here.
+        trace_out: Option<String>,
     },
     /// Type-check and independently verify the derivations.
     Verify {
@@ -103,6 +122,51 @@ pub enum Command {
         trace: Option<String>,
         /// Print metrics JSON instead of the human report.
         metrics_json: bool,
+        /// Write the deterministic event journal (fearless-obs/1) here.
+        obs: Option<String>,
+        /// Write a Chrome trace-event / Perfetto document here.
+        trace_out: Option<String>,
+    },
+    /// Per-machine runtime telemetry: run a program (or the chaos
+    /// scenario corpus) and render a top-style lane table or machine
+    /// JSON (`fearless-obs`).
+    Report {
+        /// Source path (`None` with `--corpus`).
+        path: Option<String>,
+        /// Run the built-in scenario corpus instead of a file.
+        corpus: bool,
+        /// Entry function (file mode).
+        entry: Option<String>,
+        /// Integer arguments for the entry function.
+        args: Vec<i64>,
+        /// Walk the heap each step asserting tempered domination, so
+        /// the lanes attribute sanitizer cost per machine.
+        sanitize: bool,
+        /// Amortize the sanitizer with the static flow index.
+        flow_facts: bool,
+        /// Print the machine-readable report JSON instead of the table.
+        json: bool,
+        /// Write the deterministic event journal (fearless-obs/1) here.
+        obs: Option<String>,
+        /// Write a Chrome trace-event / Perfetto document here.
+        trace_out: Option<String>,
+    },
+    /// Compare two BENCH_*.json counter documents against thresholds;
+    /// exits nonzero on regression (`fearless-obs`).
+    BenchDiff {
+        /// Baseline document path.
+        old: String,
+        /// Candidate document path.
+        new: String,
+        /// Relative threshold in percent before a bad move regresses.
+        threshold_pct: u64,
+        /// Print the comparison as JSON instead of the table.
+        json: bool,
+    },
+    /// Print a JSON document with every `_nondet`-tagged field removed.
+    StripNondet {
+        /// Document path.
+        path: String,
     },
     /// Dump the `fearless-flow` per-function step-safety summaries as
     /// deterministic JSON.
@@ -180,17 +244,23 @@ fearlessc — tempered-domination checker, verifier, and runtime
 USAGE:
   fearlessc check  (<file> | --corpus) [--mode tempered|gd|tree] [--no-oracle]
                    [--jobs <n>] [--cache <dir>] [--trace <file>] [--metrics json]
+                   [--obs <file>] [--trace-out <file>]
   fearlessc verify <file>
   fearlessc lint   <file> [--mode tempered|gd|tree] [--format human|json] [--deny-warnings]
                    [--trace <file>] [--metrics json]
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
                    [--flow-facts] [--trace <file>] [--metrics json]
+                   [--obs <file>] [--trace-out <file>]
+  fearlessc report (<file> --entry <fn> [--arg <int>]... | --corpus) [--json]
+                   [--sanitize-domination] [--flow-facts] [--obs <file>] [--trace-out <file>]
   fearlessc flow   (<file> | --corpus) [--cache <dir>]
   fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
   fearlessc chaos  (<file> | --corpus) [--seeds <n>] [--faults <spec>] [--fuel <n>]
                    [--no-sanitize] [--flow-facts] [--crosscheck] [--json]
   fearlessc chaos fuzz   [--cases <n>] [--seed <n>]
   fearlessc chaos drills [--dir <dir>] [--seed <n>]
+  fearlessc bench-diff <old.json> <new.json> [--threshold <pct>] [--json]
+  fearlessc strip-nondet <file>
   fearlessc explain <file> --fn <name>
   fearlessc table1
 
@@ -214,6 +284,22 @@ USAGE:
   --crosscheck (chaos) shadows every skipped or partial check with a
   full walk and reports any disagreement — the differential soundness
   oracle for the flow analysis.
+
+  the observability layer (fearless-obs, docs/OBSERVABILITY.md):
+  --obs <file> writes the structured event journal, schema
+  fearless-obs/1, stamped with a monotonic logical clock
+  (definition-order sequence when checking, scheduler step at runtime)
+  and byte-identical across cold/warm/serial/parallel runs;
+  --trace-out <file> writes a Chrome trace-event document loadable in
+  ui.perfetto.dev (one lane per pipeline phase, one lane per runtime
+  machine, logical time as microseconds). report runs a program (or
+  the scenario corpus) and renders per-machine lanes: messages
+  processed, peak mailbox depth, mailbox residence, sanitizer cost
+  attribution. bench-diff compares two BENCH_*.json documents
+  (default threshold 10%; keys tagged `_nondet` are informational)
+  and exits 1 on any regression. strip-nondet prints a JSON document
+  with every `_nondet`-tagged (wall-clock) field removed, which is
+  how CI byte-diffs wall-timed output.
 
   chaos runs the deterministic fault-injection layer: adversarial
   schedules against the soundness oracles (default), whole-pipeline
@@ -279,6 +365,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cache = None;
             let mut trace = None;
             let mut metrics_json = false;
+            let mut obs = None;
+            let mut trace_out = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--mode" => {
@@ -302,6 +390,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
                     "--metrics" => metrics_json = parse_metrics(it.next())?,
+                    "--obs" => obs = Some(it.next().ok_or("--obs requires a file")?.clone()),
+                    "--trace-out" => {
+                        trace_out = Some(it.next().ok_or("--trace-out requires a file")?.clone());
+                    }
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -318,6 +410,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cache,
                 trace,
                 metrics_json,
+                obs,
+                trace_out,
             })
         }
         "verify" => {
@@ -398,6 +492,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut flow_facts = false;
             let mut trace = None;
             let mut metrics_json = false;
+            let mut obs = None;
+            let mut trace_out = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--entry" => entry = it.next().cloned(),
@@ -410,6 +506,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--flow-facts" => flow_facts = true,
                     "--trace" => trace = Some(it.next().ok_or("--trace requires a file")?.clone()),
                     "--metrics" => metrics_json = parse_metrics(it.next())?,
+                    "--obs" => obs = Some(it.next().ok_or("--obs requires a file")?.clone()),
+                    "--trace-out" => {
+                        trace_out = Some(it.next().ok_or("--trace-out requires a file")?.clone());
+                    }
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -423,7 +523,87 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 flow_facts,
                 trace,
                 metrics_json,
+                obs,
+                trace_out,
             })
+        }
+        "report" => {
+            let mut path = None;
+            let mut corpus = false;
+            let mut entry = None;
+            let mut run_args = Vec::new();
+            let mut sanitize = false;
+            let mut flow_facts = false;
+            let mut json = false;
+            let mut obs = None;
+            let mut trace_out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--corpus" => corpus = true,
+                    "--entry" => entry = it.next().cloned(),
+                    "--arg" => {
+                        let v = it.next().ok_or("missing value after --arg")?;
+                        run_args.push(v.parse::<i64>().map_err(|e| e.to_string())?);
+                    }
+                    "--sanitize-domination" => sanitize = true,
+                    "--flow-facts" => flow_facts = true,
+                    "--json" => json = true,
+                    "--obs" => obs = Some(it.next().ok_or("--obs requires a file")?.clone()),
+                    "--trace-out" => {
+                        trace_out = Some(it.next().ok_or("--trace-out requires a file")?.clone());
+                    }
+                    p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if corpus == path.is_some() {
+                return Err("report needs a file or --corpus (not both)".to_string());
+            }
+            if !corpus && entry.is_none() {
+                return Err("report <file> requires --entry <fn>".to_string());
+            }
+            Ok(Command::Report {
+                path,
+                corpus,
+                entry,
+                args: run_args,
+                sanitize,
+                flow_facts,
+                json,
+                obs,
+                trace_out,
+            })
+        }
+        "bench-diff" => {
+            let mut files = Vec::new();
+            let mut threshold_pct = 10u64;
+            let mut json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threshold" => threshold_pct = parse_u64(it.next(), "--threshold")?,
+                    "--json" => json = true,
+                    p if !p.starts_with('-') => files.push(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if files.len() != 2 {
+                return Err("bench-diff needs exactly two files: <old.json> <new.json>".to_string());
+            }
+            let new = files.pop().expect("two files");
+            let old = files.pop().expect("two files");
+            Ok(Command::BenchDiff {
+                old,
+                new,
+                threshold_pct,
+                json,
+            })
+        }
+        "strip-nondet" => {
+            let path = it.next().ok_or("strip-nondet needs a file")?.to_string();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::StripNondet { path })
         }
         "flow" => {
             let mut path = None;
@@ -696,6 +876,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             cache,
             trace,
             metrics_json,
+            obs,
+            trace_out,
             ..
         } => {
             let mut opts = CheckerOptions::with_mode(*mode);
@@ -708,6 +890,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 cache.as_deref(),
                 trace,
                 *metrics_json,
+                obs.as_deref(),
+                trace_out.as_deref(),
             )
         }
         Command::Chaos {
@@ -779,9 +963,11 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             flow_facts,
             trace,
             metrics_json,
+            obs,
+            trace_out,
             ..
         } => {
-            let want = trace.is_some() || *metrics_json;
+            let want = trace.is_some() || *metrics_json || obs.is_some() || trace_out.is_some();
             let mut sink = MemorySink::new();
             if !unchecked {
                 let mut tracer = if want {
@@ -844,7 +1030,49 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                     );
                 }
             }
+            write_run_obs(
+                &sink,
+                machine.lanes(),
+                stats,
+                obs.as_deref(),
+                trace_out.as_deref(),
+            )?;
             finish_trace(&sink, trace.as_deref(), *metrics_json, out)
+        }
+        Command::Report {
+            corpus,
+            entry,
+            args,
+            sanitize,
+            flow_facts,
+            json,
+            obs,
+            trace_out,
+            ..
+        } => report_command(
+            src,
+            *corpus,
+            entry.as_deref(),
+            args,
+            *sanitize,
+            *flow_facts,
+            *json,
+            obs.as_deref(),
+            trace_out.as_deref(),
+        ),
+        Command::BenchDiff {
+            old,
+            new,
+            threshold_pct,
+            json,
+        } => {
+            let old_text = load_source(old).map_err(|(m, _)| m)?;
+            let new_text = load_source(new).map_err(|(m, _)| m)?;
+            bench_diff_command(&old_text, &new_text, *threshold_pct, *json)
+        }
+        Command::StripNondet { path } => {
+            let text = load_source(path).map_err(|(m, _)| m)?;
+            strip_nondet_command(&text)
         }
         Command::Flow { corpus, cache, .. } => flow_command(src, *corpus, cache.as_deref()),
         Command::Profile {
@@ -863,7 +1091,9 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 let sink = profile_source(src, "", disk.as_mut(), &mut stats)?;
                 save_cache(&disk)?;
                 if *metrics_json {
-                    Ok(sink.to_json())
+                    // Wall time serializes only under `_nondet`-tagged
+                    // keys, which `strip-nondet` removes for CI diffs.
+                    Ok(sink.to_json_value_opts(*wall_time).render())
                 } else {
                     let mut out = render_profile(&sink, label, *wall_time);
                     if cache.is_some() {
@@ -879,6 +1109,7 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
 /// Runs `fearlessc check` through the `fearless-incr` driver (which all
 /// check invocations use, so serial, parallel, cold, and warm runs share
 /// one code path and one output format).
+#[allow(clippy::too_many_arguments)]
 fn check_command(
     src: &str,
     corpus: bool,
@@ -887,8 +1118,10 @@ fn check_command(
     cache: Option<&str>,
     trace: &Option<String>,
     metrics_json: bool,
+    obs: Option<&str>,
+    trace_out: Option<&str>,
 ) -> Result<String, String> {
-    let want = trace.is_some() || metrics_json;
+    let want = trace.is_some() || metrics_json || obs.is_some() || trace_out.is_some();
     let mut sink = MemorySink::new();
     let mut disk = cache.map(DiskCache::load);
 
@@ -966,6 +1199,21 @@ fn check_command(
             run.units[0].total_nodes(),
             run.units[0].total_vir_steps()
         );
+    }
+    // Cache warmth is allowed to show here (and only here): CI's
+    // cold/warm byte-diff strips `cache:`-prefixed lines.
+    if cache.is_some() {
+        let _ = writeln!(out, "{}", render_cache_line(&run.stats));
+    }
+    if let Some(path) = obs {
+        let journal = fearless_obs::Journal::from_check_sink(&sink);
+        std::fs::write(path, journal.render())
+            .map_err(|e| format!("cannot write journal `{path}`: {e}"))?;
+    }
+    if let Some(path) = trace_out {
+        let doc = fearless_obs::perfetto::document(fearless_obs::perfetto::check_events(&sink));
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
     }
     finish_trace(&sink, trace.as_deref(), metrics_json, out)
 }
@@ -1071,6 +1319,199 @@ fn chaos_command(
             }
         }
     }
+}
+
+/// Writes the runtime event journal and/or Perfetto trace for one
+/// completed machine execution (no-op when neither path is requested).
+fn write_run_obs(
+    sink: &MemorySink,
+    lanes: &[fearless_runtime::LaneStats],
+    stats: &fearless_runtime::Stats,
+    obs: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    if let Some(path) = obs {
+        let journal = fearless_obs::Journal::from_run(sink, lanes, stats);
+        std::fs::write(path, journal.render())
+            .map_err(|e| format!("cannot write journal `{path}`: {e}"))?;
+    }
+    if let Some(path) = trace_out {
+        let mut events = fearless_obs::perfetto::check_events(sink);
+        events.extend(fearless_obs::perfetto::run_events(sink, lanes));
+        let doc = fearless_obs::perfetto::document(events);
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Runs `fearlessc report`: execute a program (file mode) or the chaos
+/// scenario corpus, then render the per-machine telemetry lanes as a
+/// top-style table or machine JSON (`fearless-obs-report/1`).
+#[allow(clippy::too_many_arguments)]
+fn report_command(
+    src: &str,
+    corpus: bool,
+    entry: Option<&str>,
+    args: &[i64],
+    sanitize: bool,
+    flow_facts: bool,
+    json: bool,
+    obs: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<String, String> {
+    if corpus {
+        return report_corpus(json, obs, trace_out);
+    }
+    let entry = entry.ok_or("report <file> requires --entry <fn>")?;
+    fearless_core::check_source(src, &CheckerOptions::default()).map_err(|e| e.render(src))?;
+    let program = fearless_syntax::parse_program(src).map_err(|e| e.render(src))?;
+    let config = MachineConfig {
+        sanitize_domination: sanitize,
+        ..MachineConfig::default()
+    };
+    let mut machine = Machine::with_config(&program, config).map_err(|e| e.to_string())?;
+    if flow_facts {
+        let compiled = fearless_runtime::compile(&program).map_err(|e| e.to_string())?;
+        machine.set_flow_index(fearless_flow::analyze_compiled(&compiled).index());
+    }
+    machine.set_trace_sink(Box::new(MemorySink::new()));
+    let values = args.iter().map(|&n| Value::Int(n)).collect();
+    machine.call(entry, values).map_err(|e| e.to_string())?;
+    let sink = *machine
+        .take_trace_sink()
+        .expect("sink installed above")
+        .into_any()
+        .downcast::<MemorySink>()
+        .expect("sink is a MemorySink");
+    write_run_obs(&sink, machine.lanes(), machine.stats(), obs, trace_out)?;
+    if json {
+        Ok(fearless_obs::report_json(entry, machine.stats(), machine.lanes()).render())
+    } else {
+        Ok(fearless_obs::render_report(
+            entry,
+            machine.stats(),
+            machine.lanes(),
+        ))
+    }
+}
+
+/// `fearlessc report --corpus`: every chaos scenario under the default
+/// deterministic round-robin schedule, with flow-amortized sanitizing
+/// wherever the scenario admits the sanitizer oracle — so the lanes
+/// show real mailbox depth, residence, and sanitizer cost attribution.
+fn report_corpus(json: bool, obs: Option<&str>, trace_out: Option<&str>) -> Result<String, String> {
+    let mut out = String::new();
+    let mut json_entries = Vec::new();
+    let mut journal_entries = Vec::new();
+    let mut trace_events = Vec::new();
+    for (i, scenario) in fearless_chaos::all_scenarios().iter().enumerate() {
+        let config = MachineConfig {
+            check_reservations: true,
+            strategy: fearless_runtime::DisconnectStrategy::Differential,
+            sanitize_domination: scenario.sanitize,
+            ..MachineConfig::default()
+        };
+        let mut machine = Machine::from_compiled(scenario.program.clone(), config);
+        machine.set_flow_index(fearless_flow::analyze_compiled(&scenario.program).index());
+        machine.set_trace_sink(Box::new(MemorySink::new()));
+        for sp in &scenario.spawns {
+            machine
+                .spawn(&sp.func, sp.values())
+                .map_err(|e| format!("scenario `{}`: spawn {}: {e}", scenario.name, sp.func))?;
+        }
+        machine
+            .run()
+            .map_err(|e| format!("scenario `{}`: {e}", scenario.name))?;
+        let sink = *machine
+            .take_trace_sink()
+            .expect("sink installed above")
+            .into_any()
+            .downcast::<MemorySink>()
+            .expect("sink is a MemorySink");
+        let stats = machine.stats();
+        let lanes = machine.lanes();
+        if json {
+            json_entries.push(Json::obj([
+                ("name", Json::str(scenario.name)),
+                (
+                    "report",
+                    fearless_obs::report_json(scenario.name, stats, lanes),
+                ),
+            ]));
+        } else {
+            out.push_str(&fearless_obs::render_report(scenario.name, stats, lanes));
+            out.push('\n');
+        }
+        if obs.is_some() {
+            let journal = fearless_obs::Journal::from_run(&sink, lanes, stats);
+            journal_entries.push(Json::obj([
+                ("name", Json::str(scenario.name)),
+                ("journal", journal.to_json_value()),
+            ]));
+        }
+        if trace_out.is_some() {
+            trace_events.extend(fearless_obs::perfetto::run_events_pid(
+                &sink,
+                lanes,
+                2 + i as u64,
+                scenario.name,
+            ));
+        }
+    }
+    if let Some(path) = obs {
+        let doc = Json::obj([
+            ("schema", Json::str("fearless-obs-corpus/1")),
+            ("entries", Json::Arr(journal_entries)),
+        ]);
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write journal `{path}`: {e}"))?;
+    }
+    if let Some(path) = trace_out {
+        let doc = fearless_obs::perfetto::document(trace_events);
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    if json {
+        Ok(Json::obj([
+            ("schema", Json::str("fearless-obs-report-corpus/1")),
+            ("entries", Json::Arr(json_entries)),
+        ])
+        .render())
+    } else {
+        Ok(out)
+    }
+}
+
+/// Runs `fearlessc bench-diff`: compare two BENCH_*.json counter
+/// documents. A regression beyond the threshold renders the report as
+/// the error (exit status 1) — the CI gate.
+fn bench_diff_command(
+    old_text: &str,
+    new_text: &str,
+    threshold_pct: u64,
+    json: bool,
+) -> Result<String, String> {
+    let old = fearless_incr::parse_json(old_text).ok_or("old document is not valid JSON")?;
+    let new = fearless_incr::parse_json(new_text).ok_or("new document is not valid JSON")?;
+    let report = fearless_obs::bench_diff(&old, &new, threshold_pct);
+    let out = if json {
+        report.to_json_value().render()
+    } else {
+        report.render()
+    };
+    if report.has_regressions() {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+/// Runs `fearlessc strip-nondet`: print the document with every
+/// `_nondet`-tagged field removed.
+fn strip_nondet_command(text: &str) -> Result<String, String> {
+    let doc = fearless_incr::parse_json(text).ok_or("input is not valid JSON")?;
+    Ok(fearless_obs::strip_nondet(&doc).render())
 }
 
 /// Runs `fearlessc flow`: check, compile, classify, and print the
@@ -1253,7 +1694,10 @@ fn profile_corpus(
         let entries = sections
             .iter()
             .map(|(name, sink)| {
-                Json::obj([("name", Json::str(*name)), ("trace", sink.to_json_value())])
+                Json::obj([
+                    ("name", Json::str(*name)),
+                    ("trace", sink.to_json_value_opts(wall_time)),
+                ])
             })
             .collect();
         Ok(Json::obj([
@@ -1298,7 +1742,10 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         | Command::Profile { path: None, .. }
         | Command::Chaos { path: None, .. }
         | Command::Flow { path: None, .. }
-        | Command::Check { path: None, .. } => execute_on_source_with_code(&cmd, ""),
+        | Command::Check { path: None, .. }
+        | Command::Report { path: None, .. }
+        | Command::BenchDiff { .. }
+        | Command::StripNondet { .. } => execute_on_source_with_code(&cmd, ""),
         Command::Verify { path }
         | Command::Lint { path, .. }
         | Command::Explain { path, .. }
@@ -1313,6 +1760,9 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
             path: Some(path), ..
         }
         | Command::Chaos {
+            path: Some(path), ..
+        }
+        | Command::Report {
             path: Some(path), ..
         } => match load_source(path) {
             Ok(src) => execute_on_source_with_code(&cmd, &src),
@@ -1418,7 +1868,9 @@ mod tests {
                 jobs: 1,
                 cache: None,
                 trace: Some("t.json".into()),
-                metrics_json: true
+                metrics_json: true,
+                obs: None,
+                trace_out: None,
             }
         );
     }
@@ -1439,7 +1891,9 @@ mod tests {
                 jobs: 4,
                 cache: Some("/tmp/c".into()),
                 trace: None,
-                metrics_json: false
+                metrics_json: false,
+                obs: None,
+                trace_out: None,
             }
         );
     }
@@ -1475,7 +1929,9 @@ mod tests {
                 sanitize: true,
                 flow_facts: false,
                 trace: None,
-                metrics_json: false
+                metrics_json: false,
+                obs: None,
+                trace_out: None,
             }
         );
     }
@@ -1522,7 +1978,7 @@ mod tests {
                 format: LintFormat::Json,
                 deny_warnings: true,
                 trace: None,
-                metrics_json: false
+                metrics_json: false,
             }
         );
     }
@@ -1588,6 +2044,8 @@ mod tests {
             cache: None,
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         }
     }
 
@@ -1604,6 +2062,8 @@ mod tests {
             flow_facts: false,
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let out = execute_on_source(&run, PROGRAM).unwrap();
         assert!(out.contains("= 42"), "{out}");
@@ -1698,6 +2158,8 @@ mod tests {
             flow_facts: false,
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let out = execute_on_source(&run, PROGRAM).unwrap();
         assert!(out.contains("domination sanitizer"), "{out}");
@@ -1714,6 +2176,8 @@ mod tests {
             cache: None,
             trace: None,
             metrics_json: true,
+            obs: None,
+            trace_out: None,
         };
         let a = execute_on_source(&cmd, PROGRAM).unwrap();
         let b = execute_on_source(&cmd, PROGRAM).unwrap();
@@ -1734,6 +2198,8 @@ mod tests {
             flow_facts: false,
             trace: None,
             metrics_json: true,
+            obs: None,
+            trace_out: None,
         };
         let a = execute_on_source(&cmd, PROGRAM).unwrap();
         let b = execute_on_source(&cmd, PROGRAM).unwrap();
@@ -1776,6 +2242,8 @@ mod tests {
             cache: None,
             trace: Some(path.to_string_lossy().into_owned()),
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let out = execute_on_source(&cmd, PROGRAM).unwrap();
         assert!(out.contains("ok:"), "{out}");
@@ -1843,6 +2311,8 @@ mod tests {
             cache: None,
             trace: None,
             metrics_json: true,
+            obs: None,
+            trace_out: None,
         };
         let serial = check_with_jobs(1);
         let parallel = check_with_jobs(4);
@@ -1863,13 +2333,29 @@ mod tests {
             cache: Some(dir.to_string_lossy().into_owned()),
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let cold = execute_on_source(&cmd, PROGRAM).unwrap();
         assert!(dir.join("check-cache.json").is_file(), "cache persisted");
         let warm = execute_on_source(&cmd, PROGRAM).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
-        assert_eq!(cold, warm, "cache warmth must not change the report");
+        // The `cache:` summary line intentionally reflects warmth (hits
+        // change between the runs); everything else must be identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&cold),
+            strip(&warm),
+            "cache warmth must not change the report"
+        );
         assert!(cold.contains("ok: 2 function(s)"), "{cold}");
+        assert!(cold.contains("cache: "), "{cold}");
+        assert!(warm.contains("hit(s)"), "{warm}");
     }
 
     #[test]
@@ -1883,6 +2369,8 @@ mod tests {
             cache: None,
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let out = execute_on_source(&cmd, "").unwrap();
         for entry in fearless_corpus::all_entries() {
@@ -1909,6 +2397,8 @@ mod tests {
             cache: Some(dir.to_string_lossy().into_owned()),
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let bad = "def f(x: int) : bool { x }";
         let cold = execute_on_source(&cmd, bad).unwrap_err();
@@ -1991,6 +2481,8 @@ mod tests {
             flow_facts: true,
             trace: None,
             metrics_json: false,
+            obs: None,
+            trace_out: None,
         };
         let out = execute_on_source(&run, src).unwrap();
         assert!(out.contains("= 7"), "{out}");
@@ -2035,5 +2527,189 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&cold), strip(&warm));
+    }
+
+    #[test]
+    fn check_cache_prints_cache_summary_line() {
+        let dir = temp_cache_dir("summary");
+        let cmd = Command::Check {
+            path: Some(String::new()),
+            corpus: false,
+            mode: CheckerMode::Tempered,
+            no_oracle: false,
+            jobs: 1,
+            cache: Some(dir.to_string_lossy().into_owned()),
+            trace: None,
+            metrics_json: false,
+            obs: None,
+            trace_out: None,
+        };
+        let cold = execute_on_source(&cmd, PROGRAM).unwrap();
+        let warm = execute_on_source(&cmd, PROGRAM).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            cold.contains("cache: 0 hit(s), 2 miss(es), 0 invalidation(s)"),
+            "{cold}"
+        );
+        assert!(
+            warm.contains("cache: 2 hit(s), 0 miss(es), 0 invalidation(s)"),
+            "{warm}"
+        );
+    }
+
+    fn temp_file(tag: &str, contents: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("fearless-cli-obs-{tag}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    /// The journal satellite's core acceptance criterion: the `--obs`
+    /// journal is byte-identical across cold/warm (cache) and
+    /// serial/parallel (jobs) corpus checks.
+    #[test]
+    fn obs_journal_is_byte_identical_across_warmth_and_jobs() {
+        let dir = temp_cache_dir("obs-journal");
+        let journal = |jobs: usize, cache: Option<&std::path::Path>| {
+            let path = std::env::temp_dir().join(format!(
+                "fearless-cli-obs-journal-{jobs}-{}-{}.json",
+                cache.is_some(),
+                std::process::id()
+            ));
+            let cmd = Command::Check {
+                path: None,
+                corpus: true,
+                mode: CheckerMode::Tempered,
+                no_oracle: false,
+                jobs,
+                cache: cache.map(|c| c.to_string_lossy().into_owned()),
+                trace: None,
+                metrics_json: false,
+                obs: Some(path.to_string_lossy().into_owned()),
+                trace_out: None,
+            };
+            execute_on_source(&cmd, "").unwrap();
+            let out = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            out
+        };
+        let serial = journal(1, None);
+        let parallel = journal(4, None);
+        let cold = journal(1, Some(&dir));
+        let warm = journal(1, Some(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(serial.contains("\"fearless-obs/1\""), "{serial}");
+        assert_eq!(serial, parallel, "journal must not depend on job count");
+        assert_eq!(cold, warm, "journal must not depend on cache warmth");
+        assert_eq!(serial, cold, "journal must not depend on caching at all");
+    }
+
+    #[test]
+    fn run_trace_out_writes_perfetto_document() {
+        let path = std::env::temp_dir().join(format!(
+            "fearless-cli-obs-perfetto-{}.json",
+            std::process::id()
+        ));
+        let cmd = Command::Run {
+            path: String::new(),
+            entry: "double".into(),
+            args: vec![21],
+            unchecked: false,
+            sanitize: false,
+            flow_facts: false,
+            trace: None,
+            metrics_json: false,
+            obs: None,
+            trace_out: Some(path.to_string_lossy().into_owned()),
+        };
+        let out = execute_on_source(&cmd, PROGRAM).unwrap();
+        assert!(out.contains("= 42"), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(written.contains("\"traceEvents\""), "{written}");
+        assert!(written.contains("thread_name"), "{written}");
+    }
+
+    #[test]
+    fn report_corpus_covers_every_scenario_and_is_deterministic() {
+        let cmd = Command::Report {
+            path: None,
+            corpus: true,
+            entry: None,
+            args: Vec::new(),
+            sanitize: false,
+            flow_facts: false,
+            json: false,
+            obs: None,
+            trace_out: None,
+        };
+        let a = execute_on_source(&cmd, "").unwrap();
+        let b = execute_on_source(&cmd, "").unwrap();
+        assert_eq!(a, b, "report must be deterministic");
+        for scenario in fearless_chaos::all_scenarios() {
+            assert!(
+                a.contains(&format!("report: {}", scenario.name)),
+                "missing {}: {a}",
+                scenario.name
+            );
+        }
+        assert!(a.contains("peak_mb"), "{a}");
+        assert!(
+            a.lines().any(|l| l.trim_start().starts_with("total")),
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn bench_diff_gates_on_injected_regression() {
+        let old = temp_file(
+            "diff-old.json",
+            "{\n  \"walks\": 100,\n  \"t_nondet\": 5\n}\n",
+        );
+        let new = temp_file(
+            "diff-new.json",
+            "{\n  \"walks\": 150,\n  \"t_nondet\": 900\n}\n",
+        );
+        let args: Vec<String> = ["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (result, code) = main_with_code(&args);
+        assert_eq!(code, 1, "injected regression must exit nonzero");
+        let rendered = result.unwrap_err();
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(rendered.contains("walks"), "{rendered}");
+        // The nondet counter is informational, never a regression.
+        assert!(rendered.contains("info"), "{rendered}");
+
+        // Identical documents pass with exit 0.
+        let args: Vec<String> = ["bench-diff", old.to_str().unwrap(), old.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (result, code) = main_with_code(&args);
+        let _ = std::fs::remove_file(&old);
+        let _ = std::fs::remove_file(&new);
+        assert_eq!(code, 0);
+        assert!(result.unwrap().contains(": ok"), "diff must pass");
+    }
+
+    #[test]
+    fn strip_nondet_removes_only_tagged_keys() {
+        let input = temp_file(
+            "strip.json",
+            "{\n  \"steps\": 3,\n  \"wall_micros_nondet\": 99,\n  \"nested\": {\n    \"rate_nondet\": 1,\n    \"kept\": 2\n  }\n}\n",
+        );
+        let args: Vec<String> = ["strip-nondet", input.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (result, code) = main_with_code(&args);
+        let _ = std::fs::remove_file(&input);
+        assert_eq!(code, 0);
+        let out = result.unwrap();
+        assert!(!out.contains("nondet"), "{out}");
+        assert!(out.contains("\"steps\": 3"), "{out}");
+        assert!(out.contains("\"kept\": 2"), "{out}");
     }
 }

@@ -1,0 +1,41 @@
+//! # fearless-obs
+//!
+//! Deterministic telemetry for the fearless-concurrency reproduction —
+//! the substrate the ROADMAP's scale items (`fearlessc serve`, the
+//! thousands-of-machines runtime) report through. Layered over
+//! `fearless-trace`'s span/counter collection, this crate adds the
+//! *renderings* that make the numbers operable:
+//!
+//! * [`Journal`] — a structured event journal (schema `fearless-obs/1`)
+//!   stamped with a monotonic logical clock: definition-order sequence
+//!   for checking, scheduler step for the runtime. Byte-identical
+//!   across cold/warm/serial/parallel runs, so CI diffs it verbatim.
+//! * [`Histogram`] / [`HistogramSet`] — log-bucketed (powers-of-two)
+//!   distributions over deterministic work units, with an associative
+//!   merge so per-worker shards fold into one byte-stable aggregate.
+//! * [`perfetto`] — a Chrome trace-event exporter (`--trace-out`):
+//!   one lane per pipeline phase, one lane per runtime machine, logical
+//!   time mapped to microseconds. Loadable in `ui.perfetto.dev`.
+//! * [`report`] — the `fearlessc report` renderer over the runtime's
+//!   per-machine [`fearless_runtime::LaneStats`] lanes.
+//! * [`diff`] — the `fearlessc bench-diff` regression differ over
+//!   BENCH_*.json counter documents, plus the `_nondet` stripper the
+//!   CI determinism gate uses.
+//!
+//! Everything here is wall-clock-free by construction: wall times only
+//! ever appear under keys tagged with the
+//! [`diff::NONDET_SUFFIX`] convention, and the differ and stripper
+//! treat those as informational.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod hist;
+pub mod journal;
+pub mod perfetto;
+pub mod report;
+
+pub use diff::{bench_diff, strip_nondet, DiffReport, Verdict};
+pub use hist::{bucket_hi, bucket_index, bucket_lo, Histogram, HistogramSet};
+pub use journal::{Journal, JournalEntry, SCHEMA};
+pub use report::{render_report, report_json};

@@ -1,0 +1,134 @@
+//! Per-machine telemetry lanes.
+//!
+//! The scheduler steps many "machines" (threads in the paper's §7
+//! terminology); aggregate [`crate::Stats`] answers *how much* work the
+//! run did, while a [`LaneStats`] per machine answers *who* did it —
+//! which machine processed the messages, whose mailbox backed up, and
+//! which machine paid for the domination-sanitizer walks. `fearlessc
+//! report` renders these lanes as a top-style table, and the Perfetto
+//! exporter in `fearless-obs` turns them into one timeline lane per
+//! machine.
+//!
+//! Every counter is a deterministic work unit (no wall clock): two runs
+//! of the same program under the same schedule produce byte-identical
+//! lanes.
+
+use fearless_trace::Json;
+
+/// Telemetry counters for one machine (thread), all in deterministic
+/// work units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Instructions this machine executed.
+    pub steps: u64,
+    /// Messages this machine sent.
+    pub sends: u64,
+    /// Messages this machine received (processed).
+    pub recvs: u64,
+    /// Largest number of senders found blocked on a channel at the
+    /// moment this machine completed a receive — its peak mailbox depth.
+    pub peak_mailbox_depth: u64,
+    /// Total scheduler steps messages spent blocked between the send
+    /// and this machine's matching receive (mailbox residence).
+    pub mailbox_wait_steps: u64,
+    /// `if disconnected` checks this machine executed.
+    pub disconnect_checks: u64,
+    /// Objects visited by this machine's disconnection checks.
+    pub disconnect_visited: u64,
+    /// Full sanitizer heap walks attributed to this machine's steps.
+    pub sanitize_walks: u64,
+    /// Partial (touched-set) sanitizer walks attributed to this machine.
+    pub sanitize_partial_walks: u64,
+    /// Sanitizer walks skipped on this machine's statically `Safe` steps.
+    pub sanitize_skipped: u64,
+    /// `iso` edges checked by sanitizer walks on this machine's steps.
+    pub sanitize_edges: u64,
+}
+
+impl LaneStats {
+    /// Every counter as a `(name, value)` pair, in declaration order —
+    /// the single source of truth for serialization and for the
+    /// `report` table. A field added to the struct without extending
+    /// this table fails the exhaustiveness test in `machine.rs` at
+    /// compile time.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("steps", self.steps),
+            ("sends", self.sends),
+            ("recvs", self.recvs),
+            ("peak_mailbox_depth", self.peak_mailbox_depth),
+            ("mailbox_wait_steps", self.mailbox_wait_steps),
+            ("disconnect_checks", self.disconnect_checks),
+            ("disconnect_visited", self.disconnect_visited),
+            ("sanitize_walks", self.sanitize_walks),
+            ("sanitize_partial_walks", self.sanitize_partial_walks),
+            ("sanitize_skipped", self.sanitize_skipped),
+            ("sanitize_edges", self.sanitize_edges),
+        ]
+    }
+
+    /// The lane as a JSON object (declaration order, deterministic).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(self.fields().map(|(k, v)| (k, Json::U64(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_json_is_deterministic_and_exhaustive() {
+        let lane = LaneStats {
+            steps: 1,
+            sends: 2,
+            recvs: 3,
+            peak_mailbox_depth: 4,
+            mailbox_wait_steps: 5,
+            disconnect_checks: 6,
+            disconnect_visited: 7,
+            sanitize_walks: 8,
+            sanitize_partial_walks: 9,
+            sanitize_skipped: 10,
+            sanitize_edges: 11,
+        };
+        let json = lane.to_json_value().render();
+        assert_eq!(json, lane.to_json_value().render());
+        for (name, value) in lane.fields() {
+            assert!(json.contains(&format!("\"{name}\": {value}")), "{json}");
+        }
+    }
+
+    #[test]
+    fn lane_fields_are_exhaustive() {
+        // Full destructuring (no `..`): adding a LaneStats field without
+        // deciding how it serializes fails to compile here.
+        let LaneStats {
+            steps,
+            sends,
+            recvs,
+            peak_mailbox_depth,
+            mailbox_wait_steps,
+            disconnect_checks,
+            disconnect_visited,
+            sanitize_walks,
+            sanitize_partial_walks,
+            sanitize_skipped,
+            sanitize_edges,
+        } = LaneStats::default();
+        let bound = [
+            steps,
+            sends,
+            recvs,
+            peak_mailbox_depth,
+            mailbox_wait_steps,
+            disconnect_checks,
+            disconnect_visited,
+            sanitize_walks,
+            sanitize_partial_walks,
+            sanitize_skipped,
+            sanitize_edges,
+        ];
+        assert_eq!(bound.len(), LaneStats::default().fields().len());
+    }
+}

@@ -40,6 +40,7 @@ pub mod error;
 pub mod flow;
 pub mod heap;
 pub mod ir;
+pub mod lanes;
 pub mod machine;
 pub mod sanitize;
 pub mod schedule;
@@ -53,6 +54,7 @@ pub use error::RuntimeError;
 pub use flow::{FlowIndex, StepSafety};
 pub use heap::{Heap, Object, StructLayout, TypeTable};
 pub use ir::{CompiledFn, CompiledProgram, Inst};
+pub use lanes::LaneStats;
 pub use machine::{Machine, MachineConfig, Stats, Thread, ThreadStatus};
 pub use sanitize::{check_domination, check_domination_touched, DominationViolation};
 pub use schedule::{RoundRobin, Schedule, SeededRandom};

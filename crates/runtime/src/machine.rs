@@ -99,6 +99,13 @@ pub struct Stats {
     /// as [`StepSafety::RegionLocal`]: only `iso` edges whose subgraph
     /// reaches a touched object were re-checked.
     pub sanitize_partial_walks: u64,
+    /// Machines (threads) spawned over the run's lifetime.
+    pub machines: u64,
+    /// Largest number of senders found blocked on one channel at any
+    /// delivery — the run-wide peak mailbox depth (see
+    /// [`crate::lanes::LaneStats::peak_mailbox_depth`] for the
+    /// per-machine attribution).
+    pub peak_mailbox_depth: u64,
 }
 
 impl Stats {
@@ -106,7 +113,7 @@ impl Stats {
     /// single source of truth for serialization: a field added to the
     /// struct without extending this table fails the exhaustiveness test
     /// below.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("steps", self.steps),
             ("field_reads", self.field_reads),
@@ -122,6 +129,8 @@ impl Stats {
             ("sanitize_walks", self.sanitize_walks),
             ("sanitize_skipped", self.sanitize_skipped),
             ("sanitize_partial_walks", self.sanitize_partial_walks),
+            ("machines", self.machines),
+            ("peak_mailbox_depth", self.peak_mailbox_depth),
         ]
     }
 
@@ -164,6 +173,9 @@ pub struct Thread {
     frames: Vec<Frame>,
     status: ThreadStatus,
     reservation: HashSet<ObjId>,
+    /// Step count at which the thread last blocked on a channel; the
+    /// difference at delivery is the message's mailbox residence.
+    blocked_at: u64,
 }
 
 impl Thread {
@@ -193,6 +205,8 @@ pub struct Machine {
     threads: Vec<Thread>,
     config: MachineConfig,
     stats: Stats,
+    /// Per-machine telemetry, index-aligned with `threads`.
+    lanes: Vec<crate::lanes::LaneStats>,
     /// The scheduling policy. Built from the config (round-robin, or
     /// seeded-random with `random_schedule`) and replaceable via
     /// [`Machine::set_schedule`] for adversarial exploration.
@@ -254,6 +268,7 @@ impl Machine {
             threads: Vec::new(),
             config,
             stats: Stats::default(),
+            lanes: Vec::new(),
             schedule,
             sink: None,
             flow: None,
@@ -320,6 +335,11 @@ impl Machine {
         &self.stats
     }
 
+    /// Per-machine telemetry lanes, index-aligned with thread ids.
+    pub fn lanes(&self) -> &[crate::lanes::LaneStats] {
+        &self.lanes
+    }
+
     /// The compiled program.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
@@ -371,7 +391,10 @@ impl Machine {
             }],
             status: ThreadStatus::Runnable,
             reservation,
+            blocked_at: 0,
         });
+        self.lanes.push(crate::lanes::LaneStats::default());
+        self.stats.machines += 1;
         Ok(self.threads.len() - 1)
     }
 
@@ -483,6 +506,7 @@ impl Machine {
     /// Executes one instruction of thread `tid`.
     pub fn step(&mut self, tid: usize) -> Result<(), RuntimeError> {
         self.stats.steps += 1;
+        self.lanes[tid].steps += 1;
         let frame = self.threads[tid]
             .frames
             .last()
@@ -648,10 +672,12 @@ impl Machine {
                     }
                 }
                 self.threads[tid].status = ThreadStatus::BlockedSend(ch, v);
+                self.threads[tid].blocked_at = self.stats.steps;
                 self.try_rendezvous(ch)?;
             }
             Inst::Recv(ch) => {
                 self.threads[tid].status = ThreadStatus::BlockedRecv(ch);
+                self.threads[tid].blocked_at = self.stats.steps;
                 self.try_rendezvous(ch)?;
             }
             Inst::Disconnected => {
@@ -681,10 +707,14 @@ impl Machine {
                     }
                 };
                 self.stats.disconnect_visited += outcome.visited as u64;
+                self.lanes[tid].disconnect_checks += 1;
+                self.lanes[tid].disconnect_visited += outcome.visited as u64;
                 if let Some(sink) = self.sink.as_mut() {
                     sink.event(
                         "disconnect",
                         &[
+                            ("step", self.stats.steps),
+                            ("machine", tid as u64),
                             ("visited", outcome.visited as u64),
                             ("disconnected", u64::from(outcome.disconnected)),
                         ],
@@ -701,19 +731,25 @@ impl Machine {
             let outcome = match safety {
                 StepSafety::Safe => {
                     self.stats.sanitize_skipped += 1;
+                    self.lanes[tid].sanitize_skipped += 1;
                     Ok(0)
                 }
                 StepSafety::RegionLocal => {
                     self.stats.sanitize_partial_walks += 1;
+                    self.lanes[tid].sanitize_partial_walks += 1;
                     crate::sanitize::check_domination_touched(&self.heap, &touched)
                 }
                 StepSafety::Unknown => {
                     self.stats.sanitize_walks += 1;
+                    self.lanes[tid].sanitize_walks += 1;
                     crate::sanitize::check_domination(&self.heap)
                 }
             };
             match outcome {
-                Ok(edges) => self.stats.sanitize_checks += edges as u64,
+                Ok(edges) => {
+                    self.stats.sanitize_checks += edges as u64;
+                    self.lanes[tid].sanitize_edges += edges as u64;
+                }
                 Err(violation) => return Err(RuntimeError::DominationFault(Box::new(violation))),
             }
             // Differential oracle: the classified check passed; the full
@@ -804,6 +840,9 @@ impl Machine {
         };
         let (s, r) = self.schedule.pick_pair(&senders, &receivers);
         debug_assert!(senders.contains(&s) && receivers.contains(&r));
+        // Mailbox depth at delivery: every sender still blocked on this
+        // channel, including the one about to be paired.
+        let depth = senders.len() as u64;
         let ThreadStatus::BlockedSend(_, value) =
             std::mem::replace(&mut self.threads[s].status, ThreadStatus::Runnable)
         else {
@@ -819,8 +858,26 @@ impl Machine {
         }
         self.stats.sends += 1;
         self.stats.recvs += 1;
+        self.stats.peak_mailbox_depth = self.stats.peak_mailbox_depth.max(depth);
+        // Mailbox residence: scheduler steps the message waited between
+        // the sender blocking and this delivery.
+        let waited = self.stats.steps.saturating_sub(self.threads[s].blocked_at);
+        self.lanes[s].sends += 1;
+        self.lanes[r].recvs += 1;
+        self.lanes[r].peak_mailbox_depth = self.lanes[r].peak_mailbox_depth.max(depth);
+        self.lanes[r].mailbox_wait_steps += waited;
         if let Some(sink) = self.sink.as_mut() {
-            sink.event("message", &[("channel", u64::from(ch))]);
+            sink.event(
+                "message",
+                &[
+                    ("step", self.stats.steps),
+                    ("channel", u64::from(ch)),
+                    ("from", s as u64),
+                    ("to", r as u64),
+                    ("depth", depth),
+                    ("waited", waited),
+                ],
+            );
         }
         // Sender's send(...) evaluates to unit; receiver's recv(...) to the
         // value.
@@ -1063,12 +1120,14 @@ mod tests {
             sanitize_walks: 12,
             sanitize_skipped: 13,
             sanitize_partial_walks: 14,
+            machines: 15,
+            peak_mailbox_depth: 16,
         };
         let fields = s.fields();
         let names: std::collections::BTreeSet<&str> = fields.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), fields.len(), "duplicate field name");
         let sum: u64 = fields.iter().map(|(_, v)| *v).sum();
-        assert_eq!(sum, (1..=14).sum::<u64>(), "a field is missing or repeated");
+        assert_eq!(sum, (1..=16).sum::<u64>(), "a field is missing or repeated");
         let json = s.to_json();
         assert_eq!(json, s.to_json());
         assert!(json.contains("\"reservation_failures\": 10"), "{json}");

@@ -50,6 +50,16 @@ impl ScopeMetrics {
     /// JSON object for this scope (counters sorted, events in order; no
     /// wall-clock times).
     pub fn to_json_value(&self) -> Json {
+        self.to_json_value_opts(false)
+    }
+
+    /// Like [`ScopeMetrics::to_json_value`], but with `wall_time` the
+    /// span's wall-clock nanoseconds are included under the key
+    /// `wall_nanos_nondet`. The `_nondet` suffix is the workspace-wide
+    /// convention for non-deterministic fields: `fearlessc
+    /// strip-nondet` removes exactly these keys, which is how the CI
+    /// determinism diff compares wall-timed output.
+    pub fn to_json_value_opts(&self, wall_time: bool) -> Json {
         let counters = Json::Obj(
             self.counters
                 .iter()
@@ -75,12 +85,17 @@ impl ScopeMetrics {
                 })
                 .collect(),
         );
-        Json::obj([
-            ("phase", Json::str(&self.phase)),
-            ("name", Json::str(&self.name)),
-            ("counters", counters),
-            ("events", events),
-        ])
+        let mut fields = vec![
+            ("phase".to_string(), Json::str(&self.phase)),
+            ("name".to_string(), Json::str(&self.name)),
+            ("counters".to_string(), counters),
+            ("events".to_string(), events),
+        ];
+        if wall_time {
+            let nanos = u64::try_from(self.nanos).unwrap_or(u64::MAX);
+            fields.push(("wall_nanos_nondet".to_string(), Json::U64(nanos)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -138,11 +153,23 @@ impl MemorySink {
 
     /// The full trace as a JSON value (schema `fearless-trace/1`).
     pub fn to_json_value(&self) -> Json {
+        self.to_json_value_opts(false)
+    }
+
+    /// Like [`MemorySink::to_json_value`], but with `wall_time` each
+    /// scope carries its wall-clock nanoseconds under
+    /// `wall_nanos_nondet` (see [`ScopeMetrics::to_json_value_opts`]).
+    pub fn to_json_value_opts(&self, wall_time: bool) -> Json {
         Json::obj([
             ("schema", Json::str("fearless-trace/1")),
             (
                 "scopes",
-                Json::Arr(self.scopes.iter().map(|s| s.to_json_value()).collect()),
+                Json::Arr(
+                    self.scopes
+                        .iter()
+                        .map(|s| s.to_json_value_opts(wall_time))
+                        .collect(),
+                ),
             ),
             (
                 "totals",
@@ -239,6 +266,27 @@ mod tests {
         assert!(!one.contains("nanos"), "{one}");
         // Counters sorted by name regardless of emission order.
         assert!(one.find("\"a\": 2").unwrap() < one.find("\"z\": 1").unwrap());
+    }
+
+    #[test]
+    fn wall_time_only_appears_under_nondet_tag() {
+        let mut m = MemorySink::new();
+        m.span_enter("check", "f");
+        m.add("c", 1);
+        m.span_exit();
+        let plain = m.to_json();
+        assert!(!plain.contains("nondet"), "{plain}");
+        let timed = m.to_json_value_opts(true).render();
+        assert!(timed.contains("\"wall_nanos_nondet\""), "{timed}");
+        // Everything except the tagged keys is identical bytes.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("_nondet"))
+                .map(|l| l.trim_end_matches(','))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&plain), strip(&timed));
     }
 
     #[test]
