@@ -110,4 +110,48 @@ fn main() {
          compare with `fearlessc bench-diff`)",
         obs_json.len()
     );
+
+    println!(
+        "\n== E13: synthesized-corpus scaling, topological batched scheduler (fearless-synth) =="
+    );
+    let synth = fearless_bench::synth_snapshot(4, 1000);
+    println!(
+        "seed {}: {} functions ({} generated), {} level(s), {} batch(es), {} edge(s), {} cyclic",
+        synth.seed,
+        synth.total_functions,
+        synth.generated,
+        synth.sched_levels,
+        synth.sched_batches,
+        synth.sched_edges,
+        synth.sched_cyclic
+    );
+    println!(
+        "cost model (x{} workers): work {} / makespan {} = {:.2}x speedup (gate: >= 2.00x)",
+        synth.jobs,
+        synth.model_total_work,
+        synth.model_makespan,
+        synth.model_speedup_x100 as f64 / 100.0
+    );
+    println!(
+        "wall: serial {}us  parallel {}us  cold {}us  warm {}us  journals identical: {}",
+        synth.serial_micros,
+        synth.parallel_micros,
+        synth.cold_micros,
+        synth.warm_micros,
+        synth.journal_identical
+    );
+    // These two are the experiment's hard claims; fail the whole run
+    // rather than write a BENCH document that quietly violates them.
+    assert!(
+        synth.journal_identical,
+        "E13: serial/parallel/cold/warm journals diverged"
+    );
+    assert!(
+        synth.model_speedup_x100 >= 200,
+        "E13: modeled parallel speedup {:.2}x below the 2x gate",
+        synth.model_speedup_x100 as f64 / 100.0
+    );
+    let synth_json = fearless_bench::render_synth_snapshot(&synth);
+    std::fs::write("BENCH_synth.json", &synth_json).expect("write BENCH_synth.json");
+    println!("wrote BENCH_synth.json ({} bytes)", synth_json.len());
 }

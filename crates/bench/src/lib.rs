@@ -517,6 +517,161 @@ pub fn render_incr_snapshot(s: &IncrSnapshot) -> String {
     .render()
 }
 
+/// E13 measurements: the synthesized-corpus scaling experiment — the
+/// `fearless-incr` driver over a ≥1000-function `fearless-synth`
+/// program, serial vs. parallel vs. cold/warm cached, with the
+/// topological scheduler's deterministic cost model and the
+/// `fearless-obs` journal-identity check.
+#[derive(Debug, Clone)]
+pub struct SynthSnapshot {
+    /// Synthesizer seed.
+    pub seed: u64,
+    /// Generated definitions requested.
+    pub generated: u64,
+    /// Total functions in the program (prelude + generated).
+    pub total_functions: u64,
+    /// Worker threads used for the parallel run.
+    pub jobs: usize,
+    /// Topological levels in the parallel schedule.
+    pub sched_levels: u64,
+    /// Batches issued to the pool.
+    pub sched_batches: u64,
+    /// Intra-unit call edges between scheduled jobs.
+    pub sched_edges: u64,
+    /// Jobs sitting in mutual-recursion cycles.
+    pub sched_cyclic: u64,
+    /// Cost model: summed derivation nodes over all jobs.
+    pub model_total_work: u64,
+    /// Cost model: simulated makespan of the batched schedule on
+    /// `jobs` workers (derivation nodes, level barriers).
+    pub model_makespan: u64,
+    /// Cost model: `100 · total_work / makespan` (200 ⇔ 2.00x). This is
+    /// the machine-independent parallel-speedup figure the bench gate
+    /// enforces (≥ 200); wall clock stays `_nondet`-tagged because CI
+    /// runners may be single-core, where wall parallel speedup is
+    /// unmeasurable by construction.
+    pub model_speedup_x100: u64,
+    /// Whether the cold, warm, serial, and parallel `fearless-obs`
+    /// journals were byte-identical (must stay true).
+    pub journal_identical: bool,
+    /// Journal entries (identical across the four runs when
+    /// `journal_identical`).
+    pub journal_entries: u64,
+    /// Serial uncached wall time, micros.
+    pub serial_micros: u128,
+    /// Parallel uncached wall time, micros.
+    pub parallel_micros: u128,
+    /// Cold cache-filling wall time, micros.
+    pub cold_micros: u128,
+    /// Warm all-hits wall time, micros.
+    pub warm_micros: u128,
+}
+
+/// E13: synthesizes a `generated`-function program (seed 42), runs the
+/// incremental driver four ways (serial, parallel, cold-cached,
+/// warm-cached) with journaling, and extracts the deterministic
+/// schedule shape + cost model from the parallel run.
+pub fn synth_snapshot(jobs: usize, generated: usize) -> SynthSnapshot {
+    use fearless_incr::{check_units, sched, DiskCache};
+    use fearless_obs::Journal;
+    use fearless_trace::{MemorySink, Tracer};
+    use std::time::Instant;
+
+    let opts_synth = fearless_synth::SynthOptions {
+        seed: 42,
+        functions: generated,
+        ..fearless_synth::SynthOptions::default()
+    };
+    let program = fearless_synth::synthesize_program(&opts_synth);
+    let total_functions = program.funcs.len() as u64;
+    let units = vec![("synth".to_string(), program)];
+    let opts = CheckerOptions::default();
+
+    let journaled = |jobs: usize, cache: Option<&mut DiskCache>| {
+        let mut sink = MemorySink::new();
+        let t = Instant::now();
+        let run = check_units(&units, &opts, jobs, cache, &mut Tracer::new(&mut sink));
+        let micros = t.elapsed().as_micros();
+        let journal = Journal::from_check_sink(&sink);
+        (run, journal.entries.len() as u64, journal.render(), micros)
+    };
+
+    let (_serial_run, journal_entries, serial_journal, serial_micros) = journaled(1, None);
+    let (parallel_run, _, parallel_journal, parallel_micros) = journaled(jobs, None);
+    let mut cache = DiskCache::ephemeral();
+    let (_, _, cold_journal, cold_micros) = journaled(1, Some(&mut cache));
+    let (_, _, warm_journal, warm_micros) = journaled(1, Some(&mut cache));
+
+    let journal_identical = serial_journal == parallel_journal
+        && serial_journal == cold_journal
+        && serial_journal == warm_journal;
+
+    // Cost each job with its measured derivation nodes and simulate the
+    // parallel plan. Deterministic: schedule and node counts are both
+    // pure functions of the program.
+    let model = sched::cost_model(
+        &parallel_run.schedule,
+        jobs,
+        &mut |ui, fi| match &parallel_run.units[ui].functions[fi].outcome {
+            fearless_incr::CachedOutcome::Ok { nodes, .. } => *nodes,
+            fearless_incr::CachedOutcome::Err { .. } => 1,
+        },
+    );
+
+    let stats = &parallel_run.schedule.stats;
+    SynthSnapshot {
+        seed: opts_synth.seed,
+        generated: generated as u64,
+        total_functions,
+        jobs,
+        sched_levels: stats.levels as u64,
+        sched_batches: stats.batches as u64,
+        sched_edges: stats.edges as u64,
+        sched_cyclic: stats.cyclic as u64,
+        model_total_work: model.total_work,
+        model_makespan: model.makespan,
+        model_speedup_x100: model.speedup_x100,
+        journal_identical,
+        journal_entries,
+        serial_micros,
+        parallel_micros,
+        cold_micros,
+        warm_micros,
+    }
+}
+
+/// Renders a [`SynthSnapshot`] as the `fearless-synth-bench/1` JSON
+/// document the `experiments` binary writes to `BENCH_synth.json`.
+pub fn render_synth_snapshot(s: &SynthSnapshot) -> String {
+    use fearless_trace::Json;
+    Json::obj([
+        ("schema", Json::str("fearless-synth-bench/1")),
+        ("seed", Json::U64(s.seed)),
+        ("generated_functions", Json::U64(s.generated)),
+        ("total_functions", Json::U64(s.total_functions)),
+        ("jobs", Json::U64(s.jobs as u64)),
+        ("sched_levels", Json::U64(s.sched_levels)),
+        ("sched_batches", Json::U64(s.sched_batches)),
+        ("sched_edges", Json::U64(s.sched_edges)),
+        ("sched_cyclic", Json::U64(s.sched_cyclic)),
+        ("model_total_work", Json::U64(s.model_total_work)),
+        ("model_makespan", Json::U64(s.model_makespan)),
+        ("model_speedup_x100", Json::U64(s.model_speedup_x100)),
+        ("journal_identical", Json::Bool(s.journal_identical)),
+        ("journal_entries", Json::U64(s.journal_entries)),
+        // Wall-clock fields carry the `_nondet` suffix: bench-diff
+        // reports them without gating and strip-nondet removes them.
+        ("serial_micros_nondet", Json::U64(s.serial_micros as u64)),
+        (
+            "parallel_micros_nondet",
+            Json::U64(s.parallel_micros as u64),
+        ),
+        ("cold_micros_nondet", Json::U64(s.cold_micros as u64)),
+        ("warm_micros_nondet", Json::U64(s.warm_micros as u64)),
+    ])
+    .render()
+}
+
 /// E11 measurements: the chaos layer's throughput and the per-step
 /// domination-sanitizer's overhead, both under full fault injection.
 /// Oracle counters are exact and deterministic; the timings (and hence

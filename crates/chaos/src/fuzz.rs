@@ -1,5 +1,6 @@
 //! The panic-free-pipeline fuzzer: seeded mutations of real corpus
-//! programs, plus raw byte soup, pushed through the whole toolchain —
+//! programs and `fearless-synth` generated programs, plus raw byte
+//! soup, pushed through the whole toolchain —
 //! lexer → parser → checker → runtime — under a `catch_unwind`
 //! trampoline. The pipeline's contract is *diagnostics, never panics*:
 //! any panic that escapes a stage is an internal compiler error, and
@@ -233,10 +234,25 @@ pub fn pipeline_one(source: &str) -> Result<Stage, &'static str> {
 /// grammar-aware mutations of corpus programs, one quarter raw byte
 /// soup.
 pub fn run_fuzz(cases: u64, base_seed: u64) -> FuzzReport {
-    let corpus: Vec<String> = fearless_corpus::all_entries()
+    let mut corpus: Vec<String> = fearless_corpus::all_entries()
         .into_iter()
         .map(|e| e.source)
         .collect();
+    // Seed the mutation bases with two synthesized programs as well:
+    // generated code reaches annotation combinations (box families,
+    // after-wrappers over motif calls) the hand-written corpus does
+    // not, and mutating from a well-typed base probes deeper pipeline
+    // stages than byte soup. Small sizes keep per-case cost flat;
+    // deriving the synth seeds from `base_seed` keeps the whole run a
+    // pure function of its arguments.
+    for (i, functions) in [12usize, 24].into_iter().enumerate() {
+        corpus.push(fearless_synth::synthesize(&fearless_synth::SynthOptions {
+            seed: base_seed.wrapping_add(i as u64),
+            functions,
+            boxes: 3,
+            ..fearless_synth::SynthOptions::default()
+        }));
+    }
     let mut report = FuzzReport::default();
     for case in 0..cases {
         let seed = base_seed.wrapping_add(case);

@@ -224,6 +224,22 @@ pub enum Command {
         /// Scratch directory for cache drills.
         dir: Option<String>,
     },
+    /// Generate a seeded, deterministic well-typed program
+    /// (`fearless-synth`; see docs/CORPUS.md).
+    Synth {
+        /// RNG seed (same seed ⇒ byte-identical output).
+        seed: u64,
+        /// Generated definitions on top of the motif prelude.
+        functions: usize,
+        /// Maximum generated `syn_box*` struct families.
+        boxes: usize,
+        /// Maximum statements per generated body.
+        max_ops: usize,
+        /// Callee-sampling locality window.
+        window: usize,
+        /// Write the program here instead of stdout.
+        out: Option<String>,
+    },
     /// Print a function's typing derivation.
     Explain {
         /// Source path.
@@ -261,6 +277,8 @@ USAGE:
   fearlessc chaos drills [--dir <dir>] [--seed <n>]
   fearlessc bench-diff <old.json> <new.json> [--threshold <pct>] [--json]
   fearlessc strip-nondet <file>
+  fearlessc synth  [--seed <n>] [--functions <n>] [--boxes <n>] [--max-ops <n>]
+                   [--window <n>] [--out <file>]
   fearlessc explain <file> --fn <name>
   fearlessc table1
 
@@ -300,6 +318,15 @@ USAGE:
   and exits 1 on any regression. strip-nondet prints a JSON document
   with every `_nondet`-tagged (wall-clock) field removed, which is
   how CI byte-diffs wall-timed output.
+
+  synth generates a large, seeded, deterministic well-typed program:
+  the corpus motif libraries (SLL/DLL/red-black tree/message queues)
+  plus --functions <n> generated definitions over a random call graph
+  (grammar and knobs: docs/CORPUS.md). Identical options produce
+  byte-identical source. Every file-taking command accepts `-` for
+  stdin, so the synthesized corpus pipes straight into the checker:
+
+      fearlessc synth --functions 1000 | fearlessc check - --jobs 4
 
   chaos runs the deterministic fault-injection layer: adversarial
   schedules against the soundness oracles (default), whole-pipeline
@@ -417,6 +444,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "verify" => {
             let path = it.next().ok_or("missing file")?.to_string();
             Ok(Command::Verify { path })
+        }
+        "synth" => {
+            let defaults = fearless_synth::SynthOptions::default();
+            let mut seed = defaults.seed;
+            let mut functions = defaults.functions;
+            let mut boxes = defaults.boxes;
+            let mut max_ops = defaults.max_ops;
+            let mut window = defaults.window;
+            let mut out = None;
+            fn num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, String> {
+                v.ok_or(format!("{flag} requires a value"))?
+                    .parse()
+                    .map_err(|_| format!("{flag} requires a non-negative integer"))
+            }
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => seed = num("--seed", it.next())?,
+                    "--functions" => functions = num("--functions", it.next())?,
+                    "--boxes" => boxes = num("--boxes", it.next())?,
+                    "--max-ops" => max_ops = num("--max-ops", it.next())?,
+                    "--window" => window = num("--window", it.next())?,
+                    "--out" => out = Some(it.next().ok_or("--out requires a file")?.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Synth {
+                seed,
+                functions,
+                boxes,
+                max_ops,
+                window,
+                out,
+            })
         }
         "lint" => {
             let mut path = None;
@@ -868,6 +928,34 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Table1 => Ok(fearless_baselines::render_table1()),
+        Command::Synth {
+            seed,
+            functions,
+            boxes,
+            max_ops,
+            window,
+            out,
+        } => {
+            let opts = fearless_synth::SynthOptions {
+                seed: *seed,
+                functions: *functions,
+                boxes: *boxes,
+                max_ops: *max_ops,
+                window: *window,
+            };
+            let source = fearless_synth::synthesize(&opts);
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &source)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    Ok(format!(
+                        "synthesized {} bytes (seed {seed}, {functions} generated functions) to {path}\n",
+                        source.len()
+                    ))
+                }
+                None => Ok(source),
+            }
+        }
         Command::Check {
             corpus,
             mode,
@@ -1745,7 +1833,8 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         | Command::Check { path: None, .. }
         | Command::Report { path: None, .. }
         | Command::BenchDiff { .. }
-        | Command::StripNondet { .. } => execute_on_source_with_code(&cmd, ""),
+        | Command::StripNondet { .. }
+        | Command::Synth { .. } => execute_on_source_with_code(&cmd, ""),
         Command::Verify { path }
         | Command::Lint { path, .. }
         | Command::Explain { path, .. }
@@ -1771,9 +1860,19 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
     }
 }
 
-/// Reads an input file, classifying failures into rendered diagnostics
-/// with distinct exit statuses.
+/// Reads an input file (`-` reads stdin, so `fearlessc synth | fearlessc
+/// check - --jobs 4` pipes a synthesized corpus straight into the
+/// checker), classifying failures into rendered diagnostics with
+/// distinct exit statuses.
 fn load_source(path: &str) -> Result<String, (String, i32)> {
+    if path == "-" {
+        let mut src = String::new();
+        use std::io::Read as _;
+        return std::io::stdin()
+            .read_to_string(&mut src)
+            .map(|_| src)
+            .map_err(|e| (format!("error: cannot read stdin: {e}"), EXIT_UNREADABLE));
+    }
     let bytes = std::fs::read(path).map_err(|e| {
         if e.kind() == std::io::ErrorKind::NotFound {
             (

@@ -20,6 +20,29 @@ struct rb_node {
 struct rbt { iso root : rb_node? }
 ";
 
+/// The shared payload struct exactly as [`RBT_STRUCTS`] declares it.
+pub const RBT_DATA_STRUCT: &str = "
+struct data { value: int }
+";
+
+/// Tree declarations alone — no `data` struct — so the red-black-tree
+/// motif composes with [`crate::STRUCTS`] (which already declares the
+/// payload struct). The corpus synthesizer (`fearless-synth`) builds
+/// its prelude this way. `RBT_DATA_STRUCT + RBT_TREE_STRUCTS` must
+/// equal [`RBT_STRUCTS`] byte-for-byte (pinned by a test) so the `rbt`
+/// entry's source — and every golden span derived from it — never
+/// moves.
+pub const RBT_TREE_STRUCTS: &str = "
+struct rb_node {
+  key : int;
+  red : bool;
+  iso payload : data;
+  iso left : rb_node?;
+  iso right : rb_node?;
+}
+struct rbt { iso root : rb_node? }
+";
+
 /// The red-black tree library.
 pub const RBT_FUNCS: &str = "
 def rbt_new() : rbt { new rbt(none) }
@@ -254,6 +277,14 @@ mod tests {
     use super::*;
     use fearless_core::CheckerOptions;
     use fearless_runtime::{Machine, Value};
+
+    #[test]
+    fn struct_split_recomposes_byte_identically() {
+        // fearless-synth composes RBT_TREE_STRUCTS with a prelude that
+        // already declares `data`. The split must never drift from the
+        // entry's own source, or golden spans derived from it move.
+        assert_eq!(format!("{RBT_DATA_STRUCT}{RBT_TREE_STRUCTS}"), RBT_STRUCTS);
+    }
 
     #[test]
     fn rbt_checks_under_tempered() {

@@ -25,6 +25,7 @@
 
 pub mod disk;
 pub mod pool;
+pub mod sched;
 
 use fearless_core::env::Globals;
 use fearless_core::{check, CacheStats, CheckerOptions, Fingerprint, TypeError};
@@ -151,6 +152,10 @@ pub struct CheckRun {
     pub units: Vec<UnitReport>,
     /// Cache traffic for this run (all zeros when no cache was given).
     pub stats: CacheStats,
+    /// The topological/batched issue plan the misses ran under (empty
+    /// when everything hit the cache). Deterministic: replanning the
+    /// same misses yields the same schedule.
+    pub schedule: sched::Schedule,
 }
 
 /// Checks a set of `(label, program)` units, answering per-function
@@ -237,35 +242,47 @@ pub fn check_units(
         }
     }
 
-    // Phase 2 (parallel): run every miss through the pool. Each job
-    // checks one function with a private sink and returns its
-    // replayable outcome.
-    let mut jobs_list = Vec::new();
+    // Phase 2 (parallel): plan the misses into a topological, batched
+    // schedule (callees issue before callers; small jobs share a batch
+    // so pool overhead amortizes) and run the batches through the pool.
+    // Each batch checks its functions with private sinks and returns
+    // their replayable outcomes; because the checker is
+    // signature-modular the plan only shapes performance, never results.
+    let mut miss_list = Vec::new();
     for (ui, unit) in pending.iter().enumerate() {
         for (fi, (_, _, cached)) in unit.fns.iter().enumerate() {
             if cached.is_none() {
-                jobs_list.push((ui, fi));
+                miss_list.push((ui, fi));
             }
         }
     }
-    let outcomes: Vec<((usize, usize), CachedOutcome)> = {
+    let schedule = sched::plan(units, &miss_list, jobs.max(1));
+    let batch_jobs: Vec<Vec<(usize, usize)>> =
+        schedule.batches.iter().map(|b| b.jobs.clone()).collect();
+    let outcomes: Vec<Vec<((usize, usize), CachedOutcome)>> = {
         let pending = &pending;
-        pool::run_jobs(jobs, jobs_list, move |(ui, fi)| {
-            let unit = &pending[ui];
-            let globals = unit.globals.as_ref().expect("misses imply globals");
-            let def = &units[ui].1.funcs[fi];
-            let outcome = check_one(globals, options, def, want_counters);
-            ((ui, fi), outcome)
+        pool::run_jobs(jobs, batch_jobs, move |batch| {
+            batch
+                .into_iter()
+                .map(|(ui, fi)| {
+                    let unit = &pending[ui];
+                    let globals = unit.globals.as_ref().expect("misses imply globals");
+                    let def = &units[ui].1.funcs[fi];
+                    let outcome = check_one(globals, options, def, want_counters);
+                    ((ui, fi), outcome)
+                })
+                .collect()
         })
     };
 
     // Phase 3 (serial): merge outcomes back, replay spans in definition
     // order, and feed fresh results into the cache.
     let mut fresh: std::collections::BTreeMap<(usize, usize), CachedOutcome> =
-        outcomes.into_iter().collect();
+        outcomes.into_iter().flatten().collect();
     let mut run = CheckRun {
         units: Vec::with_capacity(pending.len()),
         stats,
+        schedule,
     };
     for (ui, unit) in pending.into_iter().enumerate() {
         let mut report = UnitReport {

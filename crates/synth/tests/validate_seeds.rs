@@ -1,0 +1,23 @@
+//! Empirical gate: synthesized programs must check cleanly under the
+//! tempered checker across a spread of seeds and sizes.
+
+use fearless_core::CheckerOptions;
+use fearless_synth::{synthesize, SynthOptions};
+
+#[test]
+fn many_seeds_check_cleanly() {
+    for seed in 0..24u64 {
+        let opts = SynthOptions {
+            seed,
+            functions: 80,
+            boxes: 6,
+            max_ops: 4,
+            window: 16,
+        };
+        let src = synthesize(&opts);
+        let program = fearless_syntax::parse_program(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: parse error: {e}\n--- source ---\n{src}"));
+        fearless_core::check_program(&program, &CheckerOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: type error: {e}"));
+    }
+}
