@@ -52,6 +52,37 @@ fn corpus_lint_reports_match_goldens() {
 }
 
 #[test]
+fn synthesized_program_lints_to_its_golden() {
+    // The seeded corpus synthesizer feeds the whole pipeline, so its
+    // output is pinned through lint exactly like the hand-written
+    // corpus entries: seed 42 → check → analyze → byte-compared golden.
+    let src = fearless_synth::synthesize(&fearless_synth::SynthOptions {
+        seed: 42,
+        functions: 24,
+        boxes: 2,
+        max_ops: 4,
+        window: 8,
+    });
+    let program = fearless_syntax::parse_program(&src)
+        .unwrap_or_else(|e| panic!("synth output no longer parses: {}", e.message()));
+    let checked = fearless_core::check_program(&program, &CheckerOptions::default())
+        .unwrap_or_else(|e| panic!("synth output no longer checks: {e:?}"));
+    let report = analyze_program(&checked).expect("analysis failed on synth output");
+    let json = report.to_json(&src);
+    let path = golden_path("synth_seed42");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden for synth_seed42 ({e}); run with BLESS=1"));
+    assert_eq!(
+        expected, json,
+        "synth lint golden drifted (re-bless with BLESS=1 if intentional)"
+    );
+}
+
+#[test]
 fn generated_pathological_programs_analyze_deterministically() {
     use fearless_corpus::pathological;
     for src in [

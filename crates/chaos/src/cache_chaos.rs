@@ -144,6 +144,80 @@ pub fn run_cache_drills(
     Ok(outcomes)
 }
 
+/// Outcome of the concurrent-access drill.
+#[derive(Clone, Debug)]
+pub struct ConcurrencyOutcome {
+    /// Writer threads raced.
+    pub writers: usize,
+    /// Load→check→save rounds each writer ran.
+    pub rounds: usize,
+    /// Total load+save cycles completed.
+    pub cycles: u64,
+    /// Recoveries observed by any racing loader. **Must be 0**: with
+    /// atomic renames, checksums, and the advisory save lock, no
+    /// interleaving of savers and loaders may ever surface a torn or
+    /// corrupt document.
+    pub recoveries: u64,
+    /// Whether the document left behind loads warm.
+    pub final_warm: bool,
+}
+
+/// The two-process drill: `writers` threads race `rounds` rounds of
+/// load → check → save over one cache directory, each round verifying
+/// the loaded document was complete. Extends the corruption matrix with
+/// the *concurrent-access-never-corrupts* contract the advisory save
+/// lock (`fearless_incr::disk`) exists to keep cheap.
+///
+/// # Errors
+///
+/// Propagates panicked writers and save failures.
+pub fn run_concurrency_drill(
+    dir: &Path,
+    units: &[(String, Program)],
+    writers: usize,
+    rounds: usize,
+) -> Result<ConcurrencyOutcome, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let units = std::sync::Arc::new(units.to_vec());
+    let mut handles = Vec::new();
+    for _ in 0..writers.max(1) {
+        let dir = dir.to_path_buf();
+        let units = std::sync::Arc::clone(&units);
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let opts = CheckerOptions::default();
+            let mut cycles = 0u64;
+            let mut recoveries = 0u64;
+            for _ in 0..rounds.max(1) {
+                let mut cache = DiskCache::load(&dir);
+                recoveries += u64::from(cache.recovered_reason().is_some());
+                let _ = check_units(&units, &opts, 1, Some(&mut cache), &mut Tracer::off());
+                cache.save()?;
+                cycles += 1;
+            }
+            Ok((cycles, recoveries))
+        }));
+    }
+    let mut cycles = 0u64;
+    let mut recoveries = 0u64;
+    for h in handles {
+        let (c, r) = h
+            .join()
+            .map_err(|_| "concurrency drill writer panicked".to_string())??;
+        cycles += c;
+        recoveries += r;
+    }
+    let final_warm = DiskCache::load(dir).load_outcome() == fearless_incr::disk::LoadOutcome::Warm;
+    let _ = std::fs::remove_dir_all(dir);
+    Ok(ConcurrencyOutcome {
+        writers: writers.max(1),
+        rounds: rounds.max(1),
+        cycles,
+        recoveries,
+        final_warm,
+    })
+}
+
 /// Convenience: the corpus' accepted entries as check units.
 pub fn corpus_units() -> Vec<(String, Program)> {
     fearless_corpus::accepted_entries()
@@ -184,6 +258,21 @@ mod tests {
             outcomes.iter().filter(|o| o.recovered).count() >= 3,
             "{outcomes:?}"
         );
+    }
+
+    #[test]
+    fn concurrent_access_never_corrupts() {
+        // A few fast units keep the drill quick while still racing
+        // real save/load cycles.
+        let units: Vec<(String, Program)> = corpus_units().into_iter().take(3).collect();
+        let dir = drill_dir("concurrent");
+        let outcome = run_concurrency_drill(&dir, &units, 4, 5).unwrap();
+        assert_eq!(outcome.cycles, 20);
+        assert_eq!(
+            outcome.recoveries, 0,
+            "a racing loader observed a torn document: {outcome:?}"
+        );
+        assert!(outcome.final_warm, "{outcome:?}");
     }
 
     #[test]

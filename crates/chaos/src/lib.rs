@@ -40,7 +40,10 @@ pub mod run;
 pub mod scenario;
 pub mod schedule;
 
-pub use cache_chaos::{inject_corruption, run_cache_drills, DrillOutcome, CORRUPTIONS};
+pub use cache_chaos::{
+    inject_corruption, run_cache_drills, run_concurrency_drill, ConcurrencyOutcome, DrillOutcome,
+    CORRUPTIONS,
+};
 pub use faults::FaultSpec;
 pub use fuzz::{mutate_source, run_fuzz, FuzzReport};
 pub use run::{run_chaos, run_source_chaos, ChaosOptions, ChaosReport, ScenarioReport};

@@ -131,6 +131,9 @@ pub enum Command {
     /// scenario corpus) and render a top-style lane table or machine
     /// JSON (`fearless-obs`).
     Report {
+        /// Render a serve-bench journal as a per-client lane table
+        /// instead of running anything (`fearless-serve`).
+        serve: Option<String>,
         /// Source path (`None` with `--corpus`).
         path: Option<String>,
         /// Run the built-in scenario corpus instead of a file.
@@ -240,6 +243,55 @@ pub enum Command {
         /// Write the program here instead of stdout.
         out: Option<String>,
     },
+    /// Run the compiler-as-a-service daemon (`fearless-serve`).
+    Serve {
+        /// Unix socket path to listen on.
+        socket: String,
+        /// Worker threads computing responses.
+        workers: usize,
+        /// Bounded queue capacity; arrivals past it are shed.
+        queue: usize,
+        /// Directory holding the persistent fingerprint cache (kept hot
+        /// in memory, written back on shutdown).
+        cache: Option<String>,
+        /// Retry-after hint (milliseconds) on `overloaded` responses.
+        retry_after: u64,
+        /// Run the in-process end-to-end self-test instead of serving.
+        once: bool,
+    },
+    /// Drive a running daemon with the seeded load generator
+    /// (`fearless-serve`).
+    ServeBench {
+        /// Daemon socket to connect to.
+        socket: String,
+        /// Concurrent clients.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Distinct synthesized request bodies.
+        bodies: usize,
+        /// Workload seed (same seed ⇒ same requests ⇒ same
+        /// deterministic counters).
+        seed: u64,
+        /// Shed-drill requests beyond the queue capacity.
+        shed_extra: usize,
+        /// Write the fearless-obs/1 journal here.
+        obs: Option<String>,
+        /// Write the BENCH_serve.json document here.
+        out: Option<String>,
+    },
+    /// Send one request to a running daemon and print the response
+    /// body.
+    Client {
+        /// Daemon socket to connect to.
+        socket: String,
+        /// Request kind (`check`/`lint`/`flow`/`profile` or a control
+        /// kind like `ping`, `stats`, `shutdown`).
+        kind: String,
+        /// File holding the request body (`-` for stdin; omitted for
+        /// control kinds).
+        path: Option<String>,
+    },
     /// Print a function's typing derivation.
     Explain {
         /// Source path.
@@ -267,8 +319,14 @@ USAGE:
   fearlessc run    <file> --entry <fn> [--arg <int>]... [--unchecked] [--sanitize-domination]
                    [--flow-facts] [--trace <file>] [--metrics json]
                    [--obs <file>] [--trace-out <file>]
-  fearlessc report (<file> --entry <fn> [--arg <int>]... | --corpus) [--json]
-                   [--sanitize-domination] [--flow-facts] [--obs <file>] [--trace-out <file>]
+  fearlessc report (<file> --entry <fn> [--arg <int>]... | --corpus | --serve <journal>)
+                   [--json] [--sanitize-domination] [--flow-facts] [--obs <file>]
+                   [--trace-out <file>]
+  fearlessc serve  --socket <path> [--workers <n>] [--queue <n>] [--cache <dir>]
+                   [--retry-after <ms>] [--once]
+  fearlessc serve-bench --socket <path> [--clients <n>] [--requests <n>] [--bodies <n>]
+                   [--seed <n>] [--shed-extra <n>] [--obs <file>] [--out <file>]
+  fearlessc client <kind> [<file>] --socket <path>
   fearlessc flow   (<file> | --corpus) [--cache <dir>]
   fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
   fearlessc chaos  (<file> | --corpus) [--seeds <n>] [--faults <spec>] [--fuel <n>]
@@ -327,6 +385,23 @@ USAGE:
   stdin, so the synthesized corpus pipes straight into the checker:
 
       fearlessc synth --functions 1000 | fearlessc check - --jobs 4
+
+  serve runs the long-lived compiler-as-a-service daemon
+  (fearless-serve, docs/SERVE.md): a unix socket speaking
+  length-prefixed JSON (schema fearless-serve/1) over the incremental
+  driver, with the fingerprint cache held hot in memory (--cache seeds
+  it from disk and writes it back on shutdown). Identical request
+  bodies are deduped by content fingerprint and always yield
+  byte-identical responses; arrivals past --queue get a structured
+  `overloaded` response with a retry-after hint, never a hang; SIGTERM
+  or a `shutdown` request drains every queued job before exiting.
+  --once runs the in-process protocol self-test and exits. client
+  sends one request (`fearlessc client check file.fl --socket S`;
+  control kinds: ping, stats, pause, resume, reset, shutdown) and
+  exits 0 on an ok response, 1 otherwise. serve-bench replays a
+  seeded N-clients × M-requests workload, writes the fearless-obs/1
+  journal (--obs) and the bench-diff-gated BENCH_serve.json (--out);
+  report --serve <journal> renders the per-client lane table.
 
   chaos runs the deterministic fault-injection layer: adversarial
   schedules against the soundness oracles (default), whole-pipeline
@@ -588,6 +663,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "report" => {
+            let mut serve = None;
             let mut path = None;
             let mut corpus = false;
             let mut entry = None;
@@ -599,6 +675,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut trace_out = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--serve" => {
+                        serve = Some(it.next().ok_or("--serve requires a journal file")?.clone());
+                    }
                     "--corpus" => corpus = true,
                     "--entry" => entry = it.next().cloned(),
                     "--arg" => {
@@ -616,13 +695,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
-            if corpus == path.is_some() {
-                return Err("report needs a file or --corpus (not both)".to_string());
-            }
-            if !corpus && entry.is_none() {
-                return Err("report <file> requires --entry <fn>".to_string());
+            if serve.is_some() {
+                if corpus || path.is_some() || entry.is_some() {
+                    return Err(
+                        "report --serve takes only a journal file (no source, --corpus, or \
+                         --entry)"
+                            .to_string(),
+                    );
+                }
+            } else {
+                if corpus == path.is_some() {
+                    return Err("report needs a file or --corpus (not both)".to_string());
+                }
+                if !corpus && entry.is_none() {
+                    return Err("report <file> requires --entry <fn>".to_string());
+                }
             }
             Ok(Command::Report {
+                serve,
                 path,
                 corpus,
                 entry,
@@ -787,6 +877,98 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cases,
                 seed,
                 dir,
+            })
+        }
+        "serve" => {
+            let mut socket = None;
+            let mut workers = 2usize;
+            let mut queue = 16usize;
+            let mut cache = None;
+            let mut retry_after = 25u64;
+            let mut once = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(it.next().ok_or("--socket requires a path")?.clone());
+                    }
+                    "--workers" => {
+                        workers = parse_u64(it.next(), "--workers")?.max(1) as usize;
+                    }
+                    "--queue" => {
+                        queue = parse_u64(it.next(), "--queue")?.max(1) as usize;
+                    }
+                    "--cache" => {
+                        cache = Some(it.next().ok_or("--cache requires a directory")?.clone());
+                    }
+                    "--retry-after" => retry_after = parse_u64(it.next(), "--retry-after")?,
+                    "--once" => once = true,
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Serve {
+                socket: socket.ok_or("serve requires --socket <path>")?,
+                workers,
+                queue,
+                cache,
+                retry_after,
+                once,
+            })
+        }
+        "serve-bench" => {
+            let mut socket = None;
+            let mut clients = 4usize;
+            let mut requests = 6usize;
+            let mut bodies = 6usize;
+            let mut seed = 42u64;
+            let mut shed_extra = 4usize;
+            let mut obs = None;
+            let mut out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(it.next().ok_or("--socket requires a path")?.clone());
+                    }
+                    "--clients" => clients = parse_u64(it.next(), "--clients")?.max(1) as usize,
+                    "--requests" => requests = parse_u64(it.next(), "--requests")?.max(1) as usize,
+                    "--bodies" => bodies = parse_u64(it.next(), "--bodies")?.max(1) as usize,
+                    "--seed" => seed = parse_u64(it.next(), "--seed")?,
+                    "--shed-extra" => {
+                        shed_extra = parse_u64(it.next(), "--shed-extra")? as usize;
+                    }
+                    "--obs" => obs = Some(it.next().ok_or("--obs requires a file")?.clone()),
+                    "--out" => out = Some(it.next().ok_or("--out requires a file")?.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::ServeBench {
+                socket: socket.ok_or("serve-bench requires --socket <path>")?,
+                clients,
+                requests,
+                bodies,
+                seed,
+                shed_extra,
+                obs,
+                out,
+            })
+        }
+        "client" => {
+            let mut socket = None;
+            let mut kind = None;
+            let mut path = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(it.next().ok_or("--socket requires a path")?.clone());
+                    }
+                    p if kind.is_none() => kind = Some(p.to_string()),
+                    p if path.is_none() => path = Some(p.to_string()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Client {
+                socket: socket.ok_or("client requires --socket <path>")?,
+                kind: kind.ok_or("client requires a request kind")?,
+                path,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -1128,6 +1310,7 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             finish_trace(&sink, trace.as_deref(), *metrics_json, out)
         }
         Command::Report {
+            serve,
             corpus,
             entry,
             args,
@@ -1137,17 +1320,81 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             obs,
             trace_out,
             ..
-        } => report_command(
-            src,
-            *corpus,
-            entry.as_deref(),
-            args,
-            *sanitize,
-            *flow_facts,
-            *json,
-            obs.as_deref(),
-            trace_out.as_deref(),
-        ),
+        } => {
+            if let Some(journal_path) = serve {
+                let text = load_source(journal_path).map_err(|(m, _)| m)?;
+                return fearless_serve::render_serve_report(&text);
+            }
+            report_command(
+                src,
+                *corpus,
+                entry.as_deref(),
+                args,
+                *sanitize,
+                *flow_facts,
+                *json,
+                obs.as_deref(),
+                trace_out.as_deref(),
+            )
+        }
+        Command::Serve {
+            socket,
+            workers,
+            queue,
+            cache,
+            retry_after,
+            once,
+        } => {
+            let socket = std::path::PathBuf::from(socket);
+            if *once {
+                return fearless_serve::self_test(&socket);
+            }
+            let mut opts = fearless_serve::ServeOptions::new(&socket);
+            opts.workers = *workers;
+            opts.queue_capacity = *queue;
+            opts.cache_dir = cache.as_ref().map(std::path::PathBuf::from);
+            opts.retry_after_millis = *retry_after;
+            let server = fearless_serve::Server::bind(opts)?;
+            server.run()
+        }
+        Command::ServeBench {
+            socket,
+            clients,
+            requests,
+            bodies,
+            seed,
+            shed_extra,
+            obs,
+            out,
+        } => {
+            let opts = fearless_serve::BenchOptions {
+                socket: std::path::PathBuf::from(socket),
+                clients: *clients,
+                requests: *requests,
+                bodies: *bodies,
+                seed: *seed,
+                shed_extra: *shed_extra,
+            };
+            let outcome = fearless_serve::run_bench(&opts)?;
+            if let Some(path) = obs {
+                std::fs::write(path, &outcome.journal_text)
+                    .map_err(|e| format!("cannot write journal `{path}`: {e}"))?;
+            }
+            if let Some(path) = out {
+                std::fs::write(path, &outcome.bench_text)
+                    .map_err(|e| format!("cannot write bench document `{path}`: {e}"))?;
+            }
+            Ok(outcome.summary)
+        }
+        Command::Client { socket, kind, .. } => {
+            let mut client = fearless_serve::Client::connect(std::path::Path::new(socket))?;
+            let response = client.request(kind, src)?;
+            if response.code == 0 {
+                Ok(response.output)
+            } else {
+                Err(response.output)
+            }
+        }
         Command::BenchDiff {
             old,
             new,
@@ -1395,9 +1642,30 @@ fn chaos_command(
                     }
                 );
             }
+            // The two-process drill: racing save/load cycles must never
+            // surface a recovery (the advisory lock + atomic rename +
+            // checksum contract).
+            let concurrency =
+                fearless_chaos::run_concurrency_drill(&dir.join("concurrent"), &units, 4, 3)?;
+            let concurrency_ok = concurrency.recoveries == 0 && concurrency.final_warm;
+            failed += usize::from(!concurrency_ok);
             let _ = writeln!(
                 out,
-                "drills: {} class(es), {recovered} recover(ies), seed {seed}",
+                "drill {:<12} {:<32} {}",
+                "concurrent",
+                format!(
+                    "{} writer(s) × {} round(s)",
+                    concurrency.writers, concurrency.rounds
+                ),
+                if concurrency_ok {
+                    "no torn loads, final document warm"
+                } else {
+                    "A RACING LOADER SAW A TORN DOCUMENT"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "drills: {} class(es) + concurrency, {recovered} recover(ies), seed {seed}",
                 outcomes.len()
             );
             if failed == 0 {
@@ -1834,6 +2102,9 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
         | Command::Report { path: None, .. }
         | Command::BenchDiff { .. }
         | Command::StripNondet { .. }
+        | Command::Serve { .. }
+        | Command::ServeBench { .. }
+        | Command::Client { path: None, .. }
         | Command::Synth { .. } => execute_on_source_with_code(&cmd, ""),
         Command::Verify { path }
         | Command::Lint { path, .. }
@@ -1852,6 +2123,9 @@ pub fn main_with_code(args: &[String]) -> (Result<String, String>, i32) {
             path: Some(path), ..
         }
         | Command::Report {
+            path: Some(path), ..
+        }
+        | Command::Client {
             path: Some(path), ..
         } => match load_source(path) {
             Ok(src) => execute_on_source_with_code(&cmd, &src),
@@ -2732,6 +3006,7 @@ mod tests {
     #[test]
     fn report_corpus_covers_every_scenario_and_is_deterministic() {
         let cmd = Command::Report {
+            serve: None,
             path: None,
             corpus: true,
             entry: None,

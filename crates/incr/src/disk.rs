@@ -32,6 +32,19 @@
 //!   malformed JSON, or a schema-tag mismatch) discards the file and
 //!   records a [`LoadOutcome::Recovered`] that drivers surface as the
 //!   `cache_recoveries` stat and a `cache_recovery` trace event.
+//! * **Advisory save lock**: long-lived processes (the `fearlessc
+//!   serve` daemon) and batch invocations may share one cache
+//!   directory. [`DiskCache::save`] takes a best-effort advisory lock
+//!   (`check-cache.lock`, created with `O_EXCL`) so concurrent savers
+//!   serialize instead of stampeding; a lock older than
+//!   [`LOCK_STALE_SECS`] is presumed abandoned by a crashed holder and
+//!   stolen. If the lock never frees, the save proceeds anyway —
+//!   last-writer-wins is safe here because the atomic rename and the
+//!   content checksum already guarantee every reader sees some
+//!   complete, verified document; the lock only reduces wasted writes,
+//!   it is not needed for correctness. The two-process drill in
+//!   `fearless-chaos` (`run_concurrency_drill`) pins the contract:
+//!   concurrent save/load cycles never observe a recovery.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -42,8 +55,77 @@ use fearless_trace::Json;
 /// File name inside the cache directory.
 pub const CACHE_FILE: &str = "check-cache.json";
 
+/// Advisory lock file serializing concurrent savers.
+pub const LOCK_FILE: &str = "check-cache.lock";
+
+/// Age (seconds) past which a lock file is presumed abandoned by a
+/// crashed holder and stolen.
+pub const LOCK_STALE_SECS: u64 = 30;
+
 /// Schema tag of the cache document.
 pub const SCHEMA: &str = "fearless-incr-cache/1";
+
+/// A held (or deliberately skipped) advisory save lock. Dropping a held
+/// lock removes the lock file.
+struct SaveLock {
+    path: PathBuf,
+    held: bool,
+}
+
+impl SaveLock {
+    /// Tries to create the lock file exclusively, retrying `retries`
+    /// times with `wait_millis` sleeps and stealing locks older than
+    /// `stale_secs`. Never fails: on timeout the returned guard is
+    /// simply not held and the caller proceeds last-writer-wins.
+    fn acquire(dir: &Path, retries: u32, wait_millis: u64, stale_secs: u64) -> SaveLock {
+        let path = dir.join(LOCK_FILE);
+        let mut attempts = 0u32;
+        // Stealing a stale lock retries the create immediately and has
+        // its own small budget, so it never eats the wait schedule.
+        let mut steals = 3u32;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{}", std::process::id());
+                    return SaveLock { path, held: true };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age.as_secs() >= stale_secs);
+                    if stale && steals > 0 {
+                        steals -= 1;
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if attempts >= retries {
+                        return SaveLock { path, held: false };
+                    }
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(wait_millis));
+                }
+                // The directory vanished or permissions broke: the save
+                // itself will surface that; don't hold anything.
+                Err(_) => return SaveLock { path, held: false },
+            }
+        }
+    }
+}
+
+impl Drop for SaveLock {
+    fn drop(&mut self) {
+        if self.held {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
 
 /// A cached per-function check outcome — the replayable summary of one
 /// `check_fn` run.
@@ -369,8 +451,16 @@ impl DiskCache {
         };
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
+        // Serialize concurrent savers (daemon + batch invocations over
+        // one directory); on timeout proceed last-writer-wins — the
+        // atomic rename plus checksum keep every reader safe.
+        let _lock = SaveLock::acquire(dir, 100, 5, LOCK_STALE_SECS);
         let path = dir.join(CACHE_FILE);
-        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        let tmp = dir.join(format!(
+            "{CACHE_FILE}.tmp.{}.{:x}",
+            std::process::id(),
+            std::ptr::from_ref(self) as usize
+        ));
         std::fs::write(&tmp, self.to_json())
             .map_err(|e| format!("cannot write cache temp `{}`: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path).map_err(|e| {
@@ -627,6 +717,50 @@ mod tests {
             loaded.load_outcome()
         );
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_releases_the_advisory_lock() {
+        let dir = saved_dir("lock-release");
+        assert!(
+            !dir.join(LOCK_FILE).exists(),
+            "the lock file must be removed after a save"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_locks_are_stolen() {
+        let dir = saved_dir("lock-stale");
+        std::fs::write(dir.join(LOCK_FILE), "99999").unwrap();
+        // A stale threshold of zero makes the fresh lock immediately
+        // stealable; acquisition must succeed without waiting out the
+        // retry budget.
+        let lock = SaveLock::acquire(&dir, 0, 1, 0);
+        assert!(lock.held, "a stale lock must be stolen");
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contended_save_proceeds_last_writer_wins() {
+        let dir = saved_dir("lock-contended");
+        // A fresh lock held by "another process" that never releases:
+        // acquire times out unheld, and save still writes the document.
+        std::fs::write(dir.join(LOCK_FILE), "99999").unwrap();
+        let lock = SaveLock::acquire(&dir, 2, 1, LOCK_STALE_SECS);
+        assert!(!lock.held, "a live lock must not be stolen");
+        drop(lock);
+        assert!(
+            dir.join(LOCK_FILE).exists(),
+            "dropping an unheld guard must not remove someone else's lock"
+        );
+        let mut c = sample();
+        c.dir = Some(dir.clone());
+        c.save().unwrap();
+        assert_eq!(DiskCache::load(&dir).load_outcome(), LoadOutcome::Warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

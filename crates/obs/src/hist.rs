@@ -100,6 +100,27 @@ impl Histogram {
         self.buckets.iter().map(|(b, n)| (*b, *n))
     }
 
+    /// Lower bound of the bucket holding the `percent`-th percentile
+    /// sample (rank `⌈count·percent/100⌉`, clamped to at least the
+    /// first sample). Integer-only, so the answer is a deterministic
+    /// function of the bucket contents; returns 0 on an empty
+    /// histogram. A log2 bucket lower bound is the conventional
+    /// conservative quantile estimate for sparse histograms.
+    pub fn quantile_lo(&self, percent: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count.saturating_mul(percent).div_ceil(100)).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_lo(*bucket);
+            }
+        }
+        self.max
+    }
+
     /// The histogram as a JSON object. Buckets carry their boundaries
     /// so consumers need not re-derive the bucketing rule:
     /// `{"count", "sum", "max", "buckets": [{"bucket","lo","hi","count"}]}`.
@@ -184,6 +205,11 @@ impl HistogramSet {
         for (name, hist) in &other.hists {
             self.hists.entry(name.clone()).or_default().merge(hist);
         }
+    }
+
+    /// Folds one whole histogram into the entry named `name`.
+    pub fn merge_histogram(&mut self, name: &str, hist: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().merge(hist);
     }
 
     /// The named histograms, sorted by name.
@@ -280,6 +306,27 @@ mod tests {
             merged.to_json_value().render(),
             whole.to_json_value().render()
         );
+    }
+
+    #[test]
+    fn quantiles_return_bucket_lower_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_lo(50), 0);
+        for v in [1u64, 2, 3, 4, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        // rank(50%) = ceil(7·50/100) = 4 → the 4th sample (4) sits in
+        // bucket [4,8) whose lower bound is 4.
+        assert_eq!(h.quantile_lo(50), 4);
+        // rank(99%) = 7 → bucket of 100_000 is [65536,131072).
+        assert_eq!(h.quantile_lo(99), 65536);
+        // rank(1%) clamps to the first sample.
+        assert_eq!(h.quantile_lo(1), 1);
+        assert_eq!(h.quantile_lo(100), 65536);
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile_lo(99), 0);
     }
 
     #[test]

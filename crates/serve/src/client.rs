@@ -1,0 +1,302 @@
+//! The protocol client plus the `serve --once` end-to-end self-test.
+
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{self, codes, Frame, Request, Response};
+use crate::server::{ServeOptions, Server};
+
+/// A connected protocol client. One request/response at a time; open
+/// several clients for concurrency.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Reports a missing or refusing socket.
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to `{}`: {e}", socket.display()))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures or an unparseable response document.
+    pub fn request(&mut self, kind: &str, body: &str) -> Result<Response, String> {
+        let req = Request {
+            kind: kind.to_string(),
+            body: body.to_string(),
+        };
+        self.request_raw(req.to_json().as_bytes())
+    }
+
+    /// Sends raw frame bytes (the edge-case tests use this to send
+    /// deliberately broken frames) and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures or an unparseable response document.
+    pub fn request_raw(&mut self, frame_body: &[u8]) -> Result<Response, String> {
+        protocol::write_frame(&mut self.stream, frame_body)?;
+        self.read_response()
+    }
+
+    /// Reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Reports EOF, I/O failures, or an unparseable document.
+    pub fn read_response(&mut self) -> Result<Response, String> {
+        match protocol::read_frame(&mut self.stream, protocol::MAX_FRAME)? {
+            Frame::Body(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| "response is not valid UTF-8".to_string())?;
+                Response::from_json(&text).ok_or_else(|| format!("unparseable response: {text}"))
+            }
+            Frame::Eof => Err("daemon closed the connection".to_string()),
+            Frame::Truncated => Err("daemon response was truncated".to_string()),
+            Frame::Oversized(n) => Err(format!("daemon response oversized: {n} bytes")),
+        }
+    }
+
+    /// Writes a deliberately broken frame: a header declaring
+    /// `declared` bytes followed by only `sent` bytes, then shuts down
+    /// the write half so the daemon sees a truncated frame but can
+    /// still answer on the read half.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures.
+    pub fn send_truncated(&mut self, declared: u32, sent: &[u8]) -> Result<(), String> {
+        self.stream
+            .write_all(&declared.to_be_bytes())
+            .and_then(|()| self.stream.write_all(sent))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("write: {e}"))?;
+        self.stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("shutdown: {e}"))
+    }
+
+    /// Writes only a frame header (no body will follow).
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures.
+    pub fn send_header_only(&mut self, declared: u32) -> Result<(), String> {
+        self.stream
+            .write_all(&declared.to_be_bytes())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("write: {e}"))
+    }
+}
+
+/// A tiny always-valid program for smoke requests.
+pub const SMOKE_PROGRAM: &str = "def smoke(x: int): int { x + 1 }\n";
+
+/// A program with a type error (an undefined callee).
+pub const SMOKE_BROKEN: &str = "def broke(x: int): int { missing(x) }\n";
+
+/// Runs the daemon in-process on `socket` and drives the whole protocol
+/// end to end — every work kind, dedupe, pause/shed/resume, each
+/// protocol edge case, and a draining shutdown. Returns the transcript
+/// (one line per probe).
+///
+/// # Errors
+///
+/// Any probe that does not see its expected response fails the
+/// self-test with a message naming the probe.
+pub fn self_test(socket: &Path) -> Result<String, String> {
+    let mut opts = ServeOptions::new(socket);
+    opts.workers = 2;
+    opts.queue_capacity = 2;
+    let spawned = Server::spawn(opts)?;
+    let result = run_probes(socket);
+    // Always shut the daemon down, even when a probe failed.
+    let mut shutdown = Client::connect(socket).and_then(|mut c| c.request("shutdown", ""));
+    if shutdown.is_err() {
+        // The daemon may already be draining; ask the spawner instead.
+        shutdown = Ok(Response::ok(""));
+    }
+    let joined = spawned.shutdown_and_join();
+    let mut out = result?;
+    let shutdown = shutdown?;
+    expect(
+        "shutdown drains and persists",
+        shutdown.code == codes::OK,
+        &shutdown,
+    )?;
+    out.push_str("self-test: shutdown drained cleanly\n");
+    joined?;
+    out.push_str("self-test: all probes passed\n");
+    Ok(out)
+}
+
+fn expect(probe: &str, ok: bool, got: &Response) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "self-test probe `{probe}` failed: status {} code {} output {:?}",
+            got.status, got.code, got.output
+        ))
+    }
+}
+
+fn run_probes(socket: &Path) -> Result<String, String> {
+    let mut out = String::new();
+    let mut c = Client::connect(socket)?;
+
+    let r = c.request("ping", "")?;
+    expect("ping", r.code == codes::OK && r.output == "pong", &r)?;
+    out.push_str("self-test: ping → pong\n");
+
+    // Every work kind round-trips on a valid program.
+    for kind in protocol::WORK_KINDS {
+        let r = c.request(kind, SMOKE_PROGRAM)?;
+        expect(kind, r.code == codes::OK, &r)?;
+        out.push_str(&format!(
+            "self-test: {kind} → ok ({} bytes)\n",
+            r.output.len()
+        ));
+    }
+
+    // Diagnostics are structured responses, not hangs or closes.
+    let r = c.request("check", SMOKE_BROKEN)?;
+    expect("check diagnostic", r.code == codes::DIAGNOSTIC, &r)?;
+    out.push_str("self-test: check (broken) → diagnostic\n");
+
+    // A second client sending the same body must be deduped and get
+    // byte-identical output.
+    let first = c.request("check", SMOKE_PROGRAM)?;
+    let mut c2 = Client::connect(socket)?;
+    let second = c2.request("check", SMOKE_PROGRAM)?;
+    expect(
+        "dedupe byte-identity",
+        first.to_json() == second.to_json(),
+        &second,
+    )?;
+    let stats = c.request("stats", "")?;
+    expect(
+        "dedupe counted",
+        stat_counter(&stats.output, "dedupe_hits") >= 1,
+        &stats,
+    )?;
+    out.push_str("self-test: dedupe → byte-identical response, counted\n");
+
+    // Load shedding: reset the counters, pause the workers, fill the
+    // queue (capacity 2) with distinct bodies, and watch the third get
+    // an explicit `overloaded` with a retry hint — deterministically,
+    // never a hang.
+    let r = c.request("reset", "")?;
+    expect("reset", r.code == codes::OK, &r)?;
+    let r = c.request("pause", "")?;
+    expect("pause", r.code == codes::OK, &r)?;
+    let parked: Vec<_> = (0..2)
+        .map(|i| {
+            let socket = socket.to_path_buf();
+            std::thread::spawn(move || {
+                let mut pc = Client::connect(&socket)?;
+                pc.request(
+                    "check",
+                    &format!("def fill{i}(x: int): int {{ x + {i} }}\n"),
+                )
+            })
+        })
+        .collect();
+    wait_for_queue_depth(&mut c, 2)?;
+    let mut c3 = Client::connect(socket)?;
+    let shed = c3.request("check", "def shed0(x: int): int { x + 99 }\n")?;
+    expect(
+        "shed",
+        shed.status == "overloaded"
+            && shed.code == codes::OVERLOADED
+            && shed.retry_after_millis.is_some(),
+        &shed,
+    )?;
+    let r = c.request("resume", "")?;
+    expect("resume", r.code == codes::OK, &r)?;
+    for p in parked {
+        let r = p
+            .join()
+            .map_err(|_| "parked client panicked".to_string())??;
+        expect(
+            "parked client completes after resume",
+            r.code == codes::OK,
+            &r,
+        )?;
+    }
+    out.push_str("self-test: shed → overloaded with retry hint; queue drained on resume\n");
+
+    // Protocol edge cases: each a structured error with its own code.
+    let mut e = Client::connect(socket)?;
+    let r = e.request_raw(&[0xff, 0xfe, 0x80])?;
+    expect("invalid utf-8", r.code == codes::INVALID_UTF8, &r)?;
+    let r = e.request_raw(b"{ not json")?;
+    expect("malformed json", r.code == codes::MALFORMED, &r)?;
+    let r = e.request_raw(
+        Request {
+            kind: "dance".to_string(),
+            body: String::new(),
+        }
+        .to_json()
+        .as_bytes(),
+    )?;
+    expect("unknown kind", r.code == codes::UNKNOWN_KIND, &r)?;
+
+    let mut e = Client::connect(socket)?;
+    e.send_header_only(protocol::MAX_FRAME + 1)?;
+    let r = e.read_response()?;
+    expect("oversized frame", r.code == codes::OVERSIZED, &r)?;
+
+    let mut e = Client::connect(socket)?;
+    e.send_truncated(100, b"only forty bytes of the declared hundred")?;
+    let r = e.read_response()?;
+    expect("truncated frame", r.code == codes::TRUNCATED, &r)?;
+    out.push_str(
+        "self-test: oversized/truncated/invalid-utf8/unknown-kind/malformed → codes 2/3/4/5/6\n",
+    );
+
+    Ok(out)
+}
+
+/// Polls `stats` until `want` work requests have been enqueued since
+/// the last reset (the paused queue is full).
+fn wait_for_queue_depth(c: &mut Client, want: u64) -> Result<(), String> {
+    for _ in 0..2000 {
+        let r = c.request("stats", "")?;
+        if stat_counter(&r.output, "work_requests") >= want {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    Err(format!("queue never reached depth {want}"))
+}
+
+/// Reads one counter out of a rendered stats document (0 when absent
+/// or unparseable).
+pub fn stat_counter(stats_output: &str, name: &str) -> u64 {
+    use fearless_trace::Json;
+    let Some(doc) = fearless_incr::parse_json(stats_output) else {
+        return 0;
+    };
+    let get = |v: &Json, k: &str| -> Option<Json> {
+        match v {
+            Json::Obj(fields) => fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()),
+            _ => None,
+        }
+    };
+    let counters = get(&doc, "counters").unwrap_or(Json::Null);
+    match get(&counters, name).or_else(|| get(&doc, name)) {
+        Some(Json::U64(n)) => n,
+        _ => 0,
+    }
+}

@@ -1,0 +1,51 @@
+//! # fearless-serve
+//!
+//! The long-lived compiler-as-a-service daemon behind `fearlessc
+//! serve` — the first half of the ROADMAP's "scale" item. A daemon
+//! listens on a unix socket, speaks the length-prefixed JSON protocol
+//! `fearless-serve/1` ([`protocol`]), keeps the incremental checker's
+//! fingerprint cache hot in memory across requests (seeded from the
+//! on-disk [`fearless_incr::disk::DiskCache`], written back on
+//! shutdown), and dispatches `check` / `lint` / `flow` / `profile`
+//! requests through the existing batched driver.
+//!
+//! Three service-level behaviours distinguish a daemon from a CLI in a
+//! loop, and each is deterministic by construction:
+//!
+//! * **Dedupe** ([`server`]): requests are keyed by
+//!   `kind:fingerprint(body)`. A key seen before returns the memoized
+//!   response; a key currently in flight parks the caller on the one
+//!   computation. Identical request bodies therefore always yield
+//!   byte-identical response bodies, and the *total* dedupe count for a
+//!   workload of `R` requests with `D` distinct keys is exactly
+//!   `R − D`, independent of scheduling. Only the memo-vs-coalesce
+//!   split is timing-dependent, and it is reported under `_nondet`
+//!   stats keys.
+//! * **Load shedding**: the work queue is bounded. An arrival that
+//!   finds it full gets an immediate structured `overloaded` response
+//!   with a retry-after hint — counted, never a hang and never a
+//!   dropped connection.
+//! * **Drain on shutdown**: a `shutdown` request or `SIGTERM` stops
+//!   admission, finishes every queued and in-flight job, persists the
+//!   fingerprint cache once, and only then closes the socket.
+//!
+//! [`client`] is the matching protocol client plus the `serve --once`
+//! end-to-end self-test; [`mod@bench`] is the seeded `serve-bench` load
+//! generator emitting a `fearless-obs/1` journal and a
+//! bench-diff-gated `BENCH_serve.json`; [`report`] renders the
+//! `report --serve` per-client table. See `docs/SERVE.md` for the
+//! protocol grammar and the determinism contract.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod protocol;
+pub mod report;
+pub mod server;
+
+pub use bench::{run_bench, BenchOptions, BenchOutcome};
+pub use client::{self_test, Client};
+pub use protocol::{Request, Response};
+pub use report::render_serve_report;
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,294 @@
+//! The `fearlessc report --serve` view: a top-style per-client table
+//! over a serve-bench journal, mirroring the runtime lane report's
+//! layout (busiest lane first, fixed columns, a totals row).
+
+use std::collections::BTreeMap;
+
+use fearless_trace::Json;
+
+use crate::protocol::codes;
+
+/// One client's aggregated lane.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ClientLane {
+    requests: u64,
+    ok: u64,
+    diag: u64,
+    bytes: u64,
+    checks: u64,
+    lints: u64,
+    flows: u64,
+    profiles: u64,
+}
+
+/// Projection from a lane to one table cell.
+type Column = (&'static str, fn(&ClientLane) -> u64);
+
+/// Column layout shared by the header, the rows, and the totals row.
+const COLUMNS: &[Column] = &[
+    ("reqs", |l| l.requests),
+    ("ok", |l| l.ok),
+    ("diag", |l| l.diag),
+    ("bytes", |l| l.bytes),
+    ("check", |l| l.checks),
+    ("lint", |l| l.lints),
+    ("flow", |l| l.flows),
+    ("profile", |l| l.profiles),
+];
+
+fn get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
+    let Json::Obj(fields) = json else {
+        return None;
+    };
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(json: &Json, key: &str) -> Option<u64> {
+    match get(json, key)? {
+        Json::U64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(json: &'a Json, key: &str) -> Option<&'a str> {
+    match get(json, key)? {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn entry_field(entry: &Json, name: &str) -> u64 {
+    get(entry, "fields")
+        .and_then(|f| get_u64(f, name))
+        .unwrap_or(0)
+}
+
+/// Renders the per-client serve table from a rendered serve-bench
+/// journal document (schema `fearless-obs/1`, source `serve-bench`).
+///
+/// # Errors
+///
+/// Rejects text that is not a journal document or whose source is not
+/// `serve-bench`.
+pub fn render_serve_report(journal_text: &str) -> Result<String, String> {
+    let doc =
+        fearless_incr::parse_json(journal_text).ok_or_else(|| "not a JSON document".to_string())?;
+    let schema = get_str(&doc, "schema").unwrap_or("");
+    if schema != fearless_obs::SCHEMA {
+        return Err(format!(
+            "expected a `{}` journal, got schema `{schema}`",
+            fearless_obs::SCHEMA
+        ));
+    }
+    let source = get_str(&doc, "source").unwrap_or("");
+    if source != "serve-bench" {
+        return Err(format!(
+            "`report --serve` wants a serve-bench journal, got source `{source}`"
+        ));
+    }
+    let Some(Json::Arr(entries)) = get(&doc, "entries") else {
+        return Err("journal has no entries array".to_string());
+    };
+
+    let mut lanes: BTreeMap<String, ClientLane> = BTreeMap::new();
+    let mut drill: Option<(u64, u64)> = None;
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for entry in entries {
+        let name = get_str(entry, "name").unwrap_or("");
+        let event = get_str(entry, "event").unwrap_or("");
+        if name == "drill" && event == "shed" {
+            drill = Some((
+                entry_field(entry, "requests"),
+                entry_field(entry, "overloaded"),
+            ));
+            continue;
+        }
+        if name == "stats" && event == "counters" {
+            if let Some(Json::Obj(fields)) = get(entry, "fields") {
+                for (k, v) in fields {
+                    if let Json::U64(n) = v {
+                        counters.push((k.clone(), *n));
+                    }
+                }
+            }
+            continue;
+        }
+        if !name.starts_with("client") {
+            continue;
+        }
+        let lane = lanes.entry(name.to_string()).or_default();
+        lane.requests += 1;
+        lane.bytes += entry_field(entry, "bytes");
+        match entry_field(entry, "code") {
+            codes::OK => lane.ok += 1,
+            codes::DIAGNOSTIC => lane.diag += 1,
+            _ => {}
+        }
+        match event {
+            "check" => lane.checks += 1,
+            "lint" => lane.lints += 1,
+            "flow" => lane.flows += 1,
+            "profile" => lane.profiles += 1,
+            _ => {}
+        }
+    }
+
+    // Busiest client first (by bytes served, ties by name) — the same
+    // `top` reading order as the runtime lane report.
+    let mut rows: Vec<(&String, &ClientLane)> = lanes.iter().collect();
+    rows.sort_by(|(na, a), (nb, b)| b.bytes.cmp(&a.bytes).then(na.cmp(nb)));
+
+    let total = lanes.values().fold(ClientLane::default(), |mut t, l| {
+        t.requests += l.requests;
+        t.ok += l.ok;
+        t.diag += l.diag;
+        t.bytes += l.bytes;
+        t.checks += l.checks;
+        t.lints += l.lints;
+        t.flows += l.flows;
+        t.profiles += l.profiles;
+        t
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve report: {} client(s), {} request(s)\n",
+        lanes.len(),
+        total.requests
+    ));
+    out.push_str(&format!("{:>8}", "client"));
+    for (label, _) in COLUMNS {
+        out.push_str(&format!(" {label:>8}"));
+    }
+    out.push('\n');
+    for (name, lane) in rows {
+        let id = name.strip_prefix("client").unwrap_or(name);
+        out.push_str(&format!("{id:>8}"));
+        for (_, project) in COLUMNS {
+            out.push_str(&format!(" {:>8}", project(lane)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}", "total"));
+    for (_, project) in COLUMNS {
+        out.push_str(&format!(" {:>8}", project(&total)));
+    }
+    out.push('\n');
+
+    if let Some((requests, overloaded)) = drill {
+        out.push_str(&format!(
+            "shed drill: {requests} request(s) against the paused queue, {overloaded} overloaded\n"
+        ));
+    }
+    if !counters.is_empty() {
+        out.push_str("daemon counters:");
+        for (name, value) in &counters {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
+    }
+
+    // Queue-depth and response-size distributions, when present.
+    if let Some(hists) = get(&doc, "histograms") {
+        if let Some(set) = fearless_obs::HistogramSet::from_json_value(hists) {
+            for (name, hist) in set.iter() {
+                if hist.count() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{name}: count {} max {} p50>={} p99>={}\n",
+                    hist.count(),
+                    hist.max(),
+                    hist.quantile_lo(50),
+                    hist.quantile_lo(99),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fearless_obs::{Journal, JournalEntry};
+
+    fn sample_journal() -> Journal {
+        let mut journal = Journal {
+            source: "serve-bench".to_string(),
+            ..Journal::default()
+        };
+        for (clock, client, event, bytes, code) in [
+            (0u64, 0usize, "check", 40u64, codes::OK),
+            (1, 0, "lint", 120, codes::OK),
+            (2, 1, "flow", 80, codes::OK),
+            (3, 1, "check", 30, codes::DIAGNOSTIC),
+        ] {
+            journal.entries.push(JournalEntry {
+                clock,
+                phase: "serve".to_string(),
+                name: format!("client{client}"),
+                event: event.to_string(),
+                fields: vec![
+                    ("body".to_string(), 0),
+                    ("bytes".to_string(), bytes),
+                    ("code".to_string(), code),
+                    ("fp".to_string(), 7),
+                ],
+            });
+        }
+        journal.entries.push(JournalEntry {
+            clock: 4,
+            phase: "serve".to_string(),
+            name: "drill".to_string(),
+            event: "shed".to_string(),
+            fields: vec![
+                ("completed".to_string(), 4),
+                ("overloaded".to_string(), 2),
+                ("requests".to_string(), 6),
+            ],
+        });
+        journal.histograms.record("serve.queue_depth_nondet", 2);
+        journal
+    }
+
+    #[test]
+    fn table_aggregates_per_client_and_sorts_by_bytes() {
+        let table = render_serve_report(&sample_journal().render()).unwrap();
+        assert!(
+            table.contains("serve report: 2 client(s), 4 request(s)"),
+            "{table}"
+        );
+        // Client 0 served 160 bytes vs client 1's 110 — it leads.
+        let r0 = table
+            .lines()
+            .position(|l| l.starts_with("       0"))
+            .unwrap();
+        let r1 = table
+            .lines()
+            .position(|l| l.starts_with("       1"))
+            .unwrap();
+        assert!(r0 < r1, "busiest client first:\n{table}");
+        assert!(table.contains("shed drill: 6 request(s)"), "{table}");
+        assert!(
+            table.contains("serve.queue_depth_nondet: count 1 max 2"),
+            "{table}"
+        );
+        // Determinism: same journal, same bytes.
+        assert_eq!(
+            table,
+            render_serve_report(&sample_journal().render()).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_non_serve_documents() {
+        assert!(render_serve_report("{}").is_err());
+        let wrong = Journal {
+            source: "check".to_string(),
+            ..Journal::default()
+        };
+        let err = render_serve_report(&wrong.render()).unwrap_err();
+        assert!(err.contains("serve-bench"), "{err}");
+    }
+}

@@ -1,0 +1,643 @@
+//! The daemon: a unix-socket accept loop over a bounded work queue, a
+//! fixed worker pool, a response memo keyed by content fingerprint, and
+//! the in-memory fingerprint cache seeded from (and written back to)
+//! the on-disk [`DiskCache`].
+//!
+//! ## Dedupe
+//!
+//! Work requests are keyed by `kind:fnv64(body)`. A key that already
+//! has a completed response replays it from the memo; a key that is
+//! in flight parks the new client on the first derivation's waiter
+//! list. Both count as `dedupe_hits` — for a fixed request multiset the
+//! total is deterministic (`requests − distinct keys`) even though the
+//! memo/coalesce split depends on scheduling.
+//!
+//! ## Load shedding
+//!
+//! The queue is bounded. A work request that finds the queue full is
+//! answered immediately with an `overloaded` response carrying a
+//! retry-after hint — counted, never enqueued, never a hang.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request (or SIGTERM) stops admission, drains the queue
+//! and all in-flight work, writes the fingerprint cache back to disk,
+//! and only then replies / returns.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use fearless_core::CheckerOptions;
+use fearless_incr::disk::checksum_hex;
+use fearless_incr::DiskCache;
+use fearless_obs::HistogramSet;
+use fearless_trace::{Json, MemorySink, TraceSink, Tracer};
+
+use crate::protocol::{self, codes, Frame, Request, Response};
+
+/// Schema tag of the `stats` response payload.
+pub const STATS_SCHEMA: &str = "fearless-serve-stats/1";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Worker threads executing queued work.
+    pub workers: usize,
+    /// Bound on the work queue; a full queue sheds.
+    pub queue_capacity: usize,
+    /// Persistent fingerprint-cache directory (`None`: in-memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Backoff hint stamped on `overloaded` responses.
+    pub retry_after_millis: u64,
+}
+
+impl ServeOptions {
+    /// Defaults for a given socket path: 2 workers, queue of 16,
+    /// ephemeral cache, 25 ms retry hint.
+    pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            socket: socket.into(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_dir: None,
+            retry_after_millis: 25,
+        }
+    }
+}
+
+/// Service counters, all monotonic within a `reset` window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Work requests admitted to dispatch (check/lint/flow/profile).
+    pub work_requests: u64,
+    /// Control requests (ping/stats/pause/resume/reset/shutdown).
+    pub control_requests: u64,
+    /// Work requests answered from the memo or coalesced onto an
+    /// in-flight derivation (`memo_hits + coalesced`).
+    pub dedupe_hits: u64,
+    /// Dedupe hits replayed from the completed-response memo.
+    pub memo_hits: u64,
+    /// Dedupe hits parked on an in-flight derivation.
+    pub coalesced: u64,
+    /// Work requests answered `overloaded` (queue full).
+    pub shed: u64,
+    /// Work requests answered after the drain began.
+    pub rejected_draining: u64,
+    /// Derivations actually executed (distinct keys computed).
+    pub computed: u64,
+    /// Work responses with code 0.
+    pub responses_ok: u64,
+    /// Work responses with code 1 (diagnostics).
+    pub responses_diag: u64,
+    /// Responses with code 70 (a panic caught at the ICE boundary).
+    pub ice_responses: u64,
+    /// Structured protocol-error responses (codes 2–6).
+    pub protocol_errors: u64,
+}
+
+struct Job {
+    key: String,
+    kind: String,
+    body: Arc<String>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    inflight: BTreeSet<String>,
+    waiters: BTreeMap<String, Vec<Sender<Arc<Response>>>>,
+    memo: BTreeMap<String, Arc<Response>>,
+    paused: bool,
+    draining: bool,
+    counters: Counters,
+    hists: HistogramSet,
+}
+
+struct Shared {
+    opts: ServeOptions,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    cache: Mutex<DiskCache>,
+    stop_accept: AtomicBool,
+    saved: AtomicBool,
+}
+
+/// Set by the SIGTERM handler; the accept loop treats it exactly like a
+/// `shutdown` request.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+type SigHandler = extern "C" fn(i32);
+
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+}
+
+extern "C" fn on_sigterm(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+const SIGTERM: i32 = 15;
+
+/// Installs the SIGTERM → graceful-drain handler (async-signal-safe:
+/// the handler only stores to an atomic the accept loop polls).
+pub fn install_sigterm() {
+    // SAFETY: `signal(2)` with a handler that performs a single atomic
+    // store, which is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+/// A running daemon bound to its socket.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: UnixListener,
+}
+
+/// An in-process daemon running on a background thread (tests,
+/// `serve --once`, and `serve-bench --spawn`).
+pub struct SpawnedServer {
+    /// The daemon's shared state (for [`Server::run`]'s return value).
+    handle: std::thread::JoinHandle<Result<String, String>>,
+    shared: Arc<Shared>,
+}
+
+impl SpawnedServer {
+    /// Requests a drain (as SIGTERM would) and joins the daemon,
+    /// returning its summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the daemon's error, or reports a panicked thread.
+    pub fn shutdown_and_join(self) -> Result<String, String> {
+        self.shared.stop_accept.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .map_err(|_| "serve thread panicked".to_string())?
+    }
+}
+
+impl Server {
+    /// Binds the socket (replacing a stale socket file) and loads the
+    /// fingerprint cache.
+    ///
+    /// # Errors
+    ///
+    /// Reports a socket that cannot be bound.
+    pub fn bind(opts: ServeOptions) -> Result<Server, String> {
+        let _ = std::fs::remove_file(&opts.socket);
+        let listener = UnixListener::bind(&opts.socket)
+            .map_err(|e| format!("cannot bind `{}`: {e}", opts.socket.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        let cache = match &opts.cache_dir {
+            Some(dir) => DiskCache::load(dir),
+            None => DiskCache::ephemeral(),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: BTreeSet::new(),
+                waiters: BTreeMap::new(),
+                memo: BTreeMap::new(),
+                paused: false,
+                draining: false,
+                counters: Counters::default(),
+                hists: HistogramSet::new(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache: Mutex::new(cache),
+            stop_accept: AtomicBool::new(false),
+            saved: AtomicBool::new(false),
+            opts,
+        });
+        Ok(Server { shared, listener })
+    }
+
+    /// Binds and runs the daemon on a background thread, returning once
+    /// the socket accepts connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(opts: ServeOptions) -> Result<SpawnedServer, String> {
+        let server = Server::bind(opts)?;
+        let shared = Arc::clone(&server.shared);
+        let handle = std::thread::spawn(move || server.run());
+        // The listener exists before the thread starts; a connect can
+        // only race the accept loop, which is fine (it queues).
+        Ok(SpawnedServer { handle, shared })
+    }
+
+    /// Runs the accept loop until a `shutdown` request or SIGTERM, then
+    /// drains in-flight work, writes the cache back, and returns a
+    /// summary line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache write-back failures.
+    pub fn run(self) -> Result<String, String> {
+        let workers: Vec<_> = (0..self.shared.opts.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        loop {
+            if TERM_REQUESTED.load(Ordering::SeqCst)
+                || self.shared.stop_accept.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        // Drain: stop admitting, finish the queue and in-flight work.
+        drain(&self.shared);
+        for w in workers {
+            let _ = w.join();
+        }
+        save_cache_once(&self.shared)?;
+        let st = lock_state(&self.shared);
+        let c = st.counters;
+        let cache_entries = self.shared.cache.lock().map(|c| c.len()).unwrap_or(0);
+        drop(st);
+        let _ = std::fs::remove_file(&self.shared.opts.socket);
+        Ok(format!(
+            "serve: drained and stopped; {} work request(s), {} dedupe hit(s), {} shed, {} \
+             derivation(s) computed, {} cache entr(ies) persisted\n",
+            c.work_requests, c.dedupe_hits, c.shed, c.computed, cache_entries
+        ))
+    }
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Marks the drain, wakes everyone, and blocks until the queue and all
+/// in-flight work are empty.
+fn drain(shared: &Shared) {
+    let mut st = lock_state(shared);
+    st.draining = true;
+    st.paused = false;
+    shared.work_cv.notify_all();
+    while !(st.queue.is_empty() && st.inflight.is_empty()) {
+        st = shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Writes the fingerprint cache back exactly once (the `shutdown`
+/// request and the accept loop's exit path both call this).
+fn save_cache_once(shared: &Shared) -> Result<(), String> {
+    if shared.saved.swap(true, Ordering::SeqCst) {
+        return Ok(());
+    }
+    shared
+        .cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .save()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = lock_state(shared);
+            loop {
+                if st.draining && st.queue.is_empty() {
+                    return;
+                }
+                if !st.paused || st.draining {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let response = Arc::new(run_job(&job, shared));
+        let waiters = {
+            let mut st = lock_state(shared);
+            st.memo.insert(job.key.clone(), Arc::clone(&response));
+            st.counters.computed += 1;
+            st.inflight.remove(&job.key);
+            let waiters = st.waiters.remove(&job.key).unwrap_or_default();
+            shared.done_cv.notify_all();
+            waiters
+        };
+        for tx in waiters {
+            let _ = tx.send(Arc::clone(&response));
+        }
+    }
+}
+
+/// Executes one work request behind the ICE boundary: a panic becomes a
+/// structured code-70 response, never a dead worker.
+fn run_job(job: &Job, shared: &Shared) -> Response {
+    let kind = job.kind.clone();
+    let body = Arc::clone(&job.body);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compute(&kind, &body, shared)
+    })) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            Response::error(codes::ICE, format!("internal error: {msg}"))
+        }
+    }
+}
+
+/// The actual pipelines. Every output here is deterministic in the
+/// request body alone — the determinism contract `docs/SERVE.md` pins —
+/// because the underlying drivers are (cache warmth never shows in
+/// `check` output, and `profile` runs without wall clock).
+fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
+    let opts = CheckerOptions::default();
+    match kind {
+        "check" => {
+            let program = match fearless_syntax::parse_program(src) {
+                Ok(p) => p,
+                Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
+            };
+            let units = vec![(String::new(), program)];
+            let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let run =
+                fearless_incr::check_units(&units, &opts, 1, Some(&mut cache), &mut Tracer::off());
+            drop(cache);
+            match run.units[0].first_error() {
+                Some(e) => Response::error(codes::DIAGNOSTIC, e.render(src)),
+                None => Response::ok(format!(
+                    "ok: {} function(s), {} derivation nodes, {} virtual transformations\n",
+                    run.units[0].functions.len(),
+                    run.units[0].total_nodes(),
+                    run.units[0].total_vir_steps()
+                )),
+            }
+        }
+        "lint" => {
+            let checked = match fearless_core::check_source(src, &opts) {
+                Ok(c) => c,
+                Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
+            };
+            match fearless_analyze::analyze_program(&checked) {
+                Ok(report) => Response::ok(report.to_json(src)),
+                Err(msg) => Response::error(codes::DIAGNOSTIC, msg),
+            }
+        }
+        "flow" => {
+            let checked = match fearless_core::check_source(src, &opts) {
+                Ok(c) => c,
+                Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
+            };
+            match fearless_flow::analyze_checked(&checked) {
+                Ok(flow) => {
+                    let mut out = flow.to_json();
+                    out.push('\n');
+                    Response::ok(out)
+                }
+                Err(e) => Response::error(codes::DIAGNOSTIC, e.to_string()),
+            }
+        }
+        "profile" => {
+            let mut sink = MemorySink::new();
+            sink.span_enter("parse", "program");
+            let parsed = fearless_syntax::parse_program(src);
+            sink.span_exit();
+            let program = match parsed {
+                Ok(p) => p,
+                Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
+            };
+            if let Err(e) =
+                fearless_core::check_program_traced(&program, &opts, &mut Tracer::new(&mut sink))
+            {
+                return Response::error(codes::DIAGNOSTIC, e.render(src));
+            }
+            // Logical counters only: no wall clock, so identical bodies
+            // yield byte-identical profiles.
+            Response::ok(sink.to_json_value_opts(false).render())
+        }
+        other => Response::error(codes::UNKNOWN_KIND, format!("unknown work kind `{other}`")),
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: UnixStream) {
+    loop {
+        match protocol::read_frame(&mut stream, protocol::MAX_FRAME) {
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized(len)) => {
+                // The stream is desynchronized: answer and hang up.
+                note_protocol_error(shared);
+                let r = Response::error(
+                    codes::OVERSIZED,
+                    format!(
+                        "frame of {len} bytes exceeds the {}-byte limit",
+                        protocol::MAX_FRAME
+                    ),
+                );
+                let _ = protocol::write_frame(&mut stream, r.to_json().as_bytes());
+                return;
+            }
+            Ok(Frame::Truncated) => {
+                // The peer may have shut down only its write half; the
+                // structured response still goes out before we close.
+                note_protocol_error(shared);
+                let r = Response::error(codes::TRUNCATED, "stream ended mid-frame");
+                let _ = protocol::write_frame(&mut stream, r.to_json().as_bytes());
+                return;
+            }
+            Ok(Frame::Body(bytes)) => {
+                let response = match protocol::parse_request(&bytes) {
+                    Ok(req) => respond(shared, &req),
+                    Err((code, msg)) => {
+                        note_protocol_error(shared);
+                        Response::error(code, msg)
+                    }
+                };
+                if protocol::write_frame(&mut stream, response.to_json().as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn note_protocol_error(shared: &Shared) {
+    lock_state(shared).counters.protocol_errors += 1;
+}
+
+fn respond(shared: &Shared, req: &Request) -> Response {
+    if protocol::WORK_KINDS.contains(&req.kind.as_str()) {
+        return dispatch_work(shared, req);
+    }
+    let mut st = lock_state(shared);
+    st.counters.control_requests += 1;
+    match req.kind.as_str() {
+        "ping" => Response::ok("pong"),
+        "pause" => {
+            st.paused = true;
+            Response::ok("paused")
+        }
+        "resume" => {
+            st.paused = false;
+            shared.work_cv.notify_all();
+            Response::ok("resumed")
+        }
+        "reset" => {
+            // Bench hygiene: clear the response memo, counters, and
+            // histograms so two identically-seeded load runs observe
+            // identical deterministic counters. The fingerprint cache
+            // deliberately stays hot — it never changes response bytes.
+            st.memo.clear();
+            st.counters = Counters::default();
+            st.hists = HistogramSet::new();
+            Response::ok("reset")
+        }
+        "stats" => {
+            let doc = stats_doc(shared, &st);
+            Response::ok(doc.render())
+        }
+        "shutdown" => {
+            st.draining = true;
+            st.paused = false;
+            shared.work_cv.notify_all();
+            while !(st.queue.is_empty() && st.inflight.is_empty()) {
+                st = shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let computed = st.counters.computed;
+            drop(st);
+            let save = save_cache_once(shared);
+            shared.stop_accept.store(true, Ordering::SeqCst);
+            match save {
+                Ok(()) => Response::ok(format!(
+                    "shutdown: drained ({computed} derivation(s) computed); cache persisted\n"
+                )),
+                Err(e) => Response::error(codes::ICE, format!("cache write-back failed: {e}")),
+            }
+        }
+        other => Response::error(
+            codes::UNKNOWN_KIND,
+            format!("unknown control kind `{other}`"),
+        ),
+    }
+}
+
+/// The `stats` payload: deterministic counters under plain keys,
+/// scheduling-dependent ones under `_nondet` keys (the same convention
+/// the BENCH documents use), plus the service histograms.
+fn stats_doc(shared: &Shared, st: &State) -> Json {
+    let c = &st.counters;
+    let cache_entries = shared.cache.lock().map(|c| c.len() as u64).unwrap_or(0);
+    Json::obj([
+        ("schema", Json::str(STATS_SCHEMA)),
+        ("workers", Json::U64(shared.opts.workers as u64)),
+        (
+            "queue_capacity",
+            Json::U64(shared.opts.queue_capacity as u64),
+        ),
+        ("cache_entries", Json::U64(cache_entries)),
+        (
+            "counters",
+            Json::obj([
+                ("work_requests", Json::U64(c.work_requests)),
+                ("dedupe_hits", Json::U64(c.dedupe_hits)),
+                ("memo_hits_nondet", Json::U64(c.memo_hits)),
+                ("coalesced_nondet", Json::U64(c.coalesced)),
+                ("shed", Json::U64(c.shed)),
+                ("rejected_draining", Json::U64(c.rejected_draining)),
+                ("computed", Json::U64(c.computed)),
+                ("responses_ok", Json::U64(c.responses_ok)),
+                ("responses_diag", Json::U64(c.responses_diag)),
+                ("ice_responses", Json::U64(c.ice_responses)),
+                ("protocol_errors", Json::U64(c.protocol_errors)),
+                ("control_requests_nondet", Json::U64(c.control_requests)),
+            ]),
+        ),
+        ("histograms", st.hists.to_json_value()),
+    ])
+}
+
+fn dispatch_work(shared: &Shared, req: &Request) -> Response {
+    let key = format!("{}:{}", req.kind, checksum_hex(&req.body));
+    let (tx, rx) = channel();
+    let parked = {
+        let mut st = lock_state(shared);
+        st.counters.work_requests += 1;
+        if let Some(r) = st.memo.get(&key) {
+            let r = Arc::clone(r);
+            st.counters.dedupe_hits += 1;
+            st.counters.memo_hits += 1;
+            finish_work(&mut st, &r);
+            return (*r).clone();
+        }
+        if st.inflight.contains(&key) {
+            st.counters.dedupe_hits += 1;
+            st.counters.coalesced += 1;
+            st.waiters.entry(key.clone()).or_default().push(tx);
+            true
+        } else if st.draining {
+            st.counters.rejected_draining += 1;
+            return Response::error(codes::SHUTTING_DOWN, "daemon is draining for shutdown");
+        } else if st.queue.len() >= shared.opts.queue_capacity {
+            st.counters.shed += 1;
+            return Response::overloaded(shared.opts.retry_after_millis);
+        } else {
+            st.inflight.insert(key.clone());
+            st.waiters.insert(key.clone(), vec![tx]);
+            st.queue.push_back(Job {
+                key: key.clone(),
+                kind: req.kind.clone(),
+                body: Arc::new(req.body.clone()),
+            });
+            let depth = st.queue.len() as u64;
+            st.hists.record("serve.queue_depth_nondet", depth);
+            shared.work_cv.notify_one();
+            true
+        }
+    };
+    debug_assert!(parked);
+    match rx.recv() {
+        Ok(r) => {
+            let mut st = lock_state(shared);
+            finish_work(&mut st, &r);
+            (*r).clone()
+        }
+        Err(_) => Response::error(codes::ICE, "internal error: worker disappeared"),
+    }
+}
+
+/// Books a completed work response into the counters and the
+/// (deterministic) response-size histogram.
+fn finish_work(st: &mut State, r: &Response) {
+    match r.code {
+        codes::OK => st.counters.responses_ok += 1,
+        codes::DIAGNOSTIC => st.counters.responses_diag += 1,
+        codes::ICE => st.counters.ice_responses += 1,
+        _ => {}
+    }
+    st.hists
+        .record("serve.response_bytes", r.output.len() as u64);
+}
