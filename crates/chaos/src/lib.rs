@@ -25,6 +25,12 @@
 //!   saved `fearless-incr` cache; the recovered run must be
 //!   byte-identical to a cold run, with the incident visible only in
 //!   the `recoveries` stat.
+//! * [`wire::run_wire_drills`] — **wire-level chaos** against the
+//!   serve daemon: seeded socket faults (torn headers, split writes,
+//!   garbage frames, connection slams) plus the guard drills (worker
+//!   panics → quarantine, deterministic deadlines, stale-while-
+//!   revalidate, bounded retries, and a simulated `kill -9` recovered
+//!   through the cache write-ahead log), every seed under a watchdog.
 //!
 //! The determinism rule: every decision anywhere in this crate is a
 //! function of an explicit seed. Identical seeds produce byte-identical
@@ -39,6 +45,7 @@ pub mod fuzz;
 pub mod run;
 pub mod scenario;
 pub mod schedule;
+pub mod wire;
 
 pub use cache_chaos::{
     inject_corruption, run_cache_drills, run_concurrency_drill, ConcurrencyOutcome, DrillOutcome,
@@ -49,3 +56,4 @@ pub use fuzz::{mutate_source, run_fuzz, FuzzReport};
 pub use run::{run_chaos, run_source_chaos, ChaosOptions, ChaosReport, ScenarioReport};
 pub use scenario::{all_scenarios, Scenario, Spawn};
 pub use schedule::ChaosSchedule;
+pub use wire::{run_wire_drill, run_wire_drills, WireDrillReport, WireSeedOutcome, WIRE_FAULTS};

@@ -222,10 +222,15 @@ pub enum Command {
         json: bool,
         /// Fuzz cases (`None`: `FEARLESS_FUZZ_CASES`, then the default).
         cases: Option<u64>,
-        /// Base seed for fuzz inputs / drill corruption.
+        /// Base seed for fuzz inputs / drill corruption / wire faults.
         seed: u64,
-        /// Scratch directory for cache drills.
+        /// Scratch directory for cache/wire drills.
         dir: Option<String>,
+        /// Write the BENCH_guard.json document here (serve mode).
+        out: Option<String>,
+        /// Per-seed watchdog budget in seconds (serve mode): a drill
+        /// that exceeds it fails as a hang.
+        watchdog: u64,
     },
     /// Generate a seeded, deterministic well-typed program
     /// (`fearless-synth`; see docs/CORPUS.md).
@@ -291,6 +296,14 @@ pub enum Command {
         /// File holding the request body (`-` for stdin; omitted for
         /// control kinds).
         path: Option<String>,
+        /// Deterministic logical deadline (`deadline_millis`) to attach
+        /// to the request.
+        deadline: Option<u64>,
+        /// Retry `overloaded` responses up to this many times with
+        /// bounded seeded backoff.
+        retries: Option<u32>,
+        /// Tolerate a stale answer under load (`allow_stale`).
+        stale_ok: bool,
     },
     /// Print a function's typing derivation.
     Explain {
@@ -326,13 +339,16 @@ USAGE:
                    [--retry-after <ms>] [--once]
   fearlessc serve-bench --socket <path> [--clients <n>] [--requests <n>] [--bodies <n>]
                    [--seed <n>] [--shed-extra <n>] [--obs <file>] [--out <file>]
-  fearlessc client <kind> [<file>] --socket <path>
+  fearlessc client <kind> [<file>] --socket <path> [--deadline <ms>] [--retries <n>]
+                   [--stale-ok]
   fearlessc flow   (<file> | --corpus) [--cache <dir>]
   fearlessc profile (<file> | --corpus) [--cache <dir>] [--wall-time] [--metrics json]
   fearlessc chaos  (<file> | --corpus) [--seeds <n>] [--faults <spec>] [--fuel <n>]
                    [--no-sanitize] [--flow-facts] [--crosscheck] [--json]
   fearlessc chaos fuzz   [--cases <n>] [--seed <n>]
   fearlessc chaos drills [--dir <dir>] [--seed <n>]
+  fearlessc chaos serve  [--seeds <n>] [--seed <n>] [--dir <dir>] [--out <file>]
+                   [--watchdog <s>] [--json]
   fearlessc bench-diff <old.json> <new.json> [--threshold <pct>] [--json]
   fearlessc strip-nondet <file>
   fearlessc synth  [--seed <n>] [--functions <n>] [--boxes <n>] [--max-ops <n>]
@@ -394,22 +410,37 @@ USAGE:
   bodies are deduped by content fingerprint and always yield
   byte-identical responses; arrivals past --queue get a structured
   `overloaded` response with a retry-after hint, never a hang; SIGTERM
-  or a `shutdown` request drains every queued job before exiting.
-  --once runs the in-process protocol self-test and exits. client
-  sends one request (`fearlessc client check file.fl --socket S`;
-  control kinds: ping, stats, pause, resume, reset, shutdown) and
-  exits 0 on an ok response, 1 otherwise. serve-bench replays a
-  seeded N-clients × M-requests workload, writes the fearless-obs/1
-  journal (--obs) and the bench-diff-gated BENCH_serve.json (--out);
-  report --serve <journal> renders the per-client lane table.
+  or a `shutdown` request finishes in-flight work, answers queued jobs
+  with a structured code 8, and persists the cache before exiting.
+  --once runs the in-process protocol self-test and exits. The guard
+  layer (docs/GUARD.md) supervises workers (a panicking request is
+  retried once, then quarantined to code 70), journals every cache
+  mutation to a checksummed WAL so a kill -9 recovers byte-identically
+  on restart, and honors per-request deterministic deadlines and
+  staleness tolerance. client sends one request (`fearlessc client
+  check file.fl --socket S`; control kinds: ping, stats, pause,
+  resume, reset, shutdown) and exits 0 on an ok response, 1 otherwise;
+  --deadline attaches a logical deadline_millis budget (code 9 when
+  the work's derivation-node cost exceeds it), --retries N retries
+  `overloaded` responses with bounded seeded backoff, --stale-ok
+  accepts a previous-epoch answer marked `stale: true` instead of
+  shedding. serve-bench replays a seeded N-clients × M-requests
+  workload, writes the fearless-obs/1 journal (--obs) and the
+  bench-diff-gated BENCH_serve.json (--out); report --serve <journal>
+  renders the per-client lane table plus the guard counters.
 
   chaos runs the deterministic fault-injection layer: adversarial
   schedules against the soundness oracles (default), whole-pipeline
   fuzzing (`chaos fuzz`, case count also settable via the
-  FEARLESS_FUZZ_CASES environment variable), and cache-corruption
-  drills (`chaos drills`). --faults takes `all`, `none`, or a comma
-  list of delay, reorder, drop, preempt, contend. Identical seeds
-  produce byte-identical reports.
+  FEARLESS_FUZZ_CASES environment variable), cache-corruption
+  drills (`chaos drills`), and wire-level socket chaos against the
+  serve daemon (`chaos serve`: torn headers, split writes, garbage
+  frames, connection slams, injected worker panics, and a simulated
+  kill -9 recovered through the cache WAL — every fault must land on
+  its documented protocol code, every seed runs under a --watchdog,
+  and --out writes the bench-diff-gated BENCH_guard.json). --faults
+  takes `all`, `none`, or a comma list of delay, reorder, drop,
+  preempt, contend. Identical seeds produce byte-identical reports.
 
 exit status: 0 ok; 1 diagnostics/violations; 2 missing input file;
 3 unreadable input file; 4 input not valid UTF-8; 70 internal error
@@ -433,6 +464,9 @@ pub enum ChaosMode {
     Fuzz,
     /// Cache-corruption matrix against the crash-safe loader.
     Drills,
+    /// Wire-level socket faults + guard drills against the serve
+    /// daemon (seeded; every seed under a watchdog).
+    Serve,
 }
 
 /// Exit status: the input file does not exist.
@@ -812,7 +846,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut path = None;
             let mut corpus = false;
             let defaults = ChaosOptions::default();
-            let mut seeds = defaults.seeds;
+            let mut seeds = None;
             let mut faults = defaults.faults;
             let mut fuel = defaults.fuel;
             let mut sanitize = defaults.sanitize;
@@ -822,13 +856,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cases = None;
             let mut seed = 0u64;
             let mut dir = None;
+            let mut out = None;
+            let mut watchdog = 120u64;
             let mut first = true;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "fuzz" if first => mode = ChaosMode::Fuzz,
                     "drills" if first => mode = ChaosMode::Drills,
+                    "serve" if first => mode = ChaosMode::Serve,
                     "--corpus" => corpus = true,
-                    "--seeds" => seeds = parse_u64(it.next(), "--seeds")?,
+                    "--seeds" => seeds = Some(parse_u64(it.next(), "--seeds")?),
+                    "--out" => out = Some(it.next().ok_or("--out requires a file")?.clone()),
+                    "--watchdog" => watchdog = parse_u64(it.next(), "--watchdog")?,
                     "--faults" => {
                         faults = FaultSpec::parse(it.next().ok_or("--faults requires a spec")?)?;
                     }
@@ -854,15 +893,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         return Err("chaos needs a file or --corpus (not both)".to_string());
                     }
                 }
-                ChaosMode::Fuzz | ChaosMode::Drills => {
+                ChaosMode::Fuzz | ChaosMode::Drills | ChaosMode::Serve => {
                     if corpus || path.is_some() {
                         return Err(
-                            "chaos fuzz/drills generate their own inputs (no file or --corpus)"
+                            "chaos fuzz/drills/serve generate their own inputs (no file or \
+                             --corpus)"
                                 .to_string(),
                         );
                     }
                 }
             }
+            // The wire drill is a heavier per-seed exercise (two
+            // daemons, a crash recovery) — its default sweep is smaller
+            // than the schedule sweep's.
+            let seeds = seeds.unwrap_or(match mode {
+                ChaosMode::Serve => 5,
+                _ => defaults.seeds,
+            });
             Ok(Command::Chaos {
                 mode,
                 path,
@@ -877,6 +924,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cases,
                 seed,
                 dir,
+                out,
+                watchdog,
             })
         }
         "serve" => {
@@ -955,11 +1004,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut socket = None;
             let mut kind = None;
             let mut path = None;
+            let mut deadline = None;
+            let mut retries = None;
+            let mut stale_ok = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--socket" => {
                         socket = Some(it.next().ok_or("--socket requires a path")?.clone());
                     }
+                    "--deadline" => deadline = Some(parse_u64(it.next(), "--deadline")?),
+                    "--retries" => {
+                        retries =
+                            Some(parse_u64(it.next(), "--retries")?.min(u32::MAX as u64) as u32);
+                    }
+                    "--stale-ok" => stale_ok = true,
                     p if kind.is_none() => kind = Some(p.to_string()),
                     p if path.is_none() => path = Some(p.to_string()),
                     other => return Err(format!("unexpected argument `{other}`")),
@@ -969,6 +1027,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 socket: socket.ok_or("client requires --socket <path>")?,
                 kind: kind.ok_or("client requires a request kind")?,
                 path,
+                deadline,
+                retries,
+                stale_ok,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -1177,6 +1238,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             cases,
             seed,
             dir,
+            out,
+            watchdog,
             ..
         } => {
             let opts = ChaosOptions {
@@ -1196,6 +1259,8 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
                 *cases,
                 *seed,
                 dir.as_deref(),
+                out.as_deref(),
+                *watchdog,
             )
         }
         Command::Explain { func, .. } => {
@@ -1386,9 +1451,28 @@ fn execute_plain(cmd: &Command, src: &str) -> Result<String, String> {
             }
             Ok(outcome.summary)
         }
-        Command::Client { socket, kind, .. } => {
+        Command::Client {
+            socket,
+            kind,
+            deadline,
+            retries,
+            stale_ok,
+            ..
+        } => {
             let mut client = fearless_serve::Client::connect(std::path::Path::new(socket))?;
-            let response = client.request(kind, src)?;
+            let mut req = fearless_serve::Request::new(kind.clone(), src);
+            req.deadline_millis = *deadline;
+            req.allow_stale = *stale_ok;
+            let response = match retries {
+                Some(n) => {
+                    let policy = fearless_serve::RetryPolicy {
+                        max_retries: *n,
+                        ..fearless_serve::RetryPolicy::new()
+                    };
+                    client.send_with_retry(&req, policy)?.0
+                }
+                None => client.send(&req)?,
+            };
             if response.code == 0 {
                 Ok(response.output)
             } else {
@@ -1570,6 +1654,8 @@ fn chaos_command(
     cases: Option<u64>,
     seed: u64,
     dir: Option<&str>,
+    out: Option<&str>,
+    watchdog: u64,
 ) -> Result<String, String> {
     match mode {
         ChaosMode::Schedules => {
@@ -1672,6 +1758,26 @@ fn chaos_command(
                 Ok(out)
             } else {
                 Err(out)
+            }
+        }
+        ChaosMode::Serve => {
+            let dir = dir.map(std::path::PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("fearless-wire-chaos-{}", std::process::id()))
+            });
+            // opts.seeds is the *count*; the actual drill seeds are
+            // seed, seed+1, … so `--seed` shifts the whole sweep.
+            let seed_list: Vec<u64> = (0..opts.seeds.max(1))
+                .map(|i| seed.wrapping_add(i))
+                .collect();
+            let report = fearless_chaos::run_wire_drills(&dir, &seed_list, watchdog)?;
+            if let Some(path) = out {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("cannot write bench document `{path}`: {e}"))?;
+            }
+            if json {
+                Ok(report.to_json())
+            } else {
+                Ok(report.render())
             }
         }
     }

@@ -72,6 +72,25 @@ struct SaveLock {
     held: bool,
 }
 
+/// What the staleness check sampled about a lock file, used to
+/// re-verify the steal: the holder's pid (the file content) and the
+/// modification timestamp. A lock whose identity changed between the
+/// staleness check and the steal belongs to a *new*, live holder and
+/// must not be stolen.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct LockSample {
+    pid: String,
+    modified: Option<std::time::SystemTime>,
+}
+
+impl LockSample {
+    fn read(path: &Path) -> Option<LockSample> {
+        let pid = std::fs::read_to_string(path).ok()?;
+        let modified = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        Some(LockSample { pid, modified })
+    }
+}
+
 impl SaveLock {
     /// Tries to create the lock file exclusively, retrying `retries`
     /// times with `wait_millis` sleeps and stealing locks older than
@@ -95,14 +114,17 @@ impl SaveLock {
                     return SaveLock { path, held: true };
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let stale = std::fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
+                    let sample = LockSample::read(&path);
+                    let stale = sample
+                        .as_ref()
+                        .and_then(|s| s.modified)
                         .and_then(|t| t.elapsed().ok())
                         .is_some_and(|age| age.as_secs() >= stale_secs);
                     if stale && steals > 0 {
                         steals -= 1;
-                        let _ = std::fs::remove_file(&path);
+                        if let Some(sample) = sample {
+                            let _ = try_steal(&path, &sample);
+                        }
                         continue;
                     }
                     if attempts >= retries {
@@ -117,6 +139,38 @@ impl SaveLock {
             }
         }
     }
+}
+
+/// Steals a lock previously sampled as stale, closing the TOCTOU window
+/// between the staleness check and the `create_new` retry: the lock is
+/// first *renamed* to a private claim name (atomic — only one stealer
+/// can win the rename), then its pid/timestamp are re-verified against
+/// the sample. If they no longer match, a fresh holder re-created the
+/// lock in the window; the claim is moved back (best effort) and the
+/// steal is abandoned. Returns whether the stale lock was removed.
+fn try_steal(path: &Path, sampled: &LockSample) -> bool {
+    let claim = path.with_extension(format!("steal.{}", std::process::id()));
+    if std::fs::rename(path, &claim).is_err() {
+        // Someone else stole (or released) it first.
+        return false;
+    }
+    let current = LockSample::read(&claim);
+    if current.as_ref() == Some(sampled) {
+        // Same pid, same timestamp: this is the abandoned lock we
+        // sampled. Delete the claim; `create_new` now has a clear path.
+        let _ = std::fs::remove_file(&claim);
+        return true;
+    }
+    // The lock changed hands between the staleness check and the
+    // rename — it belongs to a live holder. Put it back unless an even
+    // newer lock already took the name (then the claim is just dropped;
+    // the displaced holder's release will be a harmless no-op).
+    if !path.exists() {
+        let _ = std::fs::rename(&claim, path);
+    } else {
+        let _ = std::fs::remove_file(&claim);
+    }
+    false
 }
 
 impl Drop for SaveLock {
@@ -156,7 +210,7 @@ pub enum CachedOutcome {
 }
 
 impl CachedOutcome {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         match self {
             CachedOutcome::Ok {
                 nodes,
@@ -191,7 +245,7 @@ impl CachedOutcome {
         }
     }
 
-    fn from_json(v: &Json) -> Option<CachedOutcome> {
+    pub(crate) fn from_json(v: &Json) -> Option<CachedOutcome> {
         let fields = match v {
             Json::Obj(fields) => fields,
             _ => return None,
@@ -272,6 +326,10 @@ pub struct DiskCache {
     entries: BTreeMap<String, CachedOutcome>,
     names: BTreeMap<String, String>,
     load_outcome: LoadOutcome,
+    /// When true, every mutation is mirrored into `dirty` as a WAL
+    /// record (see [`crate::wal`]); drained by [`DiskCache::take_dirty`].
+    log_dirty: bool,
+    dirty: Vec<crate::wal::WalRecord>,
 }
 
 impl DiskCache {
@@ -389,7 +447,14 @@ impl DiskCache {
 
     /// Stores an outcome under `fp`.
     pub fn insert(&mut self, fp: Fingerprint, outcome: CachedOutcome) {
-        self.entries.insert(fp.to_hex(), outcome);
+        let hex = fp.to_hex();
+        if self.log_dirty {
+            self.dirty.push(crate::wal::WalRecord::Entry {
+                fp: hex.clone(),
+                outcome: outcome.clone(),
+            });
+        }
+        self.entries.insert(hex, outcome);
     }
 
     /// Records the fingerprint now current for a qualified function
@@ -397,9 +462,62 @@ impl DiskCache {
     /// invalidation).
     pub fn note_name(&mut self, qualified: &str, fp: Fingerprint) -> bool {
         let hex = fp.to_hex();
-        let invalidated = self.names.get(qualified).is_some_and(|prev| prev != &hex);
+        let prev = self.names.get(qualified);
+        let invalidated = prev.is_some_and(|prev| prev != &hex);
+        // Only *moves* (new name, or a fingerprint change) are logged:
+        // re-noting a stable name on every warm hit would grow the WAL
+        // without changing the recoverable state.
+        if self.log_dirty && prev != Some(&hex) {
+            self.dirty.push(crate::wal::WalRecord::Name {
+                name: qualified.to_string(),
+                fp: hex.clone(),
+            });
+        }
         self.names.insert(qualified.to_string(), hex);
         invalidated
+    }
+
+    /// Turns on the dirty log: from now on every [`DiskCache::insert`]
+    /// and name move is mirrored as a [`crate::wal::WalRecord`] for a
+    /// write-ahead journal, retrievable via [`DiskCache::take_dirty`].
+    pub fn enable_dirty_log(&mut self) {
+        self.log_dirty = true;
+    }
+
+    /// Drains the WAL records accumulated since the last call.
+    pub fn take_dirty(&mut self) -> Vec<crate::wal::WalRecord> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Applies replayed WAL records directly (bypassing the dirty log),
+    /// returning how many actually changed the cache. Records with
+    /// malformed fingerprints are skipped — replay must degrade, never
+    /// error.
+    pub fn apply_wal(&mut self, records: &[crate::wal::WalRecord]) -> usize {
+        let mut applied = 0usize;
+        for rec in records {
+            match rec {
+                crate::wal::WalRecord::Entry { fp, outcome } => {
+                    if Fingerprint::from_hex(fp).is_none() {
+                        continue;
+                    }
+                    if self.entries.get(fp) != Some(outcome) {
+                        self.entries.insert(fp.clone(), outcome.clone());
+                        applied += 1;
+                    }
+                }
+                crate::wal::WalRecord::Name { name, fp } => {
+                    if Fingerprint::from_hex(fp).is_none() {
+                        continue;
+                    }
+                    if self.names.get(name) != Some(fp) {
+                        self.names.insert(name.clone(), fp.clone());
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        applied
     }
 
     /// The canonical `{entries, names}` payload rendering the checksum
@@ -860,6 +978,90 @@ mod tests {
             .collect();
         assert!(stray.is_empty(), "temp files must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn steal_reverifies_the_lock_identity() {
+        // Regression test for the stale-steal TOCTOU window: a lock that
+        // changed hands between the staleness check and the steal must
+        // NOT be removed, and must survive in place.
+        let dir = saved_dir("lock-toctou");
+        let path = dir.join(LOCK_FILE);
+        std::fs::write(&path, "11111").unwrap();
+        let stale_sample = LockSample::read(&path).unwrap();
+        // A fresh holder re-creates the lock in the window (different
+        // pid — the sampled identity no longer matches).
+        std::fs::write(&path, "22222").unwrap();
+        assert!(
+            !try_steal(&path, &stale_sample),
+            "a lock that changed identity must not be stolen"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "22222",
+            "the fresh holder's lock must survive the aborted steal"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn steal_succeeds_when_the_sample_still_matches() {
+        let dir = saved_dir("lock-steal-ok");
+        let path = dir.join(LOCK_FILE);
+        std::fs::write(&path, "99999").unwrap();
+        let sample = LockSample::read(&path).unwrap();
+        assert!(
+            try_steal(&path, &sample),
+            "an unchanged stale lock must be stolen"
+        );
+        assert!(!path.exists(), "the stolen lock must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dirty_log_mirrors_inserts_and_name_moves() {
+        use crate::wal::WalRecord;
+        let mut c = DiskCache::ephemeral();
+        let a = Fingerprint::from_hex("00000000000000000000000000000001").unwrap();
+        let b = Fingerprint::from_hex("00000000000000000000000000000002").unwrap();
+        // Mutations before the log is enabled are not recorded.
+        c.insert(
+            a,
+            CachedOutcome::Err {
+                message: "pre".to_string(),
+                span_lo: 0,
+                span_hi: 1,
+            },
+        );
+        c.enable_dirty_log();
+        assert!(c.take_dirty().is_empty());
+        c.insert(
+            b,
+            CachedOutcome::Ok {
+                nodes: 3,
+                vir_steps: 1,
+                search_nodes: 0,
+                counters: BTreeMap::new(),
+            },
+        );
+        c.note_name("p/f", b);
+        c.note_name("p/f", b); // stable re-note: not logged
+        let dirty = c.take_dirty();
+        assert_eq!(dirty.len(), 2, "{dirty:?}");
+        assert!(matches!(&dirty[0], WalRecord::Entry { fp, .. } if fp == &b.to_hex()));
+        assert!(
+            matches!(&dirty[1], WalRecord::Name { name, fp } if name == "p/f" && fp == &b.to_hex())
+        );
+        assert!(c.take_dirty().is_empty(), "take_dirty drains");
+
+        // Replaying the records into a fresh cache reproduces the state.
+        let mut fresh = DiskCache::ephemeral();
+        assert_eq!(fresh.apply_wal(&dirty), 2);
+        assert_eq!(fresh.apply_wal(&dirty), 0, "replay is idempotent");
+        assert!(matches!(
+            fresh.lookup(b),
+            Some(CachedOutcome::Ok { nodes: 3, .. })
+        ));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod disk;
 pub mod pool;
 pub mod sched;
+pub mod wal;
 
 use fearless_core::env::Globals;
 use fearless_core::{check, CacheStats, CheckerOptions, Fingerprint, TypeError};
@@ -33,6 +34,7 @@ use fearless_syntax::{Program, Span};
 use fearless_trace::{MemorySink, Tracer};
 
 pub use disk::{checksum_hex, parse_json, CachedOutcome, DiskCache, LoadOutcome};
+pub use wal::{CacheWal, WalRecord, WalReplay};
 
 /// Every counter name a `check` span can carry, used to re-intern
 /// counters parsed back from the on-disk cache as the `&'static str`

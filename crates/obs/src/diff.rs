@@ -20,8 +20,13 @@ pub const NONDET_SUFFIX: &str = "_nondet";
 
 /// Substrings marking a counter as higher-is-better. Checked against
 /// the final path segment, so `cache.hits_warm` and `sanitize_skipped`
-/// match but `sanitize_walks` does not.
-const HIGHER_IS_BETTER: &[&str] = &["hit", "skipped", "per_sec", "speedup"];
+/// match but `sanitize_walks` does not. `recover` and `survived` cover
+/// the guard drills' oracles (`recoveries_byte_identical`,
+/// `survived_ok`): fewer successful recoveries is a regression, not a
+/// win.
+const HIGHER_IS_BETTER: &[&str] = &[
+    "hit", "skipped", "per_sec", "speedup", "recover", "survived",
+];
 
 /// How a counter moved between the two documents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +334,23 @@ mod tests {
             .find(|l| l.key == "sanitize_skipped")
             .unwrap();
         assert_eq!(skipped.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn recovery_counters_regress_on_drops() {
+        // The guard drills' oracles: a lost byte-identical recovery or
+        // a response that stopped surviving byte-level abuse must gate.
+        let old = doc(&[("recoveries_byte_identical", 5), ("survived_ok", 20)]);
+        let new = doc(&[("recoveries_byte_identical", 0), ("survived_ok", 20)]);
+        let report = bench_diff(&old, &new, 10);
+        assert!(report.has_regressions());
+        let rec = report
+            .lines
+            .iter()
+            .find(|l| l.key == "recoveries_byte_identical")
+            .unwrap();
+        assert_eq!(rec.verdict, Verdict::Regressed);
+        assert!(rec.higher_is_better);
     }
 
     #[test]

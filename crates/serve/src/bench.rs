@@ -298,6 +298,28 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutcome, String> {
             ("work_requests".to_string(), work_requests),
         ],
     });
+    // Guard counters (supervision / recovery / degradation): all
+    // deterministic — the bench injects no faults, so zeros here are
+    // themselves an asserted-by-diff invariant.
+    let worker_restarts = server_counter("worker_restarts");
+    let quarantined = server_counter("quarantined");
+    let stale_served = server_counter("stale_served");
+    let deadline_exceeded = server_counter("deadline_exceeded");
+    let wal_replayed = server_counter("wal_replayed");
+    journal.entries.push(JournalEntry {
+        clock: (n * m) as u64 + 2,
+        phase: "serve".to_string(),
+        name: "guard".to_string(),
+        event: "counters".to_string(),
+        fields: vec![
+            ("deadline_exceeded".to_string(), deadline_exceeded),
+            ("quarantined".to_string(), quarantined),
+            ("retries".to_string(), 0),
+            ("stale_served".to_string(), stale_served),
+            ("wal_replayed".to_string(), wal_replayed),
+            ("worker_restarts".to_string(), worker_restarts),
+        ],
+    });
     // Wall-clock distributions ride along under `_nondet` names, which
     // `strip-nondet` removes before CI's byte-diff.
     journal
@@ -334,6 +356,14 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutcome, String> {
         ("queue_capacity".to_string(), Json::U64(capacity as u64)),
         ("computed".to_string(), Json::U64(computed)),
         ("responses_ok".to_string(), Json::U64(responses_ok)),
+        ("worker_restarts".to_string(), Json::U64(worker_restarts)),
+        ("quarantined".to_string(), Json::U64(quarantined)),
+        ("stale_served".to_string(), Json::U64(stale_served)),
+        (
+            "deadline_exceeded".to_string(),
+            Json::U64(deadline_exceeded),
+        ),
+        ("wal_replayed".to_string(), Json::U64(wal_replayed)),
         (
             "response_bytes_total".to_string(),
             Json::U64(response_bytes_total),

@@ -26,8 +26,23 @@
 //!   with a retry-after hint — counted, never a hang and never a
 //!   dropped connection.
 //! * **Drain on shutdown**: a `shutdown` request or `SIGTERM` stops
-//!   admission, finishes every queued and in-flight job, persists the
-//!   fingerprint cache once, and only then closes the socket.
+//!   admission, finishes every *in-flight* job, answers every still-
+//!   queued job with a structured code 8 (`SHUTTING_DOWN`), persists
+//!   the fingerprint cache once, and only then closes the socket.
+//!
+//! The *fearless-guard* layer adds supervision and recovery on top
+//! (see `docs/GUARD.md`): workers run each request under
+//! `catch_unwind` and are restarted by a supervisor when a request
+//! panics (the request is retried once, then quarantined to a
+//! memoized code 70); every fingerprint-cache mutation is journaled to
+//! a checksummed write-ahead log so a `kill -9` loses at most in-flight
+//! entries and a restart replays the WAL into byte-identical
+//! responses; requests may carry a deterministic *logical* deadline
+//! (`deadline_millis`, enforced against derivation-node cost, code 9)
+//! and opt into stale-while-revalidate degradation (`allow_stale` →
+//! `stale: true` answers from the previous memo generation instead of
+//! shedding); and [`client::RetryPolicy`] gives clients bounded seeded
+//! backoff honoring the server's `retry_after_millis` hint.
 //!
 //! [`client`] is the matching protocol client plus the `serve --once`
 //! end-to-end self-test; [`mod@bench`] is the seeded `serve-bench` load
@@ -45,7 +60,7 @@ pub mod report;
 pub mod server;
 
 pub use bench::{run_bench, BenchOptions, BenchOutcome};
-pub use client::{self_test, Client};
+pub use client::{self_test, Client, RetryPolicy};
 pub use protocol::{Request, Response};
 pub use report::render_serve_report;
 pub use server::{ServeOptions, Server};

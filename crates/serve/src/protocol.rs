@@ -54,6 +54,12 @@ pub mod codes {
     pub const OVERLOADED: u64 = 7;
     /// The daemon is draining for shutdown and no longer accepts work.
     pub const SHUTTING_DOWN: u64 = 8;
+    /// The request carried a `deadline_millis` budget and the work's
+    /// *logical* cost (derivation nodes, converted at
+    /// `DEADLINE_NODES_PER_MILLI`) exceeded it — a deterministic
+    /// timeout: the same request and body always hit (or always miss)
+    /// the same deadline, regardless of machine speed.
+    pub const DEADLINE_EXCEEDED: u64 = 9;
     /// A panic escaped the request handler (an internal error in the
     /// daemon, never in the client's program) — the ICE boundary.
     pub const ICE: u64 = 70;
@@ -72,17 +78,41 @@ pub struct Request {
     pub kind: String,
     /// Program source for work kinds (empty for control kinds).
     pub body: String,
+    /// Optional logical deadline for work kinds. Enforced
+    /// deterministically against the response's `cost_nodes` (see
+    /// [`codes::DEADLINE_EXCEEDED`]); absent means no deadline.
+    pub deadline_millis: Option<u64>,
+    /// When `true`, the client tolerates a previous-epoch answer: under
+    /// load the daemon may serve a memoized pre-`reset` result marked
+    /// `stale: true` instead of shedding with [`codes::OVERLOADED`].
+    pub allow_stale: bool,
 }
 
 impl Request {
+    /// A request with no deadline and no staleness tolerance.
+    pub fn new(kind: impl Into<String>, body: impl Into<String>) -> Request {
+        Request {
+            kind: kind.into(),
+            body: body.into(),
+            deadline_millis: None,
+            allow_stale: false,
+        }
+    }
+
     /// Renders the request document.
     pub fn to_json(&self) -> String {
-        Json::obj([
-            ("schema", Json::str(SCHEMA)),
-            ("kind", Json::str(&self.kind)),
-            ("body", Json::str(&self.body)),
-        ])
-        .render()
+        let mut fields = vec![
+            ("schema".to_string(), Json::str(SCHEMA)),
+            ("kind".to_string(), Json::str(&self.kind)),
+            ("body".to_string(), Json::str(&self.body)),
+        ];
+        if let Some(ms) = self.deadline_millis {
+            fields.push(("deadline_millis".to_string(), Json::U64(ms)));
+        }
+        if self.allow_stale {
+            fields.push(("allow_stale".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(fields).render()
     }
 }
 
@@ -97,6 +127,13 @@ pub struct Response {
     pub output: String,
     /// Backoff hint, present only on `overloaded` responses.
     pub retry_after_millis: Option<u64>,
+    /// Logical cost of the work in derivation nodes (serialized as
+    /// `cost_nodes`), present on successful work responses; what
+    /// deadlines are enforced against.
+    pub cost: Option<u64>,
+    /// `true` when this is a previously-memoized result served in the
+    /// stale-while-revalidate degrade path instead of shedding.
+    pub stale: bool,
 }
 
 impl Response {
@@ -107,6 +144,8 @@ impl Response {
             code: codes::OK,
             output: output.into(),
             retry_after_millis: None,
+            cost: None,
+            stale: false,
         }
     }
 
@@ -117,6 +156,8 @@ impl Response {
             code,
             output: output.into(),
             retry_after_millis: None,
+            cost: None,
+            stale: false,
         }
     }
 
@@ -128,6 +169,8 @@ impl Response {
             code: codes::OVERLOADED,
             output: "work queue full".to_string(),
             retry_after_millis: Some(retry_after_millis),
+            cost: None,
+            stale: false,
         }
     }
 
@@ -142,6 +185,12 @@ impl Response {
         ];
         if let Some(ms) = self.retry_after_millis {
             fields.push(("retry_after_millis".to_string(), Json::U64(ms)));
+        }
+        if let Some(cost) = self.cost {
+            fields.push(("cost_nodes".to_string(), Json::U64(cost)));
+        }
+        if self.stale {
+            fields.push(("stale".to_string(), Json::Bool(true)));
         }
         Json::Obj(fields).render()
     }
@@ -172,11 +221,18 @@ impl Response {
             Some(Json::U64(n)) => Some(*n),
             _ => None,
         };
+        let cost = match get("cost_nodes") {
+            Some(Json::U64(n)) => Some(*n),
+            _ => None,
+        };
+        let stale = matches!(get("stale"), Some(Json::Bool(true)));
         Some(Response {
             status,
             code,
             output,
             retry_after_millis,
+            cost,
+            stale,
         })
     }
 }
@@ -312,7 +368,22 @@ pub fn parse_request(bytes: &[u8]) -> Result<Request, (u64, String)> {
         None => String::new(),
         _ => return Err(malformed()),
     };
-    Ok(Request { kind, body })
+    let deadline_millis = match get("deadline_millis") {
+        Some(Json::U64(n)) => Some(*n),
+        None => None,
+        _ => return Err(malformed()),
+    };
+    let allow_stale = match get("allow_stale") {
+        Some(Json::Bool(b)) => *b,
+        None => false,
+        _ => return Err(malformed()),
+    };
+    Ok(Request {
+        kind,
+        body,
+        deadline_millis,
+        allow_stale,
+    })
 }
 
 #[cfg(test)]
@@ -374,28 +445,70 @@ mod tests {
         assert_eq!(parse_request(b"[1, 2]").unwrap_err().0, codes::MALFORMED);
         let wrong_schema = b"{\"schema\": \"other/9\", \"kind\": \"check\"}";
         assert_eq!(parse_request(wrong_schema).unwrap_err().0, codes::MALFORMED);
-        let unknown = Request {
-            kind: "dance".to_string(),
-            body: String::new(),
-        }
-        .to_json();
+        let unknown = Request::new("dance", "").to_json();
         assert_eq!(
             parse_request(unknown.as_bytes()).unwrap_err().0,
             codes::UNKNOWN_KIND
         );
-        let ok = Request {
-            kind: "check".to_string(),
-            body: "def f(): int { 1 }".to_string(),
-        };
+        let ok = Request::new("check", "def f(): int { 1 }");
         assert_eq!(parse_request(ok.to_json().as_bytes()).unwrap(), ok);
     }
 
     #[test]
+    fn deadline_roundtrips_and_bad_deadline_is_malformed() {
+        let mut req = Request::new("check", "def f(): int { 1 }");
+        req.deadline_millis = Some(50);
+        assert_eq!(parse_request(req.to_json().as_bytes()).unwrap(), req);
+        // Absent deadline parses as None (back-compat with v1 clients).
+        let plain = Request::new("check", "x");
+        assert_eq!(
+            parse_request(plain.to_json().as_bytes())
+                .unwrap()
+                .deadline_millis,
+            None
+        );
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"kind\": \"check\", \"deadline_millis\": \"soon\"}}"
+        );
+        assert_eq!(
+            parse_request(bad.as_bytes()).unwrap_err().0,
+            codes::MALFORMED
+        );
+    }
+
+    #[test]
+    fn allow_stale_roundtrips_and_bad_flag_is_malformed() {
+        let mut req = Request::new("lint", "def f(): int { 1 }");
+        req.allow_stale = true;
+        assert_eq!(parse_request(req.to_json().as_bytes()).unwrap(), req);
+        let plain = Request::new("lint", "x");
+        assert!(
+            !parse_request(plain.to_json().as_bytes())
+                .unwrap()
+                .allow_stale
+        );
+        let bad =
+            format!("{{\"schema\": \"{SCHEMA}\", \"kind\": \"lint\", \"allow_stale\": \"yes\"}}");
+        assert_eq!(
+            parse_request(bad.as_bytes()).unwrap_err().0,
+            codes::MALFORMED
+        );
+    }
+
+    #[test]
     fn response_roundtrip_including_retry_hint() {
+        let mut costed = Response::ok("ok: 1 function(s)\n");
+        costed.cost = Some(412);
+        let mut stale = Response::ok("ok: 1 function(s)\n");
+        stale.stale = true;
+        stale.cost = Some(7);
         for r in [
             Response::ok("ok: 1 function(s)\n"),
             Response::error(codes::DIAGNOSTIC, "type error"),
+            Response::error(codes::DEADLINE_EXCEEDED, "deadline-exceeded"),
             Response::overloaded(25),
+            costed,
+            stale,
         ] {
             assert_eq!(Response::from_json(&r.to_json()).unwrap(), r);
         }

@@ -93,6 +93,7 @@ pub fn render_serve_report(journal_text: &str) -> Result<String, String> {
     let mut lanes: BTreeMap<String, ClientLane> = BTreeMap::new();
     let mut drill: Option<(u64, u64)> = None;
     let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut guard: Vec<(String, u64)> = Vec::new();
     for entry in entries {
         let name = get_str(entry, "name").unwrap_or("");
         let event = get_str(entry, "event").unwrap_or("");
@@ -101,6 +102,16 @@ pub fn render_serve_report(journal_text: &str) -> Result<String, String> {
                 entry_field(entry, "requests"),
                 entry_field(entry, "overloaded"),
             ));
+            continue;
+        }
+        if name == "guard" && event == "counters" {
+            if let Some(Json::Obj(fields)) = get(entry, "fields") {
+                for (k, v) in fields {
+                    if let Json::U64(n) = v {
+                        guard.push((k.clone(), *n));
+                    }
+                }
+            }
             continue;
         }
         if name == "stats" && event == "counters" {
@@ -187,6 +198,13 @@ pub fn render_serve_report(journal_text: &str) -> Result<String, String> {
         }
         out.push('\n');
     }
+    if !guard.is_empty() {
+        out.push_str("guard counters:");
+        for (name, value) in &guard {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
+    }
 
     // Queue-depth and response-size distributions, when present.
     if let Some(hists) = get(&doc, "histograms") {
@@ -248,6 +266,16 @@ mod tests {
                 ("requests".to_string(), 6),
             ],
         });
+        journal.entries.push(JournalEntry {
+            clock: 5,
+            phase: "serve".to_string(),
+            name: "guard".to_string(),
+            event: "counters".to_string(),
+            fields: vec![
+                ("quarantined".to_string(), 1),
+                ("worker_restarts".to_string(), 2),
+            ],
+        });
         journal.histograms.record("serve.queue_depth_nondet", 2);
         journal
     }
@@ -270,6 +298,10 @@ mod tests {
             .unwrap();
         assert!(r0 < r1, "busiest client first:\n{table}");
         assert!(table.contains("shed drill: 6 request(s)"), "{table}");
+        assert!(
+            table.contains("guard counters: quarantined=1 worker_restarts=2"),
+            "{table}"
+        );
         assert!(
             table.contains("serve.queue_depth_nondet: count 1 max 2"),
             "{table}"

@@ -20,20 +20,42 @@
 //!
 //! ## Shutdown
 //!
-//! A `shutdown` request (or SIGTERM) stops admission, drains the queue
-//! and all in-flight work, writes the fingerprint cache back to disk,
-//! and only then replies / returns.
+//! A `shutdown` request (or SIGTERM) stops admission, rejects every
+//! *queued* job with a structured code 8, finishes all in-flight work,
+//! writes the fingerprint cache back to disk, and only then replies /
+//! returns.
+//!
+//! ## Supervision (`fearless-guard`)
+//!
+//! Each worker runs requests under `catch_unwind`. A panic kills the
+//! worker *incarnation*: the supervisor restarts it (counted as
+//! `worker_restarts`) and the offending job is retried once on a fresh
+//! worker. A job that kills two workers is *quarantined*: its key is
+//! memoized to a structured code-70 response so it can never take the
+//! daemon down again (`quarantined` counter). Because panics are
+//! deterministic in the request body, so are both counters.
+//!
+//! ## Crash recovery
+//!
+//! With a persistent cache directory, every fingerprint-cache mutation
+//! is appended to a checksummed write-ahead journal
+//! ([`fearless_incr::wal`]) *before* the response leaves the daemon. A
+//! SIGKILL therefore loses at most in-flight entries; on restart the
+//! WAL is replayed into the loaded cache and compacted. Cache warmth
+//! never changes response bytes, so post-crash responses are
+//! byte-identical to an uninterrupted run — the chaos drill pins this.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use fearless_core::CheckerOptions;
 use fearless_incr::disk::checksum_hex;
+use fearless_incr::wal::CacheWal;
 use fearless_incr::DiskCache;
 use fearless_obs::HistogramSet;
 use fearless_trace::{Json, MemorySink, TraceSink, Tracer};
@@ -42,6 +64,23 @@ use crate::protocol::{self, codes, Frame, Request, Response};
 
 /// Schema tag of the `stats` response payload.
 pub const STATS_SCHEMA: &str = "fearless-serve-stats/1";
+
+/// Conversion rate for the deterministic logical deadline: a
+/// `deadline_millis` budget of `d` admits work costing at most
+/// `d × DEADLINE_NODES_PER_MILLI` derivation nodes. Logical cost, not
+/// wall clock, so the same request always hits (or always misses) its
+/// deadline on every machine.
+pub const DEADLINE_NODES_PER_MILLI: u64 = 1000;
+
+/// Request bodies containing this marker panic inside the worker when
+/// [`ServeOptions::inject_faults`] is on — the chaos drills' driver for
+/// deterministic worker-crash injection.
+pub const PANIC_MARKER: &str = "fearless-guard: inject-panic";
+
+/// Request bodies containing this marker stall the worker ~250ms before
+/// computing when [`ServeOptions::inject_faults`] is on — the drills'
+/// way of pinning a job in-flight while a signal races the accept loop.
+pub const STALL_MARKER: &str = "fearless-guard: inject-stall";
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -56,11 +95,15 @@ pub struct ServeOptions {
     pub cache_dir: Option<PathBuf>,
     /// Backoff hint stamped on `overloaded` responses.
     pub retry_after_millis: u64,
+    /// When true, request bodies containing [`PANIC_MARKER`] panic in
+    /// the worker — the deterministic fault injection the chaos drills
+    /// and the self-test use to exercise supervision. Off by default.
+    pub inject_faults: bool,
 }
 
 impl ServeOptions {
     /// Defaults for a given socket path: 2 workers, queue of 16,
-    /// ephemeral cache, 25 ms retry hint.
+    /// ephemeral cache, 25 ms retry hint, no fault injection.
     pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
         ServeOptions {
             socket: socket.into(),
@@ -68,6 +111,7 @@ impl ServeOptions {
             queue_capacity: 16,
             cache_dir: None,
             retry_after_millis: 25,
+            inject_faults: false,
         }
     }
 }
@@ -100,6 +144,17 @@ pub struct Counters {
     pub ice_responses: u64,
     /// Structured protocol-error responses (codes 2–6).
     pub protocol_errors: u64,
+    /// Worker incarnations restarted by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Requests quarantined after killing two workers (memoized to a
+    /// code-70 response).
+    pub quarantined: u64,
+    /// Work responses answered `stale: true` from the previous memo
+    /// generation instead of shedding.
+    pub stale_served: u64,
+    /// Work requests whose logical cost exceeded their
+    /// `deadline_millis` budget (code 9).
+    pub deadline_exceeded: u64,
 }
 
 struct Job {
@@ -113,6 +168,13 @@ struct State {
     inflight: BTreeSet<String>,
     waiters: BTreeMap<String, Vec<Sender<Arc<Response>>>>,
     memo: BTreeMap<String, Arc<Response>>,
+    /// The previous memo generation, kept across `reset` — the
+    /// stale-while-revalidate degrade pool: a shed-bound request whose
+    /// key is here and that set `allow_stale` is answered `stale: true`
+    /// instead of `overloaded`.
+    stale_memo: BTreeMap<String, Arc<Response>>,
+    /// Per-key worker-crash counts driving retry-then-quarantine.
+    crashes: BTreeMap<String, u32>,
     paused: bool,
     draining: bool,
     counters: Counters,
@@ -125,6 +187,16 @@ struct Shared {
     work_cv: Condvar,
     done_cv: Condvar,
     cache: Mutex<DiskCache>,
+    /// The open write-ahead journal (`None`: ephemeral cache, or the
+    /// WAL could not be opened and the daemon degraded to running
+    /// without one).
+    wal: Mutex<Option<CacheWal>>,
+    /// Records appended to the WAL this run (warmth-dependent: a warm
+    /// cache appends nothing).
+    wal_appends: AtomicU64,
+    /// Records replayed from the WAL at startup (the signature of
+    /// recovering from a crash).
+    wal_replayed: AtomicU64,
     stop_accept: AtomicBool,
     saved: AtomicBool,
 }
@@ -198,16 +270,37 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot set nonblocking: {e}"))?;
-        let cache = match &opts.cache_dir {
+        let mut cache = match &opts.cache_dir {
             Some(dir) => DiskCache::load(dir),
             None => DiskCache::ephemeral(),
         };
+        // Crash recovery: replay the write-ahead journal into the
+        // loaded cache, compact (save the merged document, truncate the
+        // WAL), and keep the WAL open for this run's appends. A WAL
+        // that cannot be opened degrades to running without one — the
+        // daemon still works, it just loses crash durability.
+        let mut wal = None;
+        let mut wal_replayed = 0u64;
+        if let Some(dir) = &opts.cache_dir {
+            cache.enable_dirty_log();
+            let replayed = fearless_incr::wal::replay(dir);
+            wal_replayed = cache.apply_wal(&replayed.records) as u64;
+            if let Ok(mut w) = CacheWal::open(dir) {
+                if !replayed.records.is_empty() || replayed.torn {
+                    let _ = cache.save();
+                    let _ = w.reset();
+                }
+                wal = Some(w);
+            }
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 inflight: BTreeSet::new(),
                 waiters: BTreeMap::new(),
                 memo: BTreeMap::new(),
+                stale_memo: BTreeMap::new(),
+                crashes: BTreeMap::new(),
                 paused: false,
                 draining: false,
                 counters: Counters::default(),
@@ -216,6 +309,9 @@ impl Server {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: Mutex::new(cache),
+            wal: Mutex::new(wal),
+            wal_appends: AtomicU64::new(0),
+            wal_replayed: AtomicU64::new(wal_replayed),
             stop_accept: AtomicBool::new(false),
             saved: AtomicBool::new(false),
             opts,
@@ -249,11 +345,13 @@ impl Server {
         let workers: Vec<_> = (0..self.shared.opts.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&self.shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || supervised_worker(&shared))
             })
             .collect();
         loop {
-            if TERM_REQUESTED.load(Ordering::SeqCst)
+            // `swap` *consumes* the signal: a supervisor restarting a
+            // daemon in the same process gets a fresh flag.
+            if TERM_REQUESTED.swap(false, Ordering::SeqCst)
                 || self.shared.stop_accept.load(Ordering::SeqCst)
             {
                 break;
@@ -293,20 +391,44 @@ fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
     shared.state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Marks the drain, wakes everyone, and blocks until the queue and all
-/// in-flight work are empty.
+/// Marks the drain, rejects every *queued* job with a structured code
+/// 8, wakes everyone, and blocks until in-flight work is empty.
 fn drain(shared: &Shared) {
     let mut st = lock_state(shared);
     st.draining = true;
     st.paused = false;
+    reject_queued(shared, &mut st);
     shared.work_cv.notify_all();
-    while !(st.queue.is_empty() && st.inflight.is_empty()) {
+    while !st.inflight.is_empty() {
         st = shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
     }
 }
 
+/// Empties the work queue, answering every parked waiter with code 8
+/// (`rejected_draining` counts them). In-flight jobs — already popped
+/// by a worker — are untouched and will complete.
+fn reject_queued(shared: &Shared, st: &mut State) {
+    if st.queue.is_empty() {
+        return;
+    }
+    let r = Arc::new(Response::error(
+        codes::SHUTTING_DOWN,
+        "daemon is draining for shutdown; queued request rejected",
+    ));
+    while let Some(job) = st.queue.pop_front() {
+        st.counters.rejected_draining += 1;
+        st.inflight.remove(&job.key);
+        for tx in st.waiters.remove(&job.key).unwrap_or_default() {
+            let _ = tx.send(Arc::clone(&r));
+        }
+    }
+    shared.done_cv.notify_all();
+}
+
 /// Writes the fingerprint cache back exactly once (the `shutdown`
-/// request and the accept loop's exit path both call this).
+/// request and the accept loop's exit path both call this), then
+/// compacts the write-ahead journal — the saved document now holds
+/// everything the WAL held.
 fn save_cache_once(shared: &Shared) -> Result<(), String> {
     if shared.saved.swap(true, Ordering::SeqCst) {
         return Ok(());
@@ -315,16 +437,43 @@ fn save_cache_once(shared: &Shared) -> Result<(), String> {
         .cache
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .save()
+        .save()?;
+    let mut wal = shared.wal.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = wal.as_mut() {
+        let _ = w.reset();
+    }
+    Ok(())
 }
 
-fn worker_loop(shared: &Shared) {
+/// How one worker incarnation ended.
+enum WorkerExit {
+    /// The drain completed; the worker retires for good.
+    Drained,
+    /// A panic escaped a job — the incarnation is dead and the
+    /// supervisor must start a fresh one.
+    Died,
+}
+
+/// The supervisor: restarts a worker incarnation every time a panic
+/// kills one (`worker_restarts` is counted in [`handle_worker_crash`],
+/// under the lock, so stats observed after a quarantine response never
+/// race the restart); retires only on drain.
+fn supervised_worker(shared: &Shared) {
+    loop {
+        match worker_loop(shared) {
+            WorkerExit::Drained => return,
+            WorkerExit::Died => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) -> WorkerExit {
     loop {
         let job = {
             let mut st = lock_state(shared);
             loop {
                 if st.draining && st.queue.is_empty() {
-                    return;
+                    return WorkerExit::Drained;
                 }
                 if !st.paused || st.draining {
                     if let Some(job) = st.queue.pop_front() {
@@ -334,7 +483,27 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let response = Arc::new(run_job(&job, shared));
+        let kind = job.kind.clone();
+        let body = Arc::clone(&job.body);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute(&kind, &body, shared)
+        }));
+        let response = match outcome {
+            Ok(r) => Arc::new(r),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_string());
+                handle_worker_crash(shared, job, &msg);
+                return WorkerExit::Died;
+            }
+        };
+        // Durability point: the WAL append happens before any waiter
+        // sees the response, so a response a client observed is never
+        // lost to a crash (at most re-derived identically).
+        flush_dirty_to_wal(shared);
         let waiters = {
             let mut st = lock_state(shared);
             st.memo.insert(job.key.clone(), Arc::clone(&response));
@@ -350,22 +519,55 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Executes one work request behind the ICE boundary: a panic becomes a
-/// structured code-70 response, never a dead worker.
-fn run_job(job: &Job, shared: &Shared) -> Response {
-    let kind = job.kind.clone();
-    let body = Arc::clone(&job.body);
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compute(&kind, &body, shared)
-    })) {
-        Ok(r) => r,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "panic".to_string());
-            Response::error(codes::ICE, format!("internal error: {msg}"))
+/// The supervision policy for a job whose compute panicked: the first
+/// crash re-queues it at the front (one retry on a fresh worker); the
+/// second quarantines it — the key is memoized to a structured code-70
+/// response so every future identical request answers instantly and no
+/// worker ever touches the body again.
+fn handle_worker_crash(shared: &Shared, job: Job, msg: &str) {
+    let mut st = lock_state(shared);
+    // The incarnation is dead; the supervisor will start a fresh one.
+    st.counters.worker_restarts += 1;
+    let count = {
+        let c = st.crashes.entry(job.key.clone()).or_insert(0);
+        *c += 1;
+        *c
+    };
+    if count < 2 {
+        st.queue.push_front(job);
+        shared.work_cv.notify_one();
+        return;
+    }
+    let response = Arc::new(Response::error(
+        codes::ICE,
+        format!("internal error: request quarantined after {count} worker crash(es): {msg}"),
+    ));
+    st.memo.insert(job.key.clone(), Arc::clone(&response));
+    st.counters.quarantined += 1;
+    st.inflight.remove(&job.key);
+    let waiters = st.waiters.remove(&job.key).unwrap_or_default();
+    shared.done_cv.notify_all();
+    drop(st);
+    for tx in waiters {
+        let _ = tx.send(Arc::clone(&response));
+    }
+}
+
+/// Drains the cache's dirty log into the write-ahead journal (no-op
+/// for ephemeral caches or when the WAL failed to open).
+fn flush_dirty_to_wal(shared: &Shared) {
+    let dirty = shared
+        .cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take_dirty();
+    if dirty.is_empty() {
+        return;
+    }
+    let mut wal = shared.wal.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = wal.as_mut() {
+        if let Ok(n) = w.append(&dirty) {
+            shared.wal_appends.fetch_add(n as u64, Ordering::SeqCst);
         }
     }
 }
@@ -373,8 +575,17 @@ fn run_job(job: &Job, shared: &Shared) -> Response {
 /// The actual pipelines. Every output here is deterministic in the
 /// request body alone — the determinism contract `docs/SERVE.md` pins —
 /// because the underlying drivers are (cache warmth never shows in
-/// `check` output, and `profile` runs without wall clock).
+/// `check` output, and `profile` runs without wall clock). Successful
+/// responses carry their logical cost in derivation nodes (the basis
+/// of the deterministic deadline); diagnostics carry none and are
+/// therefore never deadline-rejected.
 fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
+    if shared.opts.inject_faults && src.contains(PANIC_MARKER) {
+        panic!("injected worker fault ({PANIC_MARKER})");
+    }
+    if shared.opts.inject_faults && src.contains(STALL_MARKER) {
+        std::thread::sleep(Duration::from_millis(250));
+    }
     let opts = CheckerOptions::default();
     match kind {
         "check" => {
@@ -389,12 +600,16 @@ fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
             drop(cache);
             match run.units[0].first_error() {
                 Some(e) => Response::error(codes::DIAGNOSTIC, e.render(src)),
-                None => Response::ok(format!(
-                    "ok: {} function(s), {} derivation nodes, {} virtual transformations\n",
-                    run.units[0].functions.len(),
-                    run.units[0].total_nodes(),
-                    run.units[0].total_vir_steps()
-                )),
+                None => {
+                    let mut r = Response::ok(format!(
+                        "ok: {} function(s), {} derivation nodes, {} virtual transformations\n",
+                        run.units[0].functions.len(),
+                        run.units[0].total_nodes(),
+                        run.units[0].total_vir_steps()
+                    ));
+                    r.cost = Some(run.units[0].total_nodes());
+                    r
+                }
             }
         }
         "lint" => {
@@ -403,7 +618,11 @@ fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
                 Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
             };
             match fearless_analyze::analyze_program(&checked) {
-                Ok(report) => Response::ok(report.to_json(src)),
+                Ok(report) => {
+                    let mut r = Response::ok(report.to_json(src));
+                    r.cost = Some(checked.total_nodes() as u64);
+                    r
+                }
                 Err(msg) => Response::error(codes::DIAGNOSTIC, msg),
             }
         }
@@ -416,7 +635,9 @@ fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
                 Ok(flow) => {
                     let mut out = flow.to_json();
                     out.push('\n');
-                    Response::ok(out)
+                    let mut r = Response::ok(out);
+                    r.cost = Some(checked.total_nodes() as u64);
+                    r
                 }
                 Err(e) => Response::error(codes::DIAGNOSTIC, e.to_string()),
             }
@@ -430,14 +651,19 @@ fn compute(kind: &str, src: &str, shared: &Shared) -> Response {
                 Ok(p) => p,
                 Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
             };
-            if let Err(e) =
-                fearless_core::check_program_traced(&program, &opts, &mut Tracer::new(&mut sink))
-            {
-                return Response::error(codes::DIAGNOSTIC, e.render(src));
-            }
+            let checked = match fearless_core::check_program_traced(
+                &program,
+                &opts,
+                &mut Tracer::new(&mut sink),
+            ) {
+                Ok(c) => c,
+                Err(e) => return Response::error(codes::DIAGNOSTIC, e.render(src)),
+            };
             // Logical counters only: no wall clock, so identical bodies
             // yield byte-identical profiles.
-            Response::ok(sink.to_json_value_opts(false).render())
+            let mut r = Response::ok(sink.to_json_value_opts(false).render());
+            r.cost = Some(checked.total_nodes() as u64);
+            r
         }
         other => Response::error(codes::UNKNOWN_KIND, format!("unknown work kind `{other}`")),
     }
@@ -511,7 +737,12 @@ fn respond(shared: &Shared, req: &Request) -> Response {
             // histograms so two identically-seeded load runs observe
             // identical deterministic counters. The fingerprint cache
             // deliberately stays hot — it never changes response bytes.
-            st.memo.clear();
+            // The outgoing memo generation moves to the stale pool: a
+            // later shed-bound request for one of these keys is served
+            // `stale: true` instead of `overloaded`.
+            let outgoing = std::mem::take(&mut st.memo);
+            st.stale_memo.extend(outgoing);
+            st.crashes.clear();
             st.counters = Counters::default();
             st.hists = HistogramSet::new();
             Response::ok("reset")
@@ -523,8 +754,9 @@ fn respond(shared: &Shared, req: &Request) -> Response {
         "shutdown" => {
             st.draining = true;
             st.paused = false;
+            reject_queued(shared, &mut st);
             shared.work_cv.notify_all();
-            while !(st.queue.is_empty() && st.inflight.is_empty()) {
+            while !st.inflight.is_empty() {
                 st = shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             let computed = st.counters.computed;
@@ -574,10 +806,45 @@ fn stats_doc(shared: &Shared, st: &State) -> Json {
                 ("ice_responses", Json::U64(c.ice_responses)),
                 ("protocol_errors", Json::U64(c.protocol_errors)),
                 ("control_requests_nondet", Json::U64(c.control_requests)),
+                ("worker_restarts", Json::U64(c.worker_restarts)),
+                ("quarantined", Json::U64(c.quarantined)),
+                ("stale_served", Json::U64(c.stale_served)),
+                ("deadline_exceeded", Json::U64(c.deadline_exceeded)),
+                (
+                    "wal_replayed",
+                    Json::U64(shared.wal_replayed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "wal_appends_nondet",
+                    Json::U64(shared.wal_appends.load(Ordering::SeqCst)),
+                ),
             ]),
         ),
+        ("queue_len_nondet", Json::U64(st.queue.len() as u64)),
+        ("inflight_nondet", Json::U64(st.inflight.len() as u64)),
         ("histograms", st.hists.to_json_value()),
     ])
+}
+
+/// The deterministic deadline check: a work response whose logical
+/// cost exceeds the request's budget is replaced by a code-9 error.
+/// Responses without a cost (diagnostics, protocol errors) never
+/// deadline-exceed.
+fn deadline_verdict(req: &Request, r: &Response) -> Option<Response> {
+    let (Some(deadline), Some(cost)) = (req.deadline_millis, r.cost) else {
+        return None;
+    };
+    let budget = deadline.saturating_mul(DEADLINE_NODES_PER_MILLI);
+    if cost <= budget {
+        return None;
+    }
+    Some(Response::error(
+        codes::DEADLINE_EXCEEDED,
+        format!(
+            "deadline-exceeded: cost {cost} derivation node(s) over a budget of {deadline} ms \
+             × {DEADLINE_NODES_PER_MILLI} node(s)/ms"
+        ),
+    ))
 }
 
 fn dispatch_work(shared: &Shared, req: &Request) -> Response {
@@ -590,6 +857,10 @@ fn dispatch_work(shared: &Shared, req: &Request) -> Response {
             let r = Arc::clone(r);
             st.counters.dedupe_hits += 1;
             st.counters.memo_hits += 1;
+            if let Some(exceeded) = deadline_verdict(req, &r) {
+                st.counters.deadline_exceeded += 1;
+                return exceeded;
+            }
             finish_work(&mut st, &r);
             return (*r).clone();
         }
@@ -602,6 +873,21 @@ fn dispatch_work(shared: &Shared, req: &Request) -> Response {
             st.counters.rejected_draining += 1;
             return Response::error(codes::SHUTTING_DOWN, "daemon is draining for shutdown");
         } else if st.queue.len() >= shared.opts.queue_capacity {
+            // Stale-while-revalidate: when the client opted in with
+            // `allow_stale`, a result from the previous memo generation
+            // beats shedding — serve it marked `stale: true` instead of
+            // turning the client away.
+            if let Some(r) = st.stale_memo.get(&key).filter(|_| req.allow_stale) {
+                let mut stale = (**r).clone();
+                stale.stale = true;
+                st.counters.stale_served += 1;
+                if let Some(exceeded) = deadline_verdict(req, &stale) {
+                    st.counters.deadline_exceeded += 1;
+                    return exceeded;
+                }
+                finish_work(&mut st, &stale);
+                return stale;
+            }
             st.counters.shed += 1;
             return Response::overloaded(shared.opts.retry_after_millis);
         } else {
@@ -622,6 +908,10 @@ fn dispatch_work(shared: &Shared, req: &Request) -> Response {
     match rx.recv() {
         Ok(r) => {
             let mut st = lock_state(shared);
+            if let Some(exceeded) = deadline_verdict(req, &r) {
+                st.counters.deadline_exceeded += 1;
+                return exceeded;
+            }
             finish_work(&mut st, &r);
             (*r).clone()
         }

@@ -1,0 +1,168 @@
+//! Property tests for the `fearless-serve/1` frame codec and request
+//! parser: every well-formed document round-trips to byte-identical
+//! re-encoded JSON, and *arbitrary* bytes — whole frames or torn
+//! prefixes — never panic and always classify to a documented protocol
+//! code (2 oversized, 3 truncated, 4 invalid UTF-8, 5 unknown kind,
+//! 6 malformed).
+
+use proptest::prelude::*;
+
+use fearless_serve::protocol::{
+    codes, parse_request, read_frame, write_frame, Frame, Request, Response, MAX_FRAME,
+};
+
+fn work_kind() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("check".to_string()),
+        Just("lint".to_string()),
+        Just("flow".to_string()),
+        Just("profile".to_string()),
+        Just("ping".to_string()),
+        Just("stats".to_string()),
+    ]
+}
+
+fn response_code() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(2u64),
+        Just(3u64),
+        Just(4u64),
+        Just(5u64),
+        Just(6u64),
+        Just(7u64),
+        Just(8u64),
+        Just(9u64),
+        Just(70u64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A request survives render → parse → re-render byte-identically
+    /// (the dedupe layer depends on stable request bytes).
+    #[test]
+    fn request_reencode_is_byte_identical(
+        kind in work_kind(),
+        body in "[ -~\\n\\t]{0,200}",
+        deadline in prop::option::of(0u64..1_000_000),
+        allow_stale in prop::bool::ANY,
+    ) {
+        let mut req = Request::new(kind, body);
+        req.deadline_millis = deadline;
+        req.allow_stale = allow_stale;
+        let wire = req.to_json();
+        let parsed = parse_request(wire.as_bytes()).expect("well-formed request must parse");
+        prop_assert_eq!(&parsed, &req);
+        prop_assert_eq!(parsed.to_json(), wire, "re-encode must be byte-identical");
+    }
+
+    /// A response survives render → parse → re-render byte-identically
+    /// (crash recovery replays stored responses by their bytes).
+    #[test]
+    fn response_reencode_is_byte_identical(
+        code in response_code(),
+        output in "[ -~\\n\\t]{0,200}",
+        retry in prop::option::of(1u64..10_000),
+        cost in prop::option::of(0u64..1_000_000),
+        stale in prop::bool::ANY,
+    ) {
+        let mut r = Response::error(code, output);
+        r.retry_after_millis = retry;
+        r.cost = cost;
+        r.stale = stale;
+        let wire = r.to_json();
+        let parsed = Response::from_json(&wire).expect("well-formed response must parse");
+        prop_assert_eq!(&parsed, &r);
+        prop_assert_eq!(parsed.to_json(), wire, "re-encode must be byte-identical");
+    }
+
+    /// Frame write → read round-trips any body, and a second read sees
+    /// a clean EOF (no trailing bytes invented or dropped).
+    #[test]
+    fn frame_roundtrips_arbitrary_bodies(body in prop::collection::vec(0u8..=255, 0..4096)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, MAX_FRAME).unwrap() {
+            Frame::Body(b) => prop_assert_eq!(b, body),
+            other => prop_assert!(false, "expected body, got {:?}", other),
+        }
+        prop_assert!(matches!(read_frame(&mut cursor, MAX_FRAME).unwrap(), Frame::Eof));
+    }
+
+    /// An arbitrary *prefix* of a valid framed stream never panics the
+    /// reader and always classifies: the full frame, a truncation, or
+    /// (cut == 0) a clean EOF. This is the wire contract the daemon's
+    /// connection handler leans on when peers hang up mid-write.
+    #[test]
+    fn torn_prefixes_classify_cleanly(
+        body in prop::collection::vec(0u8..=255, 1..512),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let cut = cut_seed % (buf.len() + 1);
+        let mut cursor = std::io::Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut cursor, MAX_FRAME).unwrap() {
+            Frame::Eof => prop_assert_eq!(cut, 0, "EOF only on an empty prefix"),
+            Frame::Truncated => prop_assert!(cut < buf.len()),
+            Frame::Body(b) => {
+                prop_assert_eq!(cut, buf.len(), "a full body needs the full stream");
+                prop_assert_eq!(b, body);
+            }
+            Frame::Oversized(_) => prop_assert!(false, "writer never produces oversized"),
+        }
+    }
+
+    /// Raw byte soup fed to the reader never panics and never yields a
+    /// phantom body larger than the stream; declared lengths beyond
+    /// MAX_FRAME classify as oversized without allocating.
+    #[test]
+    fn byte_soup_never_panics_the_reader(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        match read_frame(&mut cursor, MAX_FRAME).unwrap() {
+            Frame::Body(b) => prop_assert!(b.len() + 4 <= bytes.len()),
+            Frame::Oversized(len) => prop_assert!(len > MAX_FRAME),
+            Frame::Eof => prop_assert!(bytes.is_empty()),
+            Frame::Truncated => {}
+        }
+    }
+
+    /// Arbitrary frame bodies never panic the request parser, and every
+    /// rejection lands on a documented code: 4 (not UTF-8), 5 (unknown
+    /// kind), or 6 (malformed document).
+    #[test]
+    fn arbitrary_bodies_classify_to_documented_codes(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        match parse_request(&bytes) {
+            Ok(req) => {
+                // Anything that parses must re-encode and re-parse.
+                let again = parse_request(req.to_json().as_bytes()).unwrap();
+                prop_assert_eq!(again, req);
+            }
+            Err((code, _)) => prop_assert!(
+                code == codes::INVALID_UTF8
+                    || code == codes::UNKNOWN_KIND
+                    || code == codes::MALFORMED,
+                "undocumented rejection code {}", code
+            ),
+        }
+    }
+
+    /// JSON-shaped garbage (valid UTF-8, arbitrary structure) also
+    /// never panics and classifies to 5 or 6.
+    #[test]
+    fn utf8_garbage_classifies_to_5_or_6(text in "[ -~\\n\\t]{0,200}") {
+        match parse_request(text.as_bytes()) {
+            Ok(_) => {}
+            Err((code, _)) => prop_assert!(
+                code == codes::UNKNOWN_KIND || code == codes::MALFORMED,
+                "UTF-8 input rejected with non-UTF-8 code {}", code
+            ),
+        }
+    }
+}

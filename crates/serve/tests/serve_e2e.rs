@@ -25,6 +25,9 @@ fn self_test_exercises_the_whole_protocol() {
         "dedupe → byte-identical response",
         "shed → overloaded with retry hint",
         "codes 2/3/4/5/6",
+        "deadline 0 → deadline-exceeded (code 9)",
+        "stale → served stale: true under load",
+        "worker panic ×2 → quarantined (code 70)",
         "shutdown drained cleanly",
         "all probes passed",
     ] {
@@ -73,6 +76,68 @@ fn shutdown_persists_the_cache_and_a_restart_runs_warm() {
         warm.to_json(),
         first.to_json(),
         "identical bodies must yield byte-identical responses across restarts"
+    );
+    let r = c.request("shutdown", "").expect("shutdown 2");
+    assert_eq!(r.code, codes::OK);
+    spawned.shutdown_and_join().expect("join 2");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replay_recovers_a_crashed_daemon_byte_identically() {
+    let dir = scratch("crash");
+    let socket = dir.join("serve.sock");
+    let cache_dir = dir.join("cache");
+    let crash_dir = dir.join("cache-at-crash");
+
+    // Daemon A: serve one check, then snapshot the cache directory
+    // *while it is still running* — exactly the bytes a kill -9 would
+    // leave behind: a WAL with the entry, no check-cache.json yet.
+    let mut opts = ServeOptions::new(&socket);
+    opts.cache_dir = Some(cache_dir.clone());
+    let spawned = Server::spawn(opts).expect("spawn");
+    let mut c = Client::connect(&socket).expect("connect");
+    let first = c.request("check", SMOKE_PROGRAM).expect("check");
+    assert_eq!(first.code, codes::OK, "{}", first.output);
+
+    std::fs::create_dir_all(&crash_dir).unwrap();
+    for entry in std::fs::read_dir(&cache_dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), crash_dir.join(entry.file_name())).unwrap();
+        }
+    }
+    assert!(
+        crash_dir.join("check-cache.wal").exists(),
+        "the WAL must exist before any clean save"
+    );
+    assert!(
+        !crash_dir.join("check-cache.json").exists(),
+        "no clean save may have happened yet — otherwise this test \
+         is not exercising crash recovery"
+    );
+    let r = c.request("shutdown", "").expect("shutdown");
+    assert_eq!(r.code, codes::OK);
+    spawned.shutdown_and_join().expect("join");
+
+    // Daemon B over the crash snapshot: replay must restore the cache
+    // and the response bytes must match daemon A's exactly.
+    let socket_b = dir.join("serve-b.sock");
+    let mut opts = ServeOptions::new(&socket_b);
+    opts.cache_dir = Some(crash_dir);
+    let spawned = Server::spawn(opts).expect("respawn");
+    let mut c = Client::connect(&socket_b).expect("reconnect");
+    let stats = c.request("stats", "").expect("stats");
+    assert!(
+        stats.output.contains("\"wal_replayed\"") && !stats.output.contains("\"wal_replayed\": 0"),
+        "stats must count the replayed WAL records:\n{}",
+        stats.output
+    );
+    let recovered = c.request("check", SMOKE_PROGRAM).expect("warm check");
+    assert_eq!(
+        recovered.to_json(),
+        first.to_json(),
+        "post-crash responses must be byte-identical to pre-crash ones"
     );
     let r = c.request("shutdown", "").expect("shutdown 2");
     assert_eq!(r.code, codes::OK);

@@ -61,6 +61,44 @@ impl Json {
         out
     }
 
+    /// Renders the value on a single line, no trailing newline — for
+    /// line-oriented formats (e.g. the incremental cache's write-ahead
+    /// journal) where one value must occupy exactly one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::U64(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -142,5 +180,20 @@ mod tests {
     fn empty_containers_are_compact() {
         assert_eq!(Json::Arr(vec![]).render(), "[]\n");
         assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn compact_render_is_one_line() {
+        let v = Json::obj([
+            ("b", Json::U64(1)),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c", Json::obj([("x", Json::str("y\nz"))])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(
+            line,
+            "{\"b\": 1, \"a\": [true, null], \"c\": {\"x\": \"y\\nz\"}}"
+        );
     }
 }
